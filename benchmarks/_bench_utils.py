@@ -1,0 +1,31 @@
+"""Helpers shared by the experiment benches (scale factor, table printing)."""
+
+from __future__ import annotations
+
+import os
+
+#: Scale factor for the bench corpus; 1.0 keeps the suite at a few minutes.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: The top-k shown to users throughout the paper.
+K = 7
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an experiment size by ``REPRO_BENCH_SCALE``."""
+    return max(minimum, int(round(value * SCALE)))
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Uniform console rendering for the paper-style result tables."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    print()
+    print(f"=== {title} ===")
+    print(" | ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)))
+    print("-+-".join("-" * width for width in widths))
+    for row in rows:
+        print(" | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    print()

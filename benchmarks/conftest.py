@@ -1,0 +1,61 @@
+"""Shared fixtures for the experiment benches.
+
+Every bench reproduces one table or figure of the paper's evaluation
+(Section 7).  They all share the same synthetic corpus and the same
+weakly-supervised baseline parser, built once per session here.
+
+The corpus size is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (a float; 1.0 is the default and keeps the whole bench suite at a
+few minutes on a laptop; larger values move the experiments closer to the
+paper's 700-question scale at a proportional cost in wall-clock time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import DatasetConfig, build_dataset, split_by_tables
+from repro.parser import train_parser
+
+from _bench_utils import scaled
+
+#: Number of generated tables / questions per table for the bench corpus.
+BENCH_NUM_TABLES = scaled(36, minimum=12)
+BENCH_QUESTIONS_PER_TABLE = 8
+#: Paraphrase rate controls how hard the corpus is for a lexical parser.
+BENCH_PARAPHRASE_RATE = 0.55
+#: Training set size and epochs for the weakly-supervised baseline parser.
+BENCH_TRAIN_EXAMPLES = scaled(180, minimum=60)
+BENCH_EPOCHS = 3
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    config = DatasetConfig(
+        num_tables=BENCH_NUM_TABLES,
+        questions_per_table=BENCH_QUESTIONS_PER_TABLE,
+        seed=2019,
+        paraphrase_rate=BENCH_PARAPHRASE_RATE,
+    )
+    return build_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def bench_split(bench_dataset):
+    return split_by_tables(bench_dataset, test_fraction=0.25, seed=7)
+
+
+@pytest.fixture(scope="session")
+def baseline_parser(bench_split):
+    """The paper's baseline: a parser trained with weak (answer) supervision."""
+    return train_parser(
+        bench_split.train.training_examples(annotated=False)[:BENCH_TRAIN_EXAMPLES],
+        epochs=BENCH_EPOCHS,
+        use_annotations=False,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def test_examples(bench_split):
+    return bench_split.test.evaluation_examples()

@@ -1,0 +1,73 @@
+"""Ablation — highlight sampling on large tables (Section 5.3).
+
+Showing a full highlight on a table with thousands of rows is impractical;
+the paper's sampler shows at most a handful of rows while still covering
+every provenance stratum.  The bench measures, for growing table sizes,
+how many cells a full highlight would display versus the sampled one, and
+benchmarks the cost of computing the sample.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HighlightLevel, Highlighter, sample_highlights
+from repro.dcs import builder as q
+from repro.tables import Table
+
+from _bench_utils import print_table
+
+
+def growth_table(rows):
+    countries = ["Madagascar", "Burkina Faso", "Kenya", "Ghana", "Togo", "Benin"]
+    data = []
+    for index in range(rows):
+        data.append(
+            [index + 1, countries[index % len(countries)], 1950 + (index % 65),
+             round(0.5 + ((index * 13) % 37) * 0.1, 3)]
+        )
+    return Table(columns=["Row", "Country", "Year", "Growth Rate"], rows=data, name=f"growth-{rows}")
+
+
+SIZES = [50, 200, 1000]
+
+
+def run_sweep():
+    query = q.max_(
+        q.column_values("Growth Rate", q.column_records("Country", "Madagascar"))
+    )
+    rows = []
+    for size in SIZES:
+        table = growth_table(size)
+        highlighted = Highlighter(table).highlight(query, output=True)
+        full_cells = sum(
+            1 for level in highlighted.levels.values() if level != HighlightLevel.NONE
+        )
+        sample = sample_highlights(query, table, seed=1)
+        sampled_cells = sum(
+            1
+            for level in sample.highlighted.levels.values()
+            if level != HighlightLevel.NONE
+        )
+        rows.append((size, full_cells, sample.sample_size, sampled_cells))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_highlight_sampling(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print_table(
+        "Ablation: full highlight vs. sampled highlight (Section 5.3)",
+        ["table rows", "highlighted cells (full)", "sampled rows", "highlighted cells (sampled)"],
+        [list(row) for row in rows],
+    )
+
+    for size, full_cells, sample_rows, sampled_cells in rows:
+        # The full highlight grows linearly with the table...
+        assert full_cells >= size
+        # ... the sample does not.
+        assert sample_rows <= 3
+        assert sampled_cells <= 4 * sample_rows
+    largest = rows[-1]
+    assert largest[3] < largest[1] / 50

@@ -1,0 +1,145 @@
+"""Figures 1, 8 and 9 — candidate-explanation walk-throughs.
+
+* Figure 1: the Olympics question "Greece held its last Olympics in what
+  year?" explained by utterance and provenance highlights.
+* Figure 8: two candidates for "What was the last year the team was a part
+  of the USL A-League?" that return the same answer, only one of which is a
+  correct translation.
+* Figure 9: three candidates for "How many more ships were wrecked in lake
+  Huron than in Erie?" where the highlights immediately reveal the correct
+  one.
+
+The bench regenerates the three walk-throughs and asserts the facts the
+paper uses them to illustrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import explain
+from repro.dcs import SuperlativeKind, SuperlativeRecords, builder as q, execute
+from repro.parser import queries_equivalent
+from repro.tables import Table
+
+from _bench_utils import print_table
+
+
+def olympics_table():
+    return Table(
+        columns=["Year", "Country", "City"],
+        rows=[
+            [1896, "Greece", "Athens"],
+            [1900, "France", "Paris"],
+            [2004, "Greece", "Athens"],
+            [2008, "China", "Beijing"],
+            [2012, "UK", "London"],
+            [2016, "Brazil", "Rio de Janeiro"],
+        ],
+        name="olympics",
+    )
+
+
+def seasons_table():
+    # Attendance is arranged so that the spurious candidate of Figure 8
+    # (minimum Year among the rows with the highest Attendance) also lands
+    # on 2004, exactly like the paper's Open-Cup-based example.
+    return Table(
+        columns=["Year", "League", "Attendance", "Open Cup"],
+        rows=[
+            [2002, "USL A-League", 5260, "Did not qualify"],
+            [2003, "USL A-League", 5871, "Did not qualify"],
+            [2004, "USL A-League", 6628, "4th Round"],
+            [2005, "USL First Division", 6028, "4th Round"],
+            [2006, "USL First Division", 5575, "3rd Round"],
+        ],
+        name="seasons",
+    )
+
+
+def shipwrecks_table():
+    return Table(
+        columns=["Ship", "Vessel", "Lake", "Lives lost"],
+        rows=[
+            ["Argus", "Steamer", "Lake Huron", 25],
+            ["Hydrus", "Steamer", "Lake Huron", 28],
+            ["Plymouth", "Barge", "Lake Michigan", 7],
+            ["Issac M. Scott", "Steamer", "Lake Huron", 28],
+            ["Henry B. Smith", "Steamer", "Lake Superior", 23],
+            ["Lightship No. 82", "Lightship", "Lake Erie", 6],
+            ["Wexford", "Steamer", "Lake Huron", 17],
+            ["Leafield", "Steamer", "Lake Superior", 18],
+        ],
+        name="shipwrecks",
+    )
+
+
+def run_walkthroughs():
+    outputs = {}
+
+    # Figure 1
+    table = olympics_table()
+    figure1 = q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+    outputs["figure1"] = explain(figure1, table)
+
+    # Figure 8
+    seasons = seasons_table()
+    correct = q.max_(q.column_values("Year", q.column_records("League", "USL A-League")))
+    spurious = q.min_(q.column_values("Year", q.argmax_records("Attendance")))
+    outputs["figure8"] = (
+        explain(correct, seasons),
+        explain(spurious, seasons),
+        execute(correct, seasons).answer_strings(),
+        execute(spurious, seasons).answer_strings(),
+        queries_equivalent(spurious, correct, seasons, perturbations=4),
+    )
+
+    # Figure 9
+    ships = shipwrecks_table()
+    candidates = [
+        q.count_difference("Lake", "Lake Huron", "Lake Erie"),
+        q.count_difference("Lake", "Lake Huron", "Lake Superior"),
+        q.count(
+            SuperlativeRecords(
+                SuperlativeKind.ARGMAX,
+                "Lives lost",
+                q.column_records("Lake", "Lake Huron"),
+            )
+        ),
+    ]
+    outputs["figure9"] = [explain(candidate, ships) for candidate in candidates]
+    return outputs
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure_walkthroughs(benchmark):
+    outputs = benchmark.pedantic(run_walkthroughs, rounds=1, iterations=1)
+
+    figure1 = outputs["figure1"]
+    print("\n=== Figure 1: Greece held its last Olympics in what year? ===")
+    print(figure1.as_text())
+    assert figure1.answer == ("2004",)
+    assert figure1.highlighted.header_label("Year") == "MAX(Year)"
+
+    correct, spurious, correct_answer, spurious_answer, equivalent = outputs["figure8"]
+    print("\n=== Figure 8: same answer, different queries ===")
+    print("candidate 1:", correct.utterance, "->", correct_answer)
+    print("candidate 2:", spurious.utterance, "->", spurious_answer)
+    # Both candidates answer 2004 on this table, yet they are not equivalent.
+    assert correct_answer == spurious_answer == ("2004",)
+    assert not equivalent
+
+    print("\n=== Figure 9: how many more ships were wrecked in lake Huron than in Erie? ===")
+    rows = []
+    for index, explanation in enumerate(outputs["figure9"], start=1):
+        rows.append([index, explanation.utterance[:80], ", ".join(explanation.answer)])
+        print(f"--- candidate {index} ---")
+        print(explanation.as_text())
+    print_table("Figure 9 candidates", ["#", "utterance", "answer"], rows)
+    first, second, third = outputs["figure9"]
+    # The correct candidate compares Huron and Erie occurrences: 4 - 1 = 3.
+    assert first.answer == ("3",)
+    # The second compares Huron and Superior instead and differs.
+    assert second.answer != first.answer
+    # Highlights of the first candidate frame/color cells in the Lake column only.
+    assert all(cell.column == "Lake" for cell in first.highlighted.colored_cells)

@@ -1,0 +1,133 @@
+"""Figures 4-7 — provenance-highlight examples and large-table sampling.
+
+* Figure 4: comparison — *rows where values of column Games are more than 4*,
+* Figure 5: superlative over values — *between London or Beijing who has the
+  highest value of column Year*,
+* Figure 6: arithmetic difference — *difference in column Total between Fiji
+  and Tonga*,
+* Figure 7: the same highlights scaled to a large table by sampling three
+  representative rows (Section 5.3).
+
+The bench regenerates all four and asserts the cell classes the paper's
+figures show.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HighlightLevel, explain, highlight, render_text, sample_highlights
+from repro.dcs import builder as q
+from repro.tables import Table
+
+from _bench_utils import print_table
+
+
+def roster_table():
+    return Table(
+        columns=["Name", "Position", "Games", "Club"],
+        rows=[
+            ["Erich Burgener", "GK", 3, "Servette"],
+            ["Charly In-Albon", "DF", 4, "Grasshoppers"],
+            ["Andy Egli", "DF", 6, "Grasshoppers"],
+            ["Marcel Koller", "DF", 2, "Grasshoppers"],
+            ["Heinz Hermann", "MF", 6, "Grasshoppers"],
+            ["Lucien Favre", "MF", 5, "Toulouse"],
+        ],
+        name="roster",
+    )
+
+
+def olympics_table():
+    return Table(
+        columns=["Year", "Country", "City"],
+        rows=[
+            [1896, "Greece", "Athens"],
+            [1900, "France", "Paris"],
+            [2004, "Greece", "Athens"],
+            [2008, "China", "Beijing"],
+            [2012, "UK", "London"],
+            [2016, "Brazil", "Rio de Janeiro"],
+        ],
+        name="olympics",
+    )
+
+
+def medals_table():
+    return Table(
+        columns=["Rank", "Nation", "Gold", "Total"],
+        rows=[
+            [1, "New Caledonia", 120, 288],
+            [2, "Tahiti", 60, 144],
+            [3, "Papua New Guinea", 48, 121],
+            [4, "Fiji", 33, 130],
+            [5, "Samoa", 22, 73],
+            [6, "Tonga", 4, 20],
+        ],
+        name="medals",
+    )
+
+
+def growth_table(rows=300):
+    countries = ["Madagascar", "Burkina Faso", "Kenya", "Ghana", "Togo"]
+    data = []
+    for index in range(rows):
+        data.append(
+            [index + 1, countries[index % len(countries)], 1980 + (index % 35),
+             round(1.5 + ((index * 7) % 17) * 0.1, 3)]
+        )
+    return Table(columns=["Row", "Country", "Year", "Growth Rate"], rows=data, name="growth")
+
+
+def run_figures():
+    figure4 = highlight(q.comparison_records("Games", ">", 4), roster_table())
+    figure5 = highlight(
+        q.compare_values("Year", "City", q.union("London", "Beijing")), olympics_table()
+    )
+    figure6 = explain(q.value_difference("Total", "Nation", "Fiji", "Tonga"), medals_table())
+    large = growth_table()
+    figure7_query = q.max_(
+        q.column_values("Growth Rate", q.column_records("Country", "Madagascar"))
+    )
+    figure7 = sample_highlights(figure7_query, large, seed=7)
+    return figure4, figure5, figure6, figure7, large
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figures_4_to_7(benchmark):
+    figure4, figure5, figure6, figure7, large = benchmark.pedantic(
+        run_figures, rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 4: comparison highlights ===")
+    print(render_text(figure4))
+    assert {cell.coordinate for cell in figure4.colored_cells} == {
+        (2, "Games"), (4, "Games"), (5, "Games"),
+    }
+
+    print("\n=== Figure 5: superlative (values) highlights ===")
+    print(render_text(figure5))
+    colored5 = {cell.coordinate for cell in figure5.colored_cells}
+    assert (4, "City") in colored5  # London wins (2012 > 2008)
+    # The years of both candidate rows are examined (framed), per Table 10.
+    assert figure5.level(3, "Year") == HighlightLevel.FRAMED
+    assert figure5.level(3, "City") == HighlightLevel.LIT
+
+    print("\n=== Figure 6: difference highlights ===")
+    print(figure6.as_text())
+    assert figure6.answer == ("110",)
+    assert figure6.highlighted.summary()["colored"] == 2
+
+    print("\n=== Figure 7: sampled highlights on a large table "
+          f"({large.num_rows} rows -> {figure7.sample_size} sampled) ===")
+    print(render_text(figure7.highlighted, rows=figure7.row_indices))
+    rows_summary = [[index, large.cell(index, 'Country').display(),
+                     large.cell(index, 'Year').display()]
+                    for index in figure7.row_indices]
+    print_table("Figure 7 sampled rows", ["row", "Country", "Year"], rows_summary)
+
+    # Shape: three or fewer sampled rows explain a 300-row table, covering
+    # output, execution and column provenance strata.
+    assert figure7.sample_size <= 3
+    assert set(figure7.row_indices) & figure7.output_rows
+    assert set(figure7.row_indices) & (figure7.column_rows - figure7.execution_rows)

@@ -1,0 +1,108 @@
+"""Table 10 — lambda DCS operators, their SQL translation and provenance.
+
+The paper's Table 10 is the reference mapping from every lambda DCS
+operator to (a) its SQL semantics and (b) its multilevel provenance rules.
+The bench regenerates the reference from the implementation: for each
+operator it prints the example query, the generated SQL and the sizes of
+the provenance sets, and asserts that the lambda DCS executor and the SQL
+translation agree on the example table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compute_provenance, utterance
+from repro.dcs import builder as q, to_sexpr
+from repro.sql import check_equivalence, to_sql
+from repro.tables import Table
+
+from _bench_utils import print_table
+
+
+def reference_table():
+    return Table(
+        columns=["Year", "Country", "City", "Total"],
+        rows=[
+            [1896, "Greece", "Athens", 100],
+            [1900, "France", "Paris", 120],
+            [2004, "Greece", "Athens", 300],
+            [2008, "China", "Beijing", 320],
+            [2012, "UK", "London", 280],
+            [2016, "Brazil", "Rio de Janeiro", 310],
+        ],
+        name="reference",
+    )
+
+
+def operators():
+    """(operator name, example query) in the order of the paper's Table 10."""
+    return [
+        ("Column Records", q.column_records("City", "Athens")),
+        ("Column Values", q.column_values("Year", q.column_records("City", "Athens"))),
+        ("Values in Preceding Records",
+         q.column_values("Year", q.prev_records(q.column_records("City", "Athens")))),
+        ("Values in Following Records",
+         q.column_values("Year", q.next_records(q.column_records("City", "Athens")))),
+        ("Aggregation on Values",
+         q.sum_(q.column_values("Total", q.column_records("Country", "Greece")))),
+        ("Difference of Values",
+         q.value_difference("Total", "City", "London", "Beijing")),
+        ("Difference of Value Occurrences",
+         q.count_difference("City", "Athens", "London")),
+        ("Union of Values",
+         q.column_values("City", q.column_records("Country", q.union("China", "Greece")))),
+        ("Intersection of Records",
+         q.intersection(q.column_records("City", "London"), q.column_records("Country", "UK"))),
+        ("Records with Highest Value", q.argmax_records("Year")),
+        ("Value in Record with Highest Index",
+         q.value_in_last_record("Year", q.column_records("City", "Athens"))),
+        ("Value with Most Appearances", q.most_common("City")),
+        ("Comparing Values",
+         q.compare_values("Year", "City", q.union("London", "Beijing"))),
+    ]
+
+
+def run_reference():
+    table = reference_table()
+    rows = []
+    for name, query in operators():
+        sql = to_sql(query)
+        report = check_equivalence(query, table)
+        provenance = compute_provenance(query, table)
+        rows.append(
+            {
+                "name": name,
+                "query": to_sexpr(query),
+                "utterance": utterance(query),
+                "sql": sql.sql,
+                "equivalent": report.equivalent,
+                "po": len(provenance.output),
+                "pe": len(provenance.execution),
+                "pc": len(provenance.columns),
+                "ordered": provenance.chain_is_ordered(),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table10")
+def test_table10_operator_reference(benchmark):
+    rows = benchmark.pedantic(run_reference, rounds=1, iterations=1)
+
+    print_table(
+        "Table 10: lambda DCS operators, SQL translation and provenance set sizes",
+        ["operator", "|PO|", "|PE|", "|PC|", "SQL == DCS"],
+        [[row["name"], row["po"], row["pe"], row["pc"], row["equivalent"]] for row in rows],
+    )
+    for row in rows:
+        print(f"\n--- {row['name']} ---")
+        print("lambda DCS:", row["query"])
+        print("utterance :", row["utterance"])
+        print("SQL       :", row["sql"])
+
+    assert len(rows) == 13
+    for row in rows:
+        assert row["equivalent"], row["name"]
+        assert row["ordered"], row["name"]
+        assert row["po"] <= row["pe"] <= row["pc"], row["name"]

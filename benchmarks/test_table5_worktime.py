@@ -1,0 +1,71 @@
+"""Table 5 — user work time (minutes per 20 questions).
+
+Paper: utterances + highlights 16.2 avg / 16.6 median / 6.45 min / 22.5 max;
+utterances only 24.7 avg / 20.7 median / 17.5 min / 35.4 max — highlights
+cut the average work time by ~34% and the median by ~20%.
+
+The bench runs two simulated worker groups (one per condition) through 20
+questions each and reports the same four statistics.  Asserted shape: the
+highlights group is substantially faster while achieving comparable
+correctness.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.users import ExplanationMode, run_worktime_comparison
+
+from _bench_utils import K, print_table, scaled
+
+
+def _stats(minutes):
+    values = sorted(minutes.values())
+    return {
+        "avg": statistics.mean(values),
+        "median": statistics.median(values),
+        "min": values[0],
+        "max": values[-1],
+    }
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_worktime(benchmark, baseline_parser, test_examples):
+    workers_per_group = scaled(10, minimum=4)
+    questions_per_worker = 20
+
+    def run():
+        return run_worktime_comparison(
+            baseline_parser,
+            test_examples,
+            workers_per_group=workers_per_group,
+            questions_per_worker=questions_per_worker,
+            k=K,
+            seed=55,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    highlights = results[ExplanationMode.UTTERANCES_AND_HIGHLIGHTS]
+    utterances = results[ExplanationMode.UTTERANCES_ONLY]
+    fast = _stats(highlights.worker_minutes())
+    slow = _stats(utterances.worker_minutes())
+
+    print_table(
+        "Table 5: User Work-Time in minutes on 20 questions "
+        "(paper: 16.2/16.6 vs 24.7/20.7)",
+        ["method", "avg", "median", "min", "max"],
+        [
+            ["Utterances + Highlights"] + [f"{fast[key]:.1f}m" for key in ("avg", "median", "min", "max")],
+            ["Utterances"] + [f"{slow[key]:.1f}m" for key in ("avg", "median", "min", "max")],
+        ],
+    )
+    saving = 1.0 - fast["avg"] / slow["avg"]
+    print(f"average work-time saving from highlights: {saving:.1%} (paper: 34%)")
+
+    # Shape: highlights cut the average work time substantially (paper: ~1/3).
+    assert fast["avg"] < slow["avg"]
+    assert saving > 0.15
+    # Both conditions achieve comparable correctness (paper: identical).
+    assert abs(highlights.user_correctness - utterances.user_correctness) < 0.2

@@ -1,0 +1,97 @@
+"""Interactive deployment: ask questions, inspect explanations, pick a query.
+
+Run with::
+
+    python examples/interactive_deployment.py            # scripted user
+    python examples/interactive_deployment.py --human    # choose candidates yourself
+
+The script trains a small semantic parser on a synthetic corpus (weak,
+answer-only supervision — the paper's baseline), then deploys it on a few
+held-out questions.  For each question it shows the top-k candidate queries
+with their utterances and highlights.  In ``--human`` mode you pick the
+correct candidate yourself (the paper's AMT task); otherwise a simulated
+worker does it.  At the end it prints the Table 6 scenario comparison for
+the questions answered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dataset import DatasetConfig, build_dataset, split_by_tables
+from repro.interface import InteractiveDeployment, NLInterface
+from repro.parser import train_parser
+from repro.users import worker_pool
+
+K = 5
+
+
+def human_choice(displayed) -> int | None:
+    """Prompt the user for a candidate index (blank or 'n' for None)."""
+    for index, item in enumerate(displayed, start=1):
+        print(f"\n--- candidate {index} (answer: {', '.join(item.answer)}) ---")
+        print(item.explanation.as_text())
+    while True:
+        raw = input(f"\nWhich candidate is correct? [1-{len(displayed)} / n for none] ").strip()
+        if raw.lower() in ("", "n", "none"):
+            return None
+        if raw.isdigit() and 1 <= int(raw) <= len(displayed):
+            return int(raw) - 1
+        print("please enter a candidate number or 'n'")
+
+
+def main() -> None:
+    parser_args = argparse.ArgumentParser(description=__doc__)
+    parser_args.add_argument("--human", action="store_true", help="pick candidates interactively")
+    parser_args.add_argument("--questions", type=int, default=5, help="number of questions to answer")
+    args = parser_args.parse_args()
+
+    print("building a synthetic WikiTableQuestions-like corpus ...")
+    dataset = build_dataset(DatasetConfig(num_tables=20, questions_per_table=6, seed=3))
+    split = split_by_tables(dataset, test_fraction=0.25, seed=1)
+
+    print("training the baseline parser (weak supervision) ...")
+    parser = train_parser(
+        split.train.training_examples(annotated=False)[:80], epochs=2, use_annotations=False
+    )
+
+    deployment = InteractiveDeployment(interface=NLInterface(parser=parser, k=K), k=K)
+    examples = split.test.evaluation_examples()[: args.questions]
+
+    outcomes = []
+    if args.human and sys.stdin.isatty():
+        for example in examples:
+            print("\n" + "#" * 78)
+            print("question:", example.question)
+            print("table   :", example.table.name)
+            outcome = deployment.answer_question(example, choose=human_choice)
+            outcomes.append(outcome)
+            answer = outcome.response.parse.candidates[
+                outcome.chosen_rank if outcome.chosen_rank is not None else 0
+            ].answer
+            print("system answer:", ", ".join(answer))
+        from repro.interface import DeploymentReport
+
+        report = DeploymentReport(outcomes=outcomes)
+    else:
+        print("running a simulated worker through the questions ...")
+        worker = worker_pool(1, seed=5)[0]
+        report = deployment.run_with_worker(examples, worker)
+        for outcome in report.outcomes:
+            chosen = outcome.chosen_rank
+            print("\nquestion:", outcome.example.question)
+            print("  parser top-1 correct:", outcome.parser_correct,
+                  "| user picked rank:", chosen,
+                  "| hybrid correct:", outcome.hybrid_correct)
+
+    print("\n=== Table 6 scenarios on these questions ===")
+    for name, value in report.summary().items():
+        if name == "examples":
+            print(f"{name:>8}: {int(value)}")
+        else:
+            print(f"{name:>8}: {value:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a reproduction of "Explaining Queries over Web Tables to Non-Experts".
+
+The package is organised as:
+
+* :mod:`repro.tables` — the web-table data model (Section 3.1),
+* :mod:`repro.dcs` — the lambda DCS query language and executor (Section 3.2),
+* :mod:`repro.sql` — the lambda DCS → SQL mapping of Table 10,
+* :mod:`repro.core` — the paper's contribution: multilevel cell-based
+  provenance (Section 4), NL utterances and provenance-based highlights
+  (Section 5),
+* :mod:`repro.parser` — the semantic parser substrate (Section 6.2),
+* :mod:`repro.dataset` — a synthetic WikiTableQuestions-like benchmark,
+* :mod:`repro.users` — simulated crowd workers for the user study (Section 7),
+* :mod:`repro.interface` — the deployed NL interface and feedback retraining
+  (Section 6).
+"""
+
+from . import core, dataset, dcs, interface, parser, sql, tables, users
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tables",
+    "dcs",
+    "sql",
+    "core",
+    "parser",
+    "dataset",
+    "users",
+    "interface",
+    "__version__",
+]

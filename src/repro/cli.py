@@ -1,0 +1,182 @@
+"""Command-line interface for the reproduction.
+
+Four sub-commands cover the workflows a downstream user needs::
+
+    python -m repro explain --table table.csv --query '(aggregate max (column-values "Year" (column-records "Country" (value "Greece"))))'
+    python -m repro ask     --table table.csv --question "When did Greece last host?" --k 5
+    python -m repro dataset --output corpus/ --tables 20 --questions 6
+    python -m repro study   --tables 20 --questions 6 --k 7
+
+* ``explain`` — parse a lambda DCS s-expression, execute it on a CSV table
+  and print the utterance + provenance highlights (Section 5).
+* ``ask`` — run the semantic parser on an NL question over a CSV table and
+  print the explained top-k candidates (Section 6.3); the parser is
+  untrained unless ``--model`` points at a saved weight file.
+* ``dataset`` — generate a synthetic WikiTableQuestions-like corpus and
+  write its tables (JSON) plus a ``questions.jsonl`` file.
+* ``study`` — run the end-to-end deployment experiment on a freshly
+  generated corpus with simulated workers and print the Table 6 scenario
+  summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .tables import Table, save_tables, table_from_csv
+from .dcs import from_sexpr, to_sexpr
+from .core import explain as explain_query
+from .parser import LogLinearModel, SemanticParser, train_parser
+from .interface import NLInterface
+from .dataset import DatasetConfig, build_dataset, dataset_statistics, split_by_tables
+from .users import StudyConfig, UserStudy, worker_pool
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Explaining Queries over Web Tables to Non-Experts — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    explain_cmd = subparsers.add_parser("explain", help="explain a lambda DCS query over a CSV table")
+    explain_cmd.add_argument("--table", required=True, help="path to a CSV table (first row = header)")
+    explain_cmd.add_argument("--query", required=True, help="lambda DCS query as an s-expression")
+    explain_cmd.add_argument("--html", action="store_true", help="emit HTML instead of text")
+
+    ask_cmd = subparsers.add_parser("ask", help="ask an NL question over a CSV table")
+    ask_cmd.add_argument("--table", required=True, help="path to a CSV table")
+    ask_cmd.add_argument("--question", required=True, help="the NL question")
+    ask_cmd.add_argument("--k", type=int, default=7, help="number of candidates to explain")
+    ask_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
+
+    dataset_cmd = subparsers.add_parser("dataset", help="generate a synthetic corpus")
+    dataset_cmd.add_argument("--output", required=True, help="output directory")
+    dataset_cmd.add_argument("--tables", type=int, default=20)
+    dataset_cmd.add_argument("--questions", type=int, default=6, help="questions per table")
+    dataset_cmd.add_argument("--seed", type=int, default=7)
+
+    study_cmd = subparsers.add_parser("study", help="run the deployment experiment end to end")
+    study_cmd.add_argument("--tables", type=int, default=20)
+    study_cmd.add_argument("--questions", type=int, default=6, help="questions per table")
+    study_cmd.add_argument("--k", type=int, default=7)
+    study_cmd.add_argument("--epochs", type=int, default=2)
+    study_cmd.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# sub-commands
+# ---------------------------------------------------------------------------
+
+
+def _load_table(path: str) -> Table:
+    return table_from_csv(Path(path))
+
+
+def run_explain(args: argparse.Namespace, out) -> int:
+    table = _load_table(args.table)
+    query = from_sexpr(args.query)
+    explanation = explain_query(query, table)
+    if args.html:
+        print(explanation.as_html(), file=out)
+    else:
+        print(explanation.as_text(), file=out)
+        print(file=out)
+        print("answer:", ", ".join(explanation.answer), file=out)
+    return 0
+
+
+def run_ask(args: argparse.Namespace, out) -> int:
+    table = _load_table(args.table)
+    parser = SemanticParser()
+    if args.model:
+        parser.model = LogLinearModel.load(args.model)
+    interface = NLInterface(parser=parser, k=args.k)
+    response = interface.ask(args.question, table)
+    if not response.explained:
+        print("no executable candidate queries were generated", file=out)
+        return 1
+    print(response.as_text(), file=out)
+    return 0
+
+
+def run_dataset(args: argparse.Namespace, out) -> int:
+    config = DatasetConfig(
+        num_tables=args.tables, questions_per_table=args.questions, seed=args.seed
+    )
+    dataset = build_dataset(config)
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    save_tables(dataset.tables, output / "tables")
+    questions_path = output / "questions.jsonl"
+    with questions_path.open("w", encoding="utf-8") as handle:
+        for example in dataset.examples:
+            handle.write(
+                json.dumps(
+                    {
+                        "id": example.example_id,
+                        "table": example.table.name,
+                        "question": example.question,
+                        "query": to_sexpr(example.gold_query),
+                        "answer": [value.display() for value in example.gold_answer],
+                        "domain": example.domain,
+                        "template": example.template,
+                    },
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+    stats = dataset_statistics(dataset)
+    print(f"wrote {int(stats['tables'])} tables and {int(stats['examples'])} questions "
+          f"to {output}", file=out)
+    return 0
+
+
+def run_study(args: argparse.Namespace, out) -> int:
+    config = DatasetConfig(
+        num_tables=args.tables, questions_per_table=args.questions, seed=args.seed
+    )
+    dataset = build_dataset(config)
+    split = split_by_tables(dataset, test_fraction=0.25, seed=args.seed)
+    print(f"corpus: {len(split.train)} train / {len(split.test)} test questions", file=out)
+
+    parser = train_parser(
+        split.train.training_examples(annotated=False),
+        epochs=args.epochs,
+        use_annotations=False,
+        seed=args.seed,
+    )
+    examples = split.test.evaluation_examples()
+    study = UserStudy(parser, StudyConfig(k=args.k, questions_per_worker=20, seed=args.seed))
+    workers = worker_pool(max(2, len(examples) // 20 + 1), seed=args.seed)
+    result = study.run(examples, workers)
+
+    print(f"questions answered : {result.distinct_questions}", file=out)
+    print(f"explanations shown : {result.explanations_shown}", file=out)
+    print(f"success rate       : {result.question_success_rate:.1%}", file=out)
+    print(f"parser correctness : {result.parser_correctness:.1%}", file=out)
+    print(f"user correctness   : {result.user_correctness:.1%}", file=out)
+    print(f"hybrid correctness : {result.hybrid_correctness:.1%}", file=out)
+    print(f"correctness bound  : {result.correctness_bound:.1%}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_argument_parser().parse_args(argv)
+    handlers = {
+        "explain": run_explain,
+        "ask": run_ask,
+        "dataset": run_dataset,
+        "study": run_study,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

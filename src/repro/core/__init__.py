@@ -1,0 +1,53 @@
+"""The paper's core contribution: provenance, utterances and highlights."""
+
+from .provenance import (
+    AggregateMarker,
+    MultilevelProvenance,
+    ProvenanceEngine,
+    ProvenanceLevel,
+    compute_provenance,
+)
+from .highlights import HighlightedTable, HighlightLevel, Highlighter, highlight
+from .utterance import DerivationNode, UtteranceResult, derive, utterance
+from .grammar_templates import TABLE3_RULES, GrammarRule, format_table3, rules_for_node
+from .sampling import HighlightSample, HighlightSampler, sample_highlights
+from .rendering import TEXT_LEGEND, render_html, render_table_text, render_text
+from .explanation import (
+    LARGE_TABLE_THRESHOLD,
+    ExplanationGenerator,
+    QueryExplanation,
+    explain,
+    explain_candidates,
+)
+
+__all__ = [
+    "AggregateMarker",
+    "ProvenanceLevel",
+    "MultilevelProvenance",
+    "ProvenanceEngine",
+    "compute_provenance",
+    "HighlightLevel",
+    "HighlightedTable",
+    "Highlighter",
+    "highlight",
+    "utterance",
+    "derive",
+    "UtteranceResult",
+    "DerivationNode",
+    "GrammarRule",
+    "TABLE3_RULES",
+    "rules_for_node",
+    "format_table3",
+    "HighlightSample",
+    "HighlightSampler",
+    "sample_highlights",
+    "render_text",
+    "render_html",
+    "render_table_text",
+    "TEXT_LEGEND",
+    "QueryExplanation",
+    "ExplanationGenerator",
+    "explain",
+    "explain_candidates",
+    "LARGE_TABLE_THRESHOLD",
+]

@@ -1,0 +1,109 @@
+"""Combined query explanations (paper Section 5).
+
+The interface explains each candidate query with *both* mechanisms:
+
+* the NL utterance (Section 5.1) — a detailed description of the query,
+* the provenance-based highlight (Section 5.2) — a quick visual cue,
+  sampled down for large tables (Section 5.3).
+
+:class:`QueryExplanation` bundles the two together with the query, its
+answer and its serialised form; :func:`explain` builds one, and
+:func:`explain_candidates` explains a ranked candidate list the way the
+deployed interface does (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..tables.table import Table
+from ..dcs.ast import Query
+from ..dcs.executor import ExecutionResult, Executor
+from ..dcs.sexpr import to_sexpr
+from .highlights import HighlightedTable, Highlighter
+from .rendering import render_html, render_text
+from .sampling import HighlightSample, HighlightSampler
+from .utterance import DerivationNode, derive
+
+#: Above this many rows, explanations display the sampled highlight only.
+LARGE_TABLE_THRESHOLD = 50
+
+
+@dataclass(frozen=True)
+class QueryExplanation:
+    """Everything the interface shows a user about one candidate query."""
+
+    query: Query
+    table: Table
+    utterance: str
+    derivation: DerivationNode
+    highlighted: HighlightedTable
+    sample: HighlightSample
+    result: ExecutionResult
+    sexpr: str
+
+    @property
+    def answer(self) -> Tuple[str, ...]:
+        return self.result.answer_strings()
+
+    @property
+    def uses_sampling(self) -> bool:
+        """Whether the display should fall back to the sampled rows (Section 5.3)."""
+        return self.table.num_rows > LARGE_TABLE_THRESHOLD
+
+    def display_rows(self) -> List[int]:
+        """The row indices shown to the user."""
+        if self.uses_sampling:
+            return list(self.sample.row_indices)
+        return list(range(self.table.num_rows))
+
+    def as_text(self, ansi: bool = False) -> str:
+        """Terminal-friendly rendering: utterance plus highlighted rows."""
+        body = render_text(self.highlighted, rows=self.display_rows(), ansi=ansi)
+        return f"utterance: {self.utterance}\n{body}"
+
+    def as_html(self) -> str:
+        """HTML rendering close to the user-study interface."""
+        return render_html(
+            self.highlighted, rows=self.display_rows(), caption=self.utterance
+        )
+
+
+class ExplanationGenerator:
+    """Builds :class:`QueryExplanation` objects for one table."""
+
+    def __init__(self, table: Table, sampling_seed: Optional[int] = 0) -> None:
+        self.table = table
+        self.executor = Executor(table)
+        self.highlighter = Highlighter(table)
+        self.sampler = HighlightSampler(table, seed=sampling_seed)
+
+    def explain(self, query: Query) -> QueryExplanation:
+        utterance_result = derive(query)
+        highlighted = self.highlighter.highlight(query, output=True)
+        sample = self.sampler.sample(query)
+        result = self.executor.execute(query)
+        return QueryExplanation(
+            query=query,
+            table=self.table,
+            utterance=utterance_result.utterance,
+            derivation=utterance_result.derivation,
+            highlighted=highlighted,
+            sample=sample,
+            result=result,
+            sexpr=to_sexpr(query),
+        )
+
+    def explain_many(self, queries: Sequence[Query]) -> List[QueryExplanation]:
+        return [self.explain(query) for query in queries]
+
+
+def explain(query: Query, table: Table) -> QueryExplanation:
+    """Explain a single query over a table."""
+    return ExplanationGenerator(table).explain(query)
+
+
+def explain_candidates(queries: Sequence[Query], table: Table) -> List[QueryExplanation]:
+    """Explain a ranked list of candidate queries over the same table."""
+    return ExplanationGenerator(table).explain_many(queries)

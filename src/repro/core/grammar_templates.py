@@ -1,0 +1,194 @@
+"""The utterance-augmented grammar of Table 3.
+
+The paper augments the parser's CFG by attaching an NL phrase to the
+right-hand side of each rule, so that the utterance of a query can be read
+off the derivation tree (Figure 3).  This module records those rules as
+data: each :class:`GrammarRule` pairs the rule's syntactic shape with the
+NL template and an example utterance, and maps to the AST node type that
+the rule produces.
+
+The rules are consumed by three clients:
+
+* the Table 3 reference bench (printing the paper's grammar table),
+* the utterance generator tests (each rule's template must be realised by
+  :mod:`repro.core.utterance`),
+* the semantic parser's candidate generator, which instantiates the same
+  operator inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Type
+
+from ..dcs import ast
+
+
+@dataclass(frozen=True)
+class GrammarRule:
+    """One utterance-augmented grammar rule (a row of Table 3)."""
+
+    name: str
+    lhs: str
+    rhs: str
+    template: str
+    example: str
+    node_type: Type[ast.Query]
+
+
+TABLE3_RULES: Tuple[GrammarRule, ...] = (
+    GrammarRule(
+        name="entity",
+        lhs="Values",
+        rhs="Entity",
+        template="{entity}",
+        example="Athens.",
+        node_type=ast.ValueLiteral,
+    ),
+    GrammarRule(
+        name="comparison",
+        lhs="Values",
+        rhs='"is at most" Entity',
+        template="rows where values of column {column} are at most {value}",
+        example="is at most 17.",
+        node_type=ast.ComparisonRecords,
+    ),
+    GrammarRule(
+        name="column-records",
+        lhs="Records",
+        rhs='"rows where value in column" Binary "is" Values',
+        template="rows where value of column {column} is {value}",
+        example="rows where value in column City is Athens or London.",
+        node_type=ast.ColumnRecords,
+    ),
+    GrammarRule(
+        name="column-values",
+        lhs="Values",
+        rhs='"values in column" Binary "in rows" Records',
+        template="values in column {column} in {records}",
+        example="values of column Year in rows where value of column City is Athens.",
+        node_type=ast.ColumnValues,
+    ),
+    GrammarRule(
+        name="prev-records",
+        lhs="Records",
+        rhs='"right above" Records',
+        template="rows right above {records}",
+        example="right above rows where value of column City is Athens.",
+        node_type=ast.PrevRecords,
+    ),
+    GrammarRule(
+        name="count",
+        lhs="Entity",
+        rhs='"the number of" Records',
+        template="the number of {records}",
+        example="the number of rows where value of column City is Athens.",
+        node_type=ast.Aggregate,
+    ),
+    GrammarRule(
+        name="max",
+        lhs="Entity",
+        rhs='"maximum of" Values',
+        template="maximum of {values}",
+        example=(
+            "maximum of values in column Year in rows where value of column "
+            "City is Athens."
+        ),
+        node_type=ast.Aggregate,
+    ),
+    GrammarRule(
+        name="difference-of-values",
+        lhs="Values",
+        rhs='"difference in value of column" ValueFunc Values "and" Values',
+        template=(
+            "difference in values of column {column} between rows where value of "
+            "column {where_column} is {left} and {right}"
+        ),
+        example=(
+            "difference in values of column Year between rows where values of "
+            "column City is London and Beijing."
+        ),
+        node_type=ast.Difference,
+    ),
+    GrammarRule(
+        name="difference-of-occurrences",
+        lhs="Values",
+        rhs=(
+            '"in column" Binary "what is the difference between rows with value" '
+            'Entity "and rows with value" Entity'
+        ),
+        template=(
+            "in column {column}, what is the difference between rows with value "
+            "{left} and rows with value {right}"
+        ),
+        example=(
+            "in column City, what is the difference between rows with value Athens "
+            "and rows with value London."
+        ),
+        node_type=ast.Difference,
+    ),
+    GrammarRule(
+        name="union",
+        lhs="Values",
+        rhs='Entity "or" Entity',
+        template="{left} or {right}",
+        example="China or Greece.",
+        node_type=ast.Union,
+    ),
+    GrammarRule(
+        name="intersection",
+        lhs="Records",
+        rhs='Records "and also" Records',
+        template="{left} and also {right}",
+        example=(
+            "rows where value of column City is London and also where value of "
+            "column Country is UK."
+        ),
+        node_type=ast.Intersection,
+    ),
+    GrammarRule(
+        name="superlative-records",
+        lhs="Records",
+        rhs='Records "that have the highest value in column" Binary',
+        template="{records} that have the highest value in column {column}",
+        example="rows that have the highest value in column Year.",
+        node_type=ast.SuperlativeRecords,
+    ),
+    GrammarRule(
+        name="last-row",
+        lhs="Records",
+        rhs='"where it is the last row" Records',
+        template="where it is the last row in {records}",
+        example="where it is the last row in rows where value of column City is Athens.",
+        node_type=ast.FirstLastRecords,
+    ),
+    GrammarRule(
+        name="most-common",
+        lhs="Values",
+        rhs='"the value of" Values "that appears the most in column" Binary',
+        template="the value of {values} that appears the most in column {column}",
+        example="the value of Athens or London that appears the most in column City.",
+        node_type=ast.MostCommonValue,
+    ),
+    GrammarRule(
+        name="compare-values",
+        lhs="Values",
+        rhs='"between" Values "who has the highest value of column" Binary',
+        template="between {values} who has the highest value of column {column}",
+        example="between London or Beijing who has the highest value of column Year.",
+        node_type=ast.CompareValues,
+    ),
+)
+
+
+def rules_for_node(node_type: Type[ast.Query]) -> Tuple[GrammarRule, ...]:
+    """Every Table 3 rule that produces the given AST node type."""
+    return tuple(rule for rule in TABLE3_RULES if rule.node_type is node_type)
+
+
+def format_table3() -> str:
+    """Render the grammar as the two-column layout of the paper's Table 3."""
+    lines = ["Rule | Example Utterance", "---- | -----------------"]
+    for rule in TABLE3_RULES:
+        lines.append(f"{rule.rhs} -> {rule.lhs} | {rule.example}")
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Multilevel cell-based provenance (paper Section 4).
+
+Definition 4.1 introduces three cell-based provenance functions for a query
+``Q`` over a table ``T``:
+
+* ``PO(Q, T)`` — the *output* provenance: cells returned by ``Q(T)``, or, if
+  the result is an aggregate/arithmetic value, the cells involved in that
+  computation plus the aggregate function itself,
+* ``PE(Q, T)`` — the *execution* provenance: the union of the output
+  provenance of every sub-query of ``Q`` (Equation 2),
+* ``PC(Q, T)`` — the *column* provenance: every cell in a column that is
+  projected or aggregated on by ``Q`` (Equation 3).
+
+Definition 4.2 combines them into the provenance chain
+``Prov(Q, T) = (PO, PE, PC)`` with ``PO ⊆ PE ⊆ PC``.
+
+The per-operator rules implemented here are the ones of the paper's Table 10
+(reproduced in the module-level docstring of :mod:`repro.dcs.ast`).
+Aggregate functions are represented by :class:`AggregateMarker` objects; to
+keep the containment chain a literal invariant, markers introduced at the
+output level are propagated to the execution and column levels as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..tables.table import Cell, Table
+from ..dcs import ast
+from ..dcs.ast import AggregateFunction, Query, ResultKind
+from ..dcs.executor import ExecutionResult, Executor
+
+
+@dataclass(frozen=True)
+class AggregateMarker:
+    """An aggregate (or arithmetic) function participating in the provenance.
+
+    ``column`` is the table column whose header should carry the marker in
+    the highlight rendering (``MAX(Year)`` in Figure 1); it is ``None`` when
+    the function has no natural column (e.g. the outer ``sub`` of a
+    difference query).
+    """
+
+    function: str
+    column: Optional[str] = None
+
+    def display(self) -> str:
+        if self.column:
+            return f"{self.function.upper()}({self.column})"
+        return self.function.upper()
+
+
+@dataclass(frozen=True)
+class ProvenanceLevel:
+    """One level of the provenance chain: a set of cells plus markers."""
+
+    cells: FrozenSet[Cell]
+    aggregates: FrozenSet[AggregateMarker]
+
+    @staticmethod
+    def empty() -> "ProvenanceLevel":
+        return ProvenanceLevel(frozenset(), frozenset())
+
+    def union(self, other: "ProvenanceLevel") -> "ProvenanceLevel":
+        return ProvenanceLevel(self.cells | other.cells, self.aggregates | other.aggregates)
+
+    def intersection_cells(self, other: "ProvenanceLevel") -> "ProvenanceLevel":
+        return ProvenanceLevel(
+            self.cells & other.cells, self.aggregates | other.aggregates
+        )
+
+    def with_cells(self, cells: Iterable[Cell]) -> "ProvenanceLevel":
+        return ProvenanceLevel(self.cells | frozenset(cells), self.aggregates)
+
+    def with_aggregates(self, markers: Iterable[AggregateMarker]) -> "ProvenanceLevel":
+        return ProvenanceLevel(self.cells, self.aggregates | frozenset(markers))
+
+    def issubset(self, other: "ProvenanceLevel") -> bool:
+        return self.cells <= other.cells and self.aggregates <= other.aggregates
+
+    def __len__(self) -> int:
+        return len(self.cells) + len(self.aggregates)
+
+    def record_indices(self) -> FrozenSet[int]:
+        return frozenset(cell.row_index for cell in self.cells)
+
+
+@dataclass(frozen=True)
+class MultilevelProvenance:
+    """The provenance chain ``Prov(Q, T) = (PO, PE, PC)`` of Definition 4.2."""
+
+    query: Query
+    output: ProvenanceLevel
+    execution: ProvenanceLevel
+    columns: ProvenanceLevel
+
+    @property
+    def chain(self) -> Tuple[ProvenanceLevel, ProvenanceLevel, ProvenanceLevel]:
+        return (self.output, self.execution, self.columns)
+
+    def chain_is_ordered(self) -> bool:
+        """The paper's containment invariant ``PO ⊆ PE ⊆ PC``."""
+        return self.output.issubset(self.execution) and self.execution.issubset(self.columns)
+
+    def output_record_indices(self) -> FrozenSet[int]:
+        """``RO(Q, T)``: rows containing output-provenance cells (Section 5.3)."""
+        return self.output.record_indices()
+
+    def execution_record_indices(self) -> FrozenSet[int]:
+        """``RE(Q, T)``: rows containing execution-provenance cells."""
+        return self.execution.record_indices()
+
+    def column_record_indices(self) -> FrozenSet[int]:
+        """``RC(Q, T)``: rows containing column-provenance cells."""
+        return self.columns.record_indices()
+
+
+class ProvenanceEngine:
+    """Computes the multilevel provenance of lambda DCS queries over one table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.executor = Executor(table)
+
+    # -- public API ------------------------------------------------------------
+    def provenance(self, query: Query) -> MultilevelProvenance:
+        """Compute ``Prov(Q, T)`` for ``query``."""
+        output = self.output_provenance(query)
+        execution = self.execution_provenance(query)
+        columns = self.column_provenance(query)
+        # Markers introduced below the top level must not break the chain.
+        execution = execution.union(ProvenanceLevel(frozenset(), output.aggregates))
+        columns = columns.with_aggregates(execution.aggregates)
+        return MultilevelProvenance(
+            query=query, output=output, execution=execution, columns=columns
+        )
+
+    # -- PO --------------------------------------------------------------------
+    def output_provenance(self, query: Query) -> ProvenanceLevel:
+        """``PO(Q, T)`` following the per-operator rules of Table 10."""
+        if isinstance(query, ast.Intersection):
+            left = self.output_provenance(query.left)
+            right = self.output_provenance(query.right)
+            return left.intersection_cells(right)
+        if isinstance(query, ast.Union):
+            left = self.output_provenance(query.left)
+            right = self.output_provenance(query.right)
+            return left.union(right)
+        if isinstance(query, ast.Aggregate):
+            inner = self.output_provenance(query.operand)
+            marker = AggregateMarker(query.function.value, _marker_column(query.operand))
+            return inner.with_aggregates([marker])
+        if isinstance(query, ast.Difference):
+            left = self.output_provenance(query.left)
+            right = self.output_provenance(query.right)
+            return left.union(right)
+        # Every remaining operator's PO is exactly the executor's output cells.
+        result = self.executor.execute(query)
+        return ProvenanceLevel(frozenset(result.cells), frozenset())
+
+    # -- PE --------------------------------------------------------------------
+    def execution_provenance(self, query: Query) -> ProvenanceLevel:
+        """``PE(Q, T) = PO(Q, T) ∪ ⋃_{Q' ∈ QSUB} PO(Q', T)`` (Equation 2).
+
+        The *Comparing Values* operator additionally examines the key-column
+        cells of every candidate row (last row of Table 10), which are not
+        output by any sub-query; they are added explicitly here.
+        """
+        level = self.output_provenance(query)
+        for sub in query.subqueries():
+            level = level.union(self.output_provenance(sub))
+        for node in query.walk():
+            if isinstance(node, ast.CompareValues):
+                level = level.with_cells(self._compare_values_examined_cells(node))
+        return level
+
+    def _compare_values_examined_cells(self, query: "ast.CompareValues"):
+        """Key-column cells of the rows holding a candidate value (Table 10)."""
+        from ..tables.values import values_equal
+
+        if not self.table.has_column(query.key_column) or not self.table.has_column(
+            query.value_column
+        ):
+            return ()
+        candidates = self.executor.execute(query.values).values
+        key_cells = self.table.column_cells(query.key_column)
+        examined = []
+        for cell in self.table.column_cells(query.value_column):
+            if any(values_equal(cell.value, candidate) for candidate in candidates):
+                examined.append(key_cells[cell.row_index])
+        return examined
+
+    # -- PC --------------------------------------------------------------------
+    def column_provenance(self, query: Query) -> ProvenanceLevel:
+        """``PC(Q, T)``: every cell of every column mentioned by ``Q`` (Equation 3)."""
+        cells: Set[Cell] = set()
+        for column in query.columns():
+            if self.table.has_column(column):
+                cells.update(self.table.column_cells(column))
+        return ProvenanceLevel(frozenset(cells), frozenset())
+
+
+def compute_provenance(query: Query, table: Table) -> MultilevelProvenance:
+    """Convenience wrapper: the provenance chain of ``query`` over ``table``."""
+    return ProvenanceEngine(table).provenance(query)
+
+
+def _marker_column(operand: Query) -> Optional[str]:
+    """The column whose header should carry an aggregate marker.
+
+    For ``max(R[Year]...)`` the marker belongs on ``Year``; for
+    ``count(City.Athens)`` it belongs on ``City`` (Figure 16).  The first
+    column mentioned by the operand is the projection/selection column in
+    every operator of the grammar, so it is the right attachment point.
+    """
+    columns = operand.columns()
+    return columns[0] if columns else None

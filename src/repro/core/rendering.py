@@ -1,0 +1,150 @@
+"""Rendering of provenance-based highlights.
+
+The paper's web interface displays highlights with colors (Figures 1, 4-9).
+This module provides two renderers for the reproduction:
+
+* :func:`render_text` — a plain-text / terminal rendering where colored
+  cells are wrapped in ``**double asterisks**``, framed cells in
+  ``[brackets]`` and lit cells in ``~tildes~`` (optionally with ANSI
+  colors),
+* :func:`render_html` — an HTML ``<table>`` with inline styles, close to
+  what the user study participants saw.
+
+Both renderers honour the aggregate header markers (``MAX(Year)``).
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Iterable, List, Optional, Sequence
+
+from ..tables.table import Table
+from .highlights import HighlightedTable, HighlightLevel
+
+_ANSI = {
+    HighlightLevel.COLORED: "\033[42;30m",  # green background
+    HighlightLevel.FRAMED: "\033[44;37m",   # blue background
+    HighlightLevel.LIT: "\033[43;30m",      # yellow background
+}
+_ANSI_RESET = "\033[0m"
+
+_TEXT_MARKERS = {
+    HighlightLevel.COLORED: ("**", "**"),
+    HighlightLevel.FRAMED: ("[", "]"),
+    HighlightLevel.LIT: ("~", "~"),
+    HighlightLevel.NONE: ("", ""),
+}
+
+_HTML_STYLES = {
+    HighlightLevel.COLORED: "background-color:#7ddf7d;font-weight:bold;",
+    HighlightLevel.FRAMED: "border:2px solid #1f5fbf;background-color:#cfe0ff;",
+    HighlightLevel.LIT: "background-color:#fff2b3;",
+    HighlightLevel.NONE: "",
+}
+
+TEXT_LEGEND = "legend: **colored** = output (PO), [framed] = execution (PE), ~lit~ = column (PC)"
+
+
+def render_table_text(table: Table, rows: Optional[Sequence[int]] = None) -> str:
+    """Plain rendering of a table without highlights (used by examples)."""
+    dummy = HighlightedTable(
+        table=table, query=None, levels={}, header_markers={}, provenance=None
+    )
+    return render_text(dummy, rows=rows, legend=False)
+
+
+def render_text(
+    highlighted: HighlightedTable,
+    rows: Optional[Sequence[int]] = None,
+    ansi: bool = False,
+    legend: bool = True,
+) -> str:
+    """Render a highlighted table as aligned monospace text.
+
+    Parameters
+    ----------
+    highlighted:
+        The highlight to render.
+    rows:
+        Row indices to display (defaults to every row of the table).
+    ansi:
+        Use ANSI background colors instead of textual markers.
+    legend:
+        Append a one-line legend explaining the markers.
+    """
+    table = highlighted.table
+    row_indices = list(rows) if rows is not None else list(range(table.num_rows))
+    headers = [highlighted.header_label(column) for column in table.columns]
+
+    grid: List[List[str]] = [headers]
+    for row_index in row_indices:
+        record = table.record(row_index)
+        rendered_row = []
+        for cell in record.cells:
+            level = highlighted.level(cell.row_index, cell.column)
+            text = cell.display()
+            if ansi and level in _ANSI:
+                rendered_row.append(f"{_ANSI[level]}{text}{_ANSI_RESET}")
+            else:
+                prefix, suffix = _TEXT_MARKERS[level]
+                rendered_row.append(f"{prefix}{text}{suffix}")
+        grid.append(rendered_row)
+
+    widths = [
+        max(_visible_length(row[i]) for row in grid) for i in range(len(headers))
+    ]
+    lines = []
+    for row_number, row in enumerate(grid):
+        padded = [
+            cell + " " * (widths[i] - _visible_length(cell)) for i, cell in enumerate(row)
+        ]
+        lines.append(" | ".join(padded).rstrip())
+        if row_number == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    if legend:
+        lines.append("")
+        lines.append(TEXT_LEGEND)
+    return "\n".join(lines)
+
+
+def render_html(
+    highlighted: HighlightedTable,
+    rows: Optional[Sequence[int]] = None,
+    caption: Optional[str] = None,
+) -> str:
+    """Render a highlighted table as an HTML ``<table>`` with inline styles."""
+    table = highlighted.table
+    row_indices = list(rows) if rows is not None else list(range(table.num_rows))
+    parts = ['<table border="1" cellspacing="0" cellpadding="4">']
+    if caption:
+        parts.append(f"<caption>{escape(caption)}</caption>")
+    parts.append("<thead><tr>")
+    for column in table.columns:
+        parts.append(f"<th>{escape(highlighted.header_label(column))}</th>")
+    parts.append("</tr></thead><tbody>")
+    for row_index in row_indices:
+        parts.append("<tr>")
+        for cell in table.record(row_index).cells:
+            level = highlighted.level(cell.row_index, cell.column)
+            style = _HTML_STYLES[level]
+            style_attr = f' style="{style}"' if style else ""
+            parts.append(f"<td{style_attr}>{escape(cell.display())}</td>")
+        parts.append("</tr>")
+    parts.append("</tbody></table>")
+    return "".join(parts)
+
+
+def _visible_length(text: str) -> int:
+    """Length of a string ignoring ANSI escape sequences."""
+    length = 0
+    in_escape = False
+    for char in text:
+        if in_escape:
+            if char == "m":
+                in_escape = False
+            continue
+        if char == "\033":
+            in_escape = True
+            continue
+        length += 1
+    return length

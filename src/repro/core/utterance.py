@@ -1,0 +1,304 @@
+"""Query-to-utterance explanations (paper Section 5.1).
+
+Every lambda DCS operator carries an NL template (the right-hand sides of
+the grammar in Table 3).  An utterance for a query is derived recursively,
+bottom-up, exactly like the query itself is derived by the parser's CFG
+(Figure 3): the utterance of a composite operator embeds the utterances of
+its sub-queries.
+
+Besides the flat utterance string, :func:`derive` also returns the full
+derivation tree so that callers can display Figure 3-style side-by-side
+parse/utterance trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..dcs import ast
+from ..dcs.ast import (
+    AggregateFunction,
+    ComparisonOperator,
+    Query,
+    ResultKind,
+    SuperlativeKind,
+)
+
+
+@dataclass(frozen=True)
+class DerivationNode:
+    """One node of the utterance derivation tree (Figure 3b)."""
+
+    category: str
+    text: str
+    query: Query
+    children: Tuple["DerivationNode", ...] = ()
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = [f"{'  ' * indent}({self.category}) {self.text}"]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class UtteranceResult:
+    """The utterance of a query plus its derivation tree."""
+
+    utterance: str
+    derivation: DerivationNode
+
+
+_CATEGORY = {
+    ResultKind.RECORDS: "Records",
+    ResultKind.VALUES: "Values",
+    ResultKind.SCALAR: "Entity",
+}
+
+_COMPARISON_PHRASES = {
+    ComparisonOperator.GT: "are more than",
+    ComparisonOperator.GE: "are at least",
+    ComparisonOperator.LT: "are less than",
+    ComparisonOperator.LE: "are at most",
+    ComparisonOperator.NE: "are not",
+}
+
+_AGGREGATE_PHRASES = {
+    AggregateFunction.MAX: "maximum of",
+    AggregateFunction.MIN: "minimum of",
+    AggregateFunction.SUM: "the sum of",
+    AggregateFunction.AVG: "the average of",
+}
+
+
+def utterance(query: Query) -> str:
+    """The NL utterance describing ``query`` (the yield of the derivation tree)."""
+    return derive(query).utterance
+
+
+def derive(query: Query) -> UtteranceResult:
+    """Derive the utterance and the derivation tree for ``query``."""
+    node = _derive(query)
+    return UtteranceResult(utterance=node.text, derivation=node)
+
+
+# ---------------------------------------------------------------------------
+# recursive derivation
+# ---------------------------------------------------------------------------
+
+
+def _derive(query: Query) -> DerivationNode:
+    handler = _HANDLERS.get(type(query))
+    if handler is None:
+        raise ValueError(f"no utterance template for {type(query).__name__}")
+    return handler(query)
+
+
+def _node(query: Query, text: str, children: Tuple[DerivationNode, ...] = ()) -> DerivationNode:
+    return DerivationNode(
+        category=_CATEGORY[query.result_kind], text=text, query=query, children=children
+    )
+
+
+def _strip_rows_prefix(text: str) -> str:
+    """Turn ``rows where ...`` into ``where ...`` for the intersection template."""
+    if text.startswith("rows "):
+        return text[len("rows "):]
+    return text
+
+
+def _u_value_literal(query: ast.ValueLiteral) -> DerivationNode:
+    return DerivationNode(
+        category="Entity", text=query.value.display(), query=query, children=()
+    )
+
+
+def _u_all_records(query: ast.AllRecords) -> DerivationNode:
+    return _node(query, "rows")
+
+
+def _u_column_records(query: ast.ColumnRecords) -> DerivationNode:
+    value = _derive(query.value)
+    text = f"rows where value of column {query.column} is {value.text}"
+    return _node(query, text, (value,))
+
+
+def _u_comparison_records(query: ast.ComparisonRecords) -> DerivationNode:
+    value = _derive(query.value)
+    phrase = _COMPARISON_PHRASES[query.op]
+    text = f"rows where values of column {query.column} {phrase} {value.text}"
+    return _node(query, text, (value,))
+
+
+def _u_prev_records(query: ast.PrevRecords) -> DerivationNode:
+    records = _derive(query.records)
+    return _node(query, f"rows right above {records.text}", (records,))
+
+
+def _u_next_records(query: ast.NextRecords) -> DerivationNode:
+    records = _derive(query.records)
+    return _node(query, f"rows right below {records.text}", (records,))
+
+
+def _u_intersection(query: ast.Intersection) -> DerivationNode:
+    left = _derive(query.left)
+    right = _derive(query.right)
+    text = f"{left.text} and also {_strip_rows_prefix(right.text)}"
+    return _node(query, text, (left, right))
+
+
+def _u_union(query: ast.Union) -> DerivationNode:
+    left = _derive(query.left)
+    right = _derive(query.right)
+    return _node(query, f"{left.text} or {right.text}", (left, right))
+
+
+def _u_superlative_records(query: ast.SuperlativeRecords) -> DerivationNode:
+    records = _derive(query.records)
+    extreme = "highest" if query.kind == SuperlativeKind.ARGMAX else "lowest"
+    text = f"{records.text} that have the {extreme} value in column {query.column}"
+    return _node(query, text, (records,))
+
+
+def _u_first_last_records(query: ast.FirstLastRecords) -> DerivationNode:
+    records = _derive(query.records)
+    position = "last" if query.kind == SuperlativeKind.ARGMAX else "first"
+    if isinstance(query.records, ast.AllRecords):
+        text = f"where it is the {position} row"
+    else:
+        text = f"where it is the {position} row in {records.text}"
+    return _node(query, text, (records,))
+
+
+def _u_column_values(query: ast.ColumnValues) -> DerivationNode:
+    records = _derive(query.records)
+    if isinstance(query.records, ast.AllRecords):
+        text = f"values in column {query.column}"
+    else:
+        text = f"values in column {query.column} in {records.text}"
+    return _node(query, text, (records,))
+
+
+def _u_index_superlative(query: ast.IndexSuperlative) -> DerivationNode:
+    records = _derive(query.records)
+    position = "last" if query.kind == SuperlativeKind.ARGMAX else "first"
+    if isinstance(query.records, ast.AllRecords):
+        text = f"values in column {query.column} in the {position} row"
+    else:
+        text = f"values in column {query.column} where it is the {position} row in {records.text}"
+    return _node(query, text, (records,))
+
+
+def _u_most_common(query: ast.MostCommonValue) -> DerivationNode:
+    values = _derive(query.values)
+    most_least = "most" if query.kind == SuperlativeKind.ARGMAX else "least"
+    operand = query.values
+    if isinstance(operand, ast.ColumnValues) and isinstance(operand.records, ast.AllRecords) \
+            and operand.column == query.column:
+        text = f"the value that appears the {most_least} in column {query.column}"
+    else:
+        text = (
+            f"the value of {values.text} that appears the {most_least} "
+            f"in column {query.column}"
+        )
+    return _node(query, text, (values,))
+
+
+def _u_compare_values(query: ast.CompareValues) -> DerivationNode:
+    values = _derive(query.values)
+    extreme = "highest" if query.kind == SuperlativeKind.ARGMAX else "lowest"
+    operand = query.values
+    if isinstance(operand, ast.ColumnValues) and isinstance(operand.records, ast.AllRecords) \
+            and operand.column == query.value_column:
+        text = (
+            f"between values in column {query.value_column} in rows, who has the "
+            f"{extreme} value of column {query.key_column} out of the values in "
+            f"{query.value_column}"
+        )
+    else:
+        text = (
+            f"between {values.text} who has the {extreme} value of column "
+            f"{query.key_column} out of the values in {query.value_column}"
+        )
+    return _node(query, text, (values,))
+
+
+def _u_aggregate(query: ast.Aggregate) -> DerivationNode:
+    operand = _derive(query.operand)
+    if query.function == AggregateFunction.COUNT:
+        text = f"the number of {operand.text}"
+    else:
+        text = f"{_AGGREGATE_PHRASES[query.function]} {operand.text}"
+    return _node(query, text, (operand,))
+
+
+def _u_difference(query: ast.Difference) -> DerivationNode:
+    left = _derive(query.left)
+    right = _derive(query.right)
+    special = _difference_special_case(query)
+    if special is not None:
+        text = special
+    else:
+        text = f"the difference between {left.text} and {right.text}"
+    return _node(query, text, (left, right))
+
+
+def _difference_special_case(query: ast.Difference) -> Optional[str]:
+    """The two difference templates of Table 3."""
+    left, right = query.left, query.right
+    # Difference of values: sub(R[C1].C2.v, R[C1].C2.u)
+    if (
+        isinstance(left, ast.ColumnValues)
+        and isinstance(right, ast.ColumnValues)
+        and left.column == right.column
+        and isinstance(left.records, ast.ColumnRecords)
+        and isinstance(right.records, ast.ColumnRecords)
+        and left.records.column == right.records.column
+        and isinstance(left.records.value, ast.ValueLiteral)
+        and isinstance(right.records.value, ast.ValueLiteral)
+    ):
+        return (
+            f"difference in values of column {left.column} between rows where "
+            f"value of column {left.records.column} is "
+            f"{left.records.value.value.display()} and "
+            f"{right.records.value.value.display()}"
+        )
+    # Difference of value occurrences: sub(count(C.v), count(C.u))
+    if (
+        isinstance(left, ast.Aggregate)
+        and isinstance(right, ast.Aggregate)
+        and left.function == AggregateFunction.COUNT
+        and right.function == AggregateFunction.COUNT
+        and isinstance(left.operand, ast.ColumnRecords)
+        and isinstance(right.operand, ast.ColumnRecords)
+        and left.operand.column == right.operand.column
+        and isinstance(left.operand.value, ast.ValueLiteral)
+        and isinstance(right.operand.value, ast.ValueLiteral)
+    ):
+        return (
+            f"in column {left.operand.column}, what is the difference between "
+            f"rows with value {left.operand.value.value.display()} and rows with "
+            f"value {right.operand.value.value.display()}"
+        )
+    return None
+
+
+_HANDLERS = {
+    ast.ValueLiteral: _u_value_literal,
+    ast.AllRecords: _u_all_records,
+    ast.ColumnRecords: _u_column_records,
+    ast.ComparisonRecords: _u_comparison_records,
+    ast.PrevRecords: _u_prev_records,
+    ast.NextRecords: _u_next_records,
+    ast.Intersection: _u_intersection,
+    ast.Union: _u_union,
+    ast.SuperlativeRecords: _u_superlative_records,
+    ast.FirstLastRecords: _u_first_last_records,
+    ast.ColumnValues: _u_column_values,
+    ast.IndexSuperlative: _u_index_superlative,
+    ast.MostCommonValue: _u_most_common,
+    ast.CompareValues: _u_compare_values,
+    ast.Aggregate: _u_aggregate,
+    ast.Difference: _u_difference,
+}

@@ -1,0 +1,36 @@
+"""Synthetic WikiTableQuestions-like benchmark (substitution for the real data)."""
+
+from .domains import DOMAINS, DOMAINS_BY_NAME, ColumnSpec, Domain, get_domain
+from .generator import TableGenerator, generate_table
+from .questions import GeneratedQuestion, QuestionGenerator
+from .dataset import (
+    Dataset,
+    DatasetConfig,
+    DatasetExample,
+    build_dataset,
+    dataset_statistics,
+)
+from .splits import Split, repeated_splits, split_by_tables, split_examples
+from . import vocab
+
+__all__ = [
+    "Domain",
+    "ColumnSpec",
+    "DOMAINS",
+    "DOMAINS_BY_NAME",
+    "get_domain",
+    "TableGenerator",
+    "generate_table",
+    "QuestionGenerator",
+    "GeneratedQuestion",
+    "Dataset",
+    "DatasetConfig",
+    "DatasetExample",
+    "build_dataset",
+    "dataset_statistics",
+    "Split",
+    "split_by_tables",
+    "split_examples",
+    "repeated_splits",
+    "vocab",
+]

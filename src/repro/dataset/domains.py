@@ -1,0 +1,256 @@
+"""Domain schemas for the synthetic table corpus.
+
+Each :class:`Domain` describes one family of Wikipedia-like tables: its
+columns (with their types and value pools), which column identifies a row
+(the *key* column questions refer to), and the natural-language
+paraphrases crowd workers typically use for each column.  The paraphrases
+matter: questions that name a column by a synonym ("medal count" for the
+``Total`` column) are exactly the ones a lexical parser gets wrong, which
+keeps the reproduction's baseline parser at a WikiTableQuestions-like
+operating point instead of solving the synthetic corpus outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import vocab
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of a domain schema.
+
+    ``kind`` is one of:
+
+    * ``"key"`` — a textual identifier, distinct per row (Nation, Ship, ...),
+    * ``"category"`` — a textual attribute with repeated values (Position, Lake, ...),
+    * ``"number"`` — an integer drawn from ``(low, high)``,
+    * ``"year"`` — a year drawn from ``(low, high)``, distinct per row,
+    * ``"sequence"`` — 1, 2, 3, ... in row order (Rank, No., ...),
+    * ``"date"`` — a textual date such as ``June 8, 2013``.
+    """
+
+    name: str
+    kind: str
+    pool: Tuple[str, ...] = ()
+    low: int = 0
+    high: int = 100
+    paraphrases: Tuple[str, ...] = ()
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in ("number", "year", "sequence")
+
+    @property
+    def is_textual(self) -> bool:
+        return self.kind in ("key", "category", "date")
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A family of tables sharing a schema."""
+
+    name: str
+    title: str
+    columns: Tuple[ColumnSpec, ...]
+    key_column: str
+    min_rows: int = 8
+    max_rows: int = 14
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    @property
+    def column_names(self) -> List[str]:
+        return [spec.name for spec in self.columns]
+
+    @property
+    def numeric_columns(self) -> List[str]:
+        return [spec.name for spec in self.columns if spec.is_numeric]
+
+    @property
+    def category_columns(self) -> List[str]:
+        return [spec.name for spec in self.columns if spec.kind == "category"]
+
+    @property
+    def year_columns(self) -> List[str]:
+        return [spec.name for spec in self.columns if spec.kind == "year"]
+
+    def paraphrase_of(self, column: str, index: int = 0) -> str:
+        spec = self.column(column)
+        options = (column.lower(),) + spec.paraphrases
+        return options[index % len(options)]
+
+
+def _spec(name, kind, pool=(), low=0, high=100, paraphrases=()):
+    return ColumnSpec(
+        name=name, kind=kind, pool=tuple(pool), low=low, high=high,
+        paraphrases=tuple(paraphrases),
+    )
+
+
+DOMAINS: Tuple[Domain, ...] = (
+    Domain(
+        name="medal_tally",
+        title="Pacific Games medal table",
+        key_column="Nation",
+        columns=(
+            _spec("Rank", "sequence", paraphrases=("position", "place")),
+            _spec("Nation", "key", pool=vocab.NATIONS, paraphrases=("country", "team")),
+            _spec("Gold", "number", low=0, high=130, paraphrases=("gold medals",)),
+            _spec("Silver", "number", low=0, high=110, paraphrases=("silver medals",)),
+            _spec("Bronze", "number", low=0, high=90, paraphrases=("bronze medals",)),
+            _spec("Total", "number", low=10, high=300, paraphrases=("total medals", "medal count")),
+        ),
+    ),
+    Domain(
+        name="olympics",
+        title="Olympic games host cities",
+        key_column="City",
+        columns=(
+            _spec("Year", "year", low=1896, high=2016, paraphrases=("edition",)),
+            _spec("Country", "category", pool=vocab.NATIONS, paraphrases=("host country", "nation")),
+            _spec("City", "key", pool=vocab.CITIES, paraphrases=("host city", "venue")),
+            _spec("Athletes", "number", low=200, high=12000, paraphrases=("participants", "competitors")),
+            _spec("Events", "number", low=40, high=330, paraphrases=("competitions",)),
+        ),
+    ),
+    Domain(
+        name="football_roster",
+        title="National team appearances",
+        key_column="Name",
+        columns=(
+            _spec("Name", "key", pool=vocab.PEOPLE, paraphrases=("player",)),
+            _spec("Position", "category", pool=vocab.POSITIONS, paraphrases=("role",)),
+            _spec("Games", "number", low=1, high=25, paraphrases=("appearances", "matches", "caps")),
+            _spec("Goals", "number", low=0, high=15, paraphrases=("scores",)),
+            _spec("Club", "category", pool=vocab.CLUBS, paraphrases=("team",)),
+        ),
+    ),
+    Domain(
+        name="tv_episodes",
+        title="Television season episode list",
+        key_column="Episode",
+        columns=(
+            _spec("No.", "sequence", paraphrases=("episode number",)),
+            _spec("Episode", "key", pool=vocab.EPISODES, paraphrases=("title", "show")),
+            _spec("Air date", "date", paraphrases=("broadcast date",)),
+            _spec("Rating", "number", low=1, high=10, paraphrases=("score",)),
+            _spec("Viewers", "number", low=1, high=30, paraphrases=("audience", "viewership")),
+        ),
+    ),
+    Domain(
+        name="shipwrecks",
+        title="Great Lakes storm shipwrecks",
+        key_column="Ship",
+        columns=(
+            _spec("Ship", "key", pool=vocab.SHIP_NAMES, paraphrases=("vessel name",)),
+            _spec("Vessel", "category", pool=vocab.VESSEL_TYPES, paraphrases=("type",)),
+            _spec("Lake", "category", pool=vocab.LAKES, paraphrases=("location",)),
+            _spec("Lives lost", "number", low=0, high=30, paraphrases=("casualties", "deaths")),
+            _spec("Tonnage", "number", low=300, high=8000, paraphrases=("weight",)),
+        ),
+    ),
+    Domain(
+        name="tennis_results",
+        title="Career tournament finals",
+        key_column="Tournament",
+        columns=(
+            _spec("Result", "category", pool=vocab.RESULTS, paraphrases=("outcome",)),
+            _spec("Year", "year", low=1995, high=2018, paraphrases=("season",)),
+            _spec("Tournament", "key", pool=vocab.TOURNAMENTS, paraphrases=("event", "championship")),
+            _spec("Surface", "category", pool=vocab.SURFACES, paraphrases=("court",)),
+            _spec("Prize", "number", low=10000, high=150000, paraphrases=("prize money", "purse")),
+        ),
+    ),
+    Domain(
+        name="grand_prix",
+        title="Grand Prix entrants",
+        key_column="Driver",
+        columns=(
+            _spec("No.", "sequence", paraphrases=("car number",)),
+            _spec("Driver", "key", pool=vocab.PEOPLE, paraphrases=("pilot",)),
+            _spec("Constructor", "category", pool=vocab.CONSTRUCTORS, paraphrases=("manufacturer", "chassis")),
+            _spec("Engine size", "number", low=1000, high=5000, paraphrases=("displacement",)),
+            _spec("Points", "number", low=0, high=60, paraphrases=("score",)),
+        ),
+    ),
+    Domain(
+        name="festivals",
+        title="Annual festivals calendar",
+        key_column="Festival",
+        columns=(
+            _spec("Date", "date", paraphrases=("when",)),
+            _spec("Festival", "key", pool=vocab.FESTIVALS, paraphrases=("event",)),
+            _spec("Location", "category", pool=vocab.CITIES, paraphrases=("city", "venue")),
+            _spec("Awards", "category", pool=vocab.AWARDS, paraphrases=("prize",)),
+            _spec("Attendance", "number", low=500, high=90000, paraphrases=("visitors", "crowd")),
+        ),
+    ),
+    Domain(
+        name="elections",
+        title="Municipal election results",
+        key_column="Candidate",
+        columns=(
+            _spec("Year", "year", low=1990, high=2018, paraphrases=("election year",)),
+            _spec("Candidate", "key", pool=vocab.PEOPLE, paraphrases=("politician", "nominee")),
+            _spec("Party", "category", pool=vocab.PARTIES, paraphrases=("affiliation",)),
+            _spec("Votes", "number", low=1000, high=90000, paraphrases=("ballots", "vote count")),
+            _spec("Percentage", "number", low=1, high=60, paraphrases=("share", "vote share")),
+        ),
+    ),
+    Domain(
+        name="club_seasons",
+        title="Club season history",
+        key_column="Coach",
+        columns=(
+            _spec("Year", "year", low=1995, high=2012, paraphrases=("season",)),
+            _spec("League", "category", pool=vocab.LEAGUES, paraphrases=("division",)),
+            _spec("Coach", "key", pool=vocab.PEOPLE, paraphrases=("manager", "head coach")),
+            _spec("Attendance", "number", low=3000, high=9000, paraphrases=("crowd", "average attendance")),
+            _spec("Open Cup", "category", pool=vocab.CUP_ROUNDS, paraphrases=("cup result",)),
+            _spec("Wins", "number", low=0, high=30, paraphrases=("victories",)),
+        ),
+    ),
+    Domain(
+        name="athletics",
+        title="Championship appearances",
+        key_column="Competition",
+        columns=(
+            _spec("Year", "year", low=1980, high=2016, paraphrases=("season",)),
+            _spec("Competition", "key", pool=vocab.COMPETITIONS, paraphrases=("event", "meet")),
+            _spec("Venue", "category", pool=vocab.CITIES, paraphrases=("host city", "location")),
+            _spec("Position", "number", low=1, high=20, paraphrases=("place", "finish")),
+            _spec("Time", "number", low=10, high=240, paraphrases=("result", "duration")),
+        ),
+    ),
+    Domain(
+        name="city_statistics",
+        title="Largest cities by population",
+        key_column="City",
+        columns=(
+            _spec("Rank", "sequence", paraphrases=("position",)),
+            _spec("City", "key", pool=vocab.CITIES, paraphrases=("municipality",)),
+            _spec("Country", "category", pool=vocab.NATIONS, paraphrases=("nation",)),
+            _spec("Population", "number", low=100000, high=9000000, paraphrases=("inhabitants", "residents")),
+            _spec("Area", "number", low=50, high=3000, paraphrases=("size", "surface")),
+        ),
+    ),
+)
+
+DOMAINS_BY_NAME: Dict[str, Domain] = {domain.name: domain for domain in DOMAINS}
+
+
+def get_domain(name: str) -> Domain:
+    """Look up a domain by name."""
+    try:
+        return DOMAINS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown domain {name!r}; available: {sorted(DOMAINS_BY_NAME)}"
+        ) from None

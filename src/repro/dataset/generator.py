@@ -1,0 +1,100 @@
+"""Synthetic table generation.
+
+Tables mimic the structural constraints of WikiTableQuestions (at least 8
+rows and 5 columns, mixed textual/numeric/date columns, repeated values in
+category columns) while drawing their content from the vocabulary pools of
+:mod:`repro.dataset.vocab` through the schemas of
+:mod:`repro.dataset.domains`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..tables.table import Table
+from . import vocab
+from .domains import DOMAINS, ColumnSpec, Domain
+
+
+class TableGenerator:
+    """Generates random tables for the synthetic corpus."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._random = random.Random(seed)
+
+    # -- public API -------------------------------------------------------------
+    def generate(self, domain: Domain, num_rows: Optional[int] = None) -> Table:
+        """Generate one table for ``domain``."""
+        rng = self._random
+        rows_count = num_rows or rng.randint(domain.min_rows, domain.max_rows)
+        columns = domain.column_names
+        cells: List[List[object]] = [[] for _ in range(rows_count)]
+
+        for spec in domain.columns:
+            values = self._column_values(spec, rows_count)
+            for row_index in range(rows_count):
+                cells[row_index].append(values[row_index])
+
+        name = f"{domain.title} #{rng.randint(1, 9999)}"
+        return Table(
+            columns=columns,
+            rows=cells,
+            name=name,
+            date_columns=[spec.name for spec in domain.columns if spec.kind == "year"],
+        )
+
+    def generate_corpus(
+        self,
+        num_tables: int,
+        domains: Optional[Sequence[Domain]] = None,
+    ) -> List[Table]:
+        """Generate ``num_tables`` tables cycling over the available domains."""
+        domains = list(domains or DOMAINS)
+        tables = []
+        for index in range(num_tables):
+            domain = domains[index % len(domains)]
+            tables.append(self.generate(domain))
+        return tables
+
+    # -- per-column value generation ------------------------------------------------
+    def _column_values(self, spec: ColumnSpec, rows_count: int) -> List[object]:
+        rng = self._random
+        if spec.kind == "key":
+            pool = list(spec.pool)
+            rng.shuffle(pool)
+            values = pool[:rows_count]
+            # Pools are large enough for every domain, but stay safe.
+            while len(values) < rows_count:
+                values.append(f"{rng.choice(spec.pool)} {len(values)}")
+            return values
+        if spec.kind == "category":
+            # Repeated values on purpose: count/most-common questions need them.
+            distinct = rng.randint(2, max(2, min(len(spec.pool), max(3, rows_count // 2))))
+            choices = rng.sample(list(spec.pool), distinct)
+            return [rng.choice(choices) for _ in range(rows_count)]
+        if spec.kind == "number":
+            return [rng.randint(spec.low, spec.high) for _ in range(rows_count)]
+        if spec.kind == "year":
+            span = list(range(spec.low, spec.high + 1))
+            rng.shuffle(span)
+            years = sorted(span[:rows_count])
+            while len(years) < rows_count:
+                years.append(years[-1] + 1)
+            return years
+        if spec.kind == "sequence":
+            return list(range(1, rows_count + 1))
+        if spec.kind == "date":
+            dates = []
+            for _ in range(rows_count):
+                month = rng.choice(vocab.MONTH_NAMES)
+                day = rng.randint(1, 28)
+                year = rng.randint(1995, 2018)
+                dates.append(f"{month} {day}, {year}")
+            return dates
+        raise ValueError(f"unknown column kind {spec.kind!r}")
+
+
+def generate_table(domain: Domain, seed: int = 0, num_rows: Optional[int] = None) -> Table:
+    """Generate a single table (convenience wrapper)."""
+    return TableGenerator(seed=seed).generate(domain, num_rows=num_rows)

@@ -1,0 +1,470 @@
+"""Question templates with gold lambda DCS queries.
+
+The WikiTableQuestions benchmark contains crowd-written questions that
+require lookups, aggregation, superlatives, arithmetic, unions and
+intersections (paper Table 1).  This module generates the synthetic
+counterpart: each template produces a question string and the gold lambda
+DCS query expressing it, grounded in a concrete generated table.
+
+Two properties of the real benchmark are deliberately preserved:
+
+* **compositionality** — templates cover the full operator inventory of the
+  paper's Table 10 (the same inventory the parser's grammar and the
+  explanation generator support);
+* **lexical mismatch** — a configurable fraction of questions refers to
+  columns by a paraphrase ("medal count" instead of ``Total``), which is
+  the main reason real parsers rank wrong candidates first.  This keeps the
+  baseline parser at a realistic operating point rather than solving the
+  synthetic data outright.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..tables.schema import infer_schema
+from ..tables.table import Table
+from ..dcs import builder as q
+from ..dcs.ast import Query, SuperlativeKind
+from .domains import Domain
+
+
+@dataclass(frozen=True)
+class GeneratedQuestion:
+    """A question, its gold query and the template that produced it."""
+
+    question: str
+    query: Query
+    template: str
+
+
+class QuestionGenerator:
+    """Generates questions with gold queries for generated tables."""
+
+    def __init__(self, seed: int = 0, paraphrase_rate: float = 0.45) -> None:
+        self._random = random.Random(seed)
+        self.paraphrase_rate = paraphrase_rate
+        self._templates: List[Tuple[str, Callable[[Table, Domain], Optional[GeneratedQuestion]]]] = [
+            ("lookup_value", self._lookup_value),
+            ("lookup_reverse", self._lookup_reverse),
+            ("superlative_entity", self._superlative_entity),
+            ("superlative_value", self._superlative_value),
+            ("conditional_extreme_year", self._conditional_extreme_year),
+            ("count_condition", self._count_condition),
+            ("count_comparison", self._count_comparison),
+            ("difference_values", self._difference_values),
+            ("difference_occurrences", self._difference_occurrences),
+            ("compare_entities", self._compare_entities),
+            ("neighbor", self._neighbor),
+            ("most_common", self._most_common),
+            ("last_row", self._last_row),
+            ("total_sum", self._total_sum),
+            ("average", self._average),
+            ("intersection", self._intersection),
+            ("union_count", self._union_count),
+            ("conditional_superlative_entity", self._conditional_superlative_entity),
+        ]
+
+    # -- public API ----------------------------------------------------------------
+    @property
+    def template_names(self) -> List[str]:
+        return [name for name, _build in self._templates]
+
+    def generate(self, table: Table, domain: Domain, count: int) -> List[GeneratedQuestion]:
+        """Generate up to ``count`` distinct questions for one table."""
+        questions: List[GeneratedQuestion] = []
+        seen_texts = set()
+        attempts = 0
+        template_cycle = list(self._templates)
+        self._random.shuffle(template_cycle)
+        while len(questions) < count and attempts < count * 12:
+            name, build = template_cycle[attempts % len(template_cycle)]
+            attempts += 1
+            generated = build(table, domain)
+            if generated is None:
+                continue
+            if generated.question in seen_texts:
+                continue
+            seen_texts.add(generated.question)
+            questions.append(generated)
+        return questions
+
+    # -- helpers --------------------------------------------------------------------
+    def _column_phrase(self, domain: Domain, column: str) -> str:
+        """The column name as the question refers to it (header or paraphrase)."""
+        spec = domain.column(column)
+        if spec.paraphrases and self._random.random() < self.paraphrase_rate:
+            return self._random.choice(list(spec.paraphrases))
+        return column.lower()
+
+    def _entities(self, table: Table, domain: Domain, count: int = 1) -> Optional[List[str]]:
+        values = [value.display() for value in table.column_values(domain.key_column)]
+        distinct = list(dict.fromkeys(values))
+        if len(distinct) < count:
+            return None
+        return self._random.sample(distinct, count)
+
+    def _category_column(self, table: Table, domain: Domain, need_repeats: bool = False) -> Optional[str]:
+        candidates = []
+        for column in domain.category_columns:
+            values = [value.display() for value in table.column_values(column)]
+            distinct = len(set(values))
+            if distinct < 2:
+                continue
+            if need_repeats and distinct == len(values):
+                continue
+            candidates.append(column)
+        if not candidates:
+            return None
+        return self._random.choice(candidates)
+
+    def _category_values(self, table: Table, column: str, count: int) -> Optional[List[str]]:
+        values = list(dict.fromkeys(value.display() for value in table.column_values(column)))
+        if len(values) < count:
+            return None
+        return self._random.sample(values, count)
+
+    def _numeric_column(self, table: Table, domain: Domain, exclude: Sequence[str] = ()) -> Optional[str]:
+        schema = infer_schema(table)
+        candidates = [
+            column
+            for column in schema.numeric_columns
+            if column not in exclude and domain.column(column).kind != "sequence"
+        ]
+        if not candidates:
+            candidates = [column for column in schema.numeric_columns if column not in exclude]
+        if not candidates:
+            return None
+        return self._random.choice(candidates)
+
+    def _numeric_threshold(self, table: Table, column: str) -> Optional[float]:
+        values = [value.as_number() for value in table.column_values(column) if value.is_numeric]
+        if len(values) < 3:
+            return None
+        values.sort()
+        return float(int(values[len(values) // 2]))
+
+    def _pick(self, *options: str) -> str:
+        return self._random.choice(list(options))
+
+    # -- templates --------------------------------------------------------------------
+    def _lookup_value(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        entities = self._entities(table, domain)
+        target = self._numeric_column(table, domain)
+        if not entities or target is None:
+            return None
+        entity = entities[0]
+        phrase = self._column_phrase(domain, target)
+        question = self._pick(
+            f"What was the {phrase} of {entity}?",
+            f"What is the {phrase} for {entity}?",
+            f"How many {phrase} did {entity} have?",
+        )
+        query = q.column_values(target, q.column_records(domain.key_column, entity))
+        return GeneratedQuestion(question, query, "lookup_value")
+
+    def _lookup_reverse(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        target = self._numeric_column(table, domain)
+        if target is None:
+            return None
+        values = [value for value in table.column_values(target) if value.is_numeric]
+        if not values:
+            return None
+        value = self._random.choice(values)
+        key_phrase = self._column_phrase(domain, domain.key_column)
+        target_phrase = self._column_phrase(domain, target)
+        question = self._pick(
+            f"Which {key_phrase} had a {target_phrase} of {value.display()}?",
+            f"Which {key_phrase} recorded {value.display()} in {target_phrase}?",
+        )
+        query = q.column_values(
+            domain.key_column, q.column_records(target, value.display())
+        )
+        return GeneratedQuestion(question, query, "lookup_reverse")
+
+    def _superlative_entity(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        target = self._numeric_column(table, domain)
+        if target is None:
+            return None
+        highest = self._random.random() < 0.5
+        phrase = self._column_phrase(domain, target)
+        key_phrase = self._column_phrase(domain, domain.key_column)
+        adjective = "highest" if highest else "lowest"
+        most_least = "most" if highest else "least"
+        question = self._pick(
+            f"Which {key_phrase} had the {adjective} {phrase}?",
+            f"Who had the {most_least} {phrase}?",
+            f"Which {key_phrase} ranks {adjective} in {phrase}?",
+        )
+        records = (
+            q.argmax_records(target) if highest else q.argmin_records(target)
+        )
+        query = q.column_values(domain.key_column, records)
+        return GeneratedQuestion(question, query, "superlative_entity")
+
+    def _superlative_value(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        target = self._numeric_column(table, domain)
+        if target is None:
+            return None
+        highest = self._random.random() < 0.5
+        phrase = self._column_phrase(domain, target)
+        adjective = "highest" if highest else "lowest"
+        question = self._pick(
+            f"What was the {adjective} {phrase}?",
+            f"What is the {adjective} {phrase} recorded?",
+        )
+        values = q.column_values(target, q.all_records())
+        query = q.max_(values) if highest else q.min_(values)
+        return GeneratedQuestion(question, query, "superlative_value")
+
+    def _conditional_extreme_year(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        if not domain.year_columns:
+            return None
+        year_column = domain.year_columns[0]
+        category = self._category_column(table, domain)
+        if category is None:
+            return None
+        values = self._category_values(table, category, 1)
+        if not values:
+            return None
+        value = values[0]
+        last = self._random.random() < 0.5
+        year_phrase = self._column_phrase(domain, year_column)
+        category_phrase = self._column_phrase(domain, category)
+        position = "last" if last else "first"
+        question = self._pick(
+            f"What was the {position} {year_phrase} with {category_phrase} {value}?",
+            f"When did {value} {position} appear as the {category_phrase}?",
+        )
+        values_query = q.column_values(year_column, q.column_records(category, value))
+        query = q.max_(values_query) if last else q.min_(values_query)
+        return GeneratedQuestion(question, query, "conditional_extreme_year")
+
+    def _count_condition(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        category = self._category_column(table, domain)
+        if category is None:
+            return None
+        values = self._category_values(table, category, 1)
+        if not values:
+            return None
+        value = values[0]
+        category_phrase = self._column_phrase(domain, category)
+        question = self._pick(
+            f"How many rows have {value} as the {category_phrase}?",
+            f"How many times does {value} appear in {category_phrase}?",
+            f"What is the total number of entries with {category_phrase} {value}?",
+        )
+        query = q.count(q.column_records(category, value))
+        return GeneratedQuestion(question, query, "count_condition")
+
+    def _count_comparison(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        target = self._numeric_column(table, domain)
+        if target is None:
+            return None
+        threshold = self._numeric_threshold(table, target)
+        if threshold is None:
+            return None
+        phrase = self._column_phrase(domain, target)
+        above = self._random.random() < 0.5
+        direction = "more than" if above else "less than"
+        question = self._pick(
+            f"How many rows have a {phrase} of {direction} {int(threshold)}?",
+            f"How many entries recorded {direction} {int(threshold)} in {phrase}?",
+        )
+        op = ">" if above else "<"
+        query = q.count(q.comparison_records(target, op, threshold))
+        return GeneratedQuestion(question, query, "count_comparison")
+
+    def _difference_values(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        entities = self._entities(table, domain, 2)
+        target = self._numeric_column(table, domain)
+        if not entities or target is None:
+            return None
+        left, right = entities
+        phrase = self._column_phrase(domain, target)
+        question = self._pick(
+            f"What was the difference in {phrase} between {left} and {right}?",
+            f"By how much does the {phrase} of {left} differ from {right}?",
+        )
+        query = q.value_difference(target, domain.key_column, left, right)
+        return GeneratedQuestion(question, query, "difference_values")
+
+    def _difference_occurrences(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        category = self._category_column(table, domain, need_repeats=True)
+        if category is None:
+            return None
+        values = self._category_values(table, category, 2)
+        if not values:
+            return None
+        left, right = values
+        category_phrase = self._column_phrase(domain, category)
+        question = self._pick(
+            f"How many more rows have {category_phrase} {left} than {right}?",
+            f"In {category_phrase}, what is the difference between the number of {left} and {right} entries?",
+        )
+        query = q.count_difference(category, left, right)
+        return GeneratedQuestion(question, query, "difference_occurrences")
+
+    def _compare_entities(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        entities = self._entities(table, domain, 2)
+        target = self._numeric_column(table, domain)
+        if not entities or target is None:
+            return None
+        left, right = entities
+        highest = self._random.random() < 0.5
+        phrase = self._column_phrase(domain, target)
+        adjective = "higher" if highest else "lower"
+        question = self._pick(
+            f"Who has a {adjective} {phrase}, {left} or {right}?",
+            f"Between {left} and {right}, which has the {adjective} {phrase}?",
+        )
+        kind = SuperlativeKind.ARGMAX if highest else SuperlativeKind.ARGMIN
+        query = q.compare_values(target, domain.key_column, q.union(left, right), kind=kind)
+        return GeneratedQuestion(question, query, "compare_entities")
+
+    def _neighbor(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        entities = self._entities(table, domain)
+        if not entities:
+            return None
+        entity = entities[0]
+        after = self._random.random() < 0.5
+        key_phrase = self._column_phrase(domain, domain.key_column)
+        direction = "after" if after else "before"
+        question = self._pick(
+            f"Which {key_phrase} is listed right {direction} {entity}?",
+            f"What {key_phrase} comes immediately {direction} {entity}?",
+        )
+        base = q.column_records(domain.key_column, entity)
+        records = q.next_records(base) if after else q.prev_records(base)
+        query = q.column_values(domain.key_column, records)
+        return GeneratedQuestion(question, query, "neighbor")
+
+    def _most_common(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        category = self._category_column(table, domain, need_repeats=True)
+        if category is None:
+            return None
+        phrase = self._column_phrase(domain, category)
+        question = self._pick(
+            f"Which {phrase} appears the most?",
+            f"Which {phrase} was recorded the most often?",
+        )
+        query = q.most_common(category)
+        return GeneratedQuestion(question, query, "most_common")
+
+    def _last_row(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        last = self._random.random() < 0.5
+        key_phrase = self._column_phrase(domain, domain.key_column)
+        position = "last" if last else "first"
+        question = self._pick(
+            f"What is the {key_phrase} in the {position} row of the table?",
+            f"Which {key_phrase} is listed {position}?",
+        )
+        query = (
+            q.value_in_last_record(domain.key_column)
+            if last
+            else q.value_in_first_record(domain.key_column)
+        )
+        return GeneratedQuestion(question, query, "last_row")
+
+    def _total_sum(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        target = self._numeric_column(table, domain)
+        if target is None:
+            return None
+        phrase = self._column_phrase(domain, target)
+        category = self._category_column(table, domain)
+        if category is not None and self._random.random() < 0.5:
+            values = self._category_values(table, category, 1)
+            if values:
+                value = values[0]
+                category_phrase = self._column_phrase(domain, category)
+                question = self._pick(
+                    f"What is the combined {phrase} of rows with {category_phrase} {value}?",
+                    f"What is the total {phrase} for {value} entries?",
+                )
+                query = q.sum_(q.column_values(target, q.column_records(category, value)))
+                return GeneratedQuestion(question, query, "total_sum")
+        question = self._pick(
+            f"What is the total {phrase} across all rows?",
+            f"What is the combined {phrase} of the table?",
+        )
+        query = q.sum_(q.column_values(target, q.all_records()))
+        return GeneratedQuestion(question, query, "total_sum")
+
+    def _average(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        target = self._numeric_column(table, domain)
+        if target is None:
+            return None
+        phrase = self._column_phrase(domain, target)
+        question = self._pick(
+            f"What was the average {phrase}?",
+            f"What is the mean {phrase} across the table?",
+        )
+        query = q.avg(q.column_values(target, q.all_records()))
+        return GeneratedQuestion(question, query, "average")
+
+    def _intersection(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        category = self._category_column(table, domain)
+        target = self._numeric_column(table, domain)
+        if category is None or target is None:
+            return None
+        values = self._category_values(table, category, 1)
+        threshold = self._numeric_threshold(table, target)
+        if not values or threshold is None:
+            return None
+        value = values[0]
+        key_phrase = self._column_phrase(domain, domain.key_column)
+        category_phrase = self._column_phrase(domain, category)
+        target_phrase = self._column_phrase(domain, target)
+        question = self._pick(
+            f"Which {key_phrase} had {category_phrase} {value} and more than {int(threshold)} {target_phrase}?",
+            f"Which {key_phrase} with {category_phrase} {value} recorded over {int(threshold)} {target_phrase}?",
+        )
+        records = q.intersection(
+            q.column_records(category, value),
+            q.comparison_records(target, ">", threshold),
+        )
+        query = q.column_values(domain.key_column, records)
+        return GeneratedQuestion(question, query, "intersection")
+
+    def _union_count(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        category = self._category_column(table, domain, need_repeats=True)
+        if category is None:
+            return None
+        values = self._category_values(table, category, 2)
+        if not values:
+            return None
+        left, right = values
+        category_phrase = self._column_phrase(domain, category)
+        question = self._pick(
+            f"How many rows have {category_phrase} {left} or {right}?",
+            f"How many entries list either {left} or {right} as the {category_phrase}?",
+        )
+        query = q.count(q.column_records(category, q.union(left, right)))
+        return GeneratedQuestion(question, query, "union_count")
+
+    def _conditional_superlative_entity(self, table: Table, domain: Domain) -> Optional[GeneratedQuestion]:
+        category = self._category_column(table, domain, need_repeats=True)
+        target = self._numeric_column(table, domain)
+        if category is None or target is None:
+            return None
+        values = self._category_values(table, category, 1)
+        if not values:
+            return None
+        value = values[0]
+        highest = self._random.random() < 0.5
+        key_phrase = self._column_phrase(domain, domain.key_column)
+        category_phrase = self._column_phrase(domain, category)
+        target_phrase = self._column_phrase(domain, target)
+        adjective = "highest" if highest else "lowest"
+        question = self._pick(
+            f"Among rows with {category_phrase} {value}, which {key_phrase} had the {adjective} {target_phrase}?",
+            f"Which {key_phrase} with {category_phrase} {value} had the {adjective} {target_phrase}?",
+        )
+        kind = SuperlativeKind.ARGMAX if highest else SuperlativeKind.ARGMIN
+        from ..dcs import ast
+
+        records = ast.SuperlativeRecords(kind, target, q.column_records(category, value))
+        query = q.column_values(domain.key_column, records)
+        return GeneratedQuestion(question, query, "conditional_superlative_entity")

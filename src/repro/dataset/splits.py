@@ -1,0 +1,81 @@
+"""Train/test splitting utilities.
+
+WikiTableQuestions splits by *table*: 20% of the tables (and every question
+asked on them) form the test set, so the parser is always evaluated on
+relations and entities it has never seen (Section 6.1).  The reproduction
+does the same, plus the repeated train/dev splits used for the Table 9
+feedback-training experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .dataset import Dataset, DatasetExample
+
+
+@dataclass(frozen=True)
+class Split:
+    """A train/test (or train/dev) partition of a dataset."""
+
+    train: Dataset
+    test: Dataset
+
+    @property
+    def sizes(self) -> Tuple[int, int]:
+        return (len(self.train), len(self.test))
+
+
+def split_by_tables(dataset: Dataset, test_fraction: float = 0.2, seed: int = 0) -> Split:
+    """Partition a dataset so that train and test tables are disjoint."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = random.Random(seed)
+    table_names = sorted({example.table.name for example in dataset.examples})
+    rng.shuffle(table_names)
+    test_count = max(1, round(len(table_names) * test_fraction))
+    test_tables = set(table_names[:test_count])
+
+    train_examples, test_examples = [], []
+    for example in dataset.examples:
+        if example.table.name in test_tables:
+            test_examples.append(example)
+        else:
+            train_examples.append(example)
+    return Split(
+        train=_dataset_from(train_examples),
+        test=_dataset_from(test_examples),
+    )
+
+
+def split_examples(
+    dataset: Dataset, first_count: int, seed: int = 0
+) -> Tuple[Dataset, Dataset]:
+    """Random example-level split: the first ``first_count`` examples vs. the rest.
+
+    Used for carving the annotated pool into train/dev (the paper's 1,650 /
+    418 partition of its 2,068 annotations).
+    """
+    rng = random.Random(seed)
+    indices = list(range(len(dataset.examples)))
+    rng.shuffle(indices)
+    first = dataset.subset(indices[:first_count])
+    second = dataset.subset(indices[first_count:])
+    return first, second
+
+
+def repeated_splits(
+    dataset: Dataset, first_count: int, repetitions: int = 3, seed: int = 0
+) -> List[Tuple[Dataset, Dataset]]:
+    """The "three different train/dev splits" protocol of Section 7.3."""
+    return [
+        split_examples(dataset, first_count, seed=seed + repetition)
+        for repetition in range(repetitions)
+    ]
+
+
+def _dataset_from(examples: Sequence[DatasetExample]) -> Dataset:
+    tables = list({example.table.name: example.table for example in examples}.values())
+    return Dataset(examples=list(examples), tables=tables)

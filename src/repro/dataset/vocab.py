@@ -1,0 +1,125 @@
+"""Vocabulary pools for the synthetic WikiTableQuestions-like corpus.
+
+The real benchmark covers thousands of Wikipedia tables from hundreds of
+domains; the synthetic substitute draws its cell values from the pools
+below.  The pools are intentionally larger than any single generated table
+so that the train/test split (which is disjoint on tables) exposes the
+parser to unseen entities — the property behind the paper's 56% correctness
+bound (Section 7.2).
+"""
+
+from __future__ import annotations
+
+NATIONS = [
+    "New Caledonia", "Tahiti", "Papua New Guinea", "Fiji", "Samoa", "Nauru",
+    "Tonga", "Vanuatu", "Greece", "France", "China", "Brazil", "Japan",
+    "Kenya", "Norway", "Canada", "Australia", "Germany", "Italy", "Spain",
+    "Mexico", "Argentina", "Egypt", "India", "Poland", "Sweden", "Austria",
+    "Croatia", "Serbia", "Portugal", "Morocco", "Nigeria", "Chile", "Peru",
+    "Hungary", "Finland", "Iceland", "Ireland", "Scotland", "Wales",
+]
+
+CITIES = [
+    "Athens", "Paris", "London", "Beijing", "Rio de Janeiro", "Tokyo",
+    "Sydney", "Barcelona", "Rome", "Moscow", "Seoul", "Montreal", "Munich",
+    "Helsinki", "Amsterdam", "Stockholm", "Oslo", "Lisbon", "Madrid",
+    "Atlanta", "Mexico City", "Los Angeles", "St. Louis", "Antwerp",
+    "Melbourne", "Calgary", "Sarajevo", "Nagano", "Turin", "Vancouver",
+]
+
+PEOPLE = [
+    "Erich Burgener", "Charly In-Albon", "Andy Egli", "Marcel Koller",
+    "Heinz Hermann", "Lucien Favre", "Roger Berbig", "Beat Rietmann",
+    "Rene Botteron", "Roger Wehrli", "Gabriel Gervais", "Mauricio Vincello",
+    "Tatiana Abramenko", "Myriam Asfry", "Jeff Lastennet", "Luigi Arcangeli",
+    "Louis Chiron", "Maria Santos", "Elena Petrova", "Kofi Mensah",
+    "Hiro Tanaka", "Anders Berg", "Carlos Ruiz", "Amara Diallo",
+    "Jonas Keller", "Petra Novak", "Sven Olsen", "Lea Moreau",
+    "Tomas Marek", "Ingrid Dahl", "Pablo Fernandez", "Yuki Sato",
+    "Nadia Hassan", "Viktor Lindqvist", "Omar Farouk", "Greta Nilsson",
+]
+
+CLUBS = [
+    "Servette", "Grasshoppers", "FC St. Gallen", "FC Nuremburg", "Toulouse",
+    "Team Penske", "Red Star", "Dynamo", "United", "Rovers", "Athletic",
+    "Wanderers", "Olympic", "Sporting", "Racing", "City", "Rangers",
+    "Albion", "Thistle", "Harriers",
+]
+
+POSITIONS = ["GK", "DF", "MF", "FW"]
+
+LAKES = [
+    "Lake Huron", "Lake Erie", "Lake Michigan", "Lake Superior",
+    "Lake Ontario", "Lake Champlain", "Lake Geneva", "Lake Garda",
+]
+
+VESSEL_TYPES = ["Steamer", "Barge", "Lightship", "Schooner", "Tug", "Yacht", "Ferry"]
+
+SHIP_NAMES = [
+    "Argus", "Hydrus", "Plymouth", "Issac M. Scott", "Henry B. Smith",
+    "Lightship No. 82", "Sally", "Caprice", "Eleanor", "USS Lawrence",
+    "USS Macdonough", "Jule", "Wexford", "Regina", "Leafield", "Halsted",
+    "Nordmeer", "Cedarville", "Daniel J. Morrell", "Carl D. Bradley",
+]
+
+EPISODES = [
+    "Pilot", "The Return", "Homecoming", "Crossroads", "The Storm",
+    "Revelations", "The Long Night", "Aftermath", "New Beginnings",
+    "The Reckoning", "Shadows", "The Visit", "Breaking Point", "Echoes",
+    "The Last Dance", "Turning Tides", "Cold Front", "The Gift",
+    "Second Chances", "Full Circle",
+]
+
+TOURNAMENTS = [
+    "Australian Open", "Roland Garros", "Wimbledon", "US Open",
+    "Madrid Masters", "Rome Masters", "Miami Open", "Indian Wells",
+    "Halle Open", "Queen's Club", "Basel Indoors", "Vienna Open",
+    "Cincinnati Masters", "Canada Masters", "Shanghai Masters",
+    "Paris Masters", "Dubai Championships", "Acapulco Open",
+]
+
+SURFACES = ["Hard", "Clay", "Grass", "Carpet"]
+
+RESULTS = ["Winner", "Runner-up", "Semifinalist", "Quarterfinalist"]
+
+FESTIVALS = [
+    "Harvest Festival", "Film Festival", "Jazz Festival", "Book Fair",
+    "Light Festival", "Folk Festival", "Food Festival", "Street Art Festival",
+    "Winter Carnival", "Spring Parade", "Lantern Festival", "Comedy Festival",
+    "Dance Biennale", "Science Fair", "Puppet Festival", "Poetry Week",
+]
+
+MONTH_NAMES = [
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+]
+
+PARTIES = [
+    "Progressive Party", "Unity Party", "Reform Party", "Liberal Alliance",
+    "National Front", "Green Coalition", "Labor Union", "Civic Platform",
+]
+
+CONSTRUCTORS = [
+    "Ferrari", "Maserati", "Alfa Romeo", "Bugatti", "Mercedes", "Delage",
+    "Talbot", "Vanwall", "Cooper", "Lotus", "Brabham", "Tyrrell",
+]
+
+COMPETITIONS = [
+    "World Championship", "Continental Cup", "National League",
+    "Open Championship", "Grand Prix", "Invitational", "Super Cup",
+    "Masters Series", "Winter Games", "Summer Games", "Diamond League",
+    "Challenge Trophy", "Union Cup", "Memorial Meeting", "Indoor Classic",
+    "Coastal Marathon",
+]
+
+AWARDS = ["Gold Award", "Silver Award", "Bronze Award", "Honorable Mention", "Jury Prize"]
+
+LEAGUES = [
+    "USL A-League", "USL First Division", "Premier Division", "Second Division",
+    "National Conference", "Regional League",
+]
+
+CUP_ROUNDS = [
+    "Did not qualify", "1st Round", "2nd Round", "3rd Round", "4th Round",
+    "Quarterfinals", "Semifinals", "Final",
+]

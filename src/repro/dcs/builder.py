@@ -1,0 +1,184 @@
+"""Fluent construction helpers for lambda DCS queries.
+
+The AST constructors in :mod:`repro.dcs.ast` are precise but verbose.  The
+helpers below read close to the paper's notation::
+
+    from repro.dcs import builder as q
+
+    # R[Year].Country.Greece
+    q.column_values("Year", q.column_records("Country", "Greece"))
+
+    # max(R[Year].Country.Greece)
+    q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+
+    # sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga)
+    q.difference(
+        q.column_values("Total", q.column_records("Nation", "Fiji")),
+        q.column_values("Total", q.column_records("Nation", "Tonga")),
+    )
+
+Raw python values (strings, numbers) are promoted to
+:class:`~repro.dcs.ast.ValueLiteral` automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..tables.values import RawValue, Value, parse_value
+from . import ast
+from .ast import AggregateFunction, ComparisonOperator, Query, SuperlativeKind
+
+Operand = Union[Query, RawValue]
+
+
+def value(raw: Operand) -> Query:
+    """Promote a python value to a :class:`ValueLiteral` (queries pass through)."""
+    if isinstance(raw, Query):
+        return raw
+    return ast.ValueLiteral(parse_value(raw))
+
+
+def all_records() -> ast.AllRecords:
+    """The ``Record`` unary — every row of the table."""
+    return ast.AllRecords()
+
+
+def column_records(column: str, target: Operand) -> ast.ColumnRecords:
+    """``C.v`` — rows where ``column`` equals ``target``."""
+    return ast.ColumnRecords(column, value(target))
+
+
+def comparison_records(column: str, op: Union[str, ComparisonOperator], target: Operand) -> ast.ComparisonRecords:
+    """Rows where ``column`` compares against ``target`` (``>``, ``>=``, ``<``, ``<=``, ``!=``)."""
+    if isinstance(op, str):
+        op = ComparisonOperator(op)
+    return ast.ComparisonRecords(column, op, value(target))
+
+
+def prev_records(records: Query) -> ast.PrevRecords:
+    """Rows right above ``records``."""
+    return ast.PrevRecords(records)
+
+
+def next_records(records: Query) -> ast.NextRecords:
+    """Rows right below ``records``."""
+    return ast.NextRecords(records)
+
+
+def intersection(left: Query, right: Query) -> ast.Intersection:
+    """``records1 ⊓ records2``."""
+    return ast.Intersection(left, right)
+
+
+def union(left: Operand, right: Operand) -> ast.Union:
+    """``vals1 ⊔ vals2`` (or union of record sets)."""
+    return ast.Union(value(left), value(right))
+
+
+def column_values(column: str, records: Query) -> ast.ColumnValues:
+    """``R[C].records`` — values of ``column`` in ``records``."""
+    return ast.ColumnValues(column, records)
+
+
+def argmax_records(column: str, records: Query = None) -> ast.SuperlativeRecords:
+    """Rows with the highest value in ``column`` (defaults to all rows)."""
+    return ast.SuperlativeRecords(SuperlativeKind.ARGMAX, column, records or all_records())
+
+
+def argmin_records(column: str, records: Query = None) -> ast.SuperlativeRecords:
+    """Rows with the lowest value in ``column`` (defaults to all rows)."""
+    return ast.SuperlativeRecords(SuperlativeKind.ARGMIN, column, records or all_records())
+
+
+def last_record(records: Query = None) -> ast.FirstLastRecords:
+    """The last row (highest index) of a record set."""
+    return ast.FirstLastRecords(SuperlativeKind.ARGMAX, records or all_records())
+
+
+def first_record(records: Query = None) -> ast.FirstLastRecords:
+    """The first row (lowest index) of a record set."""
+    return ast.FirstLastRecords(SuperlativeKind.ARGMIN, records or all_records())
+
+
+def value_in_last_record(column: str, records: Query = None) -> ast.IndexSuperlative:
+    """``R[C].argmax(records, Index)`` — value of ``column`` in the last row."""
+    return ast.IndexSuperlative(SuperlativeKind.ARGMAX, column, records or all_records())
+
+
+def value_in_first_record(column: str, records: Query = None) -> ast.IndexSuperlative:
+    """``R[C].argmin(records, Index)`` — value of ``column`` in the first row."""
+    return ast.IndexSuperlative(SuperlativeKind.ARGMIN, column, records or all_records())
+
+
+def most_common(column: str, values: Query = None) -> ast.MostCommonValue:
+    """The value appearing the most in ``column`` (restricted to ``values`` if given)."""
+    operand = values if values is not None else column_values(column, all_records())
+    return ast.MostCommonValue(column=column, values=operand, kind=SuperlativeKind.ARGMAX)
+
+
+def least_common(column: str, values: Query = None) -> ast.MostCommonValue:
+    """The value appearing the least in ``column`` (restricted to ``values`` if given)."""
+    operand = values if values is not None else column_values(column, all_records())
+    return ast.MostCommonValue(column=column, values=operand, kind=SuperlativeKind.ARGMIN)
+
+
+def compare_values(
+    key_column: str,
+    value_column: str,
+    candidates: Query,
+    kind: Union[str, SuperlativeKind] = SuperlativeKind.ARGMAX,
+) -> ast.CompareValues:
+    """``argmax(vals, R[λx.R[C1].C2.x])`` — pick the candidate with extreme key."""
+    if isinstance(kind, str):
+        kind = SuperlativeKind(kind)
+    return ast.CompareValues(
+        kind=kind, key_column=key_column, value_column=value_column, values=candidates
+    )
+
+
+def aggregate(function: Union[str, AggregateFunction], operand: Query) -> ast.Aggregate:
+    """``aggr(operand)``."""
+    if isinstance(function, str):
+        function = AggregateFunction(function)
+    return ast.Aggregate(function, operand)
+
+
+def count(operand: Query) -> ast.Aggregate:
+    return aggregate(AggregateFunction.COUNT, operand)
+
+
+def max_(operand: Query) -> ast.Aggregate:
+    return aggregate(AggregateFunction.MAX, operand)
+
+
+def min_(operand: Query) -> ast.Aggregate:
+    return aggregate(AggregateFunction.MIN, operand)
+
+
+def sum_(operand: Query) -> ast.Aggregate:
+    return aggregate(AggregateFunction.SUM, operand)
+
+
+def avg(operand: Query) -> ast.Aggregate:
+    return aggregate(AggregateFunction.AVG, operand)
+
+
+def difference(left: Query, right: Query) -> ast.Difference:
+    """``sub(left, right)``."""
+    return ast.Difference(left, right)
+
+
+def count_difference(column: str, left: Operand, right: Operand) -> ast.Difference:
+    """``sub(count(C.v), count(C.u))`` — difference of value occurrences."""
+    return difference(
+        count(column_records(column, left)), count(column_records(column, right))
+    )
+
+
+def value_difference(value_column: str, where_column: str, left: Operand, right: Operand) -> ast.Difference:
+    """``sub(R[C1].C2.v, R[C1].C2.u)`` — difference of values (paper Figure 6)."""
+    return difference(
+        column_values(value_column, column_records(where_column, left)),
+        column_values(value_column, column_records(where_column, right)),
+    )

@@ -1,0 +1,23 @@
+"""Exceptions raised by the lambda DCS subsystem."""
+
+from __future__ import annotations
+
+
+class DCSError(Exception):
+    """Base class for every lambda DCS error."""
+
+
+class QueryTypeError(DCSError):
+    """A query was built with operands of the wrong result kind."""
+
+
+class ExecutionError(DCSError):
+    """A well-formed query could not be executed against the given table."""
+
+
+class EmptyResultError(ExecutionError):
+    """An operator that requires a non-empty operand received an empty set."""
+
+
+class SexprError(DCSError):
+    """A query s-expression could not be parsed."""

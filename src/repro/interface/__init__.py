@@ -1,0 +1,30 @@
+"""The deployed NL interface: explanations, interactive deployment, retraining."""
+
+from .nl_interface import ExplainedCandidate, InterfaceResponse, NLInterface
+from .deployment import (
+    ChoiceFunction,
+    DeploymentOutcome,
+    DeploymentReport,
+    InteractiveDeployment,
+)
+from .retraining import RetrainingComparison, RetrainingConfig, RetrainingPipeline
+from .session import InterfaceSession, SessionTurn
+from .online import OnlineInteraction, OnlineLearner, OnlineReport
+
+__all__ = [
+    "OnlineLearner",
+    "OnlineReport",
+    "OnlineInteraction",
+    "NLInterface",
+    "InterfaceResponse",
+    "ExplainedCandidate",
+    "InteractiveDeployment",
+    "DeploymentOutcome",
+    "DeploymentReport",
+    "ChoiceFunction",
+    "RetrainingPipeline",
+    "RetrainingConfig",
+    "RetrainingComparison",
+    "InterfaceSession",
+    "SessionTurn",
+]

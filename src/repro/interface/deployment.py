@@ -1,0 +1,219 @@
+"""Interactive deployment (paper Section 6.3).
+
+At deployment time the interface shows the top-k explained candidates and
+lets a user pick the one matching their intention (or *None*).  The system
+then answers with the user's pick when there is one, falling back to the
+parser's top candidate otherwise — the *hybrid* policy whose correctness
+the paper reports in Table 6.
+
+The "user" is pluggable: a :class:`~repro.users.worker.SimulatedWorker`,
+a callback (for the interactive example script), or the built-in oracle /
+parser-only policies used as upper and lower references.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dcs.ast import Query
+from ..parser.candidates import SemanticParser
+from ..parser.evaluation import EvaluationExample, find_correct_indices
+from ..users.worker import SimulatedWorker
+from .nl_interface import ExplainedCandidate, InterfaceResponse, NLInterface
+
+#: A user choice function: receives the explained candidates (in display
+#: order) and returns the index of the chosen candidate, or None.
+ChoiceFunction = Callable[[Sequence[ExplainedCandidate]], Optional[int]]
+
+
+@dataclass
+class DeploymentOutcome:
+    """The result of answering one question interactively."""
+
+    example: EvaluationExample
+    response: InterfaceResponse
+    display_order: List[int]
+    chosen_display_index: Optional[int]
+    correct_indices: List[int]
+
+    @property
+    def chosen_rank(self) -> Optional[int]:
+        """The parser rank of the user's choice (None when the user chose None)."""
+        if self.chosen_display_index is None:
+            return None
+        return self.display_order[self.chosen_display_index]
+
+    @property
+    def parser_correct(self) -> bool:
+        return 0 in self.correct_indices
+
+    @property
+    def user_correct(self) -> bool:
+        rank = self.chosen_rank
+        return rank is not None and rank in self.correct_indices
+
+    @property
+    def hybrid_correct(self) -> bool:
+        if self.chosen_rank is not None:
+            return self.user_correct
+        return self.parser_correct
+
+    @property
+    def bound(self) -> bool:
+        return bool(self.correct_indices)
+
+    @property
+    def returned_query(self) -> Optional[Query]:
+        """The query the hybrid policy executes for this question."""
+        rank = self.chosen_rank if self.chosen_rank is not None else 0
+        candidates = self.response.parse.candidates
+        if rank < len(candidates):
+            return candidates[rank].query
+        return None
+
+
+@dataclass
+class DeploymentReport:
+    """Aggregate deployment metrics (the Table 6 scenarios)."""
+
+    outcomes: List[DeploymentOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def _rate(self, predicate) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for outcome in self.outcomes if predicate(outcome)) / self.total
+
+    @property
+    def parser_correctness(self) -> float:
+        return self._rate(lambda outcome: outcome.parser_correct)
+
+    @property
+    def user_correctness(self) -> float:
+        return self._rate(lambda outcome: outcome.user_correct)
+
+    @property
+    def hybrid_correctness(self) -> float:
+        return self._rate(lambda outcome: outcome.hybrid_correct)
+
+    @property
+    def correctness_bound(self) -> float:
+        return self._rate(lambda outcome: outcome.bound)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "examples": float(self.total),
+            "parser": self.parser_correctness,
+            "users": self.user_correctness,
+            "hybrid": self.hybrid_correctness,
+            "bound": self.correctness_bound,
+        }
+
+
+class InteractiveDeployment:
+    """Runs the deployed interface with a pluggable user."""
+
+    def __init__(
+        self,
+        interface: Optional[NLInterface] = None,
+        parser: Optional[SemanticParser] = None,
+        k: int = 7,
+        shuffle_candidates: bool = True,
+        seed: int = 11,
+        perturbations: int = 2,
+    ) -> None:
+        if interface is None:
+            interface = NLInterface(parser=parser, k=k)
+        self.interface = interface
+        self.k = k
+        self.shuffle_candidates = shuffle_candidates
+        self.perturbations = perturbations
+        self._random = random.Random(seed)
+
+    # -- single question -----------------------------------------------------------
+    def answer_question(
+        self,
+        example: EvaluationExample,
+        choose: ChoiceFunction,
+    ) -> DeploymentOutcome:
+        response = self.interface.ask(example.question, example.table, k=self.k)
+        correct = find_correct_indices(
+            response.parse.top_k(self.k), example, perturbations=self.perturbations
+        )
+        order = list(range(len(response.explained)))
+        if self.shuffle_candidates:
+            self._random.shuffle(order)
+        displayed = [response.explained[i] for i in order]
+        chosen = choose(displayed)
+        if chosen is not None and not 0 <= chosen < len(displayed):
+            chosen = None
+        return DeploymentOutcome(
+            example=example,
+            response=response,
+            display_order=order,
+            chosen_display_index=chosen,
+            correct_indices=correct,
+        )
+
+    # -- batch policies ----------------------------------------------------------------
+    def run_with_worker(
+        self, examples: Sequence[EvaluationExample], worker: SimulatedWorker
+    ) -> DeploymentReport:
+        """Answer every question with one simulated worker in the loop."""
+        report = DeploymentReport()
+        for example in examples:
+            outcome = self._answer_with_worker(example, worker)
+            report.outcomes.append(outcome)
+        return report
+
+    def _answer_with_worker(
+        self, example: EvaluationExample, worker: SimulatedWorker
+    ) -> DeploymentOutcome:
+        response = self.interface.ask(example.question, example.table, k=self.k)
+        correct = find_correct_indices(
+            response.parse.top_k(self.k), example, perturbations=self.perturbations
+        )
+        order = list(range(len(response.explained)))
+        if self.shuffle_candidates:
+            self._random.shuffle(order)
+        displayed_correctness = [index in set(correct) for index in order]
+        decision = worker.review_question(displayed_correctness)
+        return DeploymentOutcome(
+            example=example,
+            response=response,
+            display_order=order,
+            chosen_display_index=decision.selected_index,
+            correct_indices=correct,
+        )
+
+    def run_with_oracle(self, examples: Sequence[EvaluationExample]) -> DeploymentReport:
+        """An oracle user who always picks a correct candidate when one exists.
+
+        Its user-correctness equals the correctness bound; used by tests and
+        the k-sensitivity bench.
+        """
+        report = DeploymentReport()
+        for example in examples:
+            response = self.interface.ask(example.question, example.table, k=self.k)
+            correct = find_correct_indices(
+                response.parse.top_k(self.k), example, perturbations=self.perturbations
+            )
+            order = list(range(len(response.explained)))
+            chosen = None
+            if correct:
+                chosen = order.index(correct[0])
+            report.outcomes.append(
+                DeploymentOutcome(
+                    example=example,
+                    response=response,
+                    display_order=order,
+                    chosen_display_index=chosen,
+                    correct_indices=correct,
+                )
+            )
+        return report

@@ -1,0 +1,103 @@
+"""The NL interface: question → explained candidate queries (Sections 2 and 6).
+
+:class:`NLInterface` glues the semantic parser to the explanation
+generator: given a question over a table it returns the top-k candidate
+queries, each paired with its NL utterance and provenance-based highlight.
+This is the object both the deployment loop and the example scripts build
+on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tables.table import Table
+from ..core.explanation import ExplanationGenerator, QueryExplanation
+from ..parser.candidates import Candidate, ParseOutput, SemanticParser
+
+
+@dataclass(frozen=True)
+class ExplainedCandidate:
+    """One candidate query together with its explanation."""
+
+    rank: int
+    candidate: Candidate
+    explanation: QueryExplanation
+
+    @property
+    def utterance(self) -> str:
+        return self.explanation.utterance
+
+    @property
+    def answer(self) -> Tuple[str, ...]:
+        return self.candidate.answer
+
+
+@dataclass
+class InterfaceResponse:
+    """What the interface returns for one question."""
+
+    question: str
+    table: Table
+    parse: ParseOutput
+    explained: List[ExplainedCandidate]
+    parse_seconds: float
+    explain_seconds: float
+
+    @property
+    def top(self) -> Optional[ExplainedCandidate]:
+        return self.explained[0] if self.explained else None
+
+    def utterances(self) -> List[str]:
+        return [item.utterance for item in self.explained]
+
+    def as_text(self, ansi: bool = False) -> str:
+        """Render the whole candidate list for a terminal."""
+        blocks = [f"question: {self.question}", f"table: {self.table.name}", ""]
+        for item in self.explained:
+            blocks.append(f"--- candidate {item.rank + 1} (answer: {', '.join(item.answer)}) ---")
+            blocks.append(item.explanation.as_text(ansi=ansi))
+            blocks.append("")
+        return "\n".join(blocks)
+
+
+class NLInterface:
+    """A natural-language interface over web tables with query explanations."""
+
+    def __init__(self, parser: Optional[SemanticParser] = None, k: int = 7) -> None:
+        self.parser = parser or SemanticParser()
+        self.k = k
+        self._generators: Dict[int, ExplanationGenerator] = {}
+
+    def _generator(self, table: Table) -> ExplanationGenerator:
+        key = id(table)
+        if key not in self._generators:
+            self._generators[key] = ExplanationGenerator(table)
+        return self._generators[key]
+
+    def ask(self, question: str, table: Table, k: Optional[int] = None) -> InterfaceResponse:
+        """Parse a question and explain the top-k candidates."""
+        limit = k if k is not None else self.k
+        started = time.perf_counter()
+        parse = self.parser.parse(question, table)
+        parse_seconds = time.perf_counter() - started
+
+        generator = self._generator(table)
+        explained: List[ExplainedCandidate] = []
+        started = time.perf_counter()
+        for rank, candidate in enumerate(parse.top_k(limit)):
+            explanation = generator.explain(candidate.query)
+            explained.append(
+                ExplainedCandidate(rank=rank, candidate=candidate, explanation=explanation)
+            )
+        explain_seconds = time.perf_counter() - started
+        return InterfaceResponse(
+            question=question,
+            table=table,
+            parse=parse,
+            explained=explained,
+            parse_seconds=parse_seconds,
+            explain_seconds=explain_seconds,
+        )

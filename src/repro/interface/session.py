@@ -1,0 +1,94 @@
+"""A minimal interactive session around the NL interface.
+
+The paper's deployment is a web interface; the reproduction ships a
+terminal equivalent that the example scripts (and curious users) can drive:
+ask a question, look at the explained candidates, choose one (or none), and
+optionally record the choice as feedback for later retraining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..tables.table import Table
+from ..dcs.ast import Query
+from ..parser.training import TrainingExample
+from .nl_interface import ExplainedCandidate, InterfaceResponse, NLInterface
+
+#: Reads the user's choice given the rendered candidate list; returns the
+#: 0-based index or None.  Defaults to a non-interactive "always top".
+ChoicePrompt = Callable[[InterfaceResponse], Optional[int]]
+
+
+@dataclass
+class SessionTurn:
+    """One question asked during a session."""
+
+    question: str
+    table: Table
+    response: InterfaceResponse
+    chosen_index: Optional[int]
+
+    @property
+    def chosen(self) -> Optional[ExplainedCandidate]:
+        if self.chosen_index is None:
+            return None
+        if 0 <= self.chosen_index < len(self.response.explained):
+            return self.response.explained[self.chosen_index]
+        return None
+
+    @property
+    def executed_query(self) -> Optional[Query]:
+        """The query the session executes: the choice, or the parser's top."""
+        chosen = self.chosen
+        if chosen is not None:
+            return chosen.candidate.query
+        top = self.response.top
+        return top.candidate.query if top else None
+
+    @property
+    def answer(self) -> Tuple[str, ...]:
+        chosen = self.chosen or self.response.top
+        return chosen.answer if chosen else ()
+
+
+class InterfaceSession:
+    """Drives the NL interface over a sequence of questions and tables."""
+
+    def __init__(self, interface: Optional[NLInterface] = None, k: int = 7) -> None:
+        self.interface = interface or NLInterface(k=k)
+        self.k = k
+        self.turns: List[SessionTurn] = []
+
+    def ask(
+        self,
+        question: str,
+        table: Table,
+        choose: Optional[ChoicePrompt] = None,
+    ) -> SessionTurn:
+        """Ask one question; ``choose`` decides which candidate to accept."""
+        response = self.interface.ask(question, table, k=self.k)
+        chosen_index = choose(response) if choose is not None else None
+        turn = SessionTurn(
+            question=question, table=table, response=response, chosen_index=chosen_index
+        )
+        self.turns.append(turn)
+        return turn
+
+    def feedback_examples(self) -> List[TrainingExample]:
+        """Question-query pairs from the turns where the user picked a candidate."""
+        examples = []
+        for turn in self.turns:
+            chosen = turn.chosen
+            if chosen is None:
+                continue
+            examples.append(
+                TrainingExample(
+                    question=turn.question,
+                    table=turn.table,
+                    answer=tuple(chosen.candidate.result.answer_values()),
+                    annotated_queries=(chosen.candidate.query,),
+                )
+            )
+        return examples

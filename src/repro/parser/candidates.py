@@ -1,0 +1,165 @@
+"""The semantic parser: candidate generation + log-linear ranking.
+
+This is the reproduction's stand-in for the Zhang et al. 2017 parser that
+the paper uses as a black box (Section 2): given an NL question and a
+table it produces a ranked list of candidate lambda DCS queries.  The
+deployment interface (:mod:`repro.interface`) consumes the ranked list, and
+the trainer (:mod:`repro.parser.training`) updates the underlying model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tables.table import Table
+from ..dcs.ast import Query
+from ..dcs.errors import DCSError
+from ..dcs.executor import ExecutionResult, Executor
+from ..dcs.sexpr import to_sexpr
+from ..dcs.typing import validate
+from .features import FeatureVector, extract_features
+from .grammar import CandidateGrammar, GenerationConfig
+from .lexicon import LexicalAnalysis, Lexicon
+from .model import LogLinearModel
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate query with everything the ranker and the UI need."""
+
+    query: Query
+    features: FeatureVector
+    result: ExecutionResult
+    score: float = 0.0
+    probability: float = 0.0
+
+    @property
+    def answer(self) -> Tuple[str, ...]:
+        return self.result.answer_strings()
+
+    @property
+    def sexpr(self) -> str:
+        return to_sexpr(self.query)
+
+
+@dataclass
+class ParseOutput:
+    """The ranked candidate list ``Z_x`` for one question."""
+
+    question: str
+    table: Table
+    candidates: List[Candidate]
+    analysis: LexicalAnalysis
+    generation_seconds: float = 0.0
+
+    @property
+    def top(self) -> Optional[Candidate]:
+        return self.candidates[0] if self.candidates else None
+
+    def top_k(self, k: int) -> List[Candidate]:
+        return self.candidates[:k]
+
+    def queries(self) -> List[Query]:
+        return [candidate.query for candidate in self.candidates]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+@dataclass
+class ParserConfig:
+    """Behavioural knobs of the parser."""
+
+    generation: GenerationConfig = field(default_factory=GenerationConfig)
+    drop_empty_answers: bool = True
+    drop_failing_candidates: bool = True
+    max_candidates: int = 600
+
+
+class SemanticParser:
+    """Maps NL questions over tables to ranked lambda DCS candidates."""
+
+    def __init__(
+        self,
+        model: Optional[LogLinearModel] = None,
+        config: Optional[ParserConfig] = None,
+    ) -> None:
+        self.model = model or LogLinearModel()
+        self.config = config or ParserConfig()
+        self._lexicons: Dict[int, Lexicon] = {}
+        self._grammars: Dict[int, CandidateGrammar] = {}
+
+    # -- per-table caches ---------------------------------------------------------
+    def _lexicon(self, table: Table) -> Lexicon:
+        key = id(table)
+        if key not in self._lexicons:
+            self._lexicons[key] = Lexicon(table)
+        return self._lexicons[key]
+
+    def _grammar(self, table: Table) -> CandidateGrammar:
+        key = id(table)
+        if key not in self._grammars:
+            self._grammars[key] = CandidateGrammar(table, self.config.generation)
+        return self._grammars[key]
+
+    # -- candidate generation -------------------------------------------------------
+    def generate_candidates(self, question: str, table: Table) -> Tuple[List[Candidate], LexicalAnalysis]:
+        """Generate (unranked) executable candidates with their features."""
+        analysis = self._lexicon(table).analyze(question)
+        raw_queries = self._grammar(table).generate(analysis)
+        executor = Executor(table)
+        candidates: List[Candidate] = []
+        for query in raw_queries:
+            if not validate(query, table):
+                if self.config.drop_failing_candidates:
+                    continue
+            try:
+                result = executor.execute(query)
+            except DCSError:
+                if self.config.drop_failing_candidates:
+                    continue
+                result = ExecutionResult(kind=query.result_kind)
+            if self.config.drop_empty_answers and result.is_empty:
+                continue
+            features = extract_features(
+                question, table, query, analysis=analysis, result=result
+            )
+            candidates.append(Candidate(query=query, features=features, result=result))
+        return candidates, analysis
+
+    # -- parsing -----------------------------------------------------------------------
+    def parse(self, question: str, table: Table, k: Optional[int] = None) -> ParseOutput:
+        """Parse a question into a ranked candidate list (top-``k`` if given)."""
+        started = time.perf_counter()
+        candidates, analysis = self.generate_candidates(question, table)
+        ranked = self.rank(candidates)
+        limit = k if k is not None else self.config.max_candidates
+        elapsed = time.perf_counter() - started
+        return ParseOutput(
+            question=question,
+            table=table,
+            candidates=ranked[:limit],
+            analysis=analysis,
+            generation_seconds=elapsed,
+        )
+
+    def rank(self, candidates: Sequence[Candidate]) -> List[Candidate]:
+        """Order candidates by model probability (Equation 4)."""
+        if not candidates:
+            return []
+        feature_vectors = [candidate.features for candidate in candidates]
+        probabilities = self.model.probabilities(feature_vectors)
+        scores = self.model.scores(feature_vectors)
+        rescored = [
+            Candidate(
+                query=candidate.query,
+                features=candidate.features,
+                result=candidate.result,
+                score=score,
+                probability=probability,
+            )
+            for candidate, score, probability in zip(candidates, scores, probabilities)
+        ]
+        return sorted(rescored, key=lambda candidate: -candidate.score)

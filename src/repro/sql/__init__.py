@@ -1,0 +1,28 @@
+"""Lambda DCS → SQL translation (paper Table 10) and a sqlite oracle."""
+
+from .translate import (
+    INDEX_COLUMN,
+    TABLE_NAME,
+    SQLQuery,
+    SQLTranslationError,
+    literal,
+    quote_identifier,
+    to_sql,
+)
+from .sqlite_backend import SQLResult, SQLiteBackend
+from .equivalence import EquivalenceReport, check_equivalence, check_many
+
+__all__ = [
+    "to_sql",
+    "SQLQuery",
+    "SQLTranslationError",
+    "literal",
+    "quote_identifier",
+    "TABLE_NAME",
+    "INDEX_COLUMN",
+    "SQLiteBackend",
+    "SQLResult",
+    "check_equivalence",
+    "check_many",
+    "EquivalenceReport",
+]

@@ -1,0 +1,122 @@
+"""Execution of translated SQL on an in-memory sqlite database.
+
+The paper uses the SQL mapping only to *position* lambda DCS with respect
+to relational provenance work; this reproduction goes one step further and
+actually runs the translated SQL, which gives an independent oracle for the
+lambda DCS executor (see :mod:`repro.sql.equivalence`).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..tables.schema import infer_schema
+from ..tables.table import Table
+from ..tables.values import DateValue, NumberValue, StringValue, Value
+from ..dcs.ast import Query, ResultKind
+from .translate import INDEX_COLUMN, TABLE_NAME, SQLQuery, quote_identifier, to_sql
+
+SQLValue = Union[None, int, float, str]
+
+
+def _storage_value(value: Value, numeric_column: bool) -> SQLValue:
+    """How a typed cell value is stored in sqlite.
+
+    Numeric columns store floats (so SQL MAX/SUM behave), date columns store
+    ISO strings (which sort correctly), text columns store the display text.
+    """
+    if isinstance(value, NumberValue):
+        return value.number
+    if isinstance(value, DateValue):
+        if numeric_column and value.is_numeric:
+            return value.as_number()
+        return value.display()
+    if numeric_column:
+        # A stray textual value in a numeric column: keep the text.
+        return value.display()
+    return value.display()
+
+
+class SQLiteBackend:
+    """Materialise one :class:`Table` into sqlite and run translated queries."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.schema = infer_schema(table)
+        self.connection = sqlite3.connect(":memory:")
+        self._create_and_fill()
+
+    # -- setup ---------------------------------------------------------------
+    def _create_and_fill(self) -> None:
+        column_defs = [f"{quote_identifier(INDEX_COLUMN)} INTEGER PRIMARY KEY"]
+        for column in self.table.columns:
+            profile = self.schema.column(column)
+            if profile.is_numeric:
+                column_defs.append(f"{quote_identifier(column)} REAL")
+            else:
+                column_defs.append(f"{quote_identifier(column)} TEXT COLLATE NOCASE")
+        create = f"CREATE TABLE {TABLE_NAME} ({', '.join(column_defs)})"
+        self.connection.execute(create)
+
+        placeholders = ", ".join("?" for _ in range(len(self.table.columns) + 1))
+        insert = f"INSERT INTO {TABLE_NAME} VALUES ({placeholders})"
+        rows = []
+        for record in self.table.records:
+            row: List[SQLValue] = [record.index]
+            for cell in record.cells:
+                numeric = self.schema.column(cell.column).is_numeric
+                row.append(_storage_value(cell.value, numeric))
+            rows.append(tuple(row))
+        self.connection.executemany(insert, rows)
+        self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------------
+    def run_sql(self, sql: str) -> List[Tuple[SQLValue, ...]]:
+        """Run raw SQL and return all rows."""
+        cursor = self.connection.execute(sql)
+        return cursor.fetchall()
+
+    def run_query(self, query: Query) -> "SQLResult":
+        """Translate a lambda DCS query and execute it."""
+        translated = to_sql(query)
+        rows = self.run_sql(translated.sql)
+        return SQLResult(kind=translated.kind, rows=rows, sql=translated.sql)
+
+
+class SQLResult:
+    """The rows returned by a translated query, with typed accessors."""
+
+    def __init__(self, kind: ResultKind, rows: Sequence[Tuple[SQLValue, ...]], sql: str) -> None:
+        self.kind = kind
+        self.rows = list(rows)
+        self.sql = sql
+
+    def record_indices(self) -> frozenset:
+        if self.kind != ResultKind.RECORDS:
+            raise ValueError("not a records result")
+        return frozenset(int(row[0]) for row in self.rows if row[0] is not None)
+
+    def scalar(self) -> Optional[float]:
+        if self.kind != ResultKind.SCALAR:
+            raise ValueError("not a scalar result")
+        if not self.rows or self.rows[0][0] is None:
+            return None
+        return float(self.rows[0][0])
+
+    def values(self) -> List[SQLValue]:
+        if self.kind == ResultKind.RECORDS:
+            raise ValueError("a records result has no value list")
+        return [row[0] for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"SQLResult({self.kind.value}, {self.rows!r})"

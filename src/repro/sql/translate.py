@@ -1,0 +1,312 @@
+"""Translation of lambda DCS queries into SQL (the paper's Table 10).
+
+The paper positions lambda DCS as an expressive fragment of SQL by giving a
+translation of every operator into a SQL query over a single table ``T``
+with an explicit ``Index`` attribute.  This module reproduces that mapping.
+
+The generated SQL follows three conventions so that arbitrary compositions
+of operators remain valid SQL:
+
+* a RECORDS sub-query always selects the record indices:
+  ``SELECT "Index" FROM T WHERE ...``,
+* a VALUES sub-query always selects a single column aliased ``val``:
+  ``SELECT "City" AS val FROM T WHERE ...``,
+* a SCALAR sub-query always selects a single scalar expression.
+
+The sqlite backend (:mod:`repro.sql.sqlite_backend`) executes the generated
+SQL and :mod:`repro.sql.equivalence` checks it against the native lambda DCS
+executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..tables.values import DateValue, NumberValue, StringValue, Value
+from ..dcs import ast
+from ..dcs.ast import AggregateFunction, ComparisonOperator, Query, ResultKind, SuperlativeKind
+from ..dcs.errors import DCSError
+
+#: Name of the materialised table in the generated SQL.
+TABLE_NAME = "T"
+#: Name of the record-index attribute (paper Section 3.1).
+INDEX_COLUMN = "Index"
+
+
+class SQLTranslationError(DCSError):
+    """Raised when a query cannot be expressed in the Table 10 SQL fragment."""
+
+
+@dataclass(frozen=True)
+class SQLQuery:
+    """A translated query: the SQL text plus what it returns."""
+
+    sql: str
+    kind: ResultKind
+
+    def __str__(self) -> str:
+        return self.sql
+
+
+def quote_identifier(name: str) -> str:
+    """Quote a column name for SQL (double-quote style)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def literal(value: Value) -> str:
+    """Render a typed value as a SQL literal."""
+    if isinstance(value, NumberValue):
+        return value.display()
+    if isinstance(value, DateValue):
+        if value.is_numeric:
+            return str(int(value.as_number()))
+        return "'" + value.display() + "'"
+    text = value.display() if not isinstance(value, StringValue) else value.text
+    return "'" + text.replace("'", "''") + "'"
+
+
+def to_sql(query: Query, pretty: bool = False) -> SQLQuery:
+    """Translate a lambda DCS query to SQL.
+
+    Parameters
+    ----------
+    query:
+        The lambda DCS query to translate.
+    pretty:
+        When True the SQL is re-indented for display (used by the Table 10
+        reference bench); otherwise a compact single-line query is produced.
+    """
+    sql = _translate(query)
+    if pretty:
+        sql = _prettify(sql)
+    return SQLQuery(sql=sql, kind=query.result_kind)
+
+
+# ---------------------------------------------------------------------------
+# recursive translation
+# ---------------------------------------------------------------------------
+
+
+def _translate(query: Query) -> str:
+    handler = _HANDLERS.get(type(query))
+    if handler is None:
+        raise SQLTranslationError(f"no SQL translation for {type(query).__name__}")
+    return handler(query)
+
+
+def _records_sql(query: Query) -> str:
+    if query.result_kind != ResultKind.RECORDS:
+        raise SQLTranslationError("expected a records sub-query")
+    return _translate(query)
+
+
+def _values_sql(query: Query) -> str:
+    if query.result_kind != ResultKind.VALUES:
+        raise SQLTranslationError("expected a values sub-query")
+    return _translate(query)
+
+
+def _scalar_or_values_sql(query: Query) -> str:
+    if query.result_kind == ResultKind.RECORDS:
+        raise SQLTranslationError("difference operands cannot be record sets")
+    return _translate(query)
+
+
+def _index(column: str = INDEX_COLUMN) -> str:
+    return quote_identifier(column)
+
+
+def _column(column: str) -> str:
+    return quote_identifier(column)
+
+
+def _t_all_records(query: ast.AllRecords) -> str:
+    return f"SELECT {_index()} FROM {TABLE_NAME}"
+
+
+def _t_value_literal(query: ast.ValueLiteral) -> str:
+    return f"SELECT {literal(query.value)} AS val"
+
+
+def _t_column_records(query: ast.ColumnRecords) -> str:
+    values = _values_sql(query.value)
+    return (
+        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"WHERE {_column(query.column)} IN ({values})"
+    )
+
+
+def _t_comparison_records(query: ast.ComparisonRecords) -> str:
+    values = _values_sql(query.value)
+    op = {"!=": "<>"}.get(query.op.value, query.op.value)
+    return (
+        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"WHERE {_column(query.column)} {op} ({values})"
+    )
+
+
+def _t_prev_records(query: ast.PrevRecords) -> str:
+    records = _records_sql(query.records)
+    return (
+        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"WHERE {_index()} IN (SELECT {_index()} - 1 FROM ({records}))"
+    )
+
+
+def _t_next_records(query: ast.NextRecords) -> str:
+    records = _records_sql(query.records)
+    return (
+        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"WHERE {_index()} IN (SELECT {_index()} + 1 FROM ({records}))"
+    )
+
+
+def _t_intersection(query: ast.Intersection) -> str:
+    left = _records_sql(query.left)
+    right = _records_sql(query.right)
+    return (
+        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"WHERE {_index()} IN ({left}) AND {_index()} IN ({right})"
+    )
+
+
+def _t_union(query: ast.Union) -> str:
+    if query.result_kind == ResultKind.RECORDS:
+        left = _records_sql(query.left)
+        right = _records_sql(query.right)
+        return (
+            f"SELECT {_index()} FROM {TABLE_NAME} "
+            f"WHERE {_index()} IN ({left}) OR {_index()} IN ({right})"
+        )
+    left = _values_sql(query.left)
+    right = _values_sql(query.right)
+    return f"SELECT val FROM ({left}) UNION SELECT val FROM ({right})"
+
+
+def _t_superlative_records(query: ast.SuperlativeRecords) -> str:
+    records = _records_sql(query.records)
+    aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
+    column = _column(query.column)
+    return (
+        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"WHERE {_index()} IN ({records}) AND {column} = ("
+        f"SELECT {aggr}({column}) FROM {TABLE_NAME} WHERE {_index()} IN ({records}))"
+    )
+
+
+def _t_first_last_records(query: ast.FirstLastRecords) -> str:
+    records = _records_sql(query.records)
+    aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
+    return (
+        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"WHERE {_index()} = (SELECT {aggr}({_index()}) FROM ({records}))"
+    )
+
+
+def _t_column_values(query: ast.ColumnValues) -> str:
+    records = _records_sql(query.records)
+    return (
+        f"SELECT {_column(query.column)} AS val FROM {TABLE_NAME} "
+        f"WHERE {_index()} IN ({records})"
+    )
+
+
+def _t_index_superlative(query: ast.IndexSuperlative) -> str:
+    records = _records_sql(query.records)
+    aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
+    return (
+        f"SELECT {_column(query.column)} AS val FROM {TABLE_NAME} "
+        f"WHERE {_index()} = (SELECT {aggr}({_index()}) FROM ({records}))"
+    )
+
+
+def _t_most_common(query: ast.MostCommonValue) -> str:
+    values = _values_sql(query.values)
+    column = _column(query.column)
+    extreme = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
+    counts = (
+        f"SELECT COUNT(*) AS cnt FROM {TABLE_NAME} "
+        f"WHERE {column} IN ({values}) GROUP BY {column}"
+    )
+    return (
+        f"SELECT {column} AS val FROM {TABLE_NAME} "
+        f"WHERE {column} IN ({values}) GROUP BY {column} "
+        f"HAVING COUNT(*) = (SELECT {extreme}(cnt) FROM ({counts}))"
+    )
+
+
+def _t_compare_values(query: ast.CompareValues) -> str:
+    values = _values_sql(query.values)
+    key = _column(query.key_column)
+    value = _column(query.value_column)
+    aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
+    return (
+        f"SELECT DISTINCT {value} AS val FROM {TABLE_NAME} "
+        f"WHERE {value} IN ({values}) AND {key} = ("
+        f"SELECT {aggr}({key}) FROM {TABLE_NAME} WHERE {value} IN ({values}))"
+    )
+
+
+def _t_aggregate(query: ast.Aggregate) -> str:
+    function = query.function
+    if function == AggregateFunction.COUNT:
+        operand = _translate(query.operand)
+        return f"SELECT COUNT(*) AS val FROM ({operand})"
+    values = _values_sql(query.operand)
+    sql_function = {"max": "MAX", "min": "MIN", "sum": "SUM", "avg": "AVG"}[function.value]
+    return f"SELECT {sql_function}(val) AS val FROM ({values})"
+
+
+def _t_difference(query: ast.Difference) -> str:
+    left = _scalar_or_values_sql(query.left)
+    right = _scalar_or_values_sql(query.right)
+    return f"SELECT ABS(({left}) - ({right})) AS val"
+
+
+_HANDLERS = {
+    ast.AllRecords: _t_all_records,
+    ast.ValueLiteral: _t_value_literal,
+    ast.ColumnRecords: _t_column_records,
+    ast.ComparisonRecords: _t_comparison_records,
+    ast.PrevRecords: _t_prev_records,
+    ast.NextRecords: _t_next_records,
+    ast.Intersection: _t_intersection,
+    ast.Union: _t_union,
+    ast.SuperlativeRecords: _t_superlative_records,
+    ast.FirstLastRecords: _t_first_last_records,
+    ast.ColumnValues: _t_column_values,
+    ast.IndexSuperlative: _t_index_superlative,
+    ast.MostCommonValue: _t_most_common,
+    ast.CompareValues: _t_compare_values,
+    ast.Aggregate: _t_aggregate,
+    ast.Difference: _t_difference,
+}
+
+
+# ---------------------------------------------------------------------------
+# pretty-printing
+# ---------------------------------------------------------------------------
+
+
+def _prettify(sql: str) -> str:
+    """Very small formatter: break before top-level keywords, indent by nesting."""
+    output = []
+    depth = 0
+    i = 0
+    while i < len(sql):
+        char = sql[i]
+        if char == "(":
+            depth += 1
+            output.append(char)
+        elif char == ")":
+            depth -= 1
+            output.append(char)
+        elif sql.startswith(" WHERE ", i) or sql.startswith(" FROM (SELECT", i):
+            output.append("\n" + "  " * (depth + 1) + sql[i + 1 :].split(" ", 1)[0] + " ")
+            i += 1 + len(sql[i + 1 :].split(" ", 1)[0])
+            continue
+        else:
+            output.append(char)
+        i += 1
+    return "".join(output)

@@ -1,0 +1,52 @@
+"""Web-table substrate: the data model of Section 3.1 of the paper."""
+
+from .values import (
+    DateValue,
+    NumberValue,
+    StringValue,
+    Value,
+    parse_date,
+    parse_number,
+    parse_value,
+    values_equal,
+)
+from .table import Cell, Record, Table, TableError
+from .knowledge_base import KnowledgeBase, Triple
+from .schema import ColumnProfile, TableSchema, infer_schema, profile_column
+from .io import (
+    load_tables,
+    save_tables,
+    table_from_csv,
+    table_from_json,
+    table_from_tsv,
+    table_to_csv,
+    table_to_json,
+)
+
+__all__ = [
+    "Value",
+    "StringValue",
+    "NumberValue",
+    "DateValue",
+    "parse_value",
+    "parse_number",
+    "parse_date",
+    "values_equal",
+    "Cell",
+    "Record",
+    "Table",
+    "TableError",
+    "KnowledgeBase",
+    "Triple",
+    "ColumnProfile",
+    "TableSchema",
+    "infer_schema",
+    "profile_column",
+    "table_from_csv",
+    "table_from_tsv",
+    "table_from_json",
+    "table_to_csv",
+    "table_to_json",
+    "save_tables",
+    "load_tables",
+]

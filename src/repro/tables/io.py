@@ -1,0 +1,117 @@
+"""Loading and saving tables.
+
+WikiTableQuestions distributes its tables as CSV/TSV files; this module
+provides the equivalent IO for the reproduction: CSV, TSV and JSON
+round-tripping of :class:`~repro.tables.table.Table` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .table import Table, TableError
+
+PathLike = Union[str, Path]
+
+
+def table_from_csv(
+    source: Union[PathLike, io.TextIOBase],
+    delimiter: str = ",",
+    name: Optional[str] = None,
+    date_columns: Optional[Sequence[str]] = None,
+) -> Table:
+    """Load a table from a CSV (or TSV) file or file-like object.
+
+    The first row is taken as the header.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open(newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle, delimiter=delimiter))
+        table_name = name or path.stem
+    else:
+        rows = list(csv.reader(source, delimiter=delimiter))
+        table_name = name or "table"
+    if not rows:
+        raise TableError("empty CSV: no header row")
+    header, data = rows[0], rows[1:]
+    return Table(columns=header, rows=data, name=table_name, date_columns=date_columns)
+
+
+def table_from_tsv(
+    source: Union[PathLike, io.TextIOBase],
+    name: Optional[str] = None,
+    date_columns: Optional[Sequence[str]] = None,
+) -> Table:
+    """Load a table from a TSV file (the WikiTableQuestions on-disk format)."""
+    return table_from_csv(source, delimiter="\t", name=name, date_columns=date_columns)
+
+
+def table_to_csv(table: Table, destination: Union[PathLike, io.TextIOBase], delimiter: str = ",") -> None:
+    """Write a table's display values to CSV."""
+    def _write(handle) -> None:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.columns)
+        for record in table.records:
+            writer.writerow([cell.display() for cell in record.cells])
+
+    if isinstance(destination, (str, Path)):
+        with Path(destination).open("w", newline="", encoding="utf-8") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+
+
+def table_to_json(table: Table) -> str:
+    """Serialise a table (name, columns, display rows) to a JSON string."""
+    payload = {
+        "name": table.name,
+        "columns": table.columns,
+        "rows": [[cell.display() for cell in record.cells] for record in table.records],
+    }
+    return json.dumps(payload, ensure_ascii=False, indent=2)
+
+
+def table_from_json(
+    text: str, date_columns: Optional[Sequence[str]] = None
+) -> Table:
+    """Deserialise a table from the JSON produced by :func:`table_to_json`."""
+    payload = json.loads(text)
+    missing = {"name", "columns", "rows"} - set(payload)
+    if missing:
+        raise TableError(f"JSON table missing keys: {sorted(missing)}")
+    return Table(
+        columns=payload["columns"],
+        rows=payload["rows"],
+        name=payload["name"],
+        date_columns=date_columns,
+    )
+
+
+def save_tables(tables: List[Table], directory: PathLike) -> List[Path]:
+    """Save a list of tables as individual JSON files in a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, table in enumerate(tables):
+        path = directory / f"{i:04d}_{_slug(table.name)}.json"
+        path.write_text(table_to_json(table), encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def load_tables(directory: PathLike) -> List[Table]:
+    """Load every ``*.json`` table in a directory (sorted by filename)."""
+    directory = Path(directory)
+    tables = []
+    for path in sorted(directory.glob("*.json")):
+        tables.append(table_from_json(path.read_text(encoding="utf-8")))
+    return tables
+
+
+def _slug(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in name.lower())[:40]

@@ -1,0 +1,120 @@
+"""Knowledge-base view of a table.
+
+The paper (Section 3.1) describes the table as a knowledge base
+``K ⊆ E × P × E`` where the entity set ``E`` contains all table cells and
+all table records, and the property set ``P`` contains the column headers,
+each acting as a binary relation from a cell value to the records in which
+that value appears.
+
+This module materialises that view.  The semantic parser's lexicon uses it
+to link question tokens to table entities, and the lambda DCS executor uses
+it to resolve joins such as ``Country.Greece``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .table import Table
+from .values import StringValue, Value, values_equal
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A single KB triple ``(record_index, property, value)``."""
+
+    record_index: int
+    property: str
+    value: Value
+
+
+class KnowledgeBase:
+    """An index over a table's (record, column, value) triples.
+
+    The KB offers the two lookups that drive lambda DCS joins:
+
+    * ``records_with_value(column, value)`` — the ``C.v`` join,
+    * ``values_of_records(column, indices)`` — the ``R[C].records`` reverse join.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._triples: List[Triple] = []
+        self._by_property: Dict[str, List[Triple]] = defaultdict(list)
+        self._value_index: Dict[Tuple[str, Value], Set[int]] = defaultdict(set)
+        for record in table.records:
+            for cell in record.cells:
+                triple = Triple(record.index, cell.column, cell.value)
+                self._triples.append(triple)
+                self._by_property[cell.column].append(triple)
+                self._value_index[(cell.column, cell.value)].add(record.index)
+
+    # -- entity / property enumeration ---------------------------------------
+    @property
+    def properties(self) -> List[str]:
+        return list(self.table.columns)
+
+    @property
+    def triples(self) -> List[Triple]:
+        return list(self._triples)
+
+    def entities(self) -> Set[Value]:
+        """All distinct cell values in the table."""
+        return {triple.value for triple in self._triples}
+
+    def column_entities(self, column: str) -> Set[Value]:
+        return {triple.value for triple in self._by_property[column]}
+
+    # -- joins ----------------------------------------------------------------
+    def records_with_value(self, column: str, value: Value) -> FrozenSet[int]:
+        """Indices of records where ``column`` holds ``value`` (the ``C.v`` join).
+
+        Falls back to a linear scan with :func:`values_equal` when the exact
+        typed value is not in the index (cross-type matches such as the
+        string ``"2004"`` against the number ``2004``).
+        """
+        exact = self._value_index.get((column, value))
+        if exact:
+            return frozenset(exact)
+        matches = {
+            triple.record_index
+            for triple in self._by_property.get(column, ())
+            if values_equal(triple.value, value)
+        }
+        return frozenset(matches)
+
+    def values_of_records(self, column: str, indices) -> List[Value]:
+        """Values of ``column`` in the given records (``R[C].records``)."""
+        column_cells = self.table.column_cells(column)
+        return [column_cells[i].value for i in sorted(indices)]
+
+    # -- string search (used by the parser lexicon) ---------------------------
+    def find_entity(self, text: str) -> List[Tuple[str, Value]]:
+        """Find table values whose textual form matches ``text``.
+
+        Returns ``(column, value)`` pairs; matching is case-insensitive on
+        the normalised string form.
+        """
+        target = StringValue(text).normalized
+        matches: List[Tuple[str, Value]] = []
+        seen: Set[Tuple[str, Value]] = set()
+        for triple in self._triples:
+            key = (triple.property, triple.value)
+            if key in seen:
+                continue
+            display = StringValue(triple.value.display()).normalized
+            if display == target:
+                matches.append(key)
+                seen.add(key)
+        return matches
+
+    def find_columns(self, text: str) -> List[str]:
+        """Columns whose header matches ``text`` (case-insensitive)."""
+        target = StringValue(text).normalized
+        return [
+            column
+            for column in self.table.columns
+            if StringValue(column).normalized == target
+        ]

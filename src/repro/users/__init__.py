@@ -1,0 +1,36 @@
+"""Simulated crowd workers and the user-study / feedback harnesses."""
+
+from .timing import ExplanationMode, TimingParameters, WorkTimeModel
+from .worker import JudgmentParameters, SimulatedWorker, WorkerDecision, worker_pool
+from .study import (
+    QuestionTrial,
+    StudyConfig,
+    StudyResult,
+    UserStudy,
+    run_worktime_comparison,
+)
+from .feedback import (
+    AnnotationRecord,
+    FeedbackCollector,
+    FeedbackConfig,
+    FeedbackResult,
+)
+
+__all__ = [
+    "ExplanationMode",
+    "TimingParameters",
+    "WorkTimeModel",
+    "JudgmentParameters",
+    "SimulatedWorker",
+    "WorkerDecision",
+    "worker_pool",
+    "UserStudy",
+    "StudyConfig",
+    "StudyResult",
+    "QuestionTrial",
+    "run_worktime_comparison",
+    "FeedbackCollector",
+    "FeedbackConfig",
+    "FeedbackResult",
+    "AnnotationRecord",
+]

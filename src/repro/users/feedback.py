@@ -1,0 +1,167 @@
+"""Collecting question-query annotations from user feedback (Section 7.3).
+
+During the feedback experiment the paper showed each *training* question to
+three distinct workers; a candidate query counted as an annotation when at
+least two of them marked it correct.  The resulting question-query pairs
+were then used to retrain the parser with the Equation 8 objective.
+
+:class:`FeedbackCollector` reproduces that protocol with simulated workers
+and emits :class:`~repro.parser.training.TrainingExample` objects carrying
+the collected annotations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dcs.sexpr import to_sexpr
+from ..parser.candidates import SemanticParser
+from ..parser.evaluation import find_correct_indices
+from ..parser.training import TrainingExample
+from ..dataset.dataset import DatasetExample
+from .timing import ExplanationMode
+from .worker import JudgmentParameters, SimulatedWorker, worker_pool
+
+
+@dataclass
+class AnnotationRecord:
+    """The annotations collected for one training question."""
+
+    example: DatasetExample
+    annotated_sexprs: Tuple[str, ...]
+    candidate_count: int
+    workers_agreeing: int
+
+    @property
+    def has_annotation(self) -> bool:
+        return bool(self.annotated_sexprs)
+
+
+@dataclass
+class FeedbackResult:
+    """Everything the feedback-collection pass produced."""
+
+    records: List[AnnotationRecord] = field(default_factory=list)
+    training_examples: List[TrainingExample] = field(default_factory=list)
+
+    @property
+    def annotated_count(self) -> int:
+        return sum(1 for record in self.records if record.has_annotation)
+
+    @property
+    def annotation_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.annotated_count / len(self.records)
+
+    def annotation_precision(self) -> float:
+        """Fraction of collected annotations that really are correct queries.
+
+        Uses the gold query available in the synthetic corpus; the paper had
+        no gold queries and relied on worker agreement alone.
+        """
+        correct = 0
+        total = 0
+        for record in self.records:
+            gold = to_sexpr(record.example.gold_query)
+            for sexpr in record.annotated_sexprs:
+                total += 1
+                if sexpr == gold:
+                    correct += 1
+        return correct / total if total else 0.0
+
+
+@dataclass
+class FeedbackConfig:
+    """Configuration of the annotation-collection protocol."""
+
+    k: int = 7
+    workers_per_question: int = 3
+    agreement_threshold: int = 2
+    shuffle_candidates: bool = True
+    seed: int = 41
+    perturbations: int = 2
+    mode: ExplanationMode = ExplanationMode.UTTERANCES_AND_HIGHLIGHTS
+    judgment: JudgmentParameters = field(default_factory=JudgmentParameters)
+
+
+class FeedbackCollector:
+    """Collects majority-vote annotations from simulated workers."""
+
+    def __init__(self, parser: SemanticParser, config: Optional[FeedbackConfig] = None) -> None:
+        self.parser = parser
+        self.config = config or FeedbackConfig()
+        self._random = random.Random(self.config.seed)
+
+    def collect(self, examples: Sequence[DatasetExample]) -> FeedbackResult:
+        """Collect annotations for every example (training questions)."""
+        config = self.config
+        result = FeedbackResult()
+        workers = worker_pool(
+            config.workers_per_question,
+            mode=config.mode,
+            judgment=config.judgment,
+            seed=config.seed,
+        )
+        for example in examples:
+            record = self._collect_one(example, workers)
+            result.records.append(record)
+            annotated_queries = tuple(
+                candidate_query
+                for candidate_query in self._queries_from_sexprs(example, record.annotated_sexprs)
+            )
+            result.training_examples.append(
+                TrainingExample(
+                    question=example.question,
+                    table=example.table,
+                    answer=example.gold_answer,
+                    annotated_queries=annotated_queries,
+                )
+            )
+        return result
+
+    # -- internals -------------------------------------------------------------------
+    def _collect_one(
+        self, example: DatasetExample, workers: Sequence[SimulatedWorker]
+    ) -> AnnotationRecord:
+        config = self.config
+        parse = self.parser.parse(example.question, example.table)
+        ranked = parse.top_k(config.k)
+        evaluation_example = example.to_evaluation_example()
+        correct_indices = set(
+            find_correct_indices(
+                ranked, evaluation_example, perturbations=config.perturbations
+            )
+        )
+
+        votes: Dict[int, int] = {}
+        for worker in workers:
+            order = list(range(len(ranked)))
+            if config.shuffle_candidates:
+                self._random.shuffle(order)
+            displayed_correctness = [index in correct_indices for index in order]
+            decision = worker.review_question(displayed_correctness)
+            if decision.selected_index is not None:
+                original_index = order[decision.selected_index]
+                votes[original_index] = votes.get(original_index, 0) + 1
+
+        annotated = [
+            index
+            for index, count in sorted(votes.items())
+            if count >= config.agreement_threshold
+        ]
+        max_agreement = max(votes.values()) if votes else 0
+        return AnnotationRecord(
+            example=example,
+            annotated_sexprs=tuple(ranked[index].sexpr for index in annotated),
+            candidate_count=len(ranked),
+            workers_agreeing=max_agreement,
+        )
+
+    def _queries_from_sexprs(self, example: DatasetExample, sexprs: Sequence[str]):
+        from ..dcs.sexpr import from_sexpr
+
+        for sexpr in sexprs:
+            yield from_sexpr(sexpr)

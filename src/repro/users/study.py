@@ -1,0 +1,227 @@
+"""The interactive user study harness (paper Section 7.2).
+
+The harness drives the full deployment loop on a set of test questions:
+
+1. the semantic parser produces its candidate queries,
+2. the top-k candidates are shown to a simulated worker in random order
+   (the paper randomises the order so users are not biased towards the
+   parser's top query),
+3. the worker selects the candidate it believes to be correct, or *None*,
+4. the study records everything needed for Tables 4, 5 and 6: explanation
+   counts, per-question success, user/hybrid correctness, the correctness
+   bound and the per-worker work time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parser.candidates import Candidate, SemanticParser
+from ..parser.evaluation import EvaluationExample, find_correct_indices
+from .timing import ExplanationMode
+from .worker import SimulatedWorker, WorkerDecision, worker_pool
+
+
+@dataclass
+class QuestionTrial:
+    """The outcome of one worker answering one question."""
+
+    example: EvaluationExample
+    worker_id: str
+    displayed_candidates: List[Candidate]
+    displayed_correctness: List[bool]
+    decision: WorkerDecision
+    parser_top_correct: bool
+    has_correct_candidate: bool
+
+    @property
+    def user_selected_correct(self) -> bool:
+        index = self.decision.selected_index
+        return index is not None and self.displayed_correctness[index]
+
+    @property
+    def question_success(self) -> bool:
+        """The Table 4 notion of success: right selection or a justified None."""
+        if self.decision.selected_index is None:
+            return not self.has_correct_candidate
+        return self.displayed_correctness[self.decision.selected_index]
+
+    @property
+    def hybrid_correct(self) -> bool:
+        """Hybrid policy: user's pick if any, otherwise the parser's top query."""
+        if self.decision.selected_index is not None:
+            return self.displayed_correctness[self.decision.selected_index]
+        return self.parser_top_correct
+
+
+@dataclass
+class StudyResult:
+    """Aggregated user-study measurements."""
+
+    trials: List[QuestionTrial] = field(default_factory=list)
+    k: int = 7
+
+    # -- Table 4 -------------------------------------------------------------------
+    @property
+    def distinct_questions(self) -> int:
+        return len({trial.example.question for trial in self.trials})
+
+    @property
+    def explanations_shown(self) -> int:
+        return sum(len(trial.displayed_candidates) for trial in self.trials)
+
+    @property
+    def question_success_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(trial.question_success for trial in self.trials) / len(self.trials)
+
+    # -- Table 6 -------------------------------------------------------------------
+    @property
+    def parser_correctness(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(trial.parser_top_correct for trial in self.trials) / len(self.trials)
+
+    @property
+    def user_correctness(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(trial.user_selected_correct for trial in self.trials) / len(self.trials)
+
+    @property
+    def hybrid_correctness(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(trial.hybrid_correct for trial in self.trials) / len(self.trials)
+
+    @property
+    def correctness_bound(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(trial.has_correct_candidate for trial in self.trials) / len(self.trials)
+
+    # -- Table 5 -------------------------------------------------------------------
+    def worker_minutes(self) -> Dict[str, float]:
+        """Total work time per worker, in minutes."""
+        totals: Dict[str, float] = {}
+        for trial in self.trials:
+            totals[trial.worker_id] = totals.get(trial.worker_id, 0.0) + trial.decision.seconds
+        return {worker: seconds / 60.0 for worker, seconds in totals.items()}
+
+    def correct_counts(self) -> Dict[str, int]:
+        """Raw correct-example counts (the numerators of Table 6)."""
+        return {
+            "parser": sum(trial.parser_top_correct for trial in self.trials),
+            "users": sum(trial.user_selected_correct for trial in self.trials),
+            "hybrid": sum(trial.hybrid_correct for trial in self.trials),
+            "bound": sum(trial.has_correct_candidate for trial in self.trials),
+            "total": len(self.trials),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "questions": float(self.distinct_questions),
+            "trials": float(len(self.trials)),
+            "explanations": float(self.explanations_shown),
+            "success_rate": self.question_success_rate,
+            "parser_correctness": self.parser_correctness,
+            "user_correctness": self.user_correctness,
+            "hybrid_correctness": self.hybrid_correctness,
+            "correctness_bound": self.correctness_bound,
+        }
+
+
+@dataclass
+class StudyConfig:
+    """Configuration of a study run."""
+
+    k: int = 7
+    questions_per_worker: int = 20
+    shuffle_candidates: bool = True
+    seed: int = 17
+    perturbations: int = 2
+
+
+class UserStudy:
+    """Runs the interactive-parsing user study with simulated workers."""
+
+    def __init__(self, parser: SemanticParser, config: Optional[StudyConfig] = None) -> None:
+        self.parser = parser
+        self.config = config or StudyConfig()
+        self._random = random.Random(self.config.seed)
+
+    def run_question(
+        self, example: EvaluationExample, worker: SimulatedWorker
+    ) -> QuestionTrial:
+        """Run one question with one worker."""
+        parse = self.parser.parse(example.question, example.table)
+        ranked = parse.top_k(self.config.k)
+        correct_indices = set(
+            find_correct_indices(ranked, example, perturbations=self.config.perturbations)
+        )
+        parser_top_correct = 0 in correct_indices
+
+        order = list(range(len(ranked)))
+        if self.config.shuffle_candidates:
+            self._random.shuffle(order)
+        displayed = [ranked[i] for i in order]
+        displayed_correctness = [i in correct_indices for i in order]
+
+        decision = worker.review_question(displayed_correctness)
+        return QuestionTrial(
+            example=example,
+            worker_id=worker.worker_id,
+            displayed_candidates=displayed,
+            displayed_correctness=displayed_correctness,
+            decision=decision,
+            parser_top_correct=parser_top_correct,
+            has_correct_candidate=bool(correct_indices),
+        )
+
+    def run(
+        self,
+        examples: Sequence[EvaluationExample],
+        workers: Sequence[SimulatedWorker],
+    ) -> StudyResult:
+        """Distribute questions over workers (``questions_per_worker`` each).
+
+        Questions are dealt round-robin so every worker sees a distinct
+        block, mirroring the paper's protocol of 20 random questions per
+        participant.
+        """
+        result = StudyResult(k=self.config.k)
+        per_worker = self.config.questions_per_worker
+        example_index = 0
+        for worker in workers:
+            for _ in range(per_worker):
+                if example_index >= len(examples):
+                    return result
+                example = examples[example_index]
+                example_index += 1
+                result.trials.append(self.run_question(example, worker))
+        return result
+
+
+def run_worktime_comparison(
+    parser: SemanticParser,
+    examples: Sequence[EvaluationExample],
+    workers_per_group: int = 10,
+    questions_per_worker: int = 20,
+    k: int = 7,
+    seed: int = 29,
+) -> Dict[ExplanationMode, StudyResult]:
+    """The Table 5 experiment: two worker groups, one per explanation condition."""
+    results: Dict[ExplanationMode, StudyResult] = {}
+    for group_index, mode in enumerate(
+        (ExplanationMode.UTTERANCES_AND_HIGHLIGHTS, ExplanationMode.UTTERANCES_ONLY)
+    ):
+        study = UserStudy(
+            parser,
+            StudyConfig(k=k, questions_per_worker=questions_per_worker, seed=seed + group_index),
+        )
+        workers = worker_pool(workers_per_group, mode=mode, seed=seed + 100 * group_index)
+        results[mode] = study.run(examples, workers)
+    return results

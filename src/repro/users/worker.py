@@ -1,0 +1,146 @@
+"""Simulated crowd workers (substitution for the paper's AMT participants).
+
+The user study (Section 7.2) recruited 35 non-expert workers who, for each
+question, saw the explanations of the top-7 candidate queries in random
+order and marked the correct one (or *None*).  Their measured behaviour:
+
+* 78.4% of the individual explanations were judged correctly (Table 4),
+* selections raised correctness from the parser's 37.1% to 44.6%, and the
+  hybrid policy to 48.7% (Table 6),
+* highlights cut the average work time by roughly a third (Table 5).
+
+A :class:`SimulatedWorker` reproduces that behaviour stochastically: it
+judges each explanation independently with a per-condition accuracy, then
+selects among the candidates it believes to be correct.  The judgment
+accuracies are the model's calibration knobs; the downstream quantities
+(Tables 4-6 and 9) are *measured* from the simulated interaction, not
+hard-coded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .timing import ExplanationMode, TimingParameters, WorkTimeModel
+
+
+@dataclass(frozen=True)
+class JudgmentParameters:
+    """Per-condition probabilities of judging one explanation correctly."""
+
+    #: P(worker recognises a correct candidate as correct).
+    recognise_correct: float = 0.85
+    #: P(worker correctly rejects an incorrect candidate).
+    reject_incorrect: float = 0.97
+    #: Degradation applied when highlights are absent (utterances only).  The
+    #: paper found both explanation conditions equally *accurate* (only the
+    #: work time differed), so the penalty is small.
+    utterance_only_penalty: float = 0.02
+    #: With raw lambda DCS only, non-experts are effectively guessing.
+    formal_only_recognise: float = 0.15
+    formal_only_reject: float = 0.55
+
+
+@dataclass
+class WorkerDecision:
+    """The outcome of one worker examining one question's candidate list."""
+
+    selected_index: Optional[int]
+    judgments: List[bool]
+    correct_judgments: int
+    seconds: float
+
+    @property
+    def marked_none(self) -> bool:
+        return self.selected_index is None
+
+    @property
+    def judgment_count(self) -> int:
+        return len(self.judgments)
+
+
+class SimulatedWorker:
+    """One simulated AMT worker."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        mode: ExplanationMode = ExplanationMode.UTTERANCES_AND_HIGHLIGHTS,
+        judgment: JudgmentParameters = JudgmentParameters(),
+        timing: TimingParameters = TimingParameters(),
+        seed: int = 0,
+    ) -> None:
+        self.worker_id = worker_id
+        self.mode = mode
+        self.judgment = judgment
+        self._random = random.Random(seed)
+        self._timer = WorkTimeModel(mode, timing, seed=seed + 104729)
+
+    # -- judgement model -----------------------------------------------------------
+    def _probabilities(self) -> Tuple[float, float]:
+        params = self.judgment
+        if self.mode == ExplanationMode.FORMAL_ONLY:
+            return params.formal_only_recognise, params.formal_only_reject
+        recognise = params.recognise_correct
+        reject = params.reject_incorrect
+        if self.mode == ExplanationMode.UTTERANCES_ONLY:
+            recognise = max(0.0, recognise - params.utterance_only_penalty)
+            reject = max(0.0, reject - params.utterance_only_penalty)
+        return recognise, reject
+
+    def judge_candidate(self, is_correct: bool) -> bool:
+        """The worker's belief about one candidate ("this one is correct")."""
+        recognise, reject = self._probabilities()
+        if is_correct:
+            return self._random.random() < recognise
+        return self._random.random() >= reject
+
+    # -- per-question behaviour --------------------------------------------------------
+    def review_question(self, candidate_correctness: Sequence[bool]) -> WorkerDecision:
+        """Review one question's candidates (already in display order).
+
+        ``candidate_correctness[i]`` says whether displayed candidate ``i``
+        really is a correct translation; the worker does not see it, it is
+        only used to score the worker's judgments.
+        """
+        judgments = [self.judge_candidate(is_correct) for is_correct in candidate_correctness]
+        correct_judgments = sum(
+            1 for belief, truth in zip(judgments, candidate_correctness) if belief == truth
+        )
+        believed_correct = [index for index, belief in enumerate(judgments) if belief]
+        if believed_correct:
+            selected = believed_correct[0]
+            # Workers occasionally pick a later plausible candidate instead.
+            if len(believed_correct) > 1 and self._random.random() < 0.25:
+                selected = self._random.choice(believed_correct)
+        else:
+            selected = None
+        seconds = self._timer.question_seconds(len(candidate_correctness))
+        return WorkerDecision(
+            selected_index=selected,
+            judgments=judgments,
+            correct_judgments=correct_judgments,
+            seconds=seconds,
+        )
+
+
+def worker_pool(
+    count: int,
+    mode: ExplanationMode = ExplanationMode.UTTERANCES_AND_HIGHLIGHTS,
+    judgment: JudgmentParameters = JudgmentParameters(),
+    timing: TimingParameters = TimingParameters(),
+    seed: int = 0,
+) -> List[SimulatedWorker]:
+    """Create ``count`` workers with distinct random streams."""
+    return [
+        SimulatedWorker(
+            worker_id=f"worker-{index:02d}",
+            mode=mode,
+            judgment=judgment,
+            timing=timing,
+            seed=seed * 1000 + index,
+        )
+        for index in range(count)
+    ]

@@ -1,0 +1,109 @@
+"""Unit tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_argument_parser, main
+from repro.tables import table_to_csv
+
+
+@pytest.fixture
+def table_csv(tmp_path, olympics_table):
+    path = tmp_path / "olympics.csv"
+    table_to_csv(olympics_table, path)
+    return path
+
+
+class TestArgumentParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_argument_parser().parse_args([])
+
+    def test_explain_arguments(self):
+        args = build_argument_parser().parse_args(
+            ["explain", "--table", "t.csv", "--query", "(all-records)"]
+        )
+        assert args.command == "explain"
+        assert args.table == "t.csv"
+
+
+class TestExplainCommand:
+    def test_explains_a_query(self, table_csv):
+        out = io.StringIO()
+        code = main(
+            [
+                "explain",
+                "--table", str(table_csv),
+                "--query", '(aggregate max (column-values "Year" (column-records "Country" (value "Greece"))))',
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "maximum of values in column Year" in text
+        assert "answer: 2004" in text
+
+    def test_html_output(self, table_csv):
+        out = io.StringIO()
+        main(
+            ["explain", "--table", str(table_csv), "--query", '(most-common argmax "City" (column-values "City" (all-records)))', "--html"],
+            out=out,
+        )
+        assert out.getvalue().startswith("<table")
+
+
+class TestAskCommand:
+    def test_ask_prints_candidates(self, table_csv):
+        out = io.StringIO()
+        code = main(
+            ["ask", "--table", str(table_csv), "--question", "When did Greece host the games?", "--k", "3"],
+            out=out,
+        )
+        assert code == 0
+        assert "candidate 1" in out.getvalue()
+
+    def test_ask_with_saved_model(self, table_csv, tmp_path):
+        from repro.parser import LogLinearModel
+
+        model = LogLinearModel()
+        model.weights = {"overlap:recall": 2.0}
+        model_path = tmp_path / "model.json"
+        model.save(model_path)
+        out = io.StringIO()
+        code = main(
+            ["ask", "--table", str(table_csv), "--question", "When did Greece host?",
+             "--model", str(model_path)],
+            out=out,
+        )
+        assert code == 0
+
+
+class TestDatasetCommand:
+    def test_writes_tables_and_questions(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["dataset", "--output", str(tmp_path / "corpus"), "--tables", "4", "--questions", "3"],
+            out=out,
+        )
+        assert code == 0
+        questions = (tmp_path / "corpus" / "questions.jsonl").read_text().splitlines()
+        assert len(questions) >= 6
+        record = json.loads(questions[0])
+        assert {"id", "question", "query", "answer"} <= set(record)
+        tables = list((tmp_path / "corpus" / "tables").glob("*.json"))
+        assert len(tables) == 4
+
+
+class TestStudyCommand:
+    def test_study_runs_end_to_end(self):
+        out = io.StringIO()
+        code = main(
+            ["study", "--tables", "8", "--questions", "3", "--k", "5", "--epochs", "1"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "hybrid correctness" in text
+        assert "correctness bound" in text

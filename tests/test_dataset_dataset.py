@@ -1,0 +1,84 @@
+"""Unit tests for dataset assembly and conversions."""
+
+import pytest
+
+from repro.dataset import DatasetConfig, build_dataset, dataset_statistics
+from repro.dcs import answers_match, execute
+
+
+class TestBuildDataset:
+    def test_examples_and_tables_present(self, tiny_dataset):
+        assert len(tiny_dataset) > 0
+        assert len(tiny_dataset.tables) == 12
+
+    def test_gold_answers_are_consistent(self, tiny_dataset):
+        for example in list(tiny_dataset)[:30]:
+            answer = execute(example.gold_query, example.table).answer_values()
+            assert answers_match(answer, example.gold_answer)
+
+    def test_no_empty_answers(self, tiny_dataset):
+        assert all(example.gold_answer for example in tiny_dataset)
+
+    def test_example_ids_unique(self, tiny_dataset):
+        ids = [example.example_id for example in tiny_dataset]
+        assert len(ids) == len(set(ids))
+
+    def test_tables_meet_wikitables_shape(self, tiny_dataset):
+        for table in tiny_dataset.tables:
+            assert table.num_rows >= 8
+            assert table.num_columns >= 5
+
+    def test_statistics(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert stats["examples"] == len(tiny_dataset)
+        assert stats["tables"] == 12
+        assert stats["templates"] >= 10
+        assert stats["min_rows"] >= 8
+
+    def test_statistics_of_empty_dataset(self):
+        from repro.dataset import Dataset
+
+        assert dataset_statistics(Dataset()) == {"examples": 0, "tables": 0}
+
+    def test_build_is_deterministic(self):
+        config = DatasetConfig(num_tables=4, questions_per_table=3, seed=99)
+        first = build_dataset(config)
+        second = build_dataset(config)
+        assert [example.question for example in first] == [
+            example.question for example in second
+        ]
+
+    def test_grouping_helpers(self, tiny_dataset):
+        by_template = tiny_dataset.by_template()
+        assert sum(len(group) for group in by_template.values()) == len(tiny_dataset)
+        by_table = tiny_dataset.by_table()
+        assert len(by_table) <= 12
+
+
+class TestConversions:
+    def test_training_example_weak(self, tiny_dataset):
+        example = tiny_dataset.examples[0]
+        training = example.to_training_example(annotated=False)
+        assert training.annotated_queries == ()
+        assert training.answer == example.gold_answer
+
+    def test_training_example_annotated(self, tiny_dataset):
+        example = tiny_dataset.examples[0]
+        training = example.to_training_example(annotated=True)
+        assert training.annotated_queries == (example.gold_query,)
+        assert training.is_annotated
+
+    def test_evaluation_example(self, tiny_dataset):
+        example = tiny_dataset.examples[0]
+        evaluation = example.to_evaluation_example()
+        assert evaluation.question == example.question
+        assert evaluation.gold_query == example.gold_query
+
+    def test_dataset_level_conversions(self, tiny_dataset):
+        assert len(tiny_dataset.training_examples()) == len(tiny_dataset)
+        assert len(tiny_dataset.evaluation_examples()) == len(tiny_dataset)
+
+    def test_subset(self, tiny_dataset):
+        subset = tiny_dataset.subset([0, 1, 2])
+        assert len(subset) == 3
+        assert len(subset.tables) <= 3

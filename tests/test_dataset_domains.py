@@ -1,0 +1,69 @@
+"""Unit tests for the synthetic-corpus domain schemas."""
+
+import pytest
+
+from repro.dataset import DOMAINS, get_domain
+from repro.dataset.domains import ColumnSpec
+
+
+class TestDomainInventory:
+    def test_at_least_ten_domains(self):
+        assert len(DOMAINS) >= 10
+
+    def test_domain_names_unique(self):
+        names = [domain.name for domain in DOMAINS]
+        assert len(names) == len(set(names))
+
+    def test_every_domain_has_at_least_five_columns(self):
+        for domain in DOMAINS:
+            assert len(domain.columns) >= 5, domain.name
+
+    def test_every_domain_meets_wikitables_min_rows(self):
+        for domain in DOMAINS:
+            assert domain.min_rows >= 8
+
+    def test_key_column_exists_and_is_textual(self):
+        for domain in DOMAINS:
+            spec = domain.column(domain.key_column)
+            assert spec.kind == "key"
+
+    def test_every_domain_has_a_numeric_column(self):
+        for domain in DOMAINS:
+            assert domain.numeric_columns, domain.name
+
+    def test_key_pools_are_large_enough(self):
+        for domain in DOMAINS:
+            spec = domain.column(domain.key_column)
+            assert len(spec.pool) >= domain.max_rows, domain.name
+
+    def test_distinct_headers_across_domains(self):
+        headers = set()
+        for domain in DOMAINS:
+            headers.update(domain.column_names)
+        assert len(headers) >= 30
+
+
+class TestDomainAccessors:
+    def test_get_domain(self):
+        assert get_domain("olympics").key_column == "City"
+
+    def test_get_domain_unknown(self):
+        with pytest.raises(KeyError):
+            get_domain("does-not-exist")
+
+    def test_column_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_domain("olympics").column("Continent")
+
+    def test_paraphrase_cycles_through_options(self):
+        domain = get_domain("medal_tally")
+        first = domain.paraphrase_of("Total", 0)
+        second = domain.paraphrase_of("Total", 1)
+        assert first == "total"
+        assert second != first
+
+    def test_column_spec_type_flags(self):
+        spec = ColumnSpec(name="Gold", kind="number", low=0, high=10)
+        assert spec.is_numeric and not spec.is_textual
+        key = ColumnSpec(name="Nation", kind="key", pool=("a", "b"))
+        assert key.is_textual and not key.is_numeric

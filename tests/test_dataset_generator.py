@@ -1,0 +1,84 @@
+"""Unit tests for synthetic table generation."""
+
+import pytest
+
+from repro.dataset import DOMAINS, TableGenerator, generate_table, get_domain
+from repro.tables import infer_schema
+
+
+class TestSingleTable:
+    def test_row_bounds_respected(self):
+        domain = get_domain("medal_tally")
+        table = generate_table(domain, seed=1)
+        assert domain.min_rows <= table.num_rows <= domain.max_rows
+
+    def test_explicit_row_count(self):
+        table = generate_table(get_domain("olympics"), seed=2, num_rows=10)
+        assert table.num_rows == 10
+
+    def test_columns_match_domain(self):
+        domain = get_domain("shipwrecks")
+        table = generate_table(domain, seed=3)
+        assert table.columns == domain.column_names
+
+    def test_key_column_values_are_distinct(self):
+        domain = get_domain("football_roster")
+        table = generate_table(domain, seed=4)
+        names = [value.display() for value in table.column_values(domain.key_column)]
+        assert len(names) == len(set(names))
+
+    def test_sequence_column_is_one_to_n(self):
+        domain = get_domain("medal_tally")
+        table = generate_table(domain, seed=5)
+        ranks = [value.as_number() for value in table.column_values("Rank")]
+        assert ranks == list(range(1, table.num_rows + 1))
+
+    def test_category_column_has_repeats_often(self):
+        domain = get_domain("shipwrecks")
+        repeats = 0
+        for seed in range(6):
+            table = generate_table(domain, seed=seed)
+            lakes = [value.display() for value in table.column_values("Lake")]
+            if len(set(lakes)) < len(lakes):
+                repeats += 1
+        assert repeats >= 4
+
+    def test_numeric_columns_inferred_as_numeric(self):
+        domain = get_domain("elections")
+        table = generate_table(domain, seed=7)
+        schema = infer_schema(table)
+        assert schema.column("Votes").is_numeric
+
+    def test_year_columns_are_sorted_and_distinct(self):
+        domain = get_domain("club_seasons")
+        table = generate_table(domain, seed=8)
+        years = [value.as_number() for value in table.column_values("Year")]
+        assert years == sorted(years)
+        assert len(set(years)) == len(years)
+
+    def test_date_column_values_parse_as_dates(self):
+        domain = get_domain("festivals")
+        table = generate_table(domain, seed=9)
+        from repro.tables import DateValue
+
+        assert all(isinstance(value, DateValue) for value in table.column_values("Date"))
+
+    def test_determinism_per_seed(self):
+        domain = get_domain("olympics")
+        first = generate_table(domain, seed=11)
+        second = generate_table(domain, seed=11)
+        assert first.to_dicts() == second.to_dicts()
+
+
+class TestCorpus:
+    def test_corpus_cycles_domains(self):
+        generator = TableGenerator(seed=0)
+        tables = generator.generate_corpus(len(DOMAINS) * 2)
+        assert len(tables) == len(DOMAINS) * 2
+        names = {table.name.split(" #")[0] for table in tables}
+        assert len(names) == len(DOMAINS)
+
+    def test_corpus_tables_have_unique_names(self):
+        generator = TableGenerator(seed=1)
+        tables = generator.generate_corpus(30)
+        assert len({table.name for table in tables}) == len(tables)

@@ -1,0 +1,95 @@
+"""Unit tests for question-template generation (gold queries included)."""
+
+import pytest
+
+from repro.dataset import QuestionGenerator, generate_table, get_domain
+from repro.dcs import execute, validate
+from repro.dcs.errors import DCSError
+
+
+@pytest.fixture
+def medal_domain():
+    return get_domain("medal_tally")
+
+
+@pytest.fixture
+def medal_table(medal_domain):
+    return generate_table(medal_domain, seed=5, num_rows=10)
+
+
+class TestGeneration:
+    def test_generates_requested_count(self, medal_table, medal_domain):
+        generator = QuestionGenerator(seed=1)
+        questions = generator.generate(medal_table, medal_domain, 8)
+        assert len(questions) == 8
+
+    def test_questions_are_distinct(self, medal_table, medal_domain):
+        generator = QuestionGenerator(seed=2)
+        questions = generator.generate(medal_table, medal_domain, 10)
+        texts = [item.question for item in questions]
+        assert len(texts) == len(set(texts))
+
+    def test_gold_queries_validate_against_the_table(self, medal_table, medal_domain):
+        generator = QuestionGenerator(seed=3)
+        for item in generator.generate(medal_table, medal_domain, 10):
+            assert validate(item.query, medal_table).ok, item.question
+
+    def test_gold_queries_execute(self, medal_table, medal_domain):
+        generator = QuestionGenerator(seed=4)
+        for item in generator.generate(medal_table, medal_domain, 10):
+            try:
+                execute(item.query, medal_table)
+            except DCSError as error:  # pragma: no cover - failure reporting
+                pytest.fail(f"{item.question}: {error}")
+
+    def test_template_diversity(self, medal_table, medal_domain):
+        generator = QuestionGenerator(seed=5)
+        questions = generator.generate(medal_table, medal_domain, 12)
+        assert len({item.question for item in questions}) == 12
+        assert len({item.template for item in questions}) >= 6
+
+    def test_questions_end_with_question_mark(self, medal_table, medal_domain):
+        generator = QuestionGenerator(seed=6)
+        for item in generator.generate(medal_table, medal_domain, 8):
+            assert item.question.endswith("?")
+
+    def test_deterministic_for_seed(self, medal_table, medal_domain):
+        first = QuestionGenerator(seed=7).generate(medal_table, medal_domain, 6)
+        second = QuestionGenerator(seed=7).generate(medal_table, medal_domain, 6)
+        assert [item.question for item in first] == [item.question for item in second]
+
+    def test_template_names_exposed(self):
+        generator = QuestionGenerator()
+        assert "difference_values" in generator.template_names
+        assert len(generator.template_names) >= 15
+
+
+class TestParaphraseRate:
+    def test_zero_rate_uses_header_names(self, medal_table, medal_domain):
+        generator = QuestionGenerator(seed=8, paraphrase_rate=0.0)
+        questions = generator.generate(medal_table, medal_domain, 12)
+        text = " ".join(item.question.lower() for item in questions)
+        assert "medal count" not in text
+
+    def test_high_rate_uses_paraphrases_somewhere(self, medal_domain):
+        generator = QuestionGenerator(seed=9, paraphrase_rate=1.0)
+        table = generate_table(medal_domain, seed=10, num_rows=10)
+        questions = generator.generate(table, medal_domain, 16)
+        text = " ".join(item.question.lower() for item in questions)
+        assert any(
+            phrase in text
+            for phrase in ("gold medals", "silver medals", "total medals", "medal count",
+                           "position", "place", "country", "team")
+        )
+
+
+class TestAllDomains:
+    @pytest.mark.parametrize("domain_name", [domain.name for domain in __import__("repro.dataset", fromlist=["DOMAINS"]).DOMAINS])
+    def test_every_domain_supports_question_generation(self, domain_name):
+        domain = get_domain(domain_name)
+        table = generate_table(domain, seed=13)
+        generator = QuestionGenerator(seed=13)
+        questions = generator.generate(table, domain, 5)
+        assert len(questions) >= 3
+        for item in questions:
+            assert validate(item.query, table).ok

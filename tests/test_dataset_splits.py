@@ -1,0 +1,56 @@
+"""Unit tests for table-disjoint and repeated splits."""
+
+import pytest
+
+from repro.dataset import repeated_splits, split_by_tables, split_examples
+
+
+class TestTableSplit:
+    def test_partition_is_complete(self, tiny_dataset):
+        split = split_by_tables(tiny_dataset, test_fraction=0.25, seed=1)
+        assert len(split.train) + len(split.test) == len(tiny_dataset)
+
+    def test_tables_are_disjoint(self, tiny_dataset):
+        split = split_by_tables(tiny_dataset, test_fraction=0.25, seed=1)
+        train_tables = {example.table.name for example in split.train}
+        test_tables = {example.table.name for example in split.test}
+        assert not train_tables & test_tables
+
+    def test_test_fraction_roughly_respected(self, tiny_dataset):
+        split = split_by_tables(tiny_dataset, test_fraction=0.25, seed=1)
+        test_tables = {example.table.name for example in split.test}
+        assert len(test_tables) == 3  # 25% of 12
+
+    def test_invalid_fraction_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            split_by_tables(tiny_dataset, test_fraction=1.5)
+
+    def test_different_seeds_give_different_partitions(self, tiny_dataset):
+        first = split_by_tables(tiny_dataset, test_fraction=0.25, seed=1)
+        second = split_by_tables(tiny_dataset, test_fraction=0.25, seed=2)
+        first_tables = {example.table.name for example in first.test}
+        second_tables = {example.table.name for example in second.test}
+        assert first_tables != second_tables
+
+    def test_sizes_property(self, tiny_dataset):
+        split = split_by_tables(tiny_dataset, test_fraction=0.25, seed=1)
+        assert split.sizes == (len(split.train), len(split.test))
+
+
+class TestExampleSplit:
+    def test_example_split_counts(self, tiny_dataset):
+        first, second = split_examples(tiny_dataset, 10, seed=0)
+        assert len(first) == 10
+        assert len(second) == len(tiny_dataset) - 10
+
+    def test_no_overlap(self, tiny_dataset):
+        first, second = split_examples(tiny_dataset, 10, seed=0)
+        first_ids = {example.example_id for example in first}
+        second_ids = {example.example_id for example in second}
+        assert not first_ids & second_ids
+
+    def test_repeated_splits_differ(self, tiny_dataset):
+        splits = repeated_splits(tiny_dataset, 10, repetitions=3, seed=4)
+        assert len(splits) == 3
+        id_sets = [frozenset(example.example_id for example in first) for first, _ in splits]
+        assert len(set(id_sets)) > 1

@@ -1,0 +1,117 @@
+"""Unit tests for the lambda DCS AST: typing rules, traversal, metadata."""
+
+import pytest
+
+from repro.dcs import (
+    Aggregate,
+    AggregateFunction,
+    AllRecords,
+    ColumnRecords,
+    ColumnValues,
+    Difference,
+    Intersection,
+    QueryTypeError,
+    ResultKind,
+    SuperlativeKind,
+    SuperlativeRecords,
+    Union,
+    ValueLiteral,
+    builder as q,
+)
+
+
+class TestResultKinds:
+    def test_value_literal_is_values(self):
+        assert q.value("Greece").result_kind == ResultKind.VALUES
+
+    def test_all_records_is_records(self):
+        assert AllRecords().result_kind == ResultKind.RECORDS
+
+    def test_column_values_is_values(self):
+        query = q.column_values("Year", q.all_records())
+        assert query.result_kind == ResultKind.VALUES
+
+    def test_aggregate_is_scalar(self):
+        query = q.count(q.all_records())
+        assert query.result_kind == ResultKind.SCALAR
+
+    def test_union_kind_follows_operands(self):
+        values_union = q.union("a", "b")
+        assert values_union.result_kind == ResultKind.VALUES
+        records_union = Union(q.column_records("A", "x"), q.column_records("B", "y"))
+        assert records_union.result_kind == ResultKind.RECORDS
+
+
+class TestTypingRules:
+    def test_column_records_requires_values_operand(self):
+        with pytest.raises(QueryTypeError):
+            ColumnRecords("City", AllRecords())
+
+    def test_column_values_requires_records_operand(self):
+        with pytest.raises(QueryTypeError):
+            ColumnValues("City", ValueLiteral(q.value("x").value))
+
+    def test_intersection_requires_records(self):
+        with pytest.raises(QueryTypeError):
+            Intersection(q.value("a"), q.value("b"))
+
+    def test_union_requires_same_kind(self):
+        with pytest.raises(QueryTypeError):
+            Union(q.value("a"), q.all_records())
+
+    def test_numeric_aggregate_rejects_records(self):
+        with pytest.raises(QueryTypeError):
+            Aggregate(AggregateFunction.MAX, q.all_records())
+
+    def test_count_accepts_records(self):
+        assert q.count(q.all_records()).result_kind == ResultKind.SCALAR
+
+    def test_difference_rejects_records_operand(self):
+        with pytest.raises(QueryTypeError):
+            Difference(q.all_records(), q.value(1))
+
+    def test_superlative_requires_records(self):
+        with pytest.raises(QueryTypeError):
+            SuperlativeRecords(SuperlativeKind.ARGMAX, "Year", q.value("x"))
+
+
+class TestTraversal:
+    def _example(self):
+        return q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+
+    def test_walk_is_preorder(self):
+        names = [type(node).__name__ for node in self._example().walk()]
+        assert names == ["Aggregate", "ColumnValues", "ColumnRecords", "ValueLiteral"]
+
+    def test_subqueries_excludes_self(self):
+        query = self._example()
+        subqueries = query.subqueries()
+        assert len(subqueries) == 3
+        assert query not in subqueries
+
+    def test_size_and_depth(self):
+        query = self._example()
+        assert query.size() == 4
+        assert query.depth() == 4
+
+    def test_columns_in_order_without_duplicates(self):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        assert query.columns() == ("Total", "Nation")
+
+    def test_leaf_has_no_children(self):
+        assert q.value("Greece").children() == ()
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        left = q.column_records("Country", "Greece")
+        right = q.column_records("Country", "Greece")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality_on_column(self):
+        assert q.column_records("Country", "Greece") != q.column_records("City", "Greece")
+
+    def test_queries_usable_in_sets(self):
+        queries = {q.count(q.all_records()), q.count(q.all_records())}
+        assert len(queries) == 1

@@ -1,0 +1,74 @@
+"""Unit tests for the fluent query builder."""
+
+import pytest
+
+from repro.dcs import (
+    AggregateFunction,
+    ComparisonOperator,
+    SuperlativeKind,
+    builder as q,
+)
+from repro.tables.values import NumberValue, StringValue
+
+
+class TestValuePromotion:
+    def test_string_promoted_to_literal(self):
+        literal = q.value("Greece")
+        assert literal.value == StringValue("Greece")
+
+    def test_number_promoted_to_literal(self):
+        literal = q.value(42)
+        assert literal.value == NumberValue(42)
+
+    def test_query_passes_through(self):
+        records = q.all_records()
+        assert q.value(records) is records
+
+    def test_column_records_promotes_target(self):
+        query = q.column_records("Country", "Greece")
+        assert query.value.value == StringValue("Greece")
+
+
+class TestOperatorHelpers:
+    def test_comparison_accepts_string_operator(self):
+        query = q.comparison_records("Games", ">=", 5)
+        assert query.op == ComparisonOperator.GE
+
+    def test_aggregate_accepts_string_function(self):
+        query = q.aggregate("sum", q.column_values("Gold", q.all_records()))
+        assert query.function == AggregateFunction.SUM
+
+    def test_compare_values_accepts_string_kind(self):
+        query = q.compare_values("Year", "City", q.union("a", "b"), kind="argmin")
+        assert query.kind == SuperlativeKind.ARGMIN
+
+    def test_argmax_defaults_to_all_records(self):
+        from repro.dcs import AllRecords
+
+        assert isinstance(q.argmax_records("Year").records, AllRecords)
+
+    def test_most_common_defaults_to_whole_column(self):
+        from repro.dcs import AllRecords, ColumnValues
+
+        query = q.most_common("City")
+        assert isinstance(query.values, ColumnValues)
+        assert isinstance(query.values.records, AllRecords)
+        assert query.values.column == "City"
+
+    def test_value_difference_shape(self):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        assert query.left.column == "Total"
+        assert query.left.records.column == "Nation"
+
+    def test_count_difference_shape(self):
+        query = q.count_difference("Lake", "Lake Huron", "Lake Erie")
+        assert query.left.function == AggregateFunction.COUNT
+        assert query.right.operand.column == "Lake"
+
+    def test_first_and_last_record_kinds(self):
+        assert q.first_record().kind == SuperlativeKind.ARGMIN
+        assert q.last_record().kind == SuperlativeKind.ARGMAX
+
+    def test_value_in_first_and_last_record(self):
+        assert q.value_in_first_record("City").kind == SuperlativeKind.ARGMIN
+        assert q.value_in_last_record("City").kind == SuperlativeKind.ARGMAX

@@ -1,0 +1,293 @@
+"""Unit tests for the lambda DCS executor — one class per operator family."""
+
+import pytest
+
+from repro.dcs import ExecutionError, builder as q, execute
+from repro.dcs.executor import answers_match
+from repro.tables.values import NumberValue, StringValue
+
+
+def answers(query, table):
+    return execute(query, table).answer_strings()
+
+
+class TestLeaves:
+    def test_value_literal(self, olympics_table):
+        assert answers(q.value("Greece"), olympics_table) == ("Greece",)
+
+    def test_all_records(self, olympics_table):
+        result = execute(q.all_records(), olympics_table)
+        assert result.record_indices == frozenset(range(6))
+
+
+class TestColumnRecords:
+    def test_basic_join(self, olympics_table):
+        result = execute(q.column_records("Country", "Greece"), olympics_table)
+        assert result.record_indices == frozenset({0, 2})
+
+    def test_join_tracks_matching_cells(self, olympics_table):
+        result = execute(q.column_records("Country", "Greece"), olympics_table)
+        assert {cell.coordinate for cell in result.cells} == {(0, "Country"), (2, "Country")}
+
+    def test_join_with_number_value(self, olympics_table):
+        result = execute(q.column_records("Year", 2004), olympics_table)
+        assert result.record_indices == frozenset({2})
+
+    def test_join_with_union_of_values(self, olympics_table):
+        query = q.column_records("Country", q.union("Greece", "China"))
+        result = execute(query, olympics_table)
+        assert result.record_indices == frozenset({0, 2, 3})
+
+    def test_join_no_match_is_empty(self, olympics_table):
+        result = execute(q.column_records("Country", "Atlantis"), olympics_table)
+        assert result.is_empty
+
+    def test_unknown_column_raises(self, olympics_table):
+        with pytest.raises(ExecutionError):
+            execute(q.column_records("Continent", "Europe"), olympics_table)
+
+
+class TestComparisonRecords:
+    def test_greater_than(self, roster_table):
+        result = execute(q.comparison_records("Games", ">", 4), roster_table)
+        assert result.record_indices == frozenset({2, 4, 5})
+
+    def test_at_least(self, roster_table):
+        result = execute(q.comparison_records("Games", ">=", 5), roster_table)
+        assert result.record_indices == frozenset({2, 4, 5})
+
+    def test_less_than(self, roster_table):
+        result = execute(q.comparison_records("Games", "<", 2), roster_table)
+        assert result.record_indices == frozenset({7})
+
+    def test_not_equal(self, roster_table):
+        result = execute(q.comparison_records("Position", "!=", "DF"), roster_table)
+        assert result.record_indices == frozenset({0, 4, 5, 6, 7})
+
+    def test_comparison_needs_single_reference(self, roster_table):
+        query = q.comparison_records("Games", ">", q.union(1, 2))
+        with pytest.raises(ExecutionError):
+            execute(query, roster_table)
+
+
+class TestNeighbors:
+    def test_prev_records(self, olympics_table):
+        query = q.prev_records(q.column_records("City", "London"))
+        assert execute(query, olympics_table).record_indices == frozenset({3})
+
+    def test_prev_of_first_row_is_empty(self, olympics_table):
+        query = q.prev_records(q.column_records("Year", 1896))
+        assert execute(query, olympics_table).is_empty
+
+    def test_next_records(self, olympics_table):
+        query = q.next_records(q.column_records("City", "Beijing"))
+        assert execute(query, olympics_table).record_indices == frozenset({4})
+
+    def test_next_of_last_row_is_empty(self, olympics_table):
+        query = q.next_records(q.column_records("Year", 2016))
+        assert execute(query, olympics_table).is_empty
+
+    def test_next_lookup_composition(self, olympics_table):
+        query = q.column_values("City", q.next_records(q.column_records("City", "Athens")))
+        assert answers(query, olympics_table) == ("Paris", "Beijing")
+
+
+class TestIntersectionAndUnion:
+    def test_intersection(self, olympics_table):
+        query = q.intersection(
+            q.column_records("Country", "Greece"), q.column_records("Year", 2004)
+        )
+        assert execute(query, olympics_table).record_indices == frozenset({2})
+
+    def test_intersection_empty(self, olympics_table):
+        query = q.intersection(
+            q.column_records("Country", "Greece"), q.column_records("City", "London")
+        )
+        assert execute(query, olympics_table).is_empty
+
+    def test_union_of_records(self, olympics_table):
+        from repro.dcs import Union
+
+        query = Union(q.column_records("Country", "Greece"), q.column_records("City", "London"))
+        assert execute(query, olympics_table).record_indices == frozenset({0, 2, 4})
+
+    def test_union_of_values_dedupes(self, olympics_table):
+        query = q.union("Athens", "Athens")
+        assert answers(query, olympics_table) == ("Athens",)
+
+
+class TestSuperlatives:
+    def test_argmax_records(self, medals_table):
+        result = execute(q.argmax_records("Total"), medals_table)
+        assert result.record_indices == frozenset({0})
+
+    def test_argmin_records(self, medals_table):
+        result = execute(q.argmin_records("Total"), medals_table)
+        assert result.record_indices == frozenset({7})
+
+    def test_argmax_over_subset(self, medals_table):
+        from repro.dcs import SuperlativeKind, SuperlativeRecords
+
+        base = q.comparison_records("Total", "<", 100)
+        query = SuperlativeRecords(SuperlativeKind.ARGMAX, "Gold", base)
+        result = execute(query, medals_table)
+        assert result.record_indices == frozenset({4})  # Samoa (Gold 22)
+
+    def test_argmax_ties_return_all(self):
+        from repro.tables import Table
+
+        table = Table(columns=["A", "B"], rows=[["x", 3], ["y", 3], ["z", 1]])
+        result = execute(q.argmax_records("B"), table)
+        assert result.record_indices == frozenset({0, 1})
+
+    def test_argmax_over_empty_set_is_empty(self, medals_table):
+        from repro.dcs import SuperlativeKind, SuperlativeRecords
+
+        base = q.column_records("Nation", "Atlantis")
+        query = SuperlativeRecords(SuperlativeKind.ARGMAX, "Gold", base)
+        assert execute(query, medals_table).is_empty
+
+    def test_first_and_last_record(self, olympics_table):
+        assert execute(q.first_record(), olympics_table).record_indices == frozenset({0})
+        assert execute(q.last_record(), olympics_table).record_indices == frozenset({5})
+
+    def test_last_record_of_subset(self, olympics_table):
+        query = q.last_record(q.column_records("Country", "Greece"))
+        assert execute(query, olympics_table).record_indices == frozenset({2})
+
+
+class TestColumnValues:
+    def test_projection(self, olympics_table):
+        query = q.column_values("Year", q.column_records("Country", "Greece"))
+        assert answers(query, olympics_table) == ("1896", "2004")
+
+    def test_projection_over_all_records(self, olympics_table):
+        query = q.column_values("City", q.all_records())
+        assert len(answers(query, olympics_table)) == 6
+
+    def test_value_in_last_record(self, olympics_table):
+        assert answers(q.value_in_last_record("City"), olympics_table) == ("Rio de Janeiro",)
+
+    def test_value_in_first_record_of_subset(self, olympics_table):
+        query = q.value_in_first_record("City", q.column_records("Country", "Greece"))
+        assert answers(query, olympics_table) == ("Athens",)
+
+
+class TestValueSuperlatives:
+    def test_most_common(self, shipwrecks_table):
+        assert answers(q.most_common("Lake"), shipwrecks_table) == ("Lake Huron",)
+
+    def test_least_common(self, shipwrecks_table):
+        result = set(answers(q.least_common("Lake"), shipwrecks_table))
+        assert result == {"Lake Michigan", "Lake Erie"}
+
+    def test_most_common_restricted_to_candidates(self, shipwrecks_table):
+        query = q.most_common("Lake", q.union("Lake Erie", "Lake Superior"))
+        assert answers(query, shipwrecks_table) == ("Lake Superior",)
+
+    def test_compare_values_argmax(self, olympics_table):
+        query = q.compare_values("Year", "City", q.union("London", "Beijing"))
+        assert answers(query, olympics_table) == ("London",)
+
+    def test_compare_values_argmin(self, olympics_table):
+        query = q.compare_values(
+            "Year", "City", q.union("London", "Beijing"), kind="argmin"
+        )
+        assert answers(query, olympics_table) == ("Beijing",)
+
+    def test_compare_values_no_candidates(self, olympics_table):
+        query = q.compare_values("Year", "City", q.union("Nowhere", "Elsewhere"))
+        assert execute(query, olympics_table).is_empty
+
+
+class TestAggregates:
+    def test_count_records(self, olympics_table):
+        assert answers(q.count(q.column_records("City", "Athens")), olympics_table) == ("2",)
+
+    def test_count_values(self, olympics_table):
+        query = q.count(q.column_values("City", q.column_records("Country", "Greece")))
+        assert answers(query, olympics_table) == ("2",)
+
+    def test_max(self, olympics_table):
+        query = q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+        assert answers(query, olympics_table) == ("2004",)
+
+    def test_min(self, medals_table):
+        query = q.min_(q.column_values("Gold", q.all_records()))
+        assert answers(query, medals_table) == ("3",)
+
+    def test_sum(self, medals_table):
+        query = q.sum_(q.column_values("Gold", q.all_records()))
+        assert answers(query, medals_table) == ("298",)
+
+    def test_avg(self, roster_table):
+        query = q.avg(q.column_values("Games", q.all_records()))
+        assert execute(query, roster_table).scalar().as_number() == pytest.approx(3.75)
+
+    def test_max_over_strings_raises_nothing_but_sum_does(self, olympics_table):
+        query = q.sum_(q.column_values("City", q.all_records()))
+        with pytest.raises(ExecutionError):
+            execute(query, olympics_table)
+
+    def test_aggregate_over_empty_raises(self, olympics_table):
+        query = q.max_(q.column_values("Year", q.column_records("Country", "Atlantis")))
+        with pytest.raises(ExecutionError):
+            execute(query, olympics_table)
+
+    def test_count_over_empty_is_zero(self, olympics_table):
+        query = q.count(q.column_records("Country", "Atlantis"))
+        assert answers(query, olympics_table) == ("0",)
+
+
+class TestDifference:
+    def test_difference_of_values(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        assert answers(query, medals_table) == ("110",)
+
+    def test_difference_is_symmetric_in_magnitude(self, medals_table):
+        left = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        right = q.value_difference("Total", "Nation", "Tonga", "Fiji")
+        assert answers(left, medals_table) == answers(right, medals_table)
+
+    def test_difference_of_occurrences(self, shipwrecks_table):
+        query = q.count_difference("Lake", "Lake Huron", "Lake Erie")
+        assert answers(query, shipwrecks_table) == ("3",)
+
+    def test_difference_requires_single_values(self, olympics_table):
+        query = q.difference(
+            q.column_values("Year", q.column_records("Country", "Greece")),
+            q.column_values("Year", q.column_records("Country", "China")),
+        )
+        with pytest.raises(ExecutionError):
+            execute(query, olympics_table)
+
+    def test_difference_requires_numeric_values(self, olympics_table):
+        query = q.difference(
+            q.column_values("City", q.column_records("Year", 2004)),
+            q.column_values("City", q.column_records("Year", 2008)),
+        )
+        with pytest.raises(ExecutionError):
+            execute(query, olympics_table)
+
+
+class TestAnswersMatch:
+    def test_order_insensitive(self):
+        assert answers_match(
+            [StringValue("a"), StringValue("b")], [StringValue("B"), StringValue("a")]
+        )
+
+    def test_cross_type(self):
+        assert answers_match([NumberValue(2004)], [StringValue("2004")])
+
+    def test_distinct_set_semantics(self):
+        assert answers_match(
+            [StringValue("a"), StringValue("a")], [StringValue("a")]
+        )
+
+    def test_mismatch(self):
+        assert not answers_match([StringValue("a")], [StringValue("b")])
+
+    def test_length_mismatch_of_distinct_values(self):
+        assert not answers_match(
+            [StringValue("a"), StringValue("b")], [StringValue("a")]
+        )

@@ -1,0 +1,87 @@
+"""Unit tests for the s-expression serialisation of queries."""
+
+import pytest
+
+from repro.dcs import SexprError, builder as q, from_sexpr, to_sexpr
+
+
+EXAMPLES = [
+    q.value("Greece"),
+    q.all_records(),
+    q.column_records("Country", "Greece"),
+    q.column_records("Country", q.union("Greece", "China")),
+    q.comparison_records("Games", ">", 4),
+    q.prev_records(q.column_records("City", "London")),
+    q.next_records(q.column_records("City", "Athens")),
+    q.intersection(q.column_records("City", "London"), q.column_records("Country", "UK")),
+    q.argmax_records("Year"),
+    q.argmin_records("Total", q.column_records("Nation", "Fiji")),
+    q.first_record(),
+    q.last_record(q.column_records("Country", "Greece")),
+    q.column_values("Year", q.column_records("Country", "Greece")),
+    q.value_in_last_record("Episode"),
+    q.most_common("City"),
+    q.least_common("Lake"),
+    q.compare_values("Year", "City", q.union("London", "Beijing")),
+    q.max_(q.column_values("Year", q.column_records("Country", "Greece"))),
+    q.count(q.column_records("City", "Athens")),
+    q.avg(q.column_values("Games", q.all_records())),
+    q.value_difference("Total", "Nation", "Fiji", "Tonga"),
+    q.count_difference("Lake", "Lake Huron", "Lake Erie"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("query", EXAMPLES, ids=lambda query: type(query).__name__)
+    def test_roundtrip_preserves_structure(self, query):
+        assert from_sexpr(to_sexpr(query)) == query
+
+    def test_roundtrip_is_stable(self):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        once = to_sexpr(query)
+        twice = to_sexpr(from_sexpr(once))
+        assert once == twice
+
+
+class TestFormatting:
+    def test_column_names_are_quoted(self):
+        text = to_sexpr(q.column_values("Lives lost", q.all_records()))
+        assert '"Lives lost"' in text
+
+    def test_string_values_with_quotes_escape(self):
+        query = q.column_records("Name", 'The "Great" One')
+        assert from_sexpr(to_sexpr(query)) == query
+
+    def test_numbers_serialised_without_quotes(self):
+        text = to_sexpr(q.comparison_records("Games", ">", 4))
+        assert " 4)" in text.replace("(value 4)", " 4)")
+
+
+class TestParsingErrors:
+    def test_empty_input(self):
+        with pytest.raises(SexprError):
+            from_sexpr("")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(SexprError):
+            from_sexpr('(value "x"')
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SexprError):
+            from_sexpr('(all-records) extra')
+
+    def test_unknown_operator(self):
+        with pytest.raises(SexprError):
+            from_sexpr('(teleport "x")')
+
+    def test_wrong_arity(self):
+        with pytest.raises(SexprError):
+            from_sexpr('(column-records "City")')
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SexprError):
+            from_sexpr('(aggregate median (column-values "A" (all-records)))')
+
+    def test_unknown_comparison_operator(self):
+        with pytest.raises(SexprError):
+            from_sexpr('(comparison-records "A" ~ (value 3))')

@@ -1,0 +1,62 @@
+"""Unit tests for static query validation against a table."""
+
+import pytest
+
+from repro.dcs import builder as q, validate
+from repro.tables import Table
+
+
+class TestColumnExistence:
+    def test_valid_query_passes(self, olympics_table):
+        query = q.column_values("Year", q.column_records("Country", "Greece"))
+        assert validate(query, olympics_table).ok
+
+    def test_unknown_column_reported(self, olympics_table):
+        query = q.column_values("Continent", q.all_records())
+        report = validate(query, olympics_table)
+        assert not report.ok
+        assert any("Continent" in str(issue) for issue in report.issues)
+
+    def test_unknown_column_in_nested_query(self, olympics_table):
+        query = q.count(q.column_records("Continent", "Europe"))
+        assert not validate(query, olympics_table).ok
+
+
+class TestTypeChecks:
+    def test_sum_over_text_column_flagged(self, olympics_table):
+        query = q.sum_(q.column_values("City", q.all_records()))
+        assert not validate(query, olympics_table).ok
+
+    def test_sum_over_numeric_column_ok(self, medals_table):
+        query = q.sum_(q.column_values("Gold", q.all_records()))
+        assert validate(query, medals_table).ok
+
+    def test_superlative_over_text_column_flagged(self, olympics_table):
+        query = q.argmax_records("City")
+        assert not validate(query, olympics_table).ok
+
+    def test_comparison_over_text_column_flagged(self, olympics_table):
+        query = q.comparison_records("City", ">", 3)
+        assert not validate(query, olympics_table).ok
+
+    def test_compare_values_key_must_be_comparable(self, olympics_table):
+        query = q.compare_values("City", "Country", q.union("Greece", "China"))
+        assert not validate(query, olympics_table).ok
+
+    def test_difference_over_text_column_flagged(self, olympics_table):
+        query = q.value_difference("City", "Country", "Greece", "China")
+        assert not validate(query, olympics_table).ok
+
+    def test_count_difference_on_text_column_ok(self, olympics_table):
+        query = q.count_difference("Country", "Greece", "China")
+        assert validate(query, olympics_table).ok
+
+
+class TestEmptyTable:
+    def test_empty_table_flagged(self):
+        table = Table(columns=["A"], rows=[])
+        report = validate(q.count(q.all_records()), table)
+        assert not report.ok
+
+    def test_report_is_truthy_when_ok(self, olympics_table):
+        assert bool(validate(q.count(q.all_records()), olympics_table))

@@ -1,0 +1,45 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The two heavier examples (interactive deployment and feedback training)
+build corpora and train parsers; they are exercised through the interface
+integration tests instead, so that the unit-test suite stays fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "sql_equivalence.py", "olympics_provenance.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_mentions_answer(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "2004" in output
+    assert "maximum of values in column Year" in output
+    assert "sqlite agrees" in output
+
+
+def test_sql_equivalence_verifies_all_operators(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "sql_equivalence.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.count("equivalent: True") == 13
+    assert "equivalent: False" not in output
+
+
+def test_heavy_examples_exist():
+    for script in ["interactive_deployment.py", "feedback_training.py"]:
+        assert (EXAMPLES_DIR / script).exists()

@@ -1,0 +1,71 @@
+"""Unit tests for combined query explanations (utterance + highlights)."""
+
+import pytest
+
+from repro.core import (
+    LARGE_TABLE_THRESHOLD,
+    ExplanationGenerator,
+    explain,
+    explain_candidates,
+)
+from repro.dcs import builder as q, to_sexpr
+
+
+class TestSingleExplanation:
+    def test_explanation_bundles_everything(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        explanation = explain(query, medals_table)
+        assert explanation.utterance.startswith("difference in values of column Total")
+        assert explanation.answer == ("110",)
+        assert explanation.sexpr == to_sexpr(query)
+        assert explanation.highlighted.summary()["colored"] == 2
+
+    def test_small_table_shows_every_row(self, medals_table):
+        query = q.count(q.column_records("Nation", "Fiji"))
+        explanation = explain(query, medals_table)
+        assert not explanation.uses_sampling
+        assert explanation.display_rows() == list(range(medals_table.num_rows))
+
+    def test_large_table_falls_back_to_sampling(self, large_table):
+        assert large_table.num_rows > LARGE_TABLE_THRESHOLD
+        query = q.max_(
+            q.column_values("Growth Rate", q.column_records("Country", "Madagascar"))
+        )
+        explanation = explain(query, large_table)
+        assert explanation.uses_sampling
+        assert 0 < len(explanation.display_rows()) <= 3
+
+    def test_text_rendering_contains_utterance(self, olympics_table):
+        query = q.column_values("Year", q.column_records("Country", "Greece"))
+        explanation = explain(query, olympics_table)
+        text = explanation.as_text()
+        assert text.startswith("utterance: values in column Year")
+        assert "Athens" in text
+
+    def test_html_rendering_contains_caption(self, olympics_table):
+        query = q.most_common("City")
+        explanation = explain(query, olympics_table)
+        assert "<caption>" in explanation.as_html()
+
+    def test_derivation_matches_utterance(self, olympics_table):
+        query = q.count(q.column_records("City", "Athens"))
+        explanation = explain(query, olympics_table)
+        assert explanation.derivation.text == explanation.utterance
+
+
+class TestCandidateExplanations:
+    def test_explains_every_candidate(self, seasons_table):
+        queries = [
+            q.max_(q.column_values("Year", q.column_records("League", "USL A-League"))),
+            q.min_(q.column_values("Year", q.argmax_records("Attendance"))),
+            q.count(q.column_records("League", "USL A-League")),
+        ]
+        explanations = explain_candidates(queries, seasons_table)
+        assert len(explanations) == 3
+        assert len({explanation.utterance for explanation in explanations}) == 3
+
+    def test_generator_reuse(self, olympics_table):
+        generator = ExplanationGenerator(olympics_table)
+        first = generator.explain(q.most_common("City"))
+        second = generator.explain(q.count(q.all_records()))
+        assert first.table is second.table

@@ -1,0 +1,111 @@
+"""Unit tests for feature extraction."""
+
+import pytest
+
+from repro.dcs import builder as q, execute
+from repro.parser import Lexicon, extract_features
+
+
+def features_for(question, table, query, with_result=True, with_analysis=True):
+    analysis = Lexicon(table).analyze(question) if with_analysis else None
+    result = execute(query, table) if with_result else None
+    return extract_features(question, table, query, analysis=analysis, result=result)
+
+
+class TestOverlapFeatures:
+    def test_matching_query_has_higher_overlap(self, medals_table):
+        question = "What was the total of Fiji?"
+        good = q.column_values("Total", q.column_records("Nation", "Fiji"))
+        bad = q.column_values("Silver", q.column_records("Nation", "Tonga"))
+        good_features = features_for(question, medals_table, good)
+        bad_features = features_for(question, medals_table, bad)
+        assert good_features["overlap:recall"] > bad_features["overlap:recall"]
+
+    def test_overlap_f1_between_zero_and_one(self, medals_table):
+        features = features_for(
+            "total of Fiji", medals_table,
+            q.column_values("Total", q.column_records("Nation", "Fiji")),
+        )
+        assert 0.0 <= features.get("overlap:f1", 0.0) <= 1.0
+
+
+class TestTriggerFeatures:
+    def test_count_trigger_match(self, shipwrecks_table):
+        query = q.count(q.column_records("Lake", "Lake Huron"))
+        features = features_for("How many ships sank in Lake Huron?", shipwrecks_table, query)
+        assert features.get("trigger:count:match") == 1.0
+
+    def test_count_trigger_missing_operator(self, shipwrecks_table):
+        query = q.column_values("Ship", q.column_records("Lake", "Lake Huron"))
+        features = features_for("How many ships sank in Lake Huron?", shipwrecks_table, query)
+        assert features.get("trigger:count:missing_op") == 1.0
+
+    def test_spurious_difference_operator(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        features = features_for("What was the total of Fiji?", medals_table, query)
+        assert features.get("trigger:difference:spurious_op") == 1.0
+
+    def test_max_trigger_match(self, medals_table):
+        query = q.column_values("Nation", q.argmax_records("Gold"))
+        features = features_for("Which nation had the highest gold?", medals_table, query)
+        assert features.get("trigger:max:match") == 1.0
+
+    def test_average_trigger(self, roster_table):
+        query = q.avg(q.column_values("Games", q.all_records()))
+        features = features_for("What is the average games played?", roster_table, query)
+        assert features.get("trigger:avg:match") == 1.0
+
+
+class TestColumnAndEntityFeatures:
+    def test_mentioned_column_fraction(self, medals_table):
+        query = q.column_values("Gold", q.column_records("Nation", "Fiji"))
+        features = features_for("How much gold did Fiji win?", medals_table, query)
+        assert features["columns:mentioned_fraction"] > 0.0
+
+    def test_unused_entity_penalised(self, medals_table):
+        question = "difference between Fiji and Tonga?"
+        partial = q.column_values("Total", q.column_records("Nation", "Fiji"))
+        features = features_for(question, medals_table, partial)
+        assert features["entities:unused"] >= 1.0
+
+    def test_all_entities_used(self, medals_table):
+        question = "difference between Fiji and Tonga?"
+        full = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        features = features_for(question, medals_table, full)
+        assert features["entities:used_fraction"] == 1.0
+
+
+class TestDenotationFeatures:
+    def test_numeric_answer_for_how_many(self, shipwrecks_table):
+        query = q.count(q.column_records("Lake", "Lake Huron"))
+        features = features_for("How many ships sank in Lake Huron?", shipwrecks_table, query)
+        assert features.get("answer:number_match") == 1.0
+
+    def test_text_answer_for_how_many_is_mismatch(self, shipwrecks_table):
+        query = q.column_values("Ship", q.column_records("Lake", "Lake Erie"))
+        features = features_for("How many ships sank?", shipwrecks_table, query)
+        assert features.get("answer:number_mismatch") == 1.0
+
+    def test_singleton_answer_flag(self, medals_table):
+        query = q.column_values("Total", q.column_records("Nation", "Fiji"))
+        features = features_for("total of Fiji", medals_table, query)
+        assert features.get("answer:singleton") == 1.0
+
+    def test_no_result_no_denotation_features(self, medals_table):
+        query = q.column_values("Total", q.column_records("Nation", "Fiji"))
+        features = features_for("total of Fiji", medals_table, query, with_result=False)
+        assert "answer:size" not in features
+
+
+class TestStructureFeatures:
+    def test_size_and_depth_present(self, medals_table):
+        query = q.count(q.column_records("Nation", "Fiji"))
+        features = features_for("how many?", medals_table, query)
+        assert features["structure:size"] == 3.0
+        assert features["structure:depth"] == 3.0
+
+    def test_operator_counts(self, medals_table):
+        query = q.count_difference("Nation", "Fiji", "Tonga")
+        features = features_for("how many more", medals_table, query)
+        assert features["op:Aggregate"] == 2.0
+        assert features["op:Difference"] == 1.0

@@ -1,0 +1,48 @@
+"""Unit tests for the Table 3 grammar-rule inventory."""
+
+import pytest
+
+from repro.core import TABLE3_RULES, format_table3, rules_for_node
+from repro.dcs import ast
+
+
+class TestRuleInventory:
+    def test_fifteen_rules_like_table3(self):
+        assert len(TABLE3_RULES) == 15
+
+    def test_rule_names_are_unique(self):
+        names = [rule.name for rule in TABLE3_RULES]
+        assert len(names) == len(set(names))
+
+    def test_every_rule_has_example_and_template(self):
+        for rule in TABLE3_RULES:
+            assert rule.example
+            assert rule.template
+            assert rule.lhs in {"Values", "Records", "Entity"}
+
+    def test_rules_map_to_ast_node_types(self):
+        node_types = {rule.node_type for rule in TABLE3_RULES}
+        assert ast.ColumnRecords in node_types
+        assert ast.Difference in node_types
+        assert ast.CompareValues in node_types
+
+    def test_rules_for_node(self):
+        difference_rules = rules_for_node(ast.Difference)
+        assert len(difference_rules) == 2
+        assert rules_for_node(ast.PrevRecords)[0].name == "prev-records"
+
+    def test_rules_for_unknown_node_empty(self):
+        assert rules_for_node(ast.NextRecords) == ()
+
+
+class TestFormatting:
+    def test_format_table3_has_header_and_all_rules(self):
+        text = format_table3()
+        lines = text.splitlines()
+        assert lines[0].startswith("Rule")
+        assert len(lines) == 2 + len(TABLE3_RULES)
+
+    def test_format_contains_paper_examples(self):
+        text = format_table3()
+        assert "maximum of values in column Year" in text
+        assert "rows where value in column City is Athens or London." in text

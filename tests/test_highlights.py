@@ -1,0 +1,123 @@
+"""Unit tests for provenance-based highlights (Algorithm 1)."""
+
+import pytest
+
+from repro.core import HighlightLevel, Highlighter, highlight
+from repro.dcs import builder as q
+
+
+class TestFigure1:
+    """max(R[Year].Country.Greece) on the Olympics table."""
+
+    @pytest.fixture
+    def highlighted(self, olympics_table):
+        query = q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+        return highlight(query, olympics_table)
+
+    def test_output_cells_colored(self, highlighted):
+        assert highlighted.level(0, "Year") == HighlightLevel.COLORED
+        assert highlighted.level(2, "Year") == HighlightLevel.COLORED
+
+    def test_execution_cells_framed(self, highlighted):
+        assert highlighted.level(0, "Country") == HighlightLevel.FRAMED
+        assert highlighted.level(2, "Country") == HighlightLevel.FRAMED
+
+    def test_column_cells_lit(self, highlighted):
+        assert highlighted.level(1, "Year") == HighlightLevel.LIT
+        assert highlighted.level(3, "Country") == HighlightLevel.LIT
+
+    def test_unrelated_cells_unhighlighted(self, highlighted):
+        assert highlighted.level(0, "City") == HighlightLevel.NONE
+
+    def test_aggregate_header_marker(self, highlighted):
+        assert highlighted.header_label("Year") == "MAX(Year)"
+        assert highlighted.header_label("City") == "City"
+
+
+class TestFigure6:
+    """sub(R[Total].Nation.Fiji, R[Total].Nation.Tonga) on the medals table."""
+
+    @pytest.fixture
+    def highlighted(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        return highlight(query, medals_table)
+
+    def test_subtracted_values_colored(self, highlighted):
+        assert highlighted.level(3, "Total") == HighlightLevel.COLORED
+        assert highlighted.level(6, "Total") == HighlightLevel.COLORED
+
+    def test_nations_framed(self, highlighted):
+        assert highlighted.level(3, "Nation") == HighlightLevel.FRAMED
+        assert highlighted.level(6, "Nation") == HighlightLevel.FRAMED
+
+    def test_other_rows_of_projected_columns_lit(self, highlighted):
+        assert highlighted.level(0, "Nation") == HighlightLevel.LIT
+        assert highlighted.level(1, "Total") == HighlightLevel.LIT
+
+    def test_unrelated_columns_untouched(self, highlighted):
+        for row in range(8):
+            assert highlighted.level(row, "Gold") == HighlightLevel.NONE
+
+    def test_summary_counts(self, highlighted):
+        counts = highlighted.summary()
+        assert counts["colored"] == 2
+        assert counts["framed"] == 2
+        assert counts["lit"] == 12
+
+
+class TestFigure4:
+    """Comparison: rows where values of column Games are more than 4."""
+
+    def test_comparison_highlights(self, roster_table):
+        query = q.comparison_records("Games", ">", 4)
+        highlighted = highlight(query, roster_table)
+        colored = {cell.coordinate for cell in highlighted.colored_cells}
+        assert colored == {(2, "Games"), (4, "Games"), (5, "Games")}
+        assert highlighted.level(0, "Games") == HighlightLevel.LIT
+
+
+class TestLevelsPrecedence:
+    def test_colored_beats_framed_beats_lit(self, olympics_table):
+        query = q.column_values("Year", q.column_records("City", "Athens"))
+        highlighted = highlight(query, olympics_table)
+        # Output cells are also execution and column cells; colored must win.
+        assert highlighted.level(0, "Year") == HighlightLevel.COLORED
+        # Execution-only cells are framed even though they belong to a lit column.
+        assert highlighted.level(0, "City") == HighlightLevel.FRAMED
+
+    def test_cells_at_level_sorted(self, olympics_table):
+        query = q.column_records("Country", "Greece")
+        highlighted = highlight(query, olympics_table)
+        rows = [cell.row_index for cell in highlighted.colored_cells]
+        assert rows == sorted(rows)
+
+
+class TestOutputFlag:
+    def test_output_false_returns_provenance_without_marks(self, olympics_table):
+        highlighter = Highlighter(olympics_table)
+        highlighted = highlighter.highlight(q.most_common("City"), output=False)
+        assert highlighted.levels == {}
+        assert highlighted.provenance is not None
+
+
+class TestHighlightedRowsAndRestriction:
+    def test_highlighted_rows(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        highlighted = highlight(query, medals_table)
+        assert highlighted.highlighted_rows() == list(range(8))
+
+    def test_restricted_to_rows(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        highlighted = highlight(query, medals_table).restricted_to_rows([3, 6])
+        assert highlighted.level(3, "Total") == HighlightLevel.COLORED
+        assert highlighted.level(0, "Nation") == HighlightLevel.NONE
+
+
+class TestIdenticalHighlightsForDifferentQueries:
+    def test_paper_section52_ambiguity(self, roster_table):
+        """Two different queries can produce identical highlights (Section 5.2)."""
+        more_than_4 = q.comparison_records("Games", ">", 4)
+        at_least_5 = q.comparison_records("Games", ">=", 5)
+        first = highlight(more_than_4, roster_table)
+        second = highlight(at_least_5, roster_table)
+        assert first.levels == second.levels

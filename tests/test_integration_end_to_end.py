@@ -1,0 +1,78 @@
+"""Integration tests: the full pipeline from dataset to retraining.
+
+These tests wire together every subsystem the way the benches do, on a
+deliberately small synthetic corpus so they stay fast.
+"""
+
+import pytest
+
+from repro.interface import InteractiveDeployment, RetrainingPipeline, RetrainingConfig
+from repro.parser import SemanticParser, evaluate_parser, train_parser
+from repro.users import FeedbackConfig, StudyConfig, UserStudy, worker_pool
+
+
+class TestTrainedParserOnHeldOutTables:
+    def test_training_beats_untrained_baseline(self, tiny_split, small_trained_parser):
+        test_examples = tiny_split.test.evaluation_examples()[:20]
+        untrained = evaluate_parser(SemanticParser(), test_examples, k=7)
+        trained = evaluate_parser(small_trained_parser, test_examples, k=7)
+        assert trained.correctness >= untrained.correctness
+        assert trained.mrr >= untrained.mrr
+
+    def test_bound_exceeds_top1_correctness(self, tiny_split, small_trained_parser):
+        test_examples = tiny_split.test.evaluation_examples()[:20]
+        report = evaluate_parser(small_trained_parser, test_examples, k=7)
+        assert report.correctness_bound >= report.correctness
+
+
+class TestInteractivePipeline:
+    def test_user_study_improves_over_parser(self, tiny_split, small_trained_parser):
+        test_examples = tiny_split.test.evaluation_examples()[:16]
+        study = UserStudy(small_trained_parser, StudyConfig(k=7, questions_per_worker=8, seed=13))
+        result = study.run(test_examples, worker_pool(2, seed=13))
+        # The whole point of the paper: explanations let users recover correct
+        # queries the parser did not rank first.
+        assert result.hybrid_correctness >= result.parser_correctness
+
+    def test_oracle_deployment_reaches_bound(self, tiny_split, small_trained_parser):
+        test_examples = tiny_split.test.evaluation_examples()[:10]
+        deployment = InteractiveDeployment(parser=small_trained_parser, k=7)
+        report = deployment.run_with_oracle(test_examples)
+        assert report.user_correctness == report.correctness_bound
+
+
+class TestFeedbackLoop:
+    def test_full_feedback_retraining_cycle(self, tiny_split, small_trained_parser):
+        pipeline = RetrainingPipeline(
+            small_trained_parser,
+            RetrainingConfig(epochs=2, feedback=FeedbackConfig(seed=3)),
+        )
+        train_examples = tiny_split.train.examples[:20]
+        feedback = pipeline.collect_feedback(train_examples)
+        assert feedback.annotated_count > 0
+
+        dev = tiny_split.test.evaluation_examples()[:12]
+        comparison = pipeline.compare(
+            annotated_training=feedback.training_examples,
+            unannotated_training=[],
+            dev_examples=dev,
+        )
+        # Both parsers must produce valid reports; the annotated one should not
+        # be dramatically worse (it usually is better, but the corpus here is tiny).
+        assert comparison.with_annotations.total == len(dev)
+        assert comparison.without_annotations.total == len(dev)
+        assert comparison.with_annotations.correctness >= comparison.without_annotations.correctness - 0.25
+
+
+class TestExplanationsForParsedCandidates:
+    def test_every_topk_candidate_is_explainable(self, tiny_split, small_trained_parser):
+        from repro.interface import NLInterface
+
+        interface = NLInterface(parser=small_trained_parser, k=7)
+        examples = tiny_split.test.evaluation_examples()[:6]
+        for example in examples:
+            response = interface.ask(example.question, example.table)
+            assert response.explained
+            for item in response.explained:
+                assert item.utterance
+                assert item.explanation.highlighted.provenance.chain_is_ordered()

@@ -1,0 +1,89 @@
+"""Unit tests for interactive deployment and the hybrid answer policy."""
+
+import pytest
+
+from repro.dcs import builder as q, execute
+from repro.interface import InteractiveDeployment, NLInterface
+from repro.parser import EvaluationExample, SemanticParser
+from repro.users import worker_pool
+
+
+def make_example(table, question, gold_query):
+    return EvaluationExample(
+        question=question,
+        table=table,
+        gold_query=gold_query,
+        gold_answer=tuple(execute(gold_query, table).answer_values()),
+    )
+
+
+@pytest.fixture
+def examples(medals_table, shipwrecks_table):
+    return [
+        make_example(
+            medals_table,
+            "What was the Total of Fiji?",
+            q.column_values("Total", q.column_records("Nation", "Fiji")),
+        ),
+        make_example(
+            shipwrecks_table,
+            "How many ships sank in Lake Huron?",
+            q.count(q.column_records("Lake", "Lake Huron")),
+        ),
+        make_example(
+            medals_table,
+            "Who had the most gold?",
+            q.column_values("Nation", q.argmax_records("Gold")),
+        ),
+    ]
+
+
+class TestChoicePolicies:
+    def test_always_none_falls_back_to_parser(self, examples):
+        deployment = InteractiveDeployment(parser=SemanticParser(), k=7)
+        outcome = deployment.answer_question(examples[0], choose=lambda shown: None)
+        assert outcome.chosen_rank is None
+        assert outcome.hybrid_correct == outcome.parser_correct
+
+    def test_out_of_range_choice_treated_as_none(self, examples):
+        deployment = InteractiveDeployment(parser=SemanticParser(), k=7)
+        outcome = deployment.answer_question(examples[0], choose=lambda shown: 99)
+        assert outcome.chosen_rank is None
+
+    def test_choice_indexes_display_order(self, examples):
+        deployment = InteractiveDeployment(parser=SemanticParser(), k=7, seed=3)
+        outcome = deployment.answer_question(examples[0], choose=lambda shown: 0)
+        assert outcome.chosen_rank == outcome.display_order[0]
+
+    def test_returned_query_is_users_choice(self, examples):
+        deployment = InteractiveDeployment(parser=SemanticParser(), k=7, seed=3)
+        outcome = deployment.answer_question(examples[0], choose=lambda shown: 2)
+        expected_rank = outcome.display_order[2]
+        assert outcome.returned_query == outcome.response.parse.candidates[expected_rank].query
+
+
+class TestOracleAndWorkers:
+    def test_oracle_matches_bound(self, examples):
+        deployment = InteractiveDeployment(parser=SemanticParser(), k=7)
+        report = deployment.run_with_oracle(examples)
+        assert report.user_correctness == report.correctness_bound
+        assert report.hybrid_correctness >= report.parser_correctness
+
+    def test_worker_report_orderings(self, examples):
+        deployment = InteractiveDeployment(parser=SemanticParser(), k=7)
+        worker = worker_pool(1, seed=11)[0]
+        report = deployment.run_with_worker(examples, worker)
+        assert report.total == len(examples)
+        assert report.user_correctness <= report.correctness_bound + 1e-9
+        assert report.hybrid_correctness <= report.correctness_bound + 1e-9
+
+    def test_summary_keys(self, examples):
+        deployment = InteractiveDeployment(parser=SemanticParser(), k=7)
+        report = deployment.run_with_oracle(examples)
+        assert {"examples", "parser", "users", "hybrid", "bound"} == set(report.summary())
+
+    def test_interface_can_be_shared(self, examples):
+        interface = NLInterface(k=7)
+        deployment = InteractiveDeployment(interface=interface, k=7)
+        report = deployment.run_with_oracle(examples[:1])
+        assert report.total == 1

@@ -1,0 +1,69 @@
+"""Unit tests for the online-learning extension (paper Future Work)."""
+
+import pytest
+
+from repro.interface.online import OnlineLearner, OnlineReport
+from repro.parser import SemanticParser
+from repro.users import JudgmentParameters, SimulatedWorker, worker_pool
+
+
+@pytest.fixture(scope="module")
+def online_inputs():
+    from repro.dataset import DatasetConfig, build_dataset
+
+    dataset = build_dataset(DatasetConfig(num_tables=12, questions_per_table=5, seed=77))
+    return dataset.evaluation_examples()[:30]
+
+
+class TestOnlineLoop:
+    def test_every_question_produces_an_interaction(self, online_inputs):
+        learner = OnlineLearner(SemanticParser(), k=7)
+        worker = worker_pool(1, seed=1)[0]
+        report = learner.run(online_inputs[:10], worker)
+        assert report.total == 10
+        assert 0.0 <= report.hybrid_correctness() <= 1.0
+
+    def test_updates_applied_when_user_picks(self, online_inputs):
+        parser = SemanticParser()
+        learner = OnlineLearner(parser, k=7)
+        worker = worker_pool(1, seed=2)[0]
+        report = learner.run(online_inputs[:12], worker)
+        assert report.updates_applied > 0
+        assert parser.model.updates_applied == report.updates_applied
+        assert parser.model.weights  # something was learned
+
+    def test_learning_disabled_keeps_model_untouched(self, online_inputs):
+        parser = SemanticParser()
+        learner = OnlineLearner(parser, k=7, learn=False)
+        worker = worker_pool(1, seed=3)[0]
+        report = learner.run(online_inputs[:8], worker)
+        assert report.updates_applied == 0
+        assert parser.model.weights == {}
+
+    def test_online_learning_improves_over_the_stream(self, online_inputs):
+        """With a reliable worker, the second half should not be worse than the
+        first half by much (the parser is learning from the corrections)."""
+        parser = SemanticParser()
+        learner = OnlineLearner(parser, k=7)
+        worker = SimulatedWorker(
+            "oracle-ish",
+            judgment=JudgmentParameters(recognise_correct=1.0, reject_incorrect=1.0),
+            seed=4,
+        )
+        report = learner.run(online_inputs, worker)
+        first, second = report.halves()
+        assert second >= first - 0.1
+        assert report.hybrid_correctness() >= report.parser_correctness()
+
+    def test_learning_curve_length(self, online_inputs):
+        learner = OnlineLearner(SemanticParser(), k=7)
+        worker = worker_pool(1, seed=5)[0]
+        report = learner.run(online_inputs[:15], worker)
+        curve = report.learning_curve(window=5)
+        assert len(curve) == 11
+        assert all(0.0 <= value <= 1.0 for value in curve)
+
+    def test_empty_report(self):
+        report = OnlineReport()
+        assert report.parser_correctness() == 0.0
+        assert report.halves() == (0.0, 0.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the terminal interface session."""
+
+import pytest
+
+from repro.interface import InterfaceSession, NLInterface
+
+
+class TestSession:
+    def test_ask_records_turn(self, medals_table):
+        session = InterfaceSession(k=5)
+        turn = session.ask("What was the Total of Fiji?", medals_table)
+        assert len(session.turns) == 1
+        assert turn.answer
+
+    def test_default_choice_is_parser_top(self, medals_table):
+        session = InterfaceSession(k=5)
+        turn = session.ask("What was the Total of Fiji?", medals_table)
+        assert turn.chosen is None
+        assert turn.executed_query == turn.response.top.candidate.query
+
+    def test_explicit_choice(self, medals_table):
+        session = InterfaceSession(k=5)
+        turn = session.ask(
+            "What was the Total of Fiji?", medals_table, choose=lambda response: 1
+        )
+        assert turn.chosen_index == 1
+        assert turn.executed_query == turn.response.explained[1].candidate.query
+
+    def test_out_of_range_choice_falls_back(self, medals_table):
+        session = InterfaceSession(k=3)
+        turn = session.ask(
+            "What was the Total of Fiji?", medals_table, choose=lambda response: 42
+        )
+        assert turn.chosen is None
+        assert turn.answer == turn.response.top.answer
+
+    def test_feedback_examples_from_choices(self, medals_table, olympics_table):
+        session = InterfaceSession(k=5)
+        session.ask("What was the Total of Fiji?", medals_table, choose=lambda response: 0)
+        session.ask("When did Greece host?", olympics_table)  # no choice -> no feedback
+        feedback = session.feedback_examples()
+        assert len(feedback) == 1
+        assert feedback[0].annotated_queries
+
+    def test_shared_interface(self, medals_table):
+        interface = NLInterface(k=4)
+        session = InterfaceSession(interface=interface, k=4)
+        session.ask("total of Fiji", medals_table)
+        assert session.interface is interface

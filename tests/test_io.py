@@ -1,0 +1,66 @@
+"""Unit tests for table IO (CSV/TSV/JSON)."""
+
+import io
+
+import pytest
+
+from repro.tables import (
+    Table,
+    TableError,
+    load_tables,
+    save_tables,
+    table_from_csv,
+    table_from_json,
+    table_from_tsv,
+    table_to_csv,
+    table_to_json,
+)
+
+
+class TestCSV:
+    def test_roundtrip_through_string_buffer(self, medals_table):
+        buffer = io.StringIO()
+        table_to_csv(medals_table, buffer)
+        buffer.seek(0)
+        loaded = table_from_csv(buffer)
+        assert loaded.columns == medals_table.columns
+        assert loaded.num_rows == medals_table.num_rows
+        assert loaded.cell(3, "Nation").display() == "Fiji"
+
+    def test_roundtrip_through_file(self, tmp_path, olympics_table):
+        path = tmp_path / "olympics.csv"
+        table_to_csv(olympics_table, path)
+        loaded = table_from_csv(path)
+        assert loaded.name == "olympics"
+        assert loaded.cell(0, "City").display() == "Athens"
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(TableError):
+            table_from_csv(io.StringIO(""))
+
+    def test_tsv(self, tmp_path, olympics_table):
+        path = tmp_path / "olympics.tsv"
+        table_to_csv(olympics_table, path, delimiter="\t")
+        loaded = table_from_tsv(path)
+        assert loaded.num_rows == 6
+
+
+class TestJSON:
+    def test_roundtrip(self, medals_table):
+        text = table_to_json(medals_table)
+        loaded = table_from_json(text)
+        assert loaded.name == medals_table.name
+        assert loaded.columns == medals_table.columns
+        assert loaded.cell(6, "Total").display() == "20"
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(TableError):
+            table_from_json('{"columns": ["A"]}')
+
+
+class TestDirectories:
+    def test_save_and_load_many(self, tmp_path, olympics_table, medals_table):
+        paths = save_tables([olympics_table, medals_table], tmp_path / "tables")
+        assert len(paths) == 2
+        loaded = load_tables(tmp_path / "tables")
+        assert [table.name for table in loaded] == ["olympics", "medals"]

@@ -1,0 +1,60 @@
+"""Unit tests for the knowledge-base view of a table."""
+
+import pytest
+
+from repro.tables import KnowledgeBase, NumberValue, StringValue
+
+
+@pytest.fixture
+def kb(olympics_table):
+    return KnowledgeBase(olympics_table)
+
+
+class TestTriples:
+    def test_triple_count_is_rows_times_columns(self, kb, olympics_table):
+        assert len(kb.triples) == olympics_table.num_rows * olympics_table.num_columns
+
+    def test_properties_are_column_headers(self, kb):
+        assert kb.properties == ["Year", "Country", "City"]
+
+    def test_entities_contain_cities_and_years(self, kb):
+        entities = kb.entities()
+        assert StringValue("Athens") in entities
+        assert NumberValue(2004) in entities
+
+    def test_column_entities(self, kb):
+        cities = kb.column_entities("City")
+        assert StringValue("Paris") in cities
+        assert StringValue("Greece") not in cities
+
+
+class TestJoins:
+    def test_records_with_value(self, kb):
+        assert kb.records_with_value("Country", StringValue("Greece")) == frozenset({0, 2})
+
+    def test_records_with_value_cross_type(self, kb):
+        assert kb.records_with_value("Year", StringValue("2004")) == frozenset({2})
+
+    def test_records_with_missing_value(self, kb):
+        assert kb.records_with_value("Country", StringValue("Atlantis")) == frozenset()
+
+    def test_values_of_records_ordered_by_index(self, kb):
+        values = kb.values_of_records("City", {2, 0})
+        assert [value.display() for value in values] == ["Athens", "Athens"]
+
+
+class TestSearch:
+    def test_find_entity_exact(self, kb):
+        matches = kb.find_entity("athens")
+        assert ("City", StringValue("Athens")) in matches
+
+    def test_find_entity_no_match(self, kb):
+        assert kb.find_entity("Atlantis") == []
+
+    def test_find_entity_matches_each_column_once(self, kb):
+        matches = kb.find_entity("Greece")
+        assert len(matches) == 1
+
+    def test_find_columns(self, kb):
+        assert kb.find_columns("city") == ["City"]
+        assert kb.find_columns("continent") == []

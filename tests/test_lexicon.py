@@ -1,0 +1,78 @@
+"""Unit tests for the question lexicon (entity/column/number linking)."""
+
+import pytest
+
+from repro.parser import Lexicon, content_tokens, tokenize
+from repro.tables.values import NumberValue, StringValue
+
+
+class TestTokenisation:
+    def test_tokenize_lowercases(self):
+        assert tokenize("What was the Total of Fiji?") == [
+            "what", "was", "the", "total", "of", "fiji", "?",
+        ]
+
+    def test_tokenize_keeps_numbers(self):
+        assert "150" in tokenize("the $150 category")
+
+    def test_content_tokens_drop_stop_words(self):
+        tokens = content_tokens("What was the total of Fiji?")
+        assert "fiji" in tokens
+        assert "the" not in tokens
+        assert "?" not in tokens
+
+
+class TestEntityMatching:
+    def test_single_token_entity(self, medals_table):
+        analysis = Lexicon(medals_table).analyze("What was the total of Fiji?")
+        assert ("Nation", StringValue("Fiji")) in analysis.matched_entities()
+
+    def test_multi_token_entity(self, medals_table):
+        analysis = Lexicon(medals_table).analyze("How many golds did New Caledonia win?")
+        assert ("Nation", StringValue("New Caledonia")) in analysis.matched_entities()
+
+    def test_longest_span_wins(self, shipwrecks_table):
+        analysis = Lexicon(shipwrecks_table).analyze("ships wrecked in Lake Huron")
+        matched = analysis.matched_entities()
+        assert ("Lake", StringValue("Lake Huron")) in matched
+
+    def test_two_entities_matched(self, medals_table):
+        analysis = Lexicon(medals_table).analyze("difference between Fiji and Tonga")
+        nations = {value.display() for column, value in analysis.matched_entities()}
+        assert {"Fiji", "Tonga"} <= nations
+
+    def test_no_entity_match(self, medals_table):
+        analysis = Lexicon(medals_table).analyze("Who won the race?")
+        assert analysis.matched_entities() == []
+
+    def test_case_insensitive(self, olympics_table):
+        analysis = Lexicon(olympics_table).analyze("when did greece host?")
+        assert ("Country", StringValue("Greece")) in analysis.matched_entities()
+
+
+class TestColumnMatching:
+    def test_exact_header_match(self, medals_table):
+        analysis = Lexicon(medals_table).analyze("Who won the most gold?")
+        assert "Gold" in analysis.matched_columns()
+
+    def test_multi_word_header_partial_match(self, shipwrecks_table):
+        analysis = Lexicon(shipwrecks_table).analyze("How many lives were lost?")
+        assert "Lives lost" in analysis.matched_columns()
+
+    def test_unrelated_headers_not_matched(self, medals_table):
+        analysis = Lexicon(medals_table).analyze("Who had the most gold?")
+        assert "Silver" not in analysis.matched_columns()
+
+
+class TestNumberMatching:
+    def test_number_extracted(self, roster_table):
+        analysis = Lexicon(roster_table).analyze("players with more than 4 games")
+        assert any(match.value == NumberValue(4) for match in analysis.numbers)
+
+    def test_year_extracted(self, olympics_table):
+        analysis = Lexicon(olympics_table).analyze("what happened in 2004?")
+        assert any(match.value == NumberValue(2004) for match in analysis.numbers)
+
+    def test_no_numbers(self, olympics_table):
+        analysis = Lexicon(olympics_table).analyze("which city hosted first?")
+        assert analysis.numbers == ()

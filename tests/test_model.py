@@ -1,0 +1,114 @@
+"""Unit tests for the log-linear model and AdaGrad/L1 optimiser."""
+
+import math
+
+import pytest
+
+from repro.parser import AdaGradSettings, LogLinearModel, dot, log_softmax, softmax
+
+
+class TestScoringPrimitives:
+    def test_dot_product(self):
+        assert dot({"a": 2.0, "b": -1.0}, {"a": 3.0, "b": 1.0, "c": 5.0}) == pytest.approx(5.0)
+
+    def test_softmax_sums_to_one(self):
+        probabilities = softmax([1.0, 2.0, 3.0])
+        assert sum(probabilities) == pytest.approx(1.0)
+        assert probabilities[2] > probabilities[0]
+
+    def test_softmax_is_stable_for_large_scores(self):
+        probabilities = softmax([1000.0, 1001.0])
+        assert probabilities[1] > probabilities[0]
+        assert not any(math.isnan(p) for p in probabilities)
+
+    def test_log_softmax_of_empty_list(self):
+        assert log_softmax([]) == []
+
+    def test_uniform_scores_give_uniform_probabilities(self):
+        probabilities = softmax([0.0, 0.0, 0.0, 0.0])
+        assert all(p == pytest.approx(0.25) for p in probabilities)
+
+
+class TestModelScoring:
+    def test_untrained_model_scores_zero(self):
+        model = LogLinearModel()
+        assert model.score({"x": 1.0}) == 0.0
+
+    def test_rank_is_stable_for_ties(self):
+        model = LogLinearModel()
+        order = model.rank([{"a": 1.0}, {"b": 1.0}, {"c": 1.0}])
+        assert order == [0, 1, 2]
+
+    def test_rank_prefers_higher_score(self):
+        model = LogLinearModel()
+        model.weights = {"good": 1.0}
+        order = model.rank([{"bad": 1.0}, {"good": 1.0}])
+        assert order == [1, 0]
+
+
+class TestLearning:
+    def test_update_moves_probability_towards_correct(self):
+        model = LogLinearModel()
+        candidates = [{"right": 1.0}, {"wrong": 1.0}]
+        before = model.probabilities(candidates)[0]
+        for _ in range(25):
+            model.update(candidates, correct_indices=[0])
+        after = model.probabilities(candidates)[0]
+        assert after > before
+        assert after > 0.8
+
+    def test_gradient_zero_when_only_candidate_is_correct(self):
+        model = LogLinearModel()
+        gradient = model.gradient([{"a": 1.0}], correct_indices=[0])
+        assert all(abs(value) < 1e-12 for value in gradient.values())
+
+    def test_gradient_empty_without_correct_candidates(self):
+        model = LogLinearModel()
+        assert model.gradient([{"a": 1.0}], correct_indices=[]) == {}
+
+    def test_l1_prunes_tiny_weights(self):
+        model = LogLinearModel(AdaGradSettings(learning_rate=0.1, l1_penalty=10.0))
+        model.update([{"a": 1.0}, {"b": 1.0}], correct_indices=[0])
+        assert model.weights.get("a", 0.0) == 0.0
+
+    def test_example_log_likelihood_increases_with_training(self):
+        model = LogLinearModel()
+        candidates = [{"right": 1.0, "shared": 1.0}, {"wrong": 1.0, "shared": 1.0}]
+        before = model.example_log_likelihood(candidates, [0])
+        for _ in range(10):
+            model.update(candidates, [0])
+        after = model.example_log_likelihood(candidates, [0])
+        assert after > before
+
+    def test_log_likelihood_without_correct_is_minus_inf(self):
+        model = LogLinearModel()
+        assert model.example_log_likelihood([{"a": 1.0}], []) == float("-inf")
+
+    def test_updates_counter(self):
+        model = LogLinearModel()
+        model.update([{"a": 1.0}, {"b": 1.0}], [0])
+        assert model.updates_applied == 1
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        model = LogLinearModel()
+        model.update([{"a": 1.0}, {"b": 1.0}], [0])
+        restored = LogLinearModel.from_json(model.to_json())
+        assert restored.weights == model.weights
+        assert restored.updates_applied == model.updates_applied
+
+    def test_save_and_load_file(self, tmp_path):
+        model = LogLinearModel()
+        model.update([{"a": 1.0}, {"b": 1.0}], [0])
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = LogLinearModel.load(path)
+        assert loaded.score({"a": 1.0}) == pytest.approx(model.score({"a": 1.0}))
+
+    def test_copy_is_independent(self):
+        model = LogLinearModel()
+        model.update([{"a": 1.0}, {"b": 1.0}], [0])
+        clone = model.copy()
+        clone.update([{"a": 1.0}, {"b": 1.0}], [1])
+        assert clone.weights != model.weights

@@ -1,0 +1,113 @@
+"""Unit tests for floating-grammar candidate generation."""
+
+import pytest
+
+from repro.dcs import ast, to_sexpr
+from repro.parser import CandidateGrammar, GenerationConfig, Lexicon
+
+
+def generate(table, question, config=None):
+    grammar = CandidateGrammar(table, config)
+    analysis = Lexicon(table).analyze(question)
+    return grammar.generate(analysis), analysis
+
+
+class TestCandidateSpace:
+    def test_candidates_are_deduplicated(self, medals_table):
+        candidates, _ = generate(medals_table, "total of Fiji")
+        sexprs = [to_sexpr(candidate) for candidate in candidates]
+        assert len(sexprs) == len(set(sexprs))
+
+    def test_candidate_cap_respected(self, medals_table):
+        config = GenerationConfig(max_candidates=25)
+        candidates, _ = generate(medals_table, "difference between Fiji and Tonga", config)
+        assert len(candidates) <= 25
+
+    def test_lookup_candidate_present(self, medals_table):
+        candidates, _ = generate(medals_table, "What was the Total of Fiji?")
+        from repro.dcs import builder as q
+
+        gold = q.column_values("Total", q.column_records("Nation", "Fiji"))
+        assert to_sexpr(gold) in {to_sexpr(candidate) for candidate in candidates}
+
+    def test_difference_candidate_present(self, medals_table):
+        candidates, _ = generate(medals_table, "difference in Total between Fiji and Tonga")
+        from repro.dcs import builder as q
+
+        gold = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        sexprs = {to_sexpr(candidate) for candidate in candidates}
+        # Either operand order counts as generating the difference candidate.
+        alternative = q.value_difference("Total", "Nation", "Tonga", "Fiji")
+        assert to_sexpr(gold) in sexprs or to_sexpr(alternative) in sexprs
+
+    def test_superlative_candidates_for_comparable_columns(self, medals_table):
+        candidates, _ = generate(medals_table, "who had the most gold medals?")
+        assert any(isinstance(candidate, ast.ColumnValues)
+                   and isinstance(candidate.records, ast.SuperlativeRecords)
+                   for candidate in candidates)
+
+    def test_comparison_candidates_use_question_numbers(self, roster_table):
+        candidates, _ = generate(roster_table, "How many players had more than 4 games?")
+        comparisons = [
+            node
+            for candidate in candidates
+            for node in candidate.walk()
+            if isinstance(node, ast.ComparisonRecords)
+        ]
+        assert comparisons
+        assert any(node.value.value.as_number() == 4 for node in comparisons)
+
+    def test_no_entities_still_generates_floating_candidates(self, medals_table):
+        candidates, analysis = generate(medals_table, "which nation appears the most?")
+        assert analysis.matched_entities() == []
+        assert candidates  # most-common / superlative floating rules still fire
+
+    def test_neighbor_candidates(self, olympics_table):
+        candidates, _ = generate(olympics_table, "which city came right after Athens?")
+        assert any(
+            isinstance(node, (ast.NextRecords, ast.PrevRecords))
+            for candidate in candidates
+            for node in candidate.walk()
+        )
+
+    def test_intersection_skips_same_column_pairs(self, olympics_table):
+        candidates, _ = generate(olympics_table, "games in Greece or China")
+        for candidate in candidates:
+            for node in candidate.walk():
+                if isinstance(node, ast.Intersection):
+                    left_columns = {
+                        sub.column
+                        for sub in node.left.walk()
+                        if isinstance(sub, (ast.ColumnRecords, ast.ComparisonRecords))
+                    }
+                    right_columns = {
+                        sub.column
+                        for sub in node.right.walk()
+                        if isinstance(sub, (ast.ColumnRecords, ast.ComparisonRecords))
+                    }
+                    assert not left_columns & right_columns
+
+
+class TestConfigurationToggles:
+    def test_disable_difference(self, medals_table):
+        config = GenerationConfig(enable_difference=False)
+        candidates, _ = generate(medals_table, "difference between Fiji and Tonga", config)
+        assert not any(isinstance(candidate, ast.Difference) for candidate in candidates)
+
+    def test_disable_superlatives(self, medals_table):
+        config = GenerationConfig(enable_superlatives=False)
+        candidates, _ = generate(medals_table, "who had the most gold?", config)
+        assert not any(
+            isinstance(node, ast.SuperlativeRecords)
+            for candidate in candidates
+            for node in candidate.walk()
+        )
+
+    def test_disable_neighbors(self, olympics_table):
+        config = GenerationConfig(enable_neighbors=False)
+        candidates, _ = generate(olympics_table, "city right after Athens", config)
+        assert not any(
+            isinstance(node, (ast.NextRecords, ast.PrevRecords))
+            for candidate in candidates
+            for node in candidate.walk()
+        )

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+Strategies generate random small tables and random lambda DCS queries over
+them; the properties checked are the ones the paper's machinery relies on:
+
+* value parsing never crashes and cross-type equality is symmetric,
+* query s-expressions round-trip,
+* the executor agrees with the SQL translation on sqlite,
+* the provenance chain is always ordered (``PO ⊆ PE ⊆ PC``),
+* highlight levels only cover cells of columns used by the query,
+* utterances exist and mention every column of the query.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import HighlightLevel, compute_provenance, highlight, utterance
+from repro.dcs import builder as q, execute, from_sexpr, to_sexpr
+from repro.dcs.errors import DCSError
+from repro.sql import check_equivalence
+from repro.tables import Table, parse_value, values_equal
+from repro.tables.values import NumberValue, StringValue
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+NAMES = ["Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Eta", "Theta"]
+CATEGORIES = ["Red", "Blue", "Green"]
+
+
+@st.composite
+def tables(draw):
+    """Small tables with a key column, a category column and two numeric columns."""
+    num_rows = draw(st.integers(min_value=3, max_value=8))
+    names = draw(
+        st.lists(st.sampled_from(NAMES), min_size=num_rows, max_size=num_rows, unique=True)
+    )
+    categories = draw(
+        st.lists(st.sampled_from(CATEGORIES), min_size=num_rows, max_size=num_rows)
+    )
+    scores = draw(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=num_rows, max_size=num_rows)
+    )
+    totals = draw(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=num_rows, max_size=num_rows)
+    )
+    rows = list(zip(names, categories, scores, totals))
+    return Table(columns=["Name", "Category", "Score", "Total"], rows=rows, name="prop")
+
+
+@st.composite
+def queries(draw, table):
+    """Random queries drawn from the operator inventory, grounded in ``table``."""
+    name = draw(st.sampled_from([value.display() for value in table.column_values("Name")]))
+    category = draw(
+        st.sampled_from([value.display() for value in table.column_values("Category")])
+    )
+    threshold = draw(st.integers(min_value=0, max_value=50))
+    numeric_column = draw(st.sampled_from(["Score", "Total"]))
+    choice = draw(st.integers(min_value=0, max_value=9))
+    if choice == 0:
+        return q.column_values(numeric_column, q.column_records("Name", name))
+    if choice == 1:
+        return q.count(q.column_records("Category", category))
+    if choice == 2:
+        return q.column_values("Name", q.argmax_records(numeric_column))
+    if choice == 3:
+        return q.max_(q.column_values(numeric_column, q.all_records()))
+    if choice == 4:
+        return q.count(q.comparison_records(numeric_column, ">", threshold))
+    if choice == 5:
+        return q.most_common("Category")
+    if choice == 6:
+        return q.value_in_last_record("Name")
+    if choice == 7:
+        return q.column_values(
+            "Name", q.next_records(q.column_records("Name", name))
+        )
+    if choice == 8:
+        other = draw(
+            st.sampled_from([value.display() for value in table.column_values("Name")])
+        )
+        return q.count_difference("Name", name, other)
+    return q.column_values(
+        "Name",
+        q.intersection(
+            q.column_records("Category", category),
+            q.comparison_records(numeric_column, ">=", threshold),
+        ),
+    )
+
+
+table_and_query = tables().flatmap(
+    lambda table: st.tuples(st.just(table), queries(table))
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# ---------------------------------------------------------------------------
+# value properties
+# ---------------------------------------------------------------------------
+
+
+class TestValueProperties:
+    @given(st.text(alphabet=string.printable, max_size=30))
+    @SETTINGS
+    def test_parse_value_never_crashes(self, text):
+        value = parse_value(text)
+        assert value.display() is not None
+
+    @given(
+        st.one_of(
+            st.integers(min_value=-10**6, max_value=10**6),
+            st.text(alphabet=string.ascii_letters + string.digits + " ,.$%", max_size=20),
+        ),
+        st.one_of(
+            st.integers(min_value=-10**6, max_value=10**6),
+            st.text(alphabet=string.ascii_letters + string.digits + " ,.$%", max_size=20),
+        ),
+    )
+    @SETTINGS
+    def test_values_equal_is_symmetric(self, left_raw, right_raw):
+        left, right = parse_value(left_raw), parse_value(right_raw)
+        assert values_equal(left, right) == values_equal(right, left)
+
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    @SETTINGS
+    def test_number_display_roundtrip(self, number):
+        value = NumberValue(number)
+        assert values_equal(parse_value(value.display()), value)
+
+    @given(st.text(alphabet=string.ascii_letters + " ", min_size=1, max_size=20))
+    @SETTINGS
+    def test_string_normalisation_idempotent(self, text):
+        value = StringValue(text)
+        assert StringValue(value.normalized).normalized == value.normalized
+
+
+# ---------------------------------------------------------------------------
+# query properties
+# ---------------------------------------------------------------------------
+
+
+class TestQueryProperties:
+    @given(table_and_query)
+    @SETTINGS
+    def test_sexpr_roundtrip(self, pair):
+        _table, query = pair
+        assert from_sexpr(to_sexpr(query)) == query
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_execution_is_deterministic(self, pair):
+        table, query = pair
+        try:
+            first = execute(query, table).answer_strings()
+            second = execute(query, table).answer_strings()
+        except DCSError:
+            return
+        assert first == second
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_sql_translation_agrees_with_executor(self, pair):
+        table, query = pair
+        try:
+            report = check_equivalence(query, table)
+        except DCSError:
+            return
+        assert report.equivalent, report.detail
+
+
+# ---------------------------------------------------------------------------
+# provenance / explanation properties
+# ---------------------------------------------------------------------------
+
+
+class TestProvenanceProperties:
+    @given(table_and_query)
+    @SETTINGS
+    def test_chain_is_always_ordered(self, pair):
+        table, query = pair
+        try:
+            provenance = compute_provenance(query, table)
+        except DCSError:
+            return
+        assert provenance.chain_is_ordered()
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_highlights_stay_inside_query_columns(self, pair):
+        table, query = pair
+        try:
+            highlighted = highlight(query, table)
+        except DCSError:
+            return
+        allowed = set(query.columns())
+        for (row, column), level in highlighted.levels.items():
+            if level != HighlightLevel.NONE:
+                assert column in allowed
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_output_cells_are_subset_of_colored_or_framed(self, pair):
+        table, query = pair
+        try:
+            highlighted = highlight(query, table)
+        except DCSError:
+            return
+        for cell in highlighted.provenance.output.cells:
+            assert highlighted.level(cell.row_index, cell.column) == HighlightLevel.COLORED
+
+
+class TestUtteranceProperties:
+    @given(table_and_query)
+    @SETTINGS
+    def test_every_query_has_an_utterance(self, pair):
+        _table, query = pair
+        text = utterance(query)
+        assert isinstance(text, str) and len(text) > 0
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_utterance_mentions_every_column(self, pair):
+        _table, query = pair
+        text = utterance(query)
+        for column in query.columns():
+            assert column in text

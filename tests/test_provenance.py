@@ -1,0 +1,142 @@
+"""Unit tests for the multilevel cell-based provenance model (Section 4)."""
+
+import pytest
+
+from repro.core import AggregateMarker, ProvenanceEngine, compute_provenance
+from repro.dcs import SuperlativeKind, SuperlativeRecords, builder as q
+
+
+def coordinates(level):
+    return {cell.coordinate for cell in level.cells}
+
+
+class TestExample43:
+    """The paper's Example 4.3: R[Year].City.Athens."""
+
+    def test_output_provenance(self, olympics_table):
+        query = q.column_values("Year", q.column_records("City", "Athens"))
+        provenance = compute_provenance(query, olympics_table)
+        assert coordinates(provenance.output) == {(0, "Year"), (2, "Year")}
+
+    def test_execution_provenance_adds_subquery_cells(self, olympics_table):
+        query = q.column_values("Year", q.column_records("City", "Athens"))
+        provenance = compute_provenance(query, olympics_table)
+        assert coordinates(provenance.execution) == {
+            (0, "Year"), (2, "Year"), (0, "City"), (2, "City"),
+        }
+
+    def test_column_provenance_covers_both_columns(self, olympics_table):
+        query = q.column_values("Year", q.column_records("City", "Athens"))
+        provenance = compute_provenance(query, olympics_table)
+        expected = {(i, "Year") for i in range(6)} | {(i, "City") for i in range(6)}
+        assert coordinates(provenance.columns) == expected
+
+
+class TestChainInvariant:
+    QUERIES = [
+        lambda: q.column_records("Country", "Greece"),
+        lambda: q.column_values("Year", q.column_records("Country", "Greece")),
+        lambda: q.max_(q.column_values("Year", q.column_records("Country", "Greece"))),
+        lambda: q.count(q.column_records("City", "Athens")),
+        lambda: q.compare_values("Year", "City", q.union("London", "Beijing")),
+        lambda: q.most_common("City"),
+        lambda: q.value_in_last_record("City"),
+        lambda: q.intersection(
+            q.column_records("Country", "UK"), q.column_records("Year", 2012)
+        ),
+        lambda: q.column_values("City", q.prev_records(q.column_records("City", "London"))),
+        lambda: q.argmax_records("Year"),
+    ]
+
+    @pytest.mark.parametrize("make_query", QUERIES)
+    def test_po_subset_pe_subset_pc(self, olympics_table, make_query):
+        provenance = compute_provenance(make_query(), olympics_table)
+        assert provenance.chain_is_ordered()
+
+    def test_chain_property_exposes_three_levels(self, olympics_table):
+        provenance = compute_provenance(q.most_common("City"), olympics_table)
+        assert len(provenance.chain) == 3
+
+
+class TestAggregationProvenance:
+    def test_aggregate_adds_marker(self, olympics_table):
+        query = q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+        provenance = compute_provenance(query, olympics_table)
+        assert AggregateMarker("max", "Year") in provenance.output.aggregates
+
+    def test_count_marker_attached_to_selection_column(self, olympics_table):
+        query = q.count(q.column_records("City", "Athens"))
+        provenance = compute_provenance(query, olympics_table)
+        assert AggregateMarker("count", "City") in provenance.output.aggregates
+
+    def test_marker_display(self):
+        assert AggregateMarker("max", "Year").display() == "MAX(Year)"
+        assert AggregateMarker("sub").display() == "SUB"
+
+    def test_aggregate_output_cells_are_operand_output_cells(self, olympics_table):
+        inner = q.column_values("Year", q.column_records("Country", "Greece"))
+        outer = q.max_(inner)
+        engine = ProvenanceEngine(olympics_table)
+        assert coordinates(engine.output_provenance(outer)) == coordinates(
+            engine.output_provenance(inner)
+        )
+
+
+class TestDifferenceProvenance:
+    """The paper's Example 5.2 / Figure 6."""
+
+    def test_output_cells_are_the_two_subtracted_values(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        provenance = compute_provenance(query, medals_table)
+        assert coordinates(provenance.output) == {(3, "Total"), (6, "Total")}
+
+    def test_execution_cells_add_the_two_nations(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        provenance = compute_provenance(query, medals_table)
+        assert {(3, "Nation"), (6, "Nation")} <= coordinates(provenance.execution)
+
+    def test_column_cells_cover_nation_and_total(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        provenance = compute_provenance(query, medals_table)
+        expected = {(i, "Total") for i in range(8)} | {(i, "Nation") for i in range(8)}
+        assert coordinates(provenance.columns) == expected
+
+
+class TestIntersectionProvenance:
+    def test_intersection_output_follows_table10_rule(self, olympics_table):
+        left = q.column_records("Country", "UK")
+        right = q.column_records("Year", 2012)
+        query = q.intersection(left, right)
+        engine = ProvenanceEngine(olympics_table)
+        output = engine.output_provenance(query)
+        # PO(Q) = PO(records1) ∩ PO(records2): the operands touch different
+        # columns, so the intersection of their output cells is empty.
+        assert coordinates(output) == set()
+
+    def test_intersection_execution_includes_both_operands(self, olympics_table):
+        query = q.intersection(
+            q.column_records("Country", "UK"), q.column_records("Year", 2012)
+        )
+        provenance = compute_provenance(query, olympics_table)
+        assert {(4, "Country"), (4, "Year")} <= coordinates(provenance.execution)
+
+
+class TestSuperlativeProvenance:
+    def test_argmin_records_outputs_extreme_cell(self, olympics_table):
+        provenance = compute_provenance(q.argmin_records("Year"), olympics_table)
+        assert coordinates(provenance.output) == {(0, "Year")}
+
+    def test_superlative_over_subset(self, medals_table):
+        base = q.column_records("Nation", q.union("Fiji", "Tonga"))
+        query = SuperlativeRecords(SuperlativeKind.ARGMAX, "Total", base)
+        provenance = compute_provenance(query, medals_table)
+        assert coordinates(provenance.output) == {(3, "Total")}
+
+
+class TestRecordIndexSets:
+    def test_record_sets_follow_cells(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        provenance = compute_provenance(query, medals_table)
+        assert provenance.output_record_indices() == frozenset({3, 6})
+        assert provenance.execution_record_indices() == frozenset({3, 6})
+        assert provenance.column_record_indices() == frozenset(range(8))

@@ -1,0 +1,54 @@
+"""The public API surface: everything advertised in ``__all__`` exists."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.tables",
+    "repro.dcs",
+    "repro.sql",
+    "repro.core",
+    "repro.parser",
+    "repro.dataset",
+    "repro.users",
+    "repro.interface",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_imports(package_name):
+    module = importlib.import_module(package_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package_name} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package_name}.{name} missing"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_docstrings_on_public_modules():
+    for package_name in PACKAGES:
+        module = importlib.import_module(package_name)
+        assert module.__doc__, f"{package_name} lacks a module docstring"
+
+
+def test_core_entry_points_exist():
+    from repro.core import explain, highlight, utterance, compute_provenance
+    from repro.parser import SemanticParser
+    from repro.interface import NLInterface
+
+    assert callable(explain) and callable(highlight)
+    assert callable(utterance) and callable(compute_provenance)
+    assert SemanticParser and NLInterface

@@ -1,0 +1,96 @@
+"""Unit tests for the text and HTML renderers."""
+
+import pytest
+
+from repro.core import (
+    TEXT_LEGEND,
+    highlight,
+    render_html,
+    render_table_text,
+    render_text,
+)
+from repro.dcs import builder as q
+
+
+@pytest.fixture
+def figure6_highlight(medals_table):
+    return highlight(q.value_difference("Total", "Nation", "Fiji", "Tonga"), medals_table)
+
+
+class TestTextRendering:
+    def test_contains_all_headers(self, figure6_highlight, medals_table):
+        text = render_text(figure6_highlight)
+        for column in medals_table.columns:
+            assert column in text
+
+    def test_colored_cells_use_double_asterisks(self, figure6_highlight):
+        text = render_text(figure6_highlight)
+        assert "**130**" in text
+        assert "**20**" in text
+
+    def test_framed_cells_use_brackets(self, figure6_highlight):
+        text = render_text(figure6_highlight)
+        assert "[Fiji]" in text
+        assert "[Tonga]" in text
+
+    def test_lit_cells_use_tildes(self, figure6_highlight):
+        assert "~Samoa~" in render_text(figure6_highlight)
+
+    def test_legend_toggle(self, figure6_highlight):
+        assert TEXT_LEGEND in render_text(figure6_highlight, legend=True)
+        assert TEXT_LEGEND not in render_text(figure6_highlight, legend=False)
+
+    def test_row_subset(self, figure6_highlight):
+        text = render_text(figure6_highlight, rows=[3, 6], legend=False)
+        assert "Fiji" in text and "Tonga" in text
+        assert "Samoa" not in text
+
+    def test_ansi_mode_emits_escape_codes(self, figure6_highlight):
+        text = render_text(figure6_highlight, ansi=True)
+        assert "\033[" in text
+
+    def test_ansi_columns_stay_aligned(self, figure6_highlight):
+        plain = render_text(figure6_highlight, legend=False)
+        ansi = render_text(figure6_highlight, ansi=True, legend=False)
+        assert len(plain.splitlines()) == len(ansi.splitlines())
+
+    def test_aggregate_header_marker_rendered(self, olympics_table):
+        highlighted = highlight(
+            q.max_(q.column_values("Year", q.column_records("Country", "Greece"))),
+            olympics_table,
+        )
+        assert "MAX(Year)" in render_text(highlighted)
+
+    def test_plain_table_rendering(self, olympics_table):
+        text = render_table_text(olympics_table)
+        assert "Athens" in text and "Rio de Janeiro" in text
+
+
+class TestHTMLRendering:
+    def test_produces_table_markup(self, figure6_highlight):
+        html = render_html(figure6_highlight)
+        assert html.startswith("<table")
+        assert html.endswith("</table>")
+        assert html.count("<tr>") == 9  # header + 8 rows
+
+    def test_caption(self, figure6_highlight):
+        html = render_html(figure6_highlight, caption="difference in column Total")
+        assert "<caption>difference in column Total</caption>" in html
+
+    def test_styles_attached_to_highlighted_cells(self, figure6_highlight):
+        html = render_html(figure6_highlight)
+        assert "background-color:#7ddf7d" in html  # colored
+        assert "border:2px solid" in html          # framed
+        assert "background-color:#fff2b3" in html  # lit
+
+    def test_cell_text_is_escaped(self):
+        from repro.tables import Table
+
+        table = Table(columns=["A"], rows=[["<script>"]])
+        highlighted = highlight(q.column_records("A", "<script>"), table)
+        assert "<script>" not in render_html(highlighted)
+        assert "&lt;script&gt;" in render_html(highlighted)
+
+    def test_row_subset(self, figure6_highlight):
+        html = render_html(figure6_highlight, rows=[3, 6])
+        assert html.count("<tr>") == 3

@@ -1,0 +1,65 @@
+"""Unit tests for highlight sampling on large tables (Section 5.3)."""
+
+import pytest
+
+from repro.core import HighlightLevel, sample_highlights
+from repro.dcs import builder as q
+
+
+class TestSampleComposition:
+    def test_sample_covers_every_stratum(self, large_table):
+        query = q.max_(
+            q.column_values("Growth Rate", q.column_records("Country", "Madagascar"))
+        )
+        sample = sample_highlights(query, large_table, seed=1)
+        rows = set(sample.row_indices)
+        assert rows & sample.output_rows
+        assert rows & (sample.column_rows - sample.execution_rows)
+        assert len(sample.row_indices) <= 3
+
+    def test_sample_rows_are_ordered(self, large_table):
+        query = q.count(q.column_records("Country", "Kenya"))
+        sample = sample_highlights(query, large_table, seed=2)
+        assert list(sample.row_indices) == sorted(sample.row_indices)
+
+    def test_difference_query_samples_both_operands(self, medals_table):
+        query = q.value_difference("Total", "Nation", "Fiji", "Tonga")
+        sample = sample_highlights(query, medals_table, seed=0)
+        assert {3, 6} <= set(sample.row_indices)
+
+    def test_sample_is_deterministic_for_a_seed(self, large_table):
+        query = q.column_values("Year", q.column_records("Country", "Ghana"))
+        first = sample_highlights(query, large_table, seed=5)
+        second = sample_highlights(query, large_table, seed=5)
+        assert first.row_indices == second.row_indices
+
+    def test_small_table_sample_is_bounded_by_table(self, olympics_table):
+        query = q.column_values("Year", q.column_records("Country", "Greece"))
+        sample = sample_highlights(query, olympics_table)
+        assert all(0 <= row < olympics_table.num_rows for row in sample.row_indices)
+
+
+class TestRestrictedHighlight:
+    def test_highlight_restricted_to_sampled_rows(self, large_table):
+        query = q.max_(
+            q.column_values("Growth Rate", q.column_records("Country", "Madagascar"))
+        )
+        sample = sample_highlights(query, large_table, seed=1)
+        highlighted_rows = {
+            coordinate[0] for coordinate, level in sample.highlighted.levels.items()
+            if level != HighlightLevel.NONE
+        }
+        assert highlighted_rows <= set(sample.row_indices)
+
+    def test_sampled_table_extraction(self, large_table):
+        query = q.count(q.column_records("Country", "Togo"))
+        sample = sample_highlights(query, large_table, seed=3)
+        extracted = sample.sampled_table()
+        assert extracted.num_rows == sample.sample_size
+        assert extracted.columns == large_table.columns
+
+    def test_larger_strata_request(self, large_table):
+        query = q.column_values("Year", q.column_records("Country", "Kenya"))
+        sample = sample_highlights(query, large_table, seed=4, max_rows_per_stratum=2)
+        assert sample.sample_size <= 6
+        assert sample.sample_size >= 2

@@ -1,0 +1,64 @@
+"""Unit tests for schema inference (column profiling)."""
+
+import pytest
+
+from repro.tables import Table, infer_schema, profile_column
+
+
+class TestProfiles:
+    def test_numeric_column_detected(self, medals_table):
+        schema = infer_schema(medals_table)
+        assert schema.column("Gold").is_numeric
+        assert not schema.column("Nation").is_numeric
+
+    def test_textual_column_detected(self, medals_table):
+        schema = infer_schema(medals_table)
+        assert schema.column("Nation").is_textual
+
+    def test_date_column_detected(self):
+        table = Table(
+            columns=["Date", "Event"],
+            rows=[["June 8, 2013", "a"], ["July 9, 2014", "b"], ["May 1, 2015", "c"]],
+        )
+        schema = infer_schema(table)
+        assert schema.column("Date").is_date
+        assert "Date" in schema.date_columns
+
+    def test_distinct_counts(self, shipwrecks_table):
+        profile = profile_column(shipwrecks_table, "Lake")
+        assert profile.distinct_count == 4
+        assert profile.total_count == 8
+        assert 0 < profile.distinct_fraction < 1
+
+    def test_empty_table_profile(self):
+        table = Table(columns=["A"], rows=[])
+        profile = profile_column(table, "A")
+        assert profile.total_count == 0
+        assert profile.distinct_fraction == 0.0
+
+
+class TestSchemaGroups:
+    def test_numeric_columns(self, medals_table):
+        schema = infer_schema(medals_table)
+        assert set(schema.numeric_columns) == {"Rank", "Gold", "Silver", "Bronze", "Total"}
+
+    def test_textual_columns(self, medals_table):
+        schema = infer_schema(medals_table)
+        assert schema.textual_columns == ["Nation"]
+
+    def test_comparable_columns_include_dates(self):
+        table = Table(
+            columns=["Year", "City"],
+            rows=[[1896, "Athens"], [1900, "Paris"]],
+            date_columns=["Year"],
+        )
+        schema = infer_schema(table)
+        assert "Year" in schema.comparable_columns
+
+    def test_mostly_numeric_column_counts_as_numeric(self):
+        table = Table(
+            columns=["Score"],
+            rows=[[1], [2], [3], [4], ["n/a"]],
+        )
+        schema = infer_schema(table)
+        assert schema.column("Score").is_numeric

@@ -1,0 +1,98 @@
+"""Equivalence of the lambda DCS executor and the SQL translation on sqlite.
+
+These tests are the oracle for the executor: every operator of Table 10 is
+run both natively and through the generated SQL, and the results must
+agree.
+"""
+
+import pytest
+
+from repro.dcs import SuperlativeKind, SuperlativeRecords, builder as q
+from repro.sql import SQLiteBackend, check_equivalence, check_many
+
+
+def medal_queries():
+    return [
+        q.column_records("Nation", "Fiji"),
+        q.column_records("Nation", q.union("Fiji", "Samoa")),
+        q.comparison_records("Gold", ">", 40),
+        q.comparison_records("Gold", "<=", 8),
+        q.prev_records(q.column_records("Nation", "Tonga")),
+        q.next_records(q.column_records("Nation", "Fiji")),
+        q.intersection(
+            q.comparison_records("Gold", ">", 20), q.comparison_records("Silver", ">", 40)
+        ),
+        q.argmax_records("Total"),
+        q.argmin_records("Total"),
+        SuperlativeRecords(
+            SuperlativeKind.ARGMAX, "Gold", q.comparison_records("Total", "<", 100)
+        ),
+        q.first_record(),
+        q.last_record(q.column_records("Nation", "Fiji")),
+        q.column_values("Total", q.column_records("Nation", "Fiji")),
+        q.column_values("Nation", q.argmin_records("Total")),
+        q.value_in_last_record("Nation"),
+        q.most_common("Nation"),
+        q.compare_values("Total", "Nation", q.union("Fiji", "Samoa")),
+        q.compare_values("Total", "Nation", q.union("Fiji", "Samoa"), kind="argmin"),
+        q.union(
+            q.column_values("Nation", q.column_records("Rank", 1)),
+            q.column_values("Nation", q.column_records("Rank", 2)),
+        ),
+        q.count(q.column_records("Nation", "Fiji")),
+        q.count(q.comparison_records("Total", ">=", 100)),
+        q.max_(q.column_values("Gold", q.all_records())),
+        q.min_(q.column_values("Gold", q.all_records())),
+        q.sum_(q.column_values("Silver", q.all_records())),
+        q.avg(q.column_values("Bronze", q.all_records())),
+        q.value_difference("Total", "Nation", "Fiji", "Tonga"),
+        q.count_difference("Nation", "Fiji", "Tonga"),
+    ]
+
+
+class TestOperatorEquivalence:
+    @pytest.mark.parametrize(
+        "query", medal_queries(), ids=lambda query: type(query).__name__
+    )
+    def test_dcs_matches_sql(self, medals_table, query):
+        report = check_equivalence(query, medals_table)
+        assert report.equivalent, report.detail
+
+
+class TestBatchedChecks:
+    def test_check_many_reuses_backend(self, medals_table):
+        reports = check_many(medal_queries(), medals_table)
+        assert len(reports) == len(medal_queries())
+        assert all(report.equivalent for report in reports)
+
+    def test_equivalence_on_shipwrecks(self, shipwrecks_table):
+        queries = [
+            q.count_difference("Lake", "Lake Huron", "Lake Erie"),
+            q.most_common("Lake"),
+            q.count(q.column_records("Vessel", "Steamer")),
+            q.column_values("Ship", q.argmax_records("Lives lost")),
+        ]
+        assert all(report.equivalent for report in check_many(queries, shipwrecks_table))
+
+
+class TestBackend:
+    def test_backend_materialises_all_rows(self, medals_table):
+        with SQLiteBackend(medals_table) as backend:
+            rows = backend.run_sql("SELECT COUNT(*) FROM T")
+            assert rows[0][0] == medals_table.num_rows
+
+    def test_backend_preserves_index_order(self, olympics_table):
+        with SQLiteBackend(olympics_table) as backend:
+            rows = backend.run_sql('SELECT "Index", "City" FROM T ORDER BY "Index"')
+            assert rows[0][1] == "Athens"
+            assert rows[-1][1] == "Rio de Janeiro"
+
+    def test_text_comparison_is_case_insensitive(self, olympics_table):
+        with SQLiteBackend(olympics_table) as backend:
+            rows = backend.run_sql("SELECT COUNT(*) FROM T WHERE \"City\" = 'athens'")
+            assert rows[0][0] == 2
+
+    def test_run_query_returns_typed_result(self, olympics_table):
+        with SQLiteBackend(olympics_table) as backend:
+            result = backend.run_query(q.count(q.column_records("City", "Athens")))
+            assert result.scalar() == 2.0

@@ -1,0 +1,117 @@
+"""Unit tests for the lambda DCS → SQL translation (Table 10)."""
+
+import pytest
+
+from repro.dcs import ResultKind, builder as q
+from repro.sql import SQLTranslationError, literal, quote_identifier, to_sql
+from repro.tables.values import DateValue, NumberValue, StringValue
+
+
+class TestLiterals:
+    def test_number_literal(self):
+        assert literal(NumberValue(4)) == "4"
+
+    def test_string_literal_quoted(self):
+        assert literal(StringValue("Fiji")) == "'Fiji'"
+
+    def test_string_literal_escapes_quotes(self):
+        assert literal(StringValue("O'Brien")) == "'O''Brien'"
+
+    def test_bare_year_date_literal_is_numeric(self):
+        assert literal(DateValue(year=1896)) == "1896"
+
+    def test_full_date_literal_quoted(self):
+        assert literal(DateValue(2013, 6, 8)) == "'2013-06-08'"
+
+    def test_identifier_quoting(self):
+        assert quote_identifier("Lives lost") == '"Lives lost"'
+        assert quote_identifier('A"B') == '"A""B"'
+
+
+class TestTranslationShapes:
+    def test_column_records_matches_paper(self):
+        sql = to_sql(q.column_records("City", "Athens")).sql
+        assert 'WHERE "City" IN' in sql
+        assert "'Athens'" in sql
+
+    def test_column_values_selects_column(self):
+        sql = to_sql(q.column_values("Year", q.column_records("City", "Athens"))).sql
+        assert sql.startswith('SELECT "Year" AS val FROM T')
+
+    def test_prev_records_uses_index_minus_one(self):
+        sql = to_sql(q.prev_records(q.column_records("City", "Athens"))).sql
+        assert '"Index" - 1' in sql
+
+    def test_next_records_uses_index_plus_one(self):
+        sql = to_sql(q.next_records(q.column_records("City", "Athens"))).sql
+        assert '"Index" + 1' in sql
+
+    def test_aggregate_uses_sql_function(self):
+        sql = to_sql(q.sum_(q.column_values("Year", q.column_records("City", "Athens")))).sql
+        assert sql.startswith("SELECT SUM(val)")
+
+    def test_count_uses_count_star(self):
+        sql = to_sql(q.count(q.column_records("City", "Athens"))).sql
+        assert "COUNT(*)" in sql
+
+    def test_difference_uses_abs_subtraction(self):
+        sql = to_sql(q.value_difference("Total", "Nation", "Fiji", "Tonga")).sql
+        assert sql.startswith("SELECT ABS((")
+        assert ") - (" in sql
+
+    def test_union_of_values_uses_sql_union(self):
+        query = q.union(
+            q.column_values("City", q.column_records("Country", "China")),
+            q.column_values("City", q.column_records("Country", "Greece")),
+        )
+        assert "UNION" in to_sql(query).sql
+
+    def test_intersection_uses_two_in_clauses(self):
+        query = q.intersection(
+            q.column_records("City", "London"), q.column_records("Country", "UK")
+        )
+        sql = to_sql(query).sql
+        assert sql.count('"Index" IN (') == 2
+
+    def test_superlative_uses_max_subquery(self):
+        sql = to_sql(q.argmax_records("Year")).sql
+        assert 'SELECT MAX("Year") FROM T' in sql
+
+    def test_most_common_groups_and_counts(self):
+        sql = to_sql(q.most_common("City")).sql
+        assert "GROUP BY" in sql and "HAVING COUNT(*)" in sql
+
+    def test_compare_values_uses_distinct(self):
+        sql = to_sql(q.compare_values("Year", "City", q.union("London", "Beijing"))).sql
+        assert sql.startswith("SELECT DISTINCT")
+
+    def test_result_kind_propagated(self):
+        assert to_sql(q.all_records()).kind == ResultKind.RECORDS
+        assert to_sql(q.value("x")).kind == ResultKind.VALUES
+        assert to_sql(q.count(q.all_records())).kind == ResultKind.SCALAR
+
+    def test_every_operator_translates(self):
+        queries = [
+            q.value("Greece"),
+            q.all_records(),
+            q.column_records("Country", "Greece"),
+            q.comparison_records("Games", ">", 4),
+            q.prev_records(q.all_records()),
+            q.next_records(q.all_records()),
+            q.intersection(q.column_records("A", "x"), q.column_records("B", "y")),
+            q.union("a", "b"),
+            q.argmax_records("Year"),
+            q.first_record(),
+            q.column_values("Year", q.all_records()),
+            q.value_in_last_record("City"),
+            q.most_common("City"),
+            q.compare_values("Year", "City", q.union("a", "b")),
+            q.max_(q.column_values("Year", q.all_records())),
+            q.value_difference("Total", "Nation", "Fiji", "Tonga"),
+        ]
+        for query in queries:
+            assert to_sql(query).sql
+
+    def test_pretty_flag_returns_string(self):
+        sql = to_sql(q.count(q.column_records("City", "Athens")), pretty=True)
+        assert "SELECT" in sql.sql

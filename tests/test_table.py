@@ -1,0 +1,105 @@
+"""Unit tests for the Table / Record / Cell data model."""
+
+import pytest
+
+from repro.tables import DateValue, NumberValue, StringValue, Table, TableError
+
+
+class TestConstruction:
+    def test_row_and_column_counts(self, olympics_table):
+        assert olympics_table.num_rows == 6
+        assert olympics_table.num_columns == 3
+        assert len(olympics_table) == 6
+
+    def test_duplicate_headers_rejected(self):
+        with pytest.raises(TableError):
+            Table(columns=["A", "A"], rows=[[1, 2]])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(TableError):
+            Table(columns=["A", "B"], rows=[[1]])
+
+    def test_unknown_date_column_rejected(self):
+        with pytest.raises(TableError):
+            Table(columns=["A"], rows=[[1]], date_columns=["B"])
+
+    def test_cells_are_typed(self, olympics_table):
+        assert isinstance(olympics_table.cell(0, "Year").value, NumberValue)
+        assert isinstance(olympics_table.cell(0, "Country").value, StringValue)
+
+    def test_date_columns_parse_years_as_dates(self):
+        table = Table(columns=["Year"], rows=[[1896]], date_columns=["Year"])
+        assert isinstance(table.cell(0, "Year").value, DateValue)
+
+
+class TestRecords:
+    def test_indices_are_sequential(self, olympics_table):
+        assert [record.index for record in olympics_table] == list(range(6))
+
+    def test_prev_index(self, olympics_table):
+        assert olympics_table.record(0).prev_index is None
+        assert olympics_table.record(3).prev_index == 2
+
+    def test_record_cell_lookup(self, olympics_table):
+        assert olympics_table.record(2).value("City").display() == "Athens"
+
+    def test_record_missing_column(self, olympics_table):
+        with pytest.raises(TableError):
+            olympics_table.record(0).cell("Continent")
+
+    def test_record_out_of_range(self, olympics_table):
+        with pytest.raises(TableError):
+            olympics_table.record(99)
+
+
+class TestColumns:
+    def test_column_cells_in_row_order(self, olympics_table):
+        cells = olympics_table.column_cells("City")
+        assert [cell.row_index for cell in cells] == list(range(6))
+
+    def test_column_values(self, medals_table):
+        values = medals_table.column_values("Nation")
+        assert values[0].display() == "New Caledonia"
+        assert len(values) == 8
+
+    def test_missing_column(self, olympics_table):
+        with pytest.raises(TableError):
+            olympics_table.column_cells("Continent")
+
+    def test_has_column(self, olympics_table):
+        assert olympics_table.has_column("Year")
+        assert not olympics_table.has_column("year ")
+
+    def test_all_cells_count(self, olympics_table):
+        assert len(olympics_table.all_cells()) == 18
+
+
+class TestCellCoordinates:
+    def test_coordinate(self, olympics_table):
+        cell = olympics_table.cell(4, "City")
+        assert cell.coordinate == (4, "City")
+        assert cell.display() == "London"
+
+
+class TestConvenience:
+    def test_from_dicts_roundtrip(self):
+        rows = [{"A": 1, "B": "x"}, {"A": 2, "B": "y"}]
+        table = Table.from_dicts(rows, name="t")
+        assert table.columns == ["A", "B"]
+        assert table.to_dicts() == [{"A": "1", "B": "x"}, {"A": "2", "B": "y"}]
+
+    def test_from_dicts_empty_requires_columns(self):
+        with pytest.raises(TableError):
+            Table.from_dicts([])
+
+    def test_from_dicts_missing_key_becomes_empty(self):
+        table = Table.from_dicts([{"A": 1}], columns=["A", "B"])
+        assert table.cell(0, "B").display() == ""
+
+    def test_subtable_preserves_columns_and_reindexes(self, medals_table):
+        sample = medals_table.subtable([3, 6])
+        assert sample.num_rows == 2
+        assert sample.columns == medals_table.columns
+        assert sample.cell(0, "Nation").display() == "Fiji"
+        assert sample.cell(1, "Nation").display() == "Tonga"
+        assert sample.record(1).index == 1

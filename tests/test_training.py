@@ -1,0 +1,193 @@
+"""Unit tests for parser training (weak and annotation supervision)."""
+
+import pytest
+
+from repro.dcs import builder as q, execute
+from repro.parser import (
+    SemanticParser,
+    Trainer,
+    TrainerConfig,
+    TrainingExample,
+    evaluate_parser,
+    train_parser,
+)
+
+
+def make_training_example(table, question, gold_query, annotated=False):
+    answer = tuple(execute(gold_query, table).answer_values())
+    return TrainingExample(
+        question=question,
+        table=table,
+        answer=answer,
+        annotated_queries=(gold_query,) if annotated else (),
+    )
+
+
+@pytest.fixture
+def weak_examples(medals_table, shipwrecks_table, roster_table):
+    return [
+        make_training_example(
+            medals_table,
+            "What was the total of Fiji?",
+            q.column_values("Total", q.column_records("Nation", "Fiji")),
+        ),
+        make_training_example(
+            medals_table,
+            "Who had the most gold?",
+            q.column_values("Nation", q.argmax_records("Gold")),
+        ),
+        make_training_example(
+            shipwrecks_table,
+            "How many ships sank in Lake Huron?",
+            q.count(q.column_records("Lake", "Lake Huron")),
+        ),
+        make_training_example(
+            roster_table,
+            "What is the average games played?",
+            q.avg(q.column_values("Games", q.all_records())),
+        ),
+    ]
+
+
+class TestPreparation:
+    def test_prepare_marks_weak_rewards(self, weak_examples):
+        trainer = Trainer(SemanticParser())
+        prepared = trainer.prepare(weak_examples[:1])
+        assert prepared[0].weak_indices
+        assert prepared[0].annotated_indices == []
+
+    def test_prepare_marks_annotated_rewards(self, medals_table):
+        gold = q.column_values("Total", q.column_records("Nation", "Fiji"))
+        example = make_training_example(
+            medals_table, "What was the total of Fiji?", gold, annotated=True
+        )
+        trainer = Trainer(SemanticParser())
+        prepared = trainer.prepare([example])
+        assert prepared[0].annotated_indices
+        assert set(prepared[0].annotated_indices) <= set(prepared[0].weak_indices)
+
+    def test_annotated_rewards_are_a_strict_subset_in_ambiguous_cases(self, seasons_table):
+        gold = q.max_(q.column_values("Year", q.column_records("League", "USL A-League")))
+        example = make_training_example(
+            seasons_table,
+            "What was the last year the team was in the USL A-League?",
+            gold,
+            annotated=True,
+        )
+        trainer = Trainer(SemanticParser())
+        prepared = trainer.prepare([example])
+        # weak supervision also rewards spurious candidates with the same answer
+        assert len(prepared[0].weak_indices) >= len(prepared[0].annotated_indices) >= 1
+
+
+class TestTrainingLoop:
+    def test_training_improves_correctness(self, weak_examples):
+        evaluation = [
+            # reuse the same questions as a sanity check of fitting capacity
+            example for example in weak_examples
+        ]
+        from repro.parser import EvaluationExample
+
+        eval_examples = [
+            EvaluationExample(
+                question=example.question,
+                table=example.table,
+                gold_query=gold,
+                gold_answer=example.answer,
+            )
+            for example, gold in zip(
+                evaluation,
+                [
+                    q.column_values("Total", q.column_records("Nation", "Fiji")),
+                    q.column_values("Nation", q.argmax_records("Gold")),
+                    q.count(q.column_records("Lake", "Lake Huron")),
+                    q.avg(q.column_values("Games", q.all_records())),
+                ],
+            )
+        ]
+        untrained_report = evaluate_parser(SemanticParser(), eval_examples, k=7)
+        parser = train_parser(weak_examples, epochs=6, use_annotations=False, seed=1)
+        trained_report = evaluate_parser(parser, eval_examples, k=7)
+        assert trained_report.correctness >= untrained_report.correctness
+        assert trained_report.mrr > untrained_report.mrr
+
+    def test_training_stats_recorded(self, weak_examples):
+        parser = SemanticParser()
+        trainer = Trainer(parser, TrainerConfig(epochs=2, seed=0))
+        stats = trainer.train(weak_examples)
+        assert len(stats.epochs) == 2
+        assert stats.total_examples == len(weak_examples)
+        assert stats.epochs[0].examples_used == len(weak_examples)
+
+    def test_log_likelihood_does_not_decrease_much(self, weak_examples):
+        parser = SemanticParser()
+        trainer = Trainer(parser, TrainerConfig(epochs=4, seed=0, shuffle=False))
+        stats = trainer.train(weak_examples)
+        assert stats.epochs[-1].mean_log_likelihood >= stats.epochs[0].mean_log_likelihood
+
+    def test_examples_without_reward_are_skipped(self, medals_table):
+        example = TrainingExample(
+            question="What was the total of Atlantis?",
+            table=medals_table,
+            answer=(),
+        )
+        parser = SemanticParser()
+        trainer = Trainer(parser)
+        stats = trainer.train([example])
+        assert stats.skipped_examples == 1
+        assert stats.epochs == []
+
+    def test_prepared_examples_can_be_reused(self, weak_examples):
+        parser = SemanticParser()
+        trainer = Trainer(parser, TrainerConfig(epochs=1))
+        prepared = trainer.prepare(weak_examples)
+        first = trainer.train(weak_examples, prepared=prepared)
+        second = trainer.train(weak_examples, prepared=prepared)
+        assert first.total_examples == second.total_examples
+
+
+class TestAnnotationObjective:
+    def test_annotations_tighten_the_reward_set(self, seasons_table):
+        gold = q.max_(q.column_values("Year", q.column_records("League", "USL A-League")))
+        annotated_example = make_training_example(
+            seasons_table,
+            "What was the last year the team was in the USL A-League?",
+            gold,
+            annotated=True,
+        )
+        weak_parser = train_parser(
+            [
+                TrainingExample(
+                    question=annotated_example.question,
+                    table=annotated_example.table,
+                    answer=annotated_example.answer,
+                )
+            ],
+            epochs=4,
+            use_annotations=False,
+            seed=2,
+        )
+        annotated_parser = train_parser(
+            [annotated_example], epochs=4, use_annotations=True, seed=2
+        )
+        from repro.parser import EvaluationExample
+
+        eval_example = EvaluationExample(
+            question=annotated_example.question,
+            table=seasons_table,
+            gold_query=gold,
+            gold_answer=annotated_example.answer,
+        )
+        weak_report = evaluate_parser(weak_parser, [eval_example], k=7)
+        annotated_report = evaluate_parser(annotated_parser, [eval_example], k=7)
+        assert annotated_report.mrr >= weak_report.mrr
+
+    def test_annotated_count_in_stats(self, medals_table):
+        gold = q.column_values("Total", q.column_records("Nation", "Fiji"))
+        example = make_training_example(
+            medals_table, "What was the total of Fiji?", gold, annotated=True
+        )
+        parser = SemanticParser()
+        trainer = Trainer(parser, TrainerConfig(epochs=1, use_annotations=True))
+        stats = trainer.train([example])
+        assert stats.annotated_examples == 1

@@ -1,0 +1,85 @@
+"""Unit tests for majority-vote feedback collection."""
+
+import pytest
+
+from repro.users import FeedbackCollector, FeedbackConfig, JudgmentParameters
+
+
+@pytest.fixture(scope="module")
+def feedback_inputs():
+    from repro.dataset import DatasetConfig, build_dataset
+    from repro.parser import train_parser, SemanticParser
+
+    dataset = build_dataset(DatasetConfig(num_tables=8, questions_per_table=4, seed=47))
+    parser = train_parser(
+        dataset.training_examples()[:25], epochs=2, use_annotations=False, seed=0
+    )
+    return parser, dataset.examples[:20]
+
+
+class TestCollection:
+    def test_one_record_per_example(self, feedback_inputs):
+        parser, examples = feedback_inputs
+        collector = FeedbackCollector(parser, FeedbackConfig(seed=1))
+        result = collector.collect(examples)
+        assert len(result.records) == len(examples)
+        assert len(result.training_examples) == len(examples)
+
+    def test_annotations_require_majority(self, feedback_inputs):
+        parser, examples = feedback_inputs
+        collector = FeedbackCollector(parser, FeedbackConfig(seed=2))
+        result = collector.collect(examples)
+        for record in result.records:
+            if record.has_annotation:
+                assert record.workers_agreeing >= 2
+
+    def test_some_annotations_collected(self, feedback_inputs):
+        parser, examples = feedback_inputs
+        collector = FeedbackCollector(parser, FeedbackConfig(seed=3))
+        result = collector.collect(examples)
+        assert result.annotated_count > 0
+        assert 0.0 < result.annotation_rate <= 1.0
+
+    def test_training_examples_carry_annotations(self, feedback_inputs):
+        parser, examples = feedback_inputs
+        collector = FeedbackCollector(parser, FeedbackConfig(seed=4))
+        result = collector.collect(examples)
+        annotated = [example for example in result.training_examples if example.annotated_queries]
+        assert len(annotated) == result.annotated_count
+
+    def test_annotation_precision_reasonable(self, feedback_inputs):
+        """Majority voting should keep most annotations faithful to the question."""
+        parser, examples = feedback_inputs
+        collector = FeedbackCollector(parser, FeedbackConfig(seed=5))
+        result = collector.collect(examples)
+        if result.annotated_count:
+            assert result.annotation_precision() >= 0.3
+
+    def test_perfect_workers_yield_only_correct_annotations(self, feedback_inputs):
+        parser, examples = feedback_inputs
+        config = FeedbackConfig(
+            seed=6,
+            judgment=JudgmentParameters(recognise_correct=1.0, reject_incorrect=1.0),
+        )
+        collector = FeedbackCollector(parser, config)
+        result = collector.collect(examples[:10])
+        from repro.dcs import to_sexpr
+        from repro.parser import queries_equivalent
+
+        for record in result.records:
+            gold = record.example.gold_query
+            for sexpr in record.annotated_sexprs:
+                from repro.dcs import from_sexpr
+
+                candidate = from_sexpr(sexpr)
+                assert queries_equivalent(
+                    candidate, gold, record.example.table, perturbations=2
+                )
+
+    def test_agreement_threshold_configurable(self, feedback_inputs):
+        parser, examples = feedback_inputs
+        strict = FeedbackCollector(parser, FeedbackConfig(seed=7, agreement_threshold=3))
+        lenient = FeedbackCollector(parser, FeedbackConfig(seed=7, agreement_threshold=1))
+        strict_result = strict.collect(examples[:10])
+        lenient_result = lenient.collect(examples[:10])
+        assert lenient_result.annotated_count >= strict_result.annotated_count

@@ -1,0 +1,101 @@
+"""Unit tests for the user-study harness (Tables 4-6 machinery)."""
+
+import pytest
+
+from repro.users import (
+    ExplanationMode,
+    StudyConfig,
+    UserStudy,
+    run_worktime_comparison,
+    worker_pool,
+)
+
+
+@pytest.fixture(scope="module")
+def study_inputs(request):
+    from repro.dataset import DatasetConfig, build_dataset, split_by_tables
+    from repro.parser import train_parser
+
+    dataset = build_dataset(DatasetConfig(num_tables=10, questions_per_table=4, seed=31))
+    split = split_by_tables(dataset, test_fraction=0.3, seed=1)
+    parser = train_parser(
+        split.train.training_examples()[:40], epochs=2, use_annotations=False, seed=0
+    )
+    examples = split.test.evaluation_examples()[:16]
+    return parser, examples
+
+
+class TestStudyRun:
+    def test_trials_cover_all_questions(self, study_inputs):
+        parser, examples = study_inputs
+        study = UserStudy(parser, StudyConfig(k=7, questions_per_worker=8, seed=1))
+        result = study.run(examples, worker_pool(2, seed=1))
+        assert len(result.trials) == len(examples)
+        assert result.distinct_questions == len({e.question for e in examples})
+
+    def test_explanations_shown_at_most_k_per_question(self, study_inputs):
+        parser, examples = study_inputs
+        study = UserStudy(parser, StudyConfig(k=7, questions_per_worker=8, seed=2))
+        result = study.run(examples, worker_pool(2, seed=2))
+        assert all(len(trial.displayed_candidates) <= 7 for trial in result.trials)
+
+    def test_correctness_ordering_matches_paper(self, study_inputs):
+        """Parser <= hybrid <= bound, and users <= bound (Table 6 shape)."""
+        parser, examples = study_inputs
+        study = UserStudy(parser, StudyConfig(k=7, questions_per_worker=8, seed=3))
+        result = study.run(examples, worker_pool(2, seed=3))
+        assert result.parser_correctness <= result.correctness_bound + 1e-9
+        assert result.user_correctness <= result.correctness_bound + 1e-9
+        assert result.hybrid_correctness + 1e-9 >= result.user_correctness
+        assert result.hybrid_correctness <= result.correctness_bound + 1e-9
+
+    def test_success_rate_reasonably_high(self, study_inputs):
+        parser, examples = study_inputs
+        study = UserStudy(parser, StudyConfig(k=7, questions_per_worker=8, seed=4))
+        result = study.run(examples, worker_pool(2, seed=4))
+        assert result.question_success_rate > 0.5
+
+    def test_worker_minutes_recorded_per_worker(self, study_inputs):
+        parser, examples = study_inputs
+        study = UserStudy(parser, StudyConfig(k=7, questions_per_worker=8, seed=5))
+        result = study.run(examples, worker_pool(2, seed=5))
+        minutes = result.worker_minutes()
+        assert len(minutes) == 2
+        assert all(value > 0 for value in minutes.values())
+
+    def test_correct_counts_are_consistent(self, study_inputs):
+        parser, examples = study_inputs
+        study = UserStudy(parser, StudyConfig(k=7, questions_per_worker=8, seed=6))
+        result = study.run(examples, worker_pool(2, seed=6))
+        counts = result.correct_counts()
+        assert counts["total"] == len(result.trials)
+        assert counts["users"] <= counts["bound"]
+        assert counts["hybrid"] >= counts["users"]
+
+    def test_summary_keys(self, study_inputs):
+        parser, examples = study_inputs
+        study = UserStudy(parser, StudyConfig(k=7, questions_per_worker=4, seed=7))
+        result = study.run(examples[:4], worker_pool(1, seed=7))
+        assert {"success_rate", "parser_correctness", "hybrid_correctness"} <= set(result.summary())
+
+
+class TestWorktimeComparison:
+    def test_highlights_group_is_faster(self, study_inputs):
+        parser, examples = study_inputs
+        results = run_worktime_comparison(
+            parser, examples, workers_per_group=2, questions_per_worker=8, seed=8
+        )
+        fast = results[ExplanationMode.UTTERANCES_AND_HIGHLIGHTS]
+        slow = results[ExplanationMode.UTTERANCES_ONLY]
+        fast_avg = sum(fast.worker_minutes().values()) / len(fast.worker_minutes())
+        slow_avg = sum(slow.worker_minutes().values()) / len(slow.worker_minutes())
+        assert fast_avg < slow_avg
+
+    def test_both_groups_have_similar_correctness(self, study_inputs):
+        parser, examples = study_inputs
+        results = run_worktime_comparison(
+            parser, examples, workers_per_group=2, questions_per_worker=8, seed=9
+        )
+        fast = results[ExplanationMode.UTTERANCES_AND_HIGHLIGHTS]
+        slow = results[ExplanationMode.UTTERANCES_ONLY]
+        assert abs(fast.user_correctness - slow.user_correctness) < 0.35

@@ -1,0 +1,48 @@
+"""Unit tests for the simulated work-time model."""
+
+import pytest
+
+from repro.users import ExplanationMode, TimingParameters, WorkTimeModel
+
+
+class TestQuestionTimes:
+    def test_highlights_are_faster_than_utterances_only(self):
+        fast = WorkTimeModel(ExplanationMode.UTTERANCES_AND_HIGHLIGHTS, seed=1)
+        slow = WorkTimeModel(ExplanationMode.UTTERANCES_ONLY, seed=1)
+        fast_avg = sum(fast.question_seconds(7) for _ in range(200)) / 200
+        slow_avg = sum(slow.question_seconds(7) for _ in range(200)) / 200
+        assert fast_avg < slow_avg
+        # The paper reports roughly a one-third saving (Table 5).
+        assert 0.5 < fast_avg / slow_avg < 0.85
+
+    def test_formal_only_is_slowest(self):
+        formal = WorkTimeModel(ExplanationMode.FORMAL_ONLY, seed=2)
+        utterances = WorkTimeModel(ExplanationMode.UTTERANCES_ONLY, seed=2)
+        formal_avg = sum(formal.question_seconds(7) for _ in range(100)) / 100
+        utterances_avg = sum(utterances.question_seconds(7) for _ in range(100)) / 100
+        assert formal_avg > utterances_avg
+
+    def test_more_candidates_take_longer(self):
+        model = WorkTimeModel(ExplanationMode.UTTERANCES_ONLY, seed=3)
+        short = sum(model.question_seconds(3) for _ in range(100)) / 100
+        long = sum(model.question_seconds(10) for _ in range(100)) / 100
+        assert long > short
+
+    def test_times_are_positive(self):
+        model = WorkTimeModel(ExplanationMode.UTTERANCES_AND_HIGHLIGHTS, seed=4)
+        assert all(model.question_seconds(7) > 0 for _ in range(50))
+
+    def test_session_minutes_near_paper_calibration(self):
+        fast = WorkTimeModel(ExplanationMode.UTTERANCES_AND_HIGHLIGHTS, seed=5)
+        slow = WorkTimeModel(ExplanationMode.UTTERANCES_ONLY, seed=5)
+        fast_minutes = fast.session_minutes(20, 7)
+        slow_minutes = slow.session_minutes(20, 7)
+        assert 10 < fast_minutes < 25
+        assert 18 < slow_minutes < 35
+        assert fast_minutes < slow_minutes
+
+    def test_custom_parameters(self):
+        params = TimingParameters(read_utterance_seconds=1.0, question_overhead_seconds=0.0,
+                                  noise_fraction=0.0)
+        model = WorkTimeModel(ExplanationMode.UTTERANCES_ONLY, params, seed=6)
+        assert model.question_seconds(5) == pytest.approx(5.0)

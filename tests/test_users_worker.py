@@ -1,0 +1,81 @@
+"""Unit tests for the simulated crowd workers."""
+
+import pytest
+
+from repro.users import ExplanationMode, JudgmentParameters, SimulatedWorker, worker_pool
+
+
+def judgment_accuracy(worker, truths, repetitions=300):
+    correct = 0
+    total = 0
+    for _ in range(repetitions):
+        decision = worker.review_question(truths)
+        correct += decision.correct_judgments
+        total += decision.judgment_count
+    return correct / total
+
+
+class TestJudgments:
+    def test_with_explanations_judgments_are_mostly_right(self):
+        worker = SimulatedWorker("w", seed=1)
+        accuracy = judgment_accuracy(worker, [False, True, False, False, False, False, False])
+        assert accuracy > 0.8
+
+    def test_formal_only_judgments_are_poor(self):
+        worker = SimulatedWorker("w", mode=ExplanationMode.FORMAL_ONLY, seed=2)
+        accuracy = judgment_accuracy(worker, [False, True, False, False, False, False, False])
+        assert accuracy < 0.65
+
+    def test_utterance_only_slightly_worse_than_highlights(self):
+        highlights = SimulatedWorker("a", seed=3)
+        utterances = SimulatedWorker("b", mode=ExplanationMode.UTTERANCES_ONLY, seed=3)
+        truths = [False, True, False, False, False, False, False]
+        assert judgment_accuracy(highlights, truths) >= judgment_accuracy(utterances, truths) - 0.02
+
+    def test_selection_prefers_correct_candidate(self):
+        worker = SimulatedWorker("w", seed=4)
+        truths = [False, False, True, False, False, False, False]
+        picks = [worker.review_question(truths).selected_index for _ in range(300)]
+        correct_picks = sum(1 for pick in picks if pick == 2)
+        assert correct_picks / len(picks) > 0.6
+
+    def test_none_marked_when_nothing_is_correct(self):
+        worker = SimulatedWorker("w", seed=5)
+        truths = [False] * 7
+        nones = sum(
+            1 for _ in range(300) if worker.review_question(truths).marked_none
+        )
+        assert nones / 300 > 0.6
+
+    def test_perfect_worker(self):
+        params = JudgmentParameters(recognise_correct=1.0, reject_incorrect=1.0)
+        worker = SimulatedWorker("w", judgment=params, seed=6)
+        truths = [False, False, False, True, False]
+        for _ in range(20):
+            decision = worker.review_question(truths)
+            assert decision.selected_index == 3
+            assert decision.correct_judgments == 5
+
+    def test_decision_records_time(self):
+        worker = SimulatedWorker("w", seed=7)
+        decision = worker.review_question([True, False, False])
+        assert decision.seconds > 0
+        assert decision.judgment_count == 3
+
+
+class TestWorkerPool:
+    def test_pool_size_and_ids(self):
+        pool = worker_pool(5, seed=1)
+        assert len(pool) == 5
+        assert len({worker.worker_id for worker in pool}) == 5
+
+    def test_pool_workers_have_distinct_streams(self):
+        pool = worker_pool(2, seed=2)
+        truths = [False, True, False, False, False]
+        first = [pool[0].review_question(truths).selected_index for _ in range(30)]
+        second = [pool[1].review_question(truths).selected_index for _ in range(30)]
+        assert first != second
+
+    def test_pool_mode_propagates(self):
+        pool = worker_pool(3, mode=ExplanationMode.UTTERANCES_ONLY, seed=3)
+        assert all(worker.mode == ExplanationMode.UTTERANCES_ONLY for worker in pool)

@@ -1,0 +1,214 @@
+"""Unit tests for query-to-utterance generation (Section 5.1, Table 3)."""
+
+import pytest
+
+from repro.core import derive, utterance
+from repro.dcs import SuperlativeKind, SuperlativeRecords, builder as q
+
+
+class TestBasicTemplates:
+    def test_value_literal(self):
+        assert utterance(q.value("Athens")) == "Athens"
+
+    def test_column_records(self):
+        assert (
+            utterance(q.column_records("City", "Athens"))
+            == "rows where value of column City is Athens"
+        )
+
+    def test_column_values(self):
+        query = q.column_values("Year", q.column_records("City", "Athens"))
+        assert (
+            utterance(query)
+            == "values in column Year in rows where value of column City is Athens"
+        )
+
+    def test_column_values_over_all_records(self):
+        assert utterance(q.column_values("Year", q.all_records())) == "values in column Year"
+
+    def test_union(self):
+        assert utterance(q.union("China", "Greece")) == "China or Greece"
+
+    def test_comparison(self):
+        assert (
+            utterance(q.comparison_records("Games", ">", 4))
+            == "rows where values of column Games are more than 4"
+        )
+
+    def test_comparison_at_most(self):
+        assert (
+            utterance(q.comparison_records("Games", "<=", 17))
+            == "rows where values of column Games are at most 17"
+        )
+
+
+class TestExample51:
+    """The paper's Example 5.1 / Figure 3 composition."""
+
+    def test_inner_utterance(self):
+        query = q.column_values("Year", q.column_records("Country", "Greece"))
+        assert (
+            utterance(query)
+            == "values in column Year in rows where value of column Country is Greece"
+        )
+
+    def test_composed_aggregate_utterance(self):
+        query = q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+        assert utterance(query) == (
+            "maximum of values in column Year in rows where value of column "
+            "Country is Greece"
+        )
+
+    def test_derivation_tree_structure(self):
+        query = q.max_(q.column_values("Year", q.column_records("Country", "Greece")))
+        derivation = derive(query).derivation
+        assert derivation.category == "Entity"
+        assert derivation.children[0].category == "Values"
+        assert derivation.children[0].children[0].category == "Records"
+        assert derivation.children[0].children[0].children[0].text == "Greece"
+
+    def test_derivation_pretty_is_indented(self):
+        query = q.count(q.column_records("City", "Athens"))
+        pretty = derive(query).derivation.pretty()
+        assert pretty.splitlines()[0].startswith("(Entity)")
+        assert pretty.splitlines()[1].startswith("  (Records)")
+
+
+class TestComposites:
+    def test_intersection(self):
+        query = q.intersection(
+            q.column_records("City", "London"), q.column_records("Country", "UK")
+        )
+        assert utterance(query) == (
+            "rows where value of column City is London and also where value of "
+            "column Country is UK"
+        )
+
+    def test_count(self):
+        assert (
+            utterance(q.count(q.column_records("City", "Athens")))
+            == "the number of rows where value of column City is Athens"
+        )
+
+    def test_superlative_records(self):
+        assert (
+            utterance(q.argmax_records("Year"))
+            == "rows that have the highest value in column Year"
+        )
+
+    def test_superlative_records_over_subset(self):
+        query = SuperlativeRecords(
+            SuperlativeKind.ARGMIN, "Total", q.column_records("Nation", "Fiji")
+        )
+        assert utterance(query) == (
+            "rows where value of column Nation is Fiji that have the lowest value "
+            "in column Total"
+        )
+
+    def test_prev_and_next(self):
+        prev_query = q.prev_records(q.column_records("City", "London"))
+        next_query = q.next_records(q.column_records("City", "Athens"))
+        assert utterance(prev_query) == (
+            "rows right above rows where value of column City is London"
+        )
+        assert utterance(next_query) == (
+            "rows right below rows where value of column City is Athens"
+        )
+
+    def test_last_row(self):
+        assert (
+            utterance(q.last_record(q.column_records("City", "Athens")))
+            == "where it is the last row in rows where value of column City is Athens"
+        )
+
+    def test_value_in_last_row(self):
+        assert (
+            utterance(q.value_in_last_record("Episode"))
+            == "values in column Episode in the last row"
+        )
+
+    def test_most_common_whole_column(self):
+        assert (
+            utterance(q.most_common("City"))
+            == "the value that appears the most in column City"
+        )
+
+    def test_most_common_restricted(self):
+        query = q.most_common("City", q.union("Athens", "London"))
+        assert utterance(query) == (
+            "the value of Athens or London that appears the most in column City"
+        )
+
+    def test_compare_values(self):
+        query = q.compare_values("Year", "City", q.union("London", "Beijing"))
+        assert utterance(query) == (
+            "between London or Beijing who has the highest value of column Year "
+            "out of the values in City"
+        )
+
+    def test_difference_of_values_template(self):
+        query = q.value_difference("Year", "City", "London", "Beijing")
+        assert utterance(query) == (
+            "difference in values of column Year between rows where value of "
+            "column City is London and Beijing"
+        )
+
+    def test_difference_of_occurrences_template(self):
+        query = q.count_difference("City", "Athens", "London")
+        assert utterance(query) == (
+            "in column City, what is the difference between rows with value Athens "
+            "and rows with value London"
+        )
+
+    def test_generic_difference_fallback(self):
+        query = q.difference(
+            q.max_(q.column_values("Year", q.all_records())),
+            q.min_(q.column_values("Year", q.all_records())),
+        )
+        assert utterance(query).startswith("the difference between maximum of")
+
+
+class TestFigure8Utterances:
+    def test_correct_candidate(self, seasons_table):
+        query = q.max_(q.column_values("Year", q.column_records("League", "USL A-League")))
+        assert utterance(query) == (
+            "maximum of values in column Year in rows where value of column League "
+            "is USL A-League"
+        )
+
+    def test_incorrect_candidate(self, seasons_table):
+        query = q.min_(q.column_values("Year", q.argmax_records("Attendance")))
+        assert utterance(query) == (
+            "minimum of values in column Year in rows that have the highest value "
+            "in column Attendance"
+        )
+
+    def test_distinct_queries_have_distinct_utterances(self):
+        first = q.comparison_records("Games", ">", 4)
+        second = q.comparison_records("Games", ">=", 5)
+        assert utterance(first) != utterance(second)
+
+
+class TestEveryOperatorHasATemplate:
+    def test_all_node_types_covered(self, olympics_table):
+        queries = [
+            q.value("x"),
+            q.all_records(),
+            q.column_records("City", "Athens"),
+            q.comparison_records("Year", "<", 2000),
+            q.prev_records(q.all_records()),
+            q.next_records(q.all_records()),
+            q.intersection(q.column_records("City", "Athens"), q.column_records("Year", 1896)),
+            q.union("a", "b"),
+            q.argmax_records("Year"),
+            q.first_record(),
+            q.column_values("City", q.all_records()),
+            q.value_in_first_record("City"),
+            q.most_common("City"),
+            q.compare_values("Year", "City", q.union("a", "b")),
+            q.count(q.all_records()),
+            q.value_difference("Year", "City", "Athens", "Paris"),
+        ]
+        for query in queries:
+            text = utterance(query)
+            assert isinstance(text, str) and text

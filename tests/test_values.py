@@ -1,0 +1,178 @@
+"""Unit tests for typed cell values and parsing."""
+
+import math
+
+import pytest
+
+from repro.tables.values import (
+    DateValue,
+    NumberValue,
+    StringValue,
+    ValueError_,
+    parse_date,
+    parse_number,
+    parse_value,
+    values_equal,
+)
+
+
+class TestStringValue:
+    def test_equality_is_case_insensitive(self):
+        assert StringValue("Athens") == StringValue("athens")
+
+    def test_equality_ignores_extra_whitespace(self):
+        assert StringValue("  New   Caledonia ") == StringValue("New Caledonia")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(StringValue("Fiji")) == hash(StringValue("FIJI"))
+
+    def test_display_preserves_original_text(self):
+        assert StringValue("Rio de Janeiro").display() == "Rio de Janeiro"
+
+    def test_not_numeric(self):
+        assert not StringValue("Athens").is_numeric
+        with pytest.raises(ValueError_):
+            StringValue("Athens").as_number()
+
+
+class TestNumberValue:
+    def test_integral_display_has_no_decimal_point(self):
+        assert NumberValue(130.0).display() == "130"
+
+    def test_fractional_display(self):
+        assert NumberValue(2.5).display() == "2.5"
+
+    def test_equality_uses_tolerance(self):
+        assert NumberValue(0.1 + 0.2) == NumberValue(0.3)
+
+    def test_as_number(self):
+        assert NumberValue(42).as_number() == 42.0
+
+    def test_ordering(self):
+        assert NumberValue(4) < NumberValue(20)
+
+
+class TestDateValue:
+    def test_requires_at_least_one_component(self):
+        with pytest.raises(ValueError_):
+            DateValue()
+
+    def test_rejects_bad_month(self):
+        with pytest.raises(ValueError_):
+            DateValue(year=2004, month=13)
+
+    def test_rejects_bad_day(self):
+        with pytest.raises(ValueError_):
+            DateValue(year=2004, month=5, day=42)
+
+    def test_bare_year_is_numeric(self):
+        assert DateValue(year=1896).is_numeric
+        assert DateValue(year=1896).as_number() == 1896.0
+
+    def test_full_date_is_not_numeric(self):
+        assert not DateValue(year=2013, month=6, day=8).is_numeric
+
+    def test_display_formats(self):
+        assert DateValue(year=2013, month=6, day=8).display() == "2013-06-08"
+        assert DateValue(year=1896).display() == "1896"
+
+    def test_ordering_by_components(self):
+        assert DateValue(year=1896) < DateValue(year=1900)
+        assert DateValue(year=2013, month=5) < DateValue(year=2013, month=6, day=8)
+
+
+class TestParseNumber:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("1234", 1234.0),
+            ("1,234", 1234.0),
+            ("$150,000", 150000.0),
+            ("42%", 42.0),
+            ("-7", -7.0),
+            ("3.14", 3.14),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_number(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["Athens", "", "4th Round", "12-3", "1 234 567 m"])
+    def test_rejects(self, text):
+        assert parse_number(text) is None
+
+
+class TestParseDate:
+    def test_iso_date(self):
+        assert parse_date("2013-06-08") == DateValue(2013, 6, 8)
+
+    def test_iso_year_month(self):
+        assert parse_date("2013-06") == DateValue(2013, 6)
+
+    def test_textual_date(self):
+        assert parse_date("June 8, 2013") == DateValue(2013, 6, 8)
+
+    def test_day_month_year(self):
+        assert parse_date("8 June 2013") == DateValue(2013, 6, 8)
+
+    def test_rejects_nonsense_month(self):
+        assert parse_date("Juni 8, 2013") is None
+
+    def test_rejects_out_of_range(self):
+        assert parse_date("2013-13-08") is None
+
+    def test_rejects_plain_text(self):
+        assert parse_date("Athens") is None
+
+
+class TestParseValue:
+    def test_existing_value_passes_through(self):
+        value = NumberValue(5)
+        assert parse_value(value) is value
+
+    def test_none_becomes_empty_string(self):
+        assert parse_value(None) == StringValue("")
+
+    def test_int_becomes_number(self):
+        assert parse_value(42) == NumberValue(42)
+
+    def test_year_becomes_number_by_default(self):
+        assert parse_value("1896") == NumberValue(1896)
+
+    def test_year_becomes_date_when_preferred(self):
+        assert parse_value("1896", prefer_date_for_years=True) == DateValue(year=1896)
+
+    def test_textual_date_detected(self):
+        assert parse_value("June 8, 2013") == DateValue(2013, 6, 8)
+
+    def test_currency_detected(self):
+        assert parse_value("$150,000") == NumberValue(150000)
+
+    def test_plain_text_falls_back_to_string(self):
+        assert parse_value("Did not qualify") == StringValue("Did not qualify")
+
+    def test_bool_is_not_treated_as_number(self):
+        assert parse_value(True) == StringValue("True")
+
+
+class TestValuesEqual:
+    def test_same_type(self):
+        assert values_equal(StringValue("Fiji"), StringValue("fiji"))
+
+    def test_string_number_cross_type(self):
+        assert values_equal(StringValue("2004"), NumberValue(2004))
+        assert values_equal(NumberValue(2004), StringValue("2004"))
+
+    def test_string_date_cross_type(self):
+        assert values_equal(StringValue("June 8, 2013"), DateValue(2013, 6, 8))
+
+    def test_number_vs_year_date(self):
+        assert values_equal(NumberValue(1896), DateValue(year=1896))
+
+    def test_non_numeric_string_never_equals_number(self):
+        assert not values_equal(StringValue("Athens"), NumberValue(3))
+
+    def test_unequal_numbers(self):
+        assert not values_equal(NumberValue(4), NumberValue(5))
+
+    def test_text_vs_full_date_mismatch(self):
+        assert not values_equal(StringValue("Athens"), DateValue(2013, 6, 8))
