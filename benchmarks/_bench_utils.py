@@ -1,8 +1,11 @@
-"""Helpers shared by the experiment benches (scale factor, table printing)."""
+"""Helpers shared by the experiment benches (scale factor, table printing,
+timing-artifact emission)."""
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 #: Scale factor for the bench corpus; 1.0 keeps the suite at a few minutes.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -14,6 +17,29 @@ K = 7
 def scaled(value: int, minimum: int = 1) -> int:
     """Scale an experiment size by ``REPRO_BENCH_SCALE``."""
     return max(minimum, int(round(value * SCALE)))
+
+
+def artifact_dir() -> Path:
+    """Where timing artifacts land: ``REPRO_BENCH_ARTIFACT_DIR`` or repo root."""
+    override = os.environ.get("REPRO_BENCH_ARTIFACT_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+def emit_bench_artifact(name: str, payload: dict) -> Path:
+    """Write a ``BENCH_<name>.json`` timing artifact and return its path.
+
+    Artifacts are the bench trajectory: each perf harness dumps its
+    timings here so successive PRs have concrete numbers to beat.  The
+    payload must be JSON-able (e.g. ``ParseBenchReport.to_payload()``).
+    """
+    path = artifact_dir() / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def print_table(title: str, headers, rows) -> None:

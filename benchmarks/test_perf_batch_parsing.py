@@ -1,0 +1,76 @@
+"""Perf bench — sequential vs memoized vs batched parsing (ISSUE 1).
+
+The paper's deployment answers every question by generating and executing
+up to 600 candidate lambda DCS queries (Table 7 reports the cost).  This
+bench locks in the batching/caching subsystem of :mod:`repro.perf`: the
+same held-out workload is parsed three ways —
+
+* ``sequential`` — the seed hot path (no memoization, no candidate cache),
+* ``memoized``   — content-addressed sub-query + candidate caches,
+* ``batched``    — the same caches driven by a worker pool,
+
+with the workload replayed twice to model repeated deployment traffic.
+The asserted shape: both caching modes beat the sequential seed path.
+Timings are written to ``BENCH_parse.json`` so future PRs have a
+trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import run_parse_bench
+
+from _bench_utils import emit_bench_artifact, print_table, scaled
+
+#: Workload size (questions drawn from the held-out split) and replays.
+BENCH_QUESTIONS = scaled(16, minimum=6)
+BENCH_REPEATS = 2
+BENCH_WORKERS = 4
+
+
+@pytest.mark.benchmark(group="perf-parse")
+def test_perf_batch_parsing(benchmark, baseline_parser, test_examples):
+    examples = test_examples[:BENCH_QUESTIONS]
+    pairs = [(example.question, example.table) for example in examples]
+
+    report = benchmark.pedantic(
+        lambda: run_parse_bench(
+            pairs,
+            model=baseline_parser.model,
+            repeats=BENCH_REPEATS,
+            workers=BENCH_WORKERS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table(
+        f"Parse latency: {report.questions} parses "
+        f"({len(pairs)} questions x {BENCH_REPEATS} repeats, "
+        f"{BENCH_WORKERS} workers)",
+        ["mode", "total", "mean/question", "speedup"],
+        report.rows(),
+    )
+
+    artifact = emit_bench_artifact("parse", report.to_payload())
+    assert artifact.exists()
+
+    sequential = report.modes["sequential"]
+    memoized = report.modes["memoized"]
+    batched = report.modes["batched"]
+
+    # Every mode parsed the identical workload and generated the same
+    # candidates — the caches change speed, never results.
+    assert memoized.candidates == sequential.candidates
+    assert batched.candidates == sequential.candidates
+
+    # The point of the subsystem: memoized + batched beat the seed path.
+    assert memoized.total_seconds < sequential.total_seconds, (
+        f"memoized ({memoized.total_seconds:.3f}s) did not beat "
+        f"sequential ({sequential.total_seconds:.3f}s)"
+    )
+    assert batched.total_seconds < sequential.total_seconds, (
+        f"batched ({batched.total_seconds:.3f}s) did not beat "
+        f"sequential ({sequential.total_seconds:.3f}s)"
+    )

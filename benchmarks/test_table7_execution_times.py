@@ -25,6 +25,10 @@ from _bench_utils import K, print_table
 
 
 def _stage_times(parser, examples, k):
+    # Earlier benches in the session may have warmed the shared parser's
+    # content-addressed caches for these very questions; this bench measures
+    # *generation* cost, so start cold.
+    parser.clear_caches()
     candidate_seconds = []
     utterance_seconds = []
     highlight_seconds = []

@@ -12,10 +12,12 @@ The package is organised as:
 * :mod:`repro.dataset` — a synthetic WikiTableQuestions-like benchmark,
 * :mod:`repro.users` — simulated crowd workers for the user study (Section 7),
 * :mod:`repro.interface` — the deployed NL interface and feedback retraining
-  (Section 6).
+  (Section 6),
+* :mod:`repro.perf` — batch parsing, content-addressed caches and the
+  parse-latency bench harness (Table 7 at deployment scale).
 """
 
-from . import core, dataset, dcs, interface, parser, sql, tables, users
+from . import core, dataset, dcs, interface, parser, perf, sql, tables, users
 
 __version__ = "1.0.0"
 
@@ -28,5 +30,6 @@ __all__ = [
     "dataset",
     "users",
     "interface",
+    "perf",
     "__version__",
 ]

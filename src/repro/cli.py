@@ -1,11 +1,12 @@
 """Command-line interface for the reproduction.
 
-Four sub-commands cover the workflows a downstream user needs::
+Five sub-commands cover the workflows a downstream user needs::
 
     python -m repro explain --table table.csv --query '(aggregate max (column-values "Year" (column-records "Country" (value "Greece"))))'
     python -m repro ask     --table table.csv --question "When did Greece last host?" --k 5
     python -m repro dataset --output corpus/ --tables 20 --questions 6
     python -m repro study   --tables 20 --questions 6 --k 7
+    python -m repro bench-parse --tables 4 --questions 4 --repeats 2 --workers 4 --output BENCH_parse.json
 
 * ``explain`` — parse a lambda DCS s-expression, execute it on a CSV table
   and print the utterance + provenance highlights (Section 5).
@@ -17,6 +18,9 @@ Four sub-commands cover the workflows a downstream user needs::
 * ``study`` — run the end-to-end deployment experiment on a freshly
   generated corpus with simulated workers and print the Table 6 scenario
   summary.
+* ``bench-parse`` — run the parse-latency harness (sequential vs memoized
+  vs batched parsing) on a synthetic corpus and optionally write the
+  ``BENCH_parse.json`` timing artifact.
 """
 
 from __future__ import annotations
@@ -66,6 +70,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
     study_cmd.add_argument("--k", type=int, default=7)
     study_cmd.add_argument("--epochs", type=int, default=2)
     study_cmd.add_argument("--seed", type=int, default=7)
+
+    bench_cmd = subparsers.add_parser(
+        "bench-parse",
+        help="benchmark sequential vs memoized vs batched parsing",
+    )
+    bench_cmd.add_argument("--tables", type=int, default=4)
+    bench_cmd.add_argument("--questions", type=int, default=4, help="questions per table")
+    bench_cmd.add_argument("--seed", type=int, default=2019)
+    bench_cmd.add_argument("--repeats", type=int, default=2, help="workload replays (warm-cache traffic)")
+    bench_cmd.add_argument("--workers", type=int, default=4, help="batch parser pool size")
+    bench_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
+    bench_cmd.add_argument("--output", help="write the timing payload to this JSON file")
     return parser
 
 
@@ -166,6 +182,35 @@ def run_study(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def run_bench_parse(args: argparse.Namespace, out) -> int:
+    from .perf import bench_pairs_from_dataset, run_parse_bench
+
+    pairs = bench_pairs_from_dataset(
+        num_tables=args.tables, questions_per_table=args.questions, seed=args.seed
+    )
+    model = LogLinearModel.load(args.model) if args.model else None
+    report = run_parse_bench(
+        pairs, model=model, repeats=args.repeats, workers=args.workers
+    )
+    print(
+        f"workload: {report.questions} parses "
+        f"({len(pairs)} questions x {report.repeats} repeats)",
+        file=out,
+    )
+    print(f"{'mode':<12} {'total':>10} {'mean':>10} {'speedup':>8}", file=out)
+    for mode, total, mean, speedup in report.rows():
+        print(f"{mode:<12} {total:>10} {mean:>10} {speedup:>8}", file=out)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        print(f"wrote timings to {path}", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_argument_parser().parse_args(argv)
@@ -174,6 +219,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "ask": run_ask,
         "dataset": run_dataset,
         "study": run_study,
+        "bench-parse": run_bench_parse,
     }
     return handlers[args.command](args, out)
 

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..tables.fingerprint import LRUCache
 from ..tables.table import Table
 from ..core.explanation import ExplanationGenerator, QueryExplanation
 from ..parser.candidates import Candidate, ParseOutput, SemanticParser
+from ..perf.batch import BatchParser
 
 
 @dataclass(frozen=True)
@@ -66,16 +68,22 @@ class InterfaceResponse:
 class NLInterface:
     """A natural-language interface over web tables with query explanations."""
 
-    def __init__(self, parser: Optional[SemanticParser] = None, k: int = 7) -> None:
+    def __init__(
+        self,
+        parser: Optional[SemanticParser] = None,
+        k: int = 7,
+        table_cache_size: int = 64,
+    ) -> None:
         self.parser = parser or SemanticParser()
         self.k = k
-        self._generators: Dict[int, ExplanationGenerator] = {}
+        self._generators: LRUCache = LRUCache(maxsize=table_cache_size)
 
     def _generator(self, table: Table) -> ExplanationGenerator:
-        key = id(table)
-        if key not in self._generators:
-            self._generators[key] = ExplanationGenerator(table)
-        return self._generators[key]
+        # Content-addressed (never id-keyed: ids are recycled) and bounded,
+        # mirroring the parser's own per-table caches.
+        return self._generators.get_or_create(
+            table.fingerprint, lambda: ExplanationGenerator(table)
+        )
 
     def ask(self, question: str, table: Table, k: Optional[int] = None) -> InterfaceResponse:
         """Parse a question and explain the top-k candidates."""
@@ -101,3 +109,45 @@ class NLInterface:
             parse_seconds=parse_seconds,
             explain_seconds=explain_seconds,
         )
+
+    def ask_many(
+        self,
+        items: Sequence[Tuple[str, Table]],
+        k: Optional[int] = None,
+        workers: int = 4,
+    ) -> List[InterfaceResponse]:
+        """Answer a batch of (question, table) pairs concurrently.
+
+        Parsing fans out over a :class:`~repro.perf.batch.BatchParser`
+        worker pool (order-stable, identical to asking sequentially);
+        explanation stays sequential per response since it is cheap
+        relative to parsing.  Returns one :class:`InterfaceResponse` per
+        input pair, index-aligned.
+        """
+        limit = k if k is not None else self.k
+        batch = BatchParser(self.parser, max_workers=workers)
+        report = batch.parse_all(items)
+        responses: List[InterfaceResponse] = []
+        for result in report:
+            generator = self._generator(result.table)
+            started = time.perf_counter()
+            explained = [
+                ExplainedCandidate(
+                    rank=rank,
+                    candidate=candidate,
+                    explanation=generator.explain(candidate.query),
+                )
+                for rank, candidate in enumerate(result.parse.top_k(limit))
+            ]
+            explain_seconds = time.perf_counter() - started
+            responses.append(
+                InterfaceResponse(
+                    question=result.question,
+                    table=result.table,
+                    parse=result.parse,
+                    explained=explained,
+                    parse_seconds=result.seconds,
+                    explain_seconds=explain_seconds,
+                )
+            )
+        return responses

@@ -23,6 +23,7 @@ from ..parser.candidates import SemanticParser
 from ..parser.evaluation import EvaluationExample, EvaluationReport, evaluate_parser
 from ..parser.model import LogLinearModel
 from ..parser.training import Trainer, TrainerConfig, TrainingExample
+from ..perf.batch import BatchParser
 from ..users.feedback import FeedbackCollector, FeedbackConfig, FeedbackResult
 
 
@@ -60,12 +61,19 @@ class RetrainingComparison:
 
 @dataclass
 class RetrainingConfig:
-    """Knobs of the feedback-retraining pipeline."""
+    """Knobs of the feedback-retraining pipeline.
+
+    ``prefetch_workers > 1`` warms the baseline parser's content-addressed
+    caches concurrently before feedback collection: candidate generation
+    is weight-independent, so the sequential worker-in-the-loop pass then
+    runs on cache hits.
+    """
 
     epochs: int = 4
     k: int = 7
     seed: int = 53
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    prefetch_workers: int = 0
 
 
 class RetrainingPipeline:
@@ -80,6 +88,13 @@ class RetrainingPipeline:
     # -- feedback collection -------------------------------------------------------
     def collect_feedback(self, examples: Sequence[DatasetExample]) -> FeedbackResult:
         """Run the explanation interface over training questions (step 2)."""
+        if (
+            self.config.prefetch_workers > 1
+            and self.baseline.config.cache_candidates
+        ):
+            BatchParser(
+                self.baseline, max_workers=self.config.prefetch_workers
+            ).prewarm([(example.question, example.table) for example in examples])
         collector = FeedbackCollector(self.baseline, self.config.feedback)
         return collector.collect(examples)
 

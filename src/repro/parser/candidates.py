@@ -13,10 +13,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..tables.fingerprint import LRUCache
 from ..tables.table import Table
 from ..dcs.ast import Query
 from ..dcs.errors import DCSError
 from ..dcs.executor import ExecutionResult, Executor
+from ..dcs.memo import DEFAULT_EXECUTION_CACHE_SIZE, ExecutionCache, MemoizedExecutor
 from ..dcs.sexpr import to_sexpr
 from ..dcs.typing import validate
 from .features import FeatureVector, extract_features
@@ -70,12 +72,36 @@ class ParseOutput:
 
 @dataclass
 class ParserConfig:
-    """Behavioural knobs of the parser."""
+    """Behavioural knobs of the parser.
+
+    The caching knobs control the content-addressed caches that make the
+    deployment hot path fast.  All caches are keyed by
+    :class:`~repro.tables.fingerprint.TableFingerprint` (never by object
+    id) and bounded by an LRU, so long-running deployments neither leak
+    nor alias recycled tables:
+
+    * ``memoize_execution`` — execute candidate sub-queries through a
+      shared :class:`~repro.dcs.memo.MemoizedExecutor`, so the ~600
+      candidates of one question stop re-walking the table for shared
+      sub-trees.
+    * ``cache_candidates`` — memoize the full (weight-independent)
+      candidate list per ``(table, question)``; re-parsing the same
+      question only re-*ranks* with the current model weights.
+    * ``table_cache_size`` / ``execution_cache_size`` /
+      ``candidate_cache_size`` — LRU bounds of the per-table
+      lexicon+grammar caches, the sub-query execution cache and the
+      candidate-list cache.
+    """
 
     generation: GenerationConfig = field(default_factory=GenerationConfig)
     drop_empty_answers: bool = True
     drop_failing_candidates: bool = True
     max_candidates: int = 600
+    memoize_execution: bool = True
+    cache_candidates: bool = True
+    table_cache_size: int = 64
+    execution_cache_size: int = DEFAULT_EXECUTION_CACHE_SIZE
+    candidate_cache_size: int = 256
 
 
 class SemanticParser:
@@ -88,28 +114,62 @@ class SemanticParser:
     ) -> None:
         self.model = model or LogLinearModel()
         self.config = config or ParserConfig()
-        self._lexicons: Dict[int, Lexicon] = {}
-        self._grammars: Dict[int, CandidateGrammar] = {}
+        self._lexicons: LRUCache = LRUCache(maxsize=self.config.table_cache_size)
+        self._grammars: LRUCache = LRUCache(maxsize=self.config.table_cache_size)
+        self._execution_cache = ExecutionCache(maxsize=self.config.execution_cache_size)
+        self._candidate_cache: LRUCache = LRUCache(maxsize=self.config.candidate_cache_size)
 
     # -- per-table caches ---------------------------------------------------------
+    # Keyed by content fingerprint, NOT id(table): CPython recycles object
+    # ids after garbage collection, so id-keyed caches can serve a stale
+    # lexicon/grammar for a brand-new table (and grow without bound).
     def _lexicon(self, table: Table) -> Lexicon:
-        key = id(table)
-        if key not in self._lexicons:
-            self._lexicons[key] = Lexicon(table)
-        return self._lexicons[key]
+        return self._lexicons.get_or_create(table.fingerprint, lambda: Lexicon(table))
 
     def _grammar(self, table: Table) -> CandidateGrammar:
-        key = id(table)
-        if key not in self._grammars:
-            self._grammars[key] = CandidateGrammar(table, self.config.generation)
-        return self._grammars[key]
+        return self._grammars.get_or_create(
+            table.fingerprint,
+            lambda: CandidateGrammar(table, self.config.generation),
+        )
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size counters of every parser cache (for bench reports)."""
+        return {
+            "lexicons": self._lexicons.stats(),
+            "grammars": self._grammars.stats(),
+            "execution": self._execution_cache.stats(),
+            "candidates": self._candidate_cache.stats(),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached lexicon, grammar, execution and candidate entry."""
+        self._lexicons.clear()
+        self._grammars.clear()
+        self._execution_cache.clear()
+        self._candidate_cache.clear()
 
     # -- candidate generation -------------------------------------------------------
     def generate_candidates(self, question: str, table: Table) -> Tuple[List[Candidate], LexicalAnalysis]:
-        """Generate (unranked) executable candidates with their features."""
+        """Generate (unranked) executable candidates with their features.
+
+        Generation is independent of the model weights (only ranking uses
+        them), so with ``config.cache_candidates`` the whole candidate
+        list is memoized per ``(table content, question)``: a warm parse
+        skips lexical analysis, grammar generation and execution entirely.
+        """
+        cache_key = (table.fingerprint, question)
+        if self.config.cache_candidates:
+            cached = self._candidate_cache.get(cache_key)
+            if cached is not None:
+                candidates, analysis = cached
+                return list(candidates), analysis
         analysis = self._lexicon(table).analyze(question)
         raw_queries = self._grammar(table).generate(analysis)
-        executor = Executor(table)
+        executor: Executor
+        if self.config.memoize_execution:
+            executor = MemoizedExecutor(table, cache=self._execution_cache)
+        else:
+            executor = Executor(table)
         candidates: List[Candidate] = []
         for query in raw_queries:
             if not validate(query, table):
@@ -127,6 +187,8 @@ class SemanticParser:
                 question, table, query, analysis=analysis, result=result
             )
             candidates.append(Candidate(query=query, features=features, result=result))
+        if self.config.cache_candidates:
+            self._candidate_cache.put(cache_key, (tuple(candidates), analysis))
         return candidates, analysis
 
     # -- parsing -----------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Batching, caching and benchmarking: the deployment-scale subsystem.
+
+The paper's interactive deployment stands or falls on latency (Table 7):
+every question triggers generation and execution of up to 600 candidate
+lambda DCS queries.  This package holds the throughput machinery built on
+the content-addressed caches of :mod:`repro.tables.fingerprint` and
+:mod:`repro.dcs.memo`:
+
+* :class:`~repro.perf.batch.BatchParser` — parse many (question, table)
+  pairs concurrently through one shared parser, order-stable and
+  bit-identical to the sequential loop;
+* :func:`~repro.perf.bench.run_parse_bench` — the three-mode perf harness
+  (sequential vs memoized vs batched) whose payload becomes the
+  ``BENCH_parse.json`` trajectory artifact;
+* re-exports of the cache primitives so callers can reach everything
+  performance-related through ``repro.perf``.
+"""
+
+from ..dcs.memo import ExecutionCache, MemoizedExecutor, execute_memoized
+from ..tables.fingerprint import LRUCache, TableFingerprint, fingerprint_table
+from .batch import BatchItem, BatchParseResult, BatchParser, BatchReport
+from .bench import (
+    BENCH_MODES,
+    ModeTiming,
+    ParseBenchReport,
+    bench_pairs_from_dataset,
+    run_parse_bench,
+    sequential_parser_config,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchParseResult",
+    "BatchParser",
+    "BatchReport",
+    "BENCH_MODES",
+    "ModeTiming",
+    "ParseBenchReport",
+    "bench_pairs_from_dataset",
+    "run_parse_bench",
+    "sequential_parser_config",
+    "ExecutionCache",
+    "MemoizedExecutor",
+    "execute_memoized",
+    "LRUCache",
+    "TableFingerprint",
+    "fingerprint_table",
+]

@@ -1,0 +1,162 @@
+"""Concurrent batch parsing with per-question timing.
+
+The interactive deployment (Sections 6–8 of the paper) answers a stream of
+questions; Table 7 reports execution time as a first-class result.  This
+module provides the throughput-oriented entry point: a
+:class:`BatchParser` that drives one shared :class:`SemanticParser` over a
+sequence of ``(question, table)`` pairs with a thread pool.
+
+Correctness contract (locked in by ``tests/test_perf_batch.py``): results
+are **order-stable** — ``results[i]`` always answers ``items[i]`` — and
+**bit-identical** to a sequential loop over the same parser configuration,
+for any pool size.  This holds because candidate generation is
+deterministic and all shared caches are content-addressed and
+thread-safe; worker threads only ever *add* identical entries.
+
+Threads (not processes) are the right pool here: the shared caches are
+the point — a process pool would give each worker a cold cache and pay
+table serialisation on every item.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..parser.candidates import ParseOutput, SemanticParser
+from ..tables.table import Table
+
+#: Input accepted by :meth:`BatchParser.parse_all`.
+BatchInput = Union["BatchItem", Tuple[str, Table]]
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One unit of batch work: a question over a table (optional top-``k``)."""
+
+    question: str
+    table: Table
+    k: Optional[int] = None
+
+
+@dataclass
+class BatchParseResult:
+    """One parsed question with its position and wall-clock cost."""
+
+    index: int
+    question: str
+    table: Table
+    parse: ParseOutput
+    seconds: float
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.parse.candidates)
+
+
+@dataclass
+class BatchReport:
+    """Everything a caller needs from one batch run.
+
+    ``results`` is index-aligned with the input items regardless of the
+    pool size or completion order.  ``total_seconds`` is the wall-clock
+    time of the whole batch (not the sum of per-item times, which overlap
+    under concurrency).
+    """
+
+    results: List[BatchParseResult] = field(default_factory=list)
+    total_seconds: float = 0.0
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def per_question_seconds(self) -> List[float]:
+        return [result.seconds for result in self.results]
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / len(self.results) if self.results else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Questions per second of wall-clock time."""
+        return len(self.results) / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    def parses(self) -> List[ParseOutput]:
+        return [result.parse for result in self.results]
+
+
+class BatchParser:
+    """Parses many (question, table) pairs through one shared parser.
+
+    Parameters
+    ----------
+    parser:
+        The :class:`SemanticParser` to drive.  All of its caches
+        (lexicons, grammars, memoized execution, candidate lists) are
+        shared across the pool, so a batch over related questions warms
+        the caches for every later question — including questions asked
+        after the batch, which is what the prefetch hooks in
+        :mod:`repro.interface` exploit.
+    max_workers:
+        Thread-pool size.  ``1`` runs inline with no pool at all, which
+        is the reference behaviour the concurrency tests compare against.
+    """
+
+    def __init__(self, parser: Optional[SemanticParser] = None, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"BatchParser needs max_workers >= 1, got {max_workers}")
+        self.parser = parser or SemanticParser()
+        self.max_workers = max_workers
+
+    # -- public API -----------------------------------------------------------
+    def parse_all(
+        self, items: Iterable[BatchInput], k: Optional[int] = None
+    ) -> BatchReport:
+        """Parse every item, returning an index-aligned timed report.
+
+        ``k`` is a default top-``k`` applied to plain ``(question, table)``
+        tuples; a :class:`BatchItem` with its own ``k`` wins.
+        """
+        normalized = [self._normalize(item, k) for item in items]
+        started = time.perf_counter()
+        if self.max_workers == 1 or len(normalized) <= 1:
+            results = [self._parse_one(i, item) for i, item in enumerate(normalized)]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(
+                    pool.map(self._parse_one, range(len(normalized)), normalized)
+                )
+        total = time.perf_counter() - started
+        return BatchReport(results=results, total_seconds=total, workers=self.max_workers)
+
+    def prewarm(self, items: Iterable[BatchInput], k: Optional[int] = None) -> BatchReport:
+        """Alias of :meth:`parse_all` named for its cache-warming side effect."""
+        return self.parse_all(items, k=k)
+
+    # -- internals ------------------------------------------------------------
+    @staticmethod
+    def _normalize(item: BatchInput, k: Optional[int]) -> BatchItem:
+        if isinstance(item, BatchItem):
+            return item
+        question, table = item
+        return BatchItem(question=question, table=table, k=k)
+
+    def _parse_one(self, index: int, item: BatchItem) -> BatchParseResult:
+        started = time.perf_counter()
+        parse = self.parser.parse(item.question, item.table, k=item.k)
+        elapsed = time.perf_counter() - started
+        return BatchParseResult(
+            index=index,
+            question=item.question,
+            table=item.table,
+            parse=parse,
+            seconds=elapsed,
+        )

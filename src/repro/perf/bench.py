@@ -1,0 +1,202 @@
+"""The parse-latency bench harness: sequential vs memoized vs batched.
+
+This is the measurement side of the batching/caching subsystem.  It runs
+the same question workload through three parser configurations:
+
+* ``sequential`` — the seed hot path: plain :class:`Executor`, no
+  sub-query memoization, no candidate-list cache (per-table lexicons and
+  grammars are still built once, as the seed did);
+* ``memoized``  — content-addressed caching on (shared execution cache +
+  per-question candidate cache), still a sequential loop;
+* ``batched``   — same caches driven through a
+  :class:`~repro.perf.batch.BatchParser` thread pool.
+
+and reports wall-clock totals, per-question timings and cache statistics
+in a JSON-able payload.  ``benchmarks/test_perf_batch_parsing.py`` runs
+the harness on the bench corpus and writes the payload to
+``BENCH_parse.json`` so future PRs have a trajectory to beat; the
+``repro bench-parse`` CLI sub-command does the same on demand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parser.candidates import ParserConfig, SemanticParser
+from ..parser.model import LogLinearModel
+from ..tables.table import Table
+from .batch import BatchParser
+
+#: The three modes of the harness, in reporting order.
+BENCH_MODES = ("sequential", "memoized", "batched")
+
+
+@dataclass
+class ModeTiming:
+    """Timing of one harness mode over the whole workload."""
+
+    mode: str
+    total_seconds: float
+    per_question_seconds: List[float] = field(default_factory=list)
+    candidates: int = 0
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def questions(self) -> int:
+        return len(self.per_question_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.questions if self.questions else 0.0
+
+
+@dataclass
+class ParseBenchReport:
+    """The harness output: one :class:`ModeTiming` per mode, plus metadata."""
+
+    modes: Dict[str, ModeTiming] = field(default_factory=dict)
+    questions: int = 0
+    repeats: int = 1
+    workers: int = 1
+
+    def speedup(self, mode: str, baseline: str = "sequential") -> float:
+        """Wall-clock speedup of ``mode`` over ``baseline`` (>1 is faster)."""
+        base = self.modes[baseline].total_seconds
+        other = self.modes[mode].total_seconds
+        return base / other if other > 0 else float("inf")
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-able dict (the schema of the ``BENCH_parse.json`` artifact)."""
+        return {
+            "schema": "repro-bench-parse-v1",
+            "questions": self.questions,
+            "repeats": self.repeats,
+            "workers": self.workers,
+            "modes": {
+                name: {
+                    "total_seconds": timing.total_seconds,
+                    "mean_seconds": timing.mean_seconds,
+                    "per_question_seconds": timing.per_question_seconds,
+                    "candidates": timing.candidates,
+                    "cache_stats": timing.cache_stats,
+                }
+                for name, timing in self.modes.items()
+            },
+            "speedups": {
+                name: self.speedup(name)
+                for name in self.modes
+                if name != "sequential" and "sequential" in self.modes
+            },
+        }
+
+    def rows(self) -> List[List[str]]:
+        """Console rows (mode, total, mean, speedup) for the CLI / benches."""
+        rows = []
+        for name in BENCH_MODES:
+            timing = self.modes.get(name)
+            if timing is None:
+                continue
+            speedup = self.speedup(name) if "sequential" in self.modes else 1.0
+            rows.append(
+                [
+                    name,
+                    f"{timing.total_seconds:.3f}s",
+                    f"{timing.mean_seconds * 1000:.1f}ms",
+                    f"{speedup:.2f}x",
+                ]
+            )
+        return rows
+
+
+def sequential_parser_config() -> ParserConfig:
+    """The seed-equivalent configuration: no memoization, no candidate cache."""
+    return ParserConfig(memoize_execution=False, cache_candidates=False)
+
+
+def run_parse_bench(
+    pairs: Sequence[Tuple[str, Table]],
+    model: Optional[LogLinearModel] = None,
+    repeats: int = 2,
+    workers: int = 4,
+    k: Optional[int] = None,
+) -> ParseBenchReport:
+    """Run the three-mode harness over a ``(question, table)`` workload.
+
+    ``repeats`` replays the workload to model repeated deployment traffic
+    (the regime Table 7 measures): the first pass is cold for every mode,
+    later passes expose the warm-cache behaviour the caching modes exist
+    for.  Every mode parses exactly ``len(pairs) * repeats`` questions on
+    its own fresh parser, sharing only the (read-only) ``model`` weights.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    workload: List[Tuple[str, Table]] = [pair for _ in range(repeats) for pair in pairs]
+    report = ParseBenchReport(
+        questions=len(workload), repeats=repeats, workers=workers
+    )
+
+    # -- sequential (seed path) ---------------------------------------------
+    parser = SemanticParser(model=model, config=sequential_parser_config())
+    report.modes["sequential"] = _run_sequential("sequential", parser, workload, k)
+
+    # -- memoized (content-addressed caches, sequential loop) ---------------
+    parser = SemanticParser(model=model)
+    report.modes["memoized"] = _run_sequential("memoized", parser, workload, k)
+
+    # -- batched (same caches + thread pool) --------------------------------
+    parser = SemanticParser(model=model)
+    batch = BatchParser(parser, max_workers=workers)
+    batch_report = batch.parse_all(workload, k=k)
+    report.modes["batched"] = ModeTiming(
+        mode="batched",
+        total_seconds=batch_report.total_seconds,
+        per_question_seconds=batch_report.per_question_seconds,
+        candidates=sum(result.num_candidates for result in batch_report),
+        cache_stats=parser.cache_stats(),
+    )
+    return report
+
+
+def _run_sequential(
+    mode: str,
+    parser: SemanticParser,
+    workload: Sequence[Tuple[str, Table]],
+    k: Optional[int],
+) -> ModeTiming:
+    per_question: List[float] = []
+    candidates = 0
+    started = time.perf_counter()
+    for question, table in workload:
+        t0 = time.perf_counter()
+        parse = parser.parse(question, table, k=k)
+        per_question.append(time.perf_counter() - t0)
+        candidates += len(parse.candidates)
+    total = time.perf_counter() - started
+    return ModeTiming(
+        mode=mode,
+        total_seconds=total,
+        per_question_seconds=per_question,
+        candidates=candidates,
+        cache_stats=parser.cache_stats(),
+    )
+
+
+def bench_pairs_from_dataset(
+    num_tables: int = 4,
+    questions_per_table: int = 4,
+    seed: int = 2019,
+    paraphrase_rate: float = 0.5,
+) -> List[Tuple[str, Table]]:
+    """A small synthetic ``(question, table)`` workload for the harness."""
+    from ..dataset.dataset import DatasetConfig, build_dataset
+
+    config = DatasetConfig(
+        num_tables=num_tables,
+        questions_per_table=questions_per_table,
+        seed=seed,
+        paraphrase_rate=paraphrase_rate,
+    )
+    dataset = build_dataset(config)
+    return [(example.question, example.table) for example in dataset.examples]

@@ -10,6 +10,7 @@ from .values import (
     parse_value,
     values_equal,
 )
+from .fingerprint import LRUCache, TableFingerprint, fingerprint_table
 from .table import Cell, Record, Table, TableError
 from .knowledge_base import KnowledgeBase, Triple
 from .schema import ColumnProfile, TableSchema, infer_schema, profile_column
@@ -36,6 +37,9 @@ __all__ = [
     "Record",
     "Table",
     "TableError",
+    "TableFingerprint",
+    "fingerprint_table",
+    "LRUCache",
     "KnowledgeBase",
     "Triple",
     "ColumnProfile",

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .fingerprint import TableFingerprint, fingerprint_table
 from .values import RawValue, Value, parse_value
 
 
@@ -129,8 +130,23 @@ class Table:
             column: tuple(record.cell(column) for record in self.records)
             for column in self.columns
         }
+        self._fingerprint: Optional[TableFingerprint] = None
 
     # -- basic introspection --------------------------------------------------
+    @property
+    def fingerprint(self) -> TableFingerprint:
+        """The content-addressed identity of this table.
+
+        A stable SHA-256 over headers and typed cells (the table *name* is
+        excluded); see :class:`~repro.tables.fingerprint.TableFingerprint`
+        for the exact contract.  Computed lazily once per table object —
+        tables are immutable after construction, so the cached digest can
+        never go stale.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_table(self)
+        return self._fingerprint
+
     @property
     def num_rows(self) -> int:
         return len(self.records)

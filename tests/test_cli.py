@@ -107,3 +107,35 @@ class TestStudyCommand:
         assert code == 0
         assert "hybrid correctness" in text
         assert "correctness bound" in text
+
+
+class TestBenchParseCommand:
+    def test_bench_parse_prints_modes_and_writes_artifact(self, tmp_path):
+        out = io.StringIO()
+        artifact = tmp_path / "BENCH_parse.json"
+        code = main(
+            ["bench-parse", "--tables", "2", "--questions", "2", "--repeats", "2",
+             "--workers", "2", "--output", str(artifact)],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        for mode in ("sequential", "memoized", "batched"):
+            assert mode in text
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro-bench-parse-v1"
+        assert set(payload["modes"]) == {"sequential", "memoized", "batched"}
+        assert payload["questions"] == 8  # 2 tables x 2 questions x 2 repeats
+        for mode_payload in payload["modes"].values():
+            assert len(mode_payload["per_question_seconds"]) == 8
+            assert mode_payload["total_seconds"] > 0
+
+    def test_bench_parse_without_output_file(self):
+        out = io.StringIO()
+        code = main(
+            ["bench-parse", "--tables", "2", "--questions", "1", "--repeats", "1",
+             "--workers", "1"],
+            out=out,
+        )
+        assert code == 0
+        assert "speedup" in out.getvalue()

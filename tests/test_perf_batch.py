@@ -1,0 +1,212 @@
+"""Concurrency tests for :class:`repro.perf.BatchParser` and the interface
+batch entry points.
+
+The contract under test: batching is a pure throughput optimisation —
+for any pool size the results are order-stable (``results[i]`` answers
+``items[i]``) and bit-identical (same candidate s-expressions, scores,
+probabilities and answers) to a plain sequential loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interface import NLInterface
+from repro.parser import SemanticParser
+from repro.perf import BatchItem, BatchParser, run_parse_bench
+from repro.tables import Table
+
+
+def build_tables():
+    olympics = Table(
+        columns=["Year", "Country", "City"],
+        rows=[
+            [1896, "Greece", "Athens"],
+            [1900, "France", "Paris"],
+            [2004, "Greece", "Athens"],
+            [2008, "China", "Beijing"],
+        ],
+        name="olympics",
+    )
+    medals = Table(
+        columns=["Nation", "Gold", "Total"],
+        rows=[
+            ["Fiji", 33, 130],
+            ["Samoa", 22, 73],
+            ["Tonga", 4, 20],
+        ],
+        name="medals",
+    )
+    return olympics, medals
+
+
+def build_items():
+    olympics, medals = build_tables()
+    return [
+        ("which country hosted in 2004", olympics),
+        ("how many rows have country greece", olympics),
+        ("what is the highest year", olympics),
+        ("which nation has the most gold", medals),
+        ("what is the total of fiji", medals),
+        ("how many nations have total above 50", medals),
+    ]
+
+
+#: Deterministic non-zero weights so ranking is exercised, not just generation.
+WEIGHTS = {
+    "op:Aggregate": 0.7,
+    "op:ColumnValues": -0.3,
+    "op:SuperlativeRecords": 0.5,
+    "answer:singleton": 0.2,
+}
+
+
+def make_parser() -> SemanticParser:
+    parser = SemanticParser()
+    parser.model.weights = dict(WEIGHTS)
+    return parser
+
+
+def signature(parse):
+    """Everything observable about one parse, for bit-identity comparison."""
+    return [
+        (c.sexpr, c.score, c.probability, c.answer) for c in parse.candidates
+    ]
+
+
+class TestBatchParserConcurrency:
+    def test_results_match_sequential_loop_for_all_pool_sizes(self):
+        items = build_items()
+        reference_parser = make_parser()
+        reference = [
+            signature(reference_parser.parse(question, table))
+            for question, table in items
+        ]
+        for workers in (1, 2, 8):
+            parser = make_parser()
+            report = BatchParser(parser, max_workers=workers).parse_all(items)
+            assert report.workers == workers
+            assert len(report) == len(items)
+            for i, result in enumerate(report):
+                assert result.index == i
+                assert result.question == items[i][0]
+                assert result.table is items[i][1]
+                assert result.seconds >= 0.0
+            assert [signature(r.parse) for r in report] == reference, (
+                f"pool size {workers} diverged from the sequential loop"
+            )
+
+    def test_repeated_questions_share_caches_across_workers(self):
+        items = build_items() * 3
+        parser = make_parser()
+        report = BatchParser(parser, max_workers=8).parse_all(items)
+        stats = parser.cache_stats()
+        assert stats["candidates"]["hits"] > 0
+        assert stats["execution"]["hits"] > 0
+        # Index-alignment under heavy duplication.
+        assert [r.question for r in report] == [question for question, _ in items]
+
+    def test_batch_items_carry_their_own_k(self):
+        olympics, _ = build_tables()
+        item = BatchItem(question="what is the highest year", table=olympics, k=1)
+        report = BatchParser(make_parser(), max_workers=2).parse_all([item])
+        assert len(report.results[0].parse.candidates) == 1
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            BatchParser(max_workers=0)
+
+    def test_report_timing_fields(self):
+        report = BatchParser(make_parser(), max_workers=2).parse_all(build_items())
+        assert report.total_seconds > 0
+        assert len(report.per_question_seconds) == len(build_items())
+        assert report.throughput > 0
+        assert report.mean_seconds == pytest.approx(
+            report.total_seconds / len(report)
+        )
+
+
+class TestInterfaceBatch:
+    def test_ask_many_matches_sequential_ask(self):
+        items = build_items()
+        sequential = NLInterface(parser=make_parser(), k=3)
+        expected = [sequential.ask(question, table) for question, table in items]
+        batched = NLInterface(parser=make_parser(), k=3)
+        responses = batched.ask_many(items, workers=4)
+        assert len(responses) == len(items)
+        for response, reference in zip(responses, expected):
+            assert response.question == reference.question
+            assert response.utterances() == reference.utterances()
+            assert [item.answer for item in response.explained] == [
+                item.answer for item in reference.explained
+            ]
+
+    def test_ask_many_single_worker(self):
+        items = build_items()[:2]
+        responses = NLInterface(parser=make_parser(), k=2).ask_many(items, workers=1)
+        assert [r.question for r in responses] == [question for question, _ in items]
+
+
+class TestParseBenchHarness:
+    def test_report_has_all_modes_and_consistent_counts(self):
+        pairs = build_items()[:3]
+        report = run_parse_bench(pairs, repeats=2, workers=2)
+        assert set(report.modes) == {"sequential", "memoized", "batched"}
+        assert report.questions == 6
+        for timing in report.modes.values():
+            assert timing.questions == 6
+            assert timing.total_seconds > 0
+        payload = report.to_payload()
+        assert payload["schema"] == "repro-bench-parse-v1"
+        assert set(payload["speedups"]) == {"memoized", "batched"}
+
+    def test_modes_agree_on_candidate_counts(self):
+        pairs = build_items()[:3]
+        report = run_parse_bench(pairs, repeats=1, workers=2)
+        counts = {timing.candidates for timing in report.modes.values()}
+        assert len(counts) == 1, f"modes generated different candidates: {counts}"
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_parse_bench(build_items()[:1], repeats=0)
+
+
+class TestPrefetchWiring:
+    """Concurrent prefetch must not change what the learner/pipeline computes."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        from repro.dataset import DatasetConfig, build_dataset
+
+        dataset = build_dataset(
+            DatasetConfig(num_tables=6, questions_per_table=3, seed=77)
+        )
+        return dataset.evaluation_examples()[:10]
+
+    def test_online_learner_prefetch_is_behaviour_preserving(self, stream):
+        from repro.interface import OnlineLearner
+        from repro.users import worker_pool
+
+        def run(prefetch_workers):
+            parser = SemanticParser()
+            learner = OnlineLearner(parser, k=5, prefetch_workers=prefetch_workers)
+            report = learner.run(stream, worker_pool(1, seed=9)[0])
+            return [
+                (i.parser_correct, i.user_picked, i.hybrid_correct, i.updated)
+                for i in report.interactions
+            ], parser.model.weights
+
+        plain_interactions, plain_weights = run(0)
+        prefetched_interactions, prefetched_weights = run(4)
+        assert prefetched_interactions == plain_interactions
+        assert prefetched_weights == pytest.approx(plain_weights)
+
+    def test_online_prefetch_warms_candidate_cache(self, stream):
+        from repro.interface import OnlineLearner
+        from repro.users import worker_pool
+
+        parser = SemanticParser()
+        learner = OnlineLearner(parser, k=5, prefetch_workers=4)
+        learner.run(stream, worker_pool(1, seed=9)[0])
+        # Every _step after the prewarm pass generates from cache.
+        assert parser.cache_stats()["candidates"]["hits"] >= len(stream)

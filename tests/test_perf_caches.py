@@ -1,0 +1,284 @@
+"""Tests for the content-addressed caches: fingerprints, LRU bounds and the
+``id(table)`` aliasing regression.
+
+The seed keyed the parser's per-table lexicon/grammar caches by
+``id(table)``.  CPython recycles object ids after garbage collection, so a
+long-running deployment could serve the lexicon of a *dead* table to a
+brand-new one — and the caches grew without bound.  These tests lock in
+the fingerprint-keyed replacement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dcs import ExecutionCache, Executor, MemoizedExecutor, from_sexpr
+from repro.parser import Lexicon, ParserConfig, SemanticParser
+from repro.parser.grammar import CandidateGrammar
+from repro.tables import LRUCache, Table, TableFingerprint, fingerprint_table
+
+
+def small_table(cell: str = "x", header: str = "Letter", name: str = "t") -> Table:
+    return Table(
+        columns=[header, "Score"],
+        rows=[[cell, 1], ["y", 2], ["z", 3]],
+        name=name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fingerprint contract
+# ---------------------------------------------------------------------------
+
+
+class TestTableFingerprint:
+    def test_deterministic_across_rebuilds(self):
+        assert small_table().fingerprint == small_table().fingerprint
+
+    def test_exposed_and_cached_on_table(self):
+        table = small_table()
+        first = table.fingerprint
+        assert first is table.fingerprint  # lazy, computed once
+        assert isinstance(first, TableFingerprint)
+        assert first == fingerprint_table(table)
+        assert first.num_rows == 3 and first.num_columns == 2
+
+    def test_name_is_excluded(self):
+        assert small_table(name="a").fingerprint == small_table(name="b").fingerprint
+
+    def test_changes_when_a_cell_changes(self):
+        assert small_table(cell="x").fingerprint != small_table(cell="X!").fingerprint
+
+    def test_changes_when_a_header_changes(self):
+        assert (
+            small_table(header="Letter").fingerprint
+            != small_table(header="Char").fingerprint
+        )
+
+    def test_changes_when_a_column_type_changes(self):
+        # Same raw content, different cell *type*: bare years parsed as
+        # numbers vs dates must not share caches.
+        rows = [[1896, 1], [1900, 2]]
+        as_numbers = Table(columns=["Year", "Rank"], rows=rows)
+        as_dates = Table(columns=["Year", "Rank"], rows=rows, date_columns=["Year"])
+        assert as_numbers.fingerprint != as_dates.fingerprint
+
+    def test_changes_when_row_order_changes(self):
+        forward = Table(columns=["A"], rows=[["x"], ["y"]])
+        backward = Table(columns=["A"], rows=[["y"], ["x"]])
+        assert forward.fingerprint != backward.fingerprint
+
+    def test_embedded_delimiters_cannot_alias(self):
+        # The serialisation is length-prefixed: a separator character
+        # inside a header or cell must not shift token boundaries.
+        left = Table(columns=["A\x1f", "B"], rows=[["x", "y"]])
+        right = Table(columns=["A", "\x1fB"], rows=[["x", "y"]])
+        assert left.fingerprint != right.fingerprint
+        joined = Table(columns=["A"], rows=[["x\x1fy"]])
+        split = Table(columns=["A"], rows=[["x"]])
+        assert joined.fingerprint != split.fingerprint
+
+    def test_string_repr_is_short_digest(self):
+        fingerprint = small_table().fingerprint
+        assert str(fingerprint) == fingerprint.digest[:12]
+
+
+# ---------------------------------------------------------------------------
+# the LRU primitive
+# ---------------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_or_create_builds_once(self):
+        cache = LRUCache(maxsize=4)
+        builds = []
+        for _ in range(3):
+            value = cache.get_or_create("key", lambda: builds.append(1) or "built")
+        assert value == "built"
+        assert len(builds) == 1
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_stats_and_clear(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("missing")
+        assert cache.stats()["misses"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# the id(table) aliasing regression
+# ---------------------------------------------------------------------------
+
+
+class TestIdReuseRegression:
+    def test_recycled_table_id_does_not_alias_caches(self):
+        """Build, drop and rebuild tables until CPython reuses an object id;
+        the parser must answer from the *new* table's content.
+
+        The seed's ``id(table)``-keyed caches dodged this aliasing only by
+        leaking: the cached lexicon kept every table alive forever.  A
+        *bounded* cache evicts, evicted tables get freed, and their ids
+        get recycled — so the cache key must be content-addressed.  Here
+        we churn the (small) cache to force the eviction, then recycle
+        the id.
+        """
+        parser = SemanticParser(
+            config=ParserConfig(table_cache_size=2, candidate_cache_size=2)
+        )
+        stale = Table(columns=["Name", "Score"], rows=[["old", 1]], name="stale")
+        parser.parse("what is the score of old", stale)
+        # Evict the stale table's lexicon/grammar while it is still alive,
+        # so that dropping it below actually frees it (and its id).
+        for index in range(3):
+            churn = Table(columns=["Name", "Score"], rows=[[f"churn-{index}", index]])
+            parser._lexicon(churn)
+            parser._grammar(churn)
+        del churn
+        stale_id = id(stale)
+        del stale
+
+        fresh = None
+        keep = []  # hold probes alive so the allocator digs through the free pool
+        for _ in range(5000):
+            candidate = Table(
+                columns=["Name", "Score"], rows=[["new", 9]], name="fresh"
+            )
+            if id(candidate) == stale_id:
+                fresh = candidate
+                break
+            keep.append(candidate)
+        if fresh is None:
+            pytest.skip("interpreter did not recycle the object id")
+
+        # The lexicon served for `fresh` must index "new", not "old".
+        lexicon = parser._lexicon(fresh)
+        analysis = lexicon.analyze("what is the score of new")
+        assert any(match.text == "new" for match in analysis.entities)
+        assert not lexicon.analyze("what is the score of old").entities
+
+        parse = parser.parse("what is the score of new", fresh)
+        assert parse.candidates, "the recycled-id table produced no candidates"
+        assert any("9" in candidate.answer for candidate in parse.candidates)
+
+    def test_table_caches_are_bounded(self):
+        parser = SemanticParser(config=ParserConfig(table_cache_size=4))
+        for index in range(10):
+            table = Table(columns=["A"], rows=[[f"value-{index}"]], name=f"t{index}")
+            parser._lexicon(table)
+            parser._grammar(table)
+        assert len(parser._lexicons) <= 4
+        assert len(parser._grammars) <= 4
+        assert parser._lexicons.evictions > 0
+
+
+# ---------------------------------------------------------------------------
+# cold vs warm behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestColdWarmParseCache:
+    QUESTION = "what is the score of y"
+
+    def test_second_parse_skips_generation_side_effects(self, monkeypatch):
+        analyze_calls, generate_calls = [], []
+        original_analyze = Lexicon.analyze
+        original_generate = CandidateGrammar.generate
+        monkeypatch.setattr(
+            Lexicon,
+            "analyze",
+            lambda self, question: analyze_calls.append(question)
+            or original_analyze(self, question),
+        )
+        monkeypatch.setattr(
+            CandidateGrammar,
+            "generate",
+            lambda self, analysis: generate_calls.append(1)
+            or original_generate(self, analysis),
+        )
+
+        parser = SemanticParser()
+        table = small_table()
+        cold = parser.parse(self.QUESTION, table)
+        assert analyze_calls == [self.QUESTION] and len(generate_calls) == 1
+
+        warm = parser.parse(self.QUESTION, small_table())  # same content, new object
+        assert analyze_calls == [self.QUESTION] and len(generate_calls) == 1
+        assert [c.sexpr for c in warm.candidates] == [c.sexpr for c in cold.candidates]
+        assert [c.answer for c in warm.candidates] == [c.answer for c in cold.candidates]
+
+    def test_cache_disabled_reruns_generation(self, monkeypatch):
+        generate_calls = []
+        original_generate = CandidateGrammar.generate
+        monkeypatch.setattr(
+            CandidateGrammar,
+            "generate",
+            lambda self, analysis: generate_calls.append(1)
+            or original_generate(self, analysis),
+        )
+        parser = SemanticParser(config=ParserConfig(cache_candidates=False))
+        table = small_table()
+        parser.parse(self.QUESTION, table)
+        parser.parse(self.QUESTION, table)
+        assert len(generate_calls) == 2
+
+    def test_warm_reparse_still_reranks_with_new_weights(self):
+        # The candidate cache memoizes *generation* only; ranking must
+        # always reflect the current model weights.
+        parser = SemanticParser()
+        table = small_table()
+        cold = parser.parse(self.QUESTION, table)
+        assert len(cold.candidates) > 1
+        parser.model.weights = {"op:Aggregate": -5.0, "op:ColumnValues": 3.0}
+        warm = parser.parse(self.QUESTION, table)
+        expected = sorted(
+            cold.candidates, key=lambda c: -parser.model.score(c.features)
+        )
+        assert [c.sexpr for c in warm.candidates] == [c.sexpr for c in expected]
+        assert warm.top.score == parser.model.score(warm.top.features)
+
+
+class TestMemoizedExecutorWarmth:
+    def test_warm_execution_hits_cache_with_equal_result(self, olympics_table):
+        query = from_sexpr(
+            '(aggregate max (column-values "Year" (column-records "Country" (value "Greece"))))'
+        )
+        cache = ExecutionCache()
+        executor = MemoizedExecutor(olympics_table, cache=cache)
+        cold = executor.execute(query)
+        misses_after_cold = cache.misses
+        warm = executor.execute(query)
+        assert warm == cold
+        assert cache.misses == misses_after_cold  # no new table walk
+        assert cache.hits > 0
+        assert cold == Executor(olympics_table).execute(query)
+
+    def test_cache_is_shared_across_equal_content_tables(self, olympics_table):
+        clone = Table(
+            columns=olympics_table.columns,
+            rows=[[cell.value for cell in record.cells] for record in olympics_table],
+            name="same content, different object",
+        )
+        query = from_sexpr('(aggregate count (column-records "Country" (value "Greece")))')
+        cache = ExecutionCache()
+        MemoizedExecutor(olympics_table, cache=cache).execute(query)
+        size_before = len(cache)
+        result = MemoizedExecutor(clone, cache=cache).execute(query)
+        assert len(cache) == size_before  # pure hits: content-addressed sharing
+        assert result.scalar().as_number() == 2

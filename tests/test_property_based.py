@@ -6,6 +6,8 @@ them; the properties checked are the ones the paper's machinery relies on:
 * value parsing never crashes and cross-type equality is symmetric,
 * query s-expressions round-trip,
 * the executor agrees with the SQL translation on sqlite,
+* the memoized executor is result-equivalent to the plain executor
+  (answers, output cells and aggregate markers), cold and warm,
 * the provenance chain is always ordered (``PO ⊆ PE ⊆ PC``),
 * highlight levels only cover cells of columns used by the query,
 * utterances exist and mention every column of the query.
@@ -20,7 +22,15 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import HighlightLevel, compute_provenance, highlight, utterance
-from repro.dcs import builder as q, execute, from_sexpr, to_sexpr
+from repro.dcs import (
+    ExecutionCache,
+    Executor,
+    MemoizedExecutor,
+    builder as q,
+    execute,
+    from_sexpr,
+    to_sexpr,
+)
 from repro.dcs.errors import DCSError
 from repro.sql import check_equivalence
 from repro.tables import Table, parse_value, values_equal
@@ -178,6 +188,51 @@ class TestQueryProperties:
         except DCSError:
             return
         assert report.equivalent, report.detail
+
+
+class TestMemoizedExecutionProperties:
+    """The memoized executor is a drop-in for the plain one (ISSUE 1)."""
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_memoized_result_equivalent_to_plain(self, pair):
+        table, query = pair
+        try:
+            plain = Executor(table).execute(query)
+            plain_error = None
+        except DCSError as error:
+            plain, plain_error = None, error
+
+        cache = ExecutionCache()
+        for _round in ("cold", "warm"):
+            try:
+                memoized = MemoizedExecutor(table, cache=cache).execute(query)
+            except DCSError as error:
+                assert plain_error is not None, (
+                    f"memoized raised on the {_round} round but plain succeeded: {error}"
+                )
+                assert type(error) is type(plain_error)
+                assert str(error) == str(plain_error)
+            else:
+                assert plain_error is None, (
+                    f"plain raised {plain_error} but memoized succeeded ({_round})"
+                )
+                # Full ExecutionResult equality: kind, record indices,
+                # output cells, answer values and aggregate markers.
+                assert memoized == plain
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_memoization_covers_every_subquery(self, pair):
+        table, query = pair
+        cache = ExecutionCache()
+        try:
+            MemoizedExecutor(table, cache=cache).execute(query)
+        except DCSError:
+            return
+        cached_sexprs = {sexpr for _fingerprint, sexpr in cache._lru.keys()}
+        for node in query.walk():
+            assert to_sexpr(node) in cached_sexprs
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.dataset",
     "repro.users",
     "repro.interface",
+    "repro.perf",
 ]
 
 
