@@ -19,8 +19,10 @@ Five sub-commands cover the workflows a downstream user needs::
   generated corpus with simulated workers and print the Table 6 scenario
   summary.
 * ``bench-parse`` — run the parse-latency harness (sequential vs memoized
-  vs batched parsing) on a synthetic corpus and optionally write the
-  ``BENCH_parse.json`` timing artifact.
+  vs indexed vs batched vs process parsing; ``--backend`` selects the
+  pool backends, ``--disk-cache`` enables the persistent store) on a
+  synthetic corpus and optionally write the ``BENCH_parse.json`` timing
+  artifact.
 """
 
 from __future__ import annotations
@@ -73,13 +75,24 @@ def build_argument_parser() -> argparse.ArgumentParser:
 
     bench_cmd = subparsers.add_parser(
         "bench-parse",
-        help="benchmark sequential vs memoized vs batched parsing",
+        help="benchmark sequential vs memoized vs indexed vs batched vs process parsing",
     )
     bench_cmd.add_argument("--tables", type=int, default=4)
     bench_cmd.add_argument("--questions", type=int, default=4, help="questions per table")
     bench_cmd.add_argument("--seed", type=int, default=2019)
     bench_cmd.add_argument("--repeats", type=int, default=2, help="workload replays (warm-cache traffic)")
     bench_cmd.add_argument("--workers", type=int, default=4, help="batch parser pool size")
+    bench_cmd.add_argument(
+        "--backend",
+        choices=["thread", "process", "both"],
+        default="both",
+        help="which pool backends to bench (thread -> 'batched' mode, process -> 'process' mode)",
+    )
+    bench_cmd.add_argument(
+        "--disk-cache",
+        help="enable the content-addressed on-disk cache under this directory "
+        "(one sub-directory per mode; rerun with the same path for a warm start)",
+    )
     bench_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
     bench_cmd.add_argument("--output", help="write the timing payload to this JSON file")
     return parser
@@ -188,9 +201,15 @@ def run_bench_parse(args: argparse.Namespace, out) -> int:
     pairs = bench_pairs_from_dataset(
         num_tables=args.tables, questions_per_table=args.questions, seed=args.seed
     )
+    backends = ("thread", "process") if args.backend == "both" else (args.backend,)
     model = LogLinearModel.load(args.model) if args.model else None
     report = run_parse_bench(
-        pairs, model=model, repeats=args.repeats, workers=args.workers
+        pairs,
+        model=model,
+        repeats=args.repeats,
+        workers=args.workers,
+        backends=backends,
+        disk_cache_dir=args.disk_cache,
     )
     print(
         f"workload: {report.questions} parses "

@@ -13,8 +13,9 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union as TUnion
 
+from ..tables.index import table_index
 from ..tables.table import Cell, Table
-from ..tables.values import NumberValue, StringValue, Value, values_equal
+from ..tables.values import DateValue, NumberValue, StringValue, Value, values_equal
 from . import ast
 from .ast import AggregateFunction, ComparisonOperator, Query, ResultKind, SuperlativeKind
 from .errors import ExecutionError
@@ -72,6 +73,25 @@ class ExecutionResult:
         return self.values[0]
 
 
+def _match_key(value: Value):
+    """A hashable key whose equality *implies* ``values_equal``.
+
+    Used by the :func:`answers_match` fast path: two values with equal
+    keys are always ``values_equal`` (normalised text for strings, the
+    component triple for dates, a 1e-9-rounded float for numbers — well
+    inside the ``isclose`` tolerance).  The converse does not hold
+    (cross-type equality, tolerance edges), which is why unequal key
+    multisets still fall back to the pairwise comparison.
+    """
+    if isinstance(value, StringValue):
+        return ("str", value.normalized)
+    if isinstance(value, NumberValue):
+        return ("num", round(value.number, 9))
+    if isinstance(value, DateValue):
+        return ("date", value.year, value.month, value.day)
+    return ("other", value)
+
+
 def answers_match(left: Sequence[Value], right: Sequence[Value]) -> bool:
     """Order-insensitive answer comparison with cross-type value equality."""
     remaining = list(right)
@@ -82,6 +102,10 @@ def answers_match(left: Sequence[Value], right: Sequence[Value]) -> bool:
         if len(left_set) != len(right_set):
             return False
         left, remaining = left_set, right_set
+    # Fast path: identical key multisets admit a perfect same-type
+    # matching, so the quadratic pairwise search below is redundant.
+    if Counter(map(_match_key, left)) == Counter(map(_match_key, remaining)):
+        return True
     for value in left:
         for i, other in enumerate(remaining):
             if values_equal(value, other):
@@ -93,10 +117,37 @@ def answers_match(left: Sequence[Value], right: Sequence[Value]) -> bool:
 
 
 class Executor:
-    """Executes lambda DCS queries against one table."""
+    """Executes lambda DCS queries against one table.
 
-    def __init__(self, table: Table) -> None:
+    With ``use_index=True`` (the default) the hot operators — column
+    selections, ordered comparisons, superlatives and the value
+    aggregations built on them — answer from the content-addressed
+    :class:`~repro.tables.index.TableIndex` via hash and bisect lookups
+    instead of scanning every row.  ``use_index=False`` keeps the plain
+    row-scan reference path; the two are bit-identical (property-tested
+    in ``tests/test_property_based.py``).
+    """
+
+    def __init__(self, table: Table, use_index: bool = True) -> None:
         self.table = table
+        self._index = table_index(table) if use_index else None
+
+    # -- index helpers ---------------------------------------------------------
+    def _equal_rows(self, column: str, targets: Sequence[Value]) -> List[int]:
+        """Sorted rows of ``column`` whose cell equals any of ``targets``.
+
+        Probes the column index for candidate rows (a guaranteed
+        superset) and confirms each with ``values_equal``, so the result
+        is exactly the set a full scan would select.
+        """
+        cells = self.table.column_cells(column)
+        index = self._index.column(column)
+        rows = set()
+        for target in targets:
+            for row in index.equality_candidates(target):
+                if row not in rows and values_equal(cells[row].value, target):
+                    rows.add(row)
+        return sorted(rows)
 
     # -- public entry point ----------------------------------------------------
     def execute(self, query: Query) -> ExecutionResult:
@@ -117,15 +168,18 @@ class Executor:
     def _execute_ColumnRecords(self, query: ast.ColumnRecords) -> ExecutionResult:
         targets = self.execute(query.value).values
         self._check_column(query.column)
-        cells = []
-        indices = set()
-        for cell in self.table.column_cells(query.column):
-            if any(values_equal(cell.value, target) for target in targets):
-                cells.append(cell)
-                indices.add(cell.row_index)
+        column_cells = self.table.column_cells(query.column)
+        if self._index is not None:
+            cells = [column_cells[row] for row in self._equal_rows(query.column, targets)]
+        else:
+            cells = [
+                cell
+                for cell in column_cells
+                if any(values_equal(cell.value, target) for target in targets)
+            ]
         return ExecutionResult(
             kind=ResultKind.RECORDS,
-            record_indices=frozenset(indices),
+            record_indices=frozenset(cell.row_index for cell in cells),
             cells=tuple(cells),
         )
 
@@ -135,15 +189,27 @@ class Executor:
             raise ExecutionError("comparison requires exactly one reference value")
         reference = operand.values[0]
         self._check_column(query.column)
-        cells = []
-        indices = set()
-        for cell in self.table.column_cells(query.column):
-            if _compare(cell.value, query.op, reference):
-                cells.append(cell)
-                indices.add(cell.row_index)
+        column_cells = self.table.column_cells(query.column)
+        if self._index is not None:
+            if query.op == ComparisonOperator.NE:
+                equal = set(self._equal_rows(query.column, (reference,)))
+                rows: List[int] = [
+                    row for row in range(self.table.num_rows) if row not in equal
+                ]
+            else:
+                rows = self._index.column(query.column).ordered_rows(
+                    query.op.value, reference
+                )
+            cells = [column_cells[row] for row in rows]
+        else:
+            cells = [
+                cell
+                for cell in column_cells
+                if _compare(cell.value, query.op, reference)
+            ]
         return ExecutionResult(
             kind=ResultKind.RECORDS,
-            record_indices=frozenset(indices),
+            record_indices=frozenset(cell.row_index for cell in cells),
             cells=tuple(cells),
         )
 
@@ -181,7 +247,14 @@ class Executor:
         extreme = _extreme_value(
             [cell.value for cell in candidates], query.kind
         )
-        winners = [cell for cell in candidates if values_equal(cell.value, extreme)]
+        if self._index is not None:
+            winners = [
+                column_cells[row]
+                for row in self._equal_rows(query.column, (extreme,))
+                if row in base.record_indices
+            ]
+        else:
+            winners = [cell for cell in candidates if values_equal(cell.value, extreme)]
         indices = frozenset(cell.row_index for cell in winners)
         return ExecutionResult(
             kind=ResultKind.RECORDS, record_indices=indices, cells=tuple(winners)
@@ -251,9 +324,15 @@ class Executor:
         column_cells = self.table.column_cells(query.column)
         counts: List[Tuple[Value, int, List[Cell]]] = []
         for candidate in candidates:
-            matching = [
-                cell for cell in column_cells if values_equal(cell.value, candidate)
-            ]
+            if self._index is not None:
+                matching = [
+                    column_cells[row]
+                    for row in self._equal_rows(query.column, (candidate,))
+                ]
+            else:
+                matching = [
+                    cell for cell in column_cells if values_equal(cell.value, candidate)
+                ]
             counts.append((candidate, len(matching), matching))
         counts = [entry for entry in counts if entry[1] > 0]
         if not counts:
@@ -274,10 +353,16 @@ class Executor:
         self._check_column(query.value_column)
         value_cells = self.table.column_cells(query.value_column)
         key_cells = self.table.column_cells(query.key_column)
-        scored: List[Tuple[Cell, Value]] = []
-        for cell in value_cells:
-            if any(values_equal(cell.value, candidate) for candidate in candidates):
-                scored.append((cell, key_cells[cell.row_index].value))
+        if self._index is not None:
+            scored: List[Tuple[Cell, Value]] = [
+                (value_cells[row], key_cells[row].value)
+                for row in self._equal_rows(query.value_column, candidates)
+            ]
+        else:
+            scored = []
+            for cell in value_cells:
+                if any(values_equal(cell.value, candidate) for candidate in candidates):
+                    scored.append((cell, key_cells[cell.row_index].value))
         if not scored:
             return ExecutionResult(kind=ResultKind.VALUES)
         extreme = _extreme_value([key for _, key in scored], query.kind)

@@ -72,6 +72,33 @@ class ExecutionCache:
     def store(self, fingerprint: TableFingerprint, sexpr: str, entry: object) -> None:
         self._lru.put((fingerprint, sexpr), entry)
 
+    # -- persistence hooks (used by the parser's disk cache) -------------------
+    def entries_for(self, fingerprint: TableFingerprint) -> Dict[str, object]:
+        """All cached entries of one table content, keyed by s-expression.
+
+        The payload of an on-disk execution bundle: every entry (results
+        and memoized failures alike) is immutable and picklable.
+        """
+        return {
+            sexpr: entry
+            for (entry_fingerprint, sexpr), entry in self._lru.items()
+            if entry_fingerprint == fingerprint
+        }
+
+    def load_entries(self, fingerprint: TableFingerprint, entries: Dict[str, object]) -> int:
+        """Warm-start the cache from an on-disk bundle; returns entries added.
+
+        Existing (in-memory) entries win — they are byte-equal anyway for
+        a deterministic executor, and keeping them avoids LRU churn.
+        """
+        loaded = 0
+        for sexpr, entry in entries.items():
+            key = (fingerprint, sexpr)
+            if key not in self._lru:
+                self._lru.put(key, entry)
+                loaded += 1
+        return loaded
+
     # -- introspection --------------------------------------------------------
     @property
     def hits(self) -> int:
@@ -117,10 +144,19 @@ class MemoizedExecutor(Executor):
         to every executor of a deployment so candidates of different
         questions (and different questions over the same table) reuse each
         other's sub-query results; omit it for a private per-executor cache.
+    use_index:
+        Forwarded to :class:`~repro.dcs.executor.Executor`: answer cache
+        misses from the content-addressed column index (default) or from
+        plain row scans.
     """
 
-    def __init__(self, table: Table, cache: Optional[ExecutionCache] = None) -> None:
-        super().__init__(table)
+    def __init__(
+        self,
+        table: Table,
+        cache: Optional[ExecutionCache] = None,
+        use_index: bool = True,
+    ) -> None:
+        super().__init__(table, use_index=use_index)
         self.cache = cache if cache is not None else ExecutionCache()
         self._fingerprint = table.fingerprint
 

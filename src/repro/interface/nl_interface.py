@@ -115,17 +115,19 @@ class NLInterface:
         items: Sequence[Tuple[str, Table]],
         k: Optional[int] = None,
         workers: int = 4,
+        backend: str = "thread",
     ) -> List[InterfaceResponse]:
         """Answer a batch of (question, table) pairs concurrently.
 
         Parsing fans out over a :class:`~repro.perf.batch.BatchParser`
         worker pool (order-stable, identical to asking sequentially);
-        explanation stays sequential per response since it is cheap
+        ``backend="process"`` swaps in the GIL-free process pool.
+        Explanation stays sequential per response since it is cheap
         relative to parsing.  Returns one :class:`InterfaceResponse` per
         input pair, index-aligned.
         """
         limit = k if k is not None else self.k
-        batch = BatchParser(self.parser, max_workers=workers)
+        batch = BatchParser(self.parser, max_workers=workers, backend=backend)
         report = batch.parse_all(items)
         responses: List[InterfaceResponse] = []
         for result in report:

@@ -9,11 +9,15 @@ the trainer (:mod:`repro.parser.training`) updates the underlying model.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..tables.fingerprint import LRUCache
+from ..tables.index import index_cache_stats
+from ..tables.schema import table_schema
 from ..tables.table import Table
 from ..dcs.ast import Query
 from ..dcs.errors import DCSError
@@ -87,6 +91,14 @@ class ParserConfig:
     * ``cache_candidates`` — memoize the full (weight-independent)
       candidate list per ``(table, question)``; re-parsing the same
       question only re-*ranks* with the current model weights.
+    * ``index_tables`` — answer executor cache misses from the
+      content-addressed :class:`~repro.tables.index.TableIndex` (hash and
+      bisect lookups) instead of row scans; ``False`` keeps the seed's
+      scan path.
+    * ``disk_cache_dir`` — when set, candidate lists and execution memo
+      bundles are persisted to a content-addressed on-disk store
+      (:class:`~repro.perf.diskcache.DiskCache`) shared across processes,
+      so a warm-start process skips cold parsing entirely.
     * ``table_cache_size`` / ``execution_cache_size`` /
       ``candidate_cache_size`` — LRU bounds of the per-table
       lexicon+grammar caches, the sub-query execution cache and the
@@ -99,9 +111,27 @@ class ParserConfig:
     max_candidates: int = 600
     memoize_execution: bool = True
     cache_candidates: bool = True
+    index_tables: bool = True
+    disk_cache_dir: Optional[str] = None
     table_cache_size: int = 64
     execution_cache_size: int = DEFAULT_EXECUTION_CACHE_SIZE
     candidate_cache_size: int = 256
+
+    def generation_signature(self) -> str:
+        """A stable digest of every knob that affects *generation* output.
+
+        Disk-cache keys include it so a store shared between differently
+        configured parsers can never serve a candidate list generated
+        under other generation rules.  Ranking knobs (model weights,
+        ``max_candidates``) are deliberately excluded — candidates are
+        weight-independent.
+        """
+        payload = (
+            dataclasses.asdict(self.generation),
+            self.drop_empty_answers,
+            self.drop_failing_candidates,
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 
 class SemanticParser:
@@ -118,6 +148,27 @@ class SemanticParser:
         self._grammars: LRUCache = LRUCache(maxsize=self.config.table_cache_size)
         self._execution_cache = ExecutionCache(maxsize=self.config.execution_cache_size)
         self._candidate_cache: LRUCache = LRUCache(maxsize=self.config.candidate_cache_size)
+        if self.config.disk_cache_dir:
+            # Imported lazily: repro.perf imports this module at package
+            # init, so a module-level import would be circular.
+            from ..perf.diskcache import DiskCache
+
+            self._disk_cache: Optional["DiskCache"] = DiskCache(self.config.disk_cache_dir)
+            # The config is immutable in practice; hash its generation
+            # knobs once instead of per cache-missing parse.
+            self._generation_signature = self.config.generation_signature()
+        else:
+            self._disk_cache = None
+            self._generation_signature = ""
+        #: Fingerprint digests whose on-disk execution bundle was already
+        #: merged into the in-memory cache (one load per table content).
+        self._loaded_execution_bundles: Set[str] = set()
+        #: Per-digest size of the last persisted execution bundle and the
+        #: global execution-cache miss counter at that moment; both gate
+        #: :meth:`_store_execution_bundle` so cold parses neither rescan
+        #: nor rewrite bundles that cannot have grown enough.
+        self._stored_bundle_sizes: Dict[str, int] = {}
+        self._stored_bundle_misses: Dict[str, int] = {}
 
     # -- per-table caches ---------------------------------------------------------
     # Keyed by content fingerprint, NOT id(table): CPython recycles object
@@ -133,20 +184,37 @@ class SemanticParser:
         )
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Hit/miss/size counters of every parser cache (for bench reports)."""
+        """Hit/miss/size counters of every parser cache (for bench reports).
+
+        ``indexes`` reports the process-wide table-index registry (shared
+        by every parser in the process); ``disk`` reports this parser's
+        on-disk store, all-zero when none is configured.
+        """
+        from ..perf.diskcache import DiskCache  # lazy: avoids an import cycle
+
         return {
             "lexicons": self._lexicons.stats(),
             "grammars": self._grammars.stats(),
             "execution": self._execution_cache.stats(),
             "candidates": self._candidate_cache.stats(),
+            "indexes": index_cache_stats(),
+            "disk": (
+                self._disk_cache.stats() if self._disk_cache else DiskCache.empty_stats()
+            ),
         }
 
     def clear_caches(self) -> None:
-        """Drop every cached lexicon, grammar, execution and candidate entry."""
+        """Drop every cached lexicon, grammar, execution and candidate entry.
+
+        In-memory only: the on-disk store (if any) and the process-wide
+        index registry are deliberately left intact — both are
+        content-addressed and can never serve stale entries.
+        """
         self._lexicons.clear()
         self._grammars.clear()
         self._execution_cache.clear()
         self._candidate_cache.clear()
+        self._loaded_execution_bundles.clear()
 
     # -- candidate generation -------------------------------------------------------
     def generate_candidates(self, question: str, table: Table) -> Tuple[List[Candidate], LexicalAnalysis]:
@@ -163,16 +231,34 @@ class SemanticParser:
             if cached is not None:
                 candidates, analysis = cached
                 return list(candidates), analysis
+        signature = self._generation_signature
+        if self._disk_cache is not None:
+            stored = self._disk_cache.get_candidates(
+                table.fingerprint.digest, question, signature
+            )
+            if stored is not None:
+                candidates, analysis = stored
+                if self.config.cache_candidates:
+                    self._candidate_cache.put(cache_key, (tuple(candidates), analysis))
+                return list(candidates), analysis
+            self._load_execution_bundle(table)
         analysis = self._lexicon(table).analyze(question)
         raw_queries = self._grammar(table).generate(analysis)
+        # With indexing on, validation reuses one content-addressed schema
+        # per question; off, it re-profiles per candidate (the seed path).
+        schema = table_schema(table) if self.config.index_tables else None
         executor: Executor
         if self.config.memoize_execution:
-            executor = MemoizedExecutor(table, cache=self._execution_cache)
+            executor = MemoizedExecutor(
+                table,
+                cache=self._execution_cache,
+                use_index=self.config.index_tables,
+            )
         else:
-            executor = Executor(table)
+            executor = Executor(table, use_index=self.config.index_tables)
         candidates: List[Candidate] = []
         for query in raw_queries:
-            if not validate(query, table):
+            if not validate(query, table, schema=schema):
                 if self.config.drop_failing_candidates:
                     continue
             try:
@@ -189,7 +275,62 @@ class SemanticParser:
             candidates.append(Candidate(query=query, features=features, result=result))
         if self.config.cache_candidates:
             self._candidate_cache.put(cache_key, (tuple(candidates), analysis))
+        if self._disk_cache is not None:
+            self._disk_cache.put_candidates(
+                table.fingerprint.digest, question, signature, (tuple(candidates), analysis)
+            )
+            self._store_execution_bundle(table)
         return candidates, analysis
+
+    # -- disk persistence ------------------------------------------------------
+    def _load_execution_bundle(self, table: Table) -> None:
+        """Warm-start the execution cache from disk, once per table content.
+
+        Only reached on a candidate-list disk miss: a *new* question over
+        a *known* table still reuses every memoized sub-query result a
+        previous process persisted.
+        """
+        digest = table.fingerprint.digest
+        if not self.config.memoize_execution or digest in self._loaded_execution_bundles:
+            return
+        self._loaded_execution_bundles.add(digest)
+        bundle = self._disk_cache.get_execution_bundle(digest)
+        if bundle:
+            self._execution_cache.load_entries(table.fingerprint, bundle)
+
+    def _store_execution_bundle(self, table: Table) -> None:
+        """Persist the table's memoized sub-query results after a cold parse.
+
+        Amortised twice over: every cold question adds *some* entries, but
+        rewriting the bundle per question would re-pickle a growing
+        payload Q times per table, and even *counting* the table's entries
+        means snapshotting the whole (shared, up to 100k-entry) execution
+        LRU.  So the snapshot runs only when the global miss counter grew
+        enough since the last write to possibly cross the threshold, and
+        the bundle is (re)written only when it actually outgrew the last
+        persisted one by 25% — writes per table are logarithmic in its
+        entry count while warm starts still see the bulk of the shared
+        sub-trees.
+        """
+        if not self.config.memoize_execution:
+            return
+        digest = table.fingerprint.digest
+        self._loaded_execution_bundles.add(digest)
+        stored = self._stored_bundle_sizes.get(digest, 0)
+        misses = self._execution_cache.misses
+        # Misses are global (every table), so this over-triggers — but a
+        # bundle cannot have gained more entries than the cache gained
+        # misses, making the cheap check a safe gate for the O(cache) scan.
+        if misses - self._stored_bundle_misses.get(digest, 0) < max(1, stored // 4):
+            return
+        bundle = self._execution_cache.entries_for(table.fingerprint)
+        # Re-arm the gate whether or not we write: the next scan should
+        # wait for another batch of misses either way (the size check
+        # below still sees all accumulated growth when it finally runs).
+        self._stored_bundle_misses[digest] = misses
+        if bundle and len(bundle) >= max(stored + 1, int(stored * 1.25)):
+            self._disk_cache.put_execution_bundle(digest, bundle)
+            self._stored_bundle_sizes[digest] = len(bundle)
 
     # -- parsing -----------------------------------------------------------------------
     def parse(self, question: str, table: Table, k: Optional[int] = None) -> ParseOutput:

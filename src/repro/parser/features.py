@@ -18,8 +18,10 @@ parsers:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..tables.table import Table
 from ..tables.values import DateValue, NumberValue
@@ -52,7 +54,7 @@ def extract_features(
     """Compute the sparse feature vector for one (question, table, query) triple."""
     features: FeatureVector = {}
     question_lower = question.lower()
-    question_tokens = set(content_tokens(question))
+    question_tokens = _content_token_set(question)
 
     _utterance_overlap_features(features, question_tokens, query)
     _column_features(features, question_tokens, query)
@@ -68,6 +70,26 @@ def extract_features(
 # ---------------------------------------------------------------------------
 # feature groups
 # ---------------------------------------------------------------------------
+
+
+def clear_token_caches() -> None:
+    """Drop the memoised token sets (benchmarks use this so each measured
+    mode starts cold)."""
+    _content_token_set.cache_clear()
+    _column_token_set.cache_clear()
+
+
+@lru_cache(maxsize=8192)
+def _content_token_set(text: str) -> FrozenSet[str]:
+    """Cached content-token set: the same question (and the same column
+    headers) are tokenised for every one of the ~600 candidates."""
+    return frozenset(content_tokens(text))
+
+
+@lru_cache(maxsize=8192)
+def _column_token_set(column: str) -> FrozenSet[str]:
+    """Cached token set of a column header, with the stop-word fallback."""
+    return _content_token_set(column) or frozenset(tokenize(column))
 
 
 def _utterance_overlap_features(
@@ -94,7 +116,7 @@ def _column_features(
         return
     mentioned = 0
     for column in columns:
-        column_tokens = set(content_tokens(column)) or set(tokenize(column))
+        column_tokens = _column_token_set(column)
         if column_tokens and column_tokens & question_tokens:
             mentioned += 1
     features["columns:mentioned_fraction"] = mentioned / len(columns)
@@ -102,27 +124,30 @@ def _column_features(
 
 
 def _operator_features(features: FeatureVector, question_lower: str, query: Query) -> None:
-    operators = [type(node).__name__ for node in query.walk()]
-    for operator in set(operators):
-        features[f"op:{operator}"] = float(operators.count(operator))
+    # One walk for everything: the feature values are identical to probing
+    # the query once per flag, but ~600 candidates per question made the
+    # repeated traversals one of the hottest paths of a cold parse.
+    nodes = list(query.walk())
+    for operator, count in Counter(type(node).__name__ for node in nodes).items():
+        features[f"op:{operator}"] = float(count)
 
     has_count = any(
         isinstance(node, ast.Aggregate) and node.function == AggregateFunction.COUNT
-        for node in query.walk()
+        for node in nodes
     )
-    has_difference = any(isinstance(node, ast.Difference) for node in query.walk())
-    has_max = _has_superlative(query, SuperlativeKind.ARGMAX) or _has_aggregate(
-        query, AggregateFunction.MAX
+    has_difference = any(isinstance(node, ast.Difference) for node in nodes)
+    has_max = _has_superlative(nodes, SuperlativeKind.ARGMAX) or _has_aggregate(
+        nodes, AggregateFunction.MAX
     )
-    has_min = _has_superlative(query, SuperlativeKind.ARGMIN) or _has_aggregate(
-        query, AggregateFunction.MIN
+    has_min = _has_superlative(nodes, SuperlativeKind.ARGMIN) or _has_aggregate(
+        nodes, AggregateFunction.MIN
     )
-    has_avg = _has_aggregate(query, AggregateFunction.AVG)
-    has_sum = _has_aggregate(query, AggregateFunction.SUM)
+    has_avg = _has_aggregate(nodes, AggregateFunction.AVG)
+    has_sum = _has_aggregate(nodes, AggregateFunction.SUM)
     has_neighbor = any(
-        isinstance(node, (ast.PrevRecords, ast.NextRecords)) for node in query.walk()
+        isinstance(node, (ast.PrevRecords, ast.NextRecords)) for node in nodes
     )
-    has_union = any(isinstance(node, ast.Union) for node in query.walk())
+    has_union = any(isinstance(node, ast.Union) for node in nodes)
 
     _trigger_feature(features, "count", question_lower, _COUNT_TRIGGERS, has_count)
     _trigger_feature(features, "difference", question_lower, _DIFFERENCE_TRIGGERS, has_difference)
@@ -197,8 +222,8 @@ def _entity_features(
     features["entities:unused"] = float(len(matched) - len(used))
 
 
-def _has_superlative(query: Query, kind: SuperlativeKind) -> bool:
-    for node in query.walk():
+def _has_superlative(nodes: Sequence[Query], kind: SuperlativeKind) -> bool:
+    for node in nodes:
         if isinstance(node, (ast.SuperlativeRecords, ast.FirstLastRecords,
                              ast.IndexSuperlative, ast.CompareValues)):
             if node.kind == kind:
@@ -208,8 +233,8 @@ def _has_superlative(query: Query, kind: SuperlativeKind) -> bool:
     return False
 
 
-def _has_aggregate(query: Query, function: AggregateFunction) -> bool:
+def _has_aggregate(nodes: Sequence[Query], function: AggregateFunction) -> bool:
     return any(
         isinstance(node, ast.Aggregate) and node.function == function
-        for node in query.walk()
+        for node in nodes
     )

@@ -8,35 +8,55 @@ the content-addressed caches of :mod:`repro.tables.fingerprint` and
 
 * :class:`~repro.perf.batch.BatchParser` — parse many (question, table)
   pairs concurrently through one shared parser, order-stable and
-  bit-identical to the sequential loop;
-* :func:`~repro.perf.bench.run_parse_bench` — the three-mode perf harness
-  (sequential vs memoized vs batched) whose payload becomes the
-  ``BENCH_parse.json`` trajectory artifact;
+  bit-identical to the sequential loop, on a thread or process pool;
+* :class:`~repro.perf.procpool.ProcessPoolBackend` — the process backend:
+  fingerprint-addressed table shipping, deduplicated work units, true
+  (GIL-free) parallel candidate generation;
+* :class:`~repro.perf.diskcache.DiskCache` — the content-addressed
+  on-disk store persisting candidate lists and execution memo bundles
+  across processes and sessions;
+* :func:`~repro.perf.bench.run_parse_bench` — the five-mode perf harness
+  (sequential / memoized / indexed / batched / process) whose payload
+  becomes the ``BENCH_parse.json`` trajectory artifact;
 * re-exports of the cache primitives so callers can reach everything
   performance-related through ``repro.perf``.
 """
 
 from ..dcs.memo import ExecutionCache, MemoizedExecutor, execute_memoized
 from ..tables.fingerprint import LRUCache, TableFingerprint, fingerprint_table
-from .batch import BatchItem, BatchParseResult, BatchParser, BatchReport
+from ..tables.index import TableIndex, clear_index_cache, index_cache_stats, table_index
+from .batch import BACKENDS, BatchItem, BatchParseResult, BatchParser, BatchReport
 from .bench import (
     BENCH_MODES,
     ModeTiming,
     ParseBenchReport,
     bench_pairs_from_dataset,
+    bench_scale,
+    memoized_parser_config,
     run_parse_bench,
     sequential_parser_config,
 )
+from .diskcache import DiskCache
+from .procpool import ProcessPoolBackend
 
 __all__ = [
+    "BACKENDS",
     "BatchItem",
     "BatchParseResult",
     "BatchParser",
     "BatchReport",
     "BENCH_MODES",
+    "DiskCache",
     "ModeTiming",
     "ParseBenchReport",
+    "ProcessPoolBackend",
+    "TableIndex",
+    "table_index",
+    "index_cache_stats",
+    "clear_index_cache",
     "bench_pairs_from_dataset",
+    "bench_scale",
+    "memoized_parser_config",
     "run_parse_bench",
     "sequential_parser_config",
     "ExecutionCache",

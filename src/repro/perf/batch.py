@@ -9,13 +9,21 @@ sequence of ``(question, table)`` pairs with a thread pool.
 Correctness contract (locked in by ``tests/test_perf_batch.py``): results
 are **order-stable** — ``results[i]`` always answers ``items[i]`` — and
 **bit-identical** to a sequential loop over the same parser configuration,
-for any pool size.  This holds because candidate generation is
-deterministic and all shared caches are content-addressed and
-thread-safe; worker threads only ever *add* identical entries.
+for any pool size and either backend.  This holds because candidate
+generation is deterministic and all shared caches are content-addressed
+and thread-safe; workers only ever *add* identical entries.
 
-Threads (not processes) are the right pool here: the shared caches are
-the point — a process pool would give each worker a cold cache and pay
-table serialisation on every item.
+Two pool backends, selectable via ``BatchParser(backend=...)``:
+
+* ``"thread"`` (default) — one shared parser, all caches shared across
+  the pool.  GIL-bound for cold parses, but warm questions are nearly
+  free and every parse warms the caches for later traffic.
+* ``"process"`` — true parallelism via
+  :class:`~repro.perf.procpool.ProcessPoolBackend`: tables ship once per
+  worker (fingerprint-addressed), work units are deduplicated
+  ``(fingerprint, question)`` pairs, and cold candidate generation
+  finally scales with cores.  Worker caches are process-private; share a
+  ``ParserConfig.disk_cache_dir`` to persist their work across runs.
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple, Union
+
+#: The pool backends accepted by :class:`BatchParser`.
+BACKENDS = ("thread", "process")
 
 from ..parser.candidates import ParseOutput, SemanticParser
 from ..tables.table import Table
@@ -69,6 +80,7 @@ class BatchReport:
     results: List[BatchParseResult] = field(default_factory=list)
     total_seconds: float = 0.0
     workers: int = 1
+    backend: str = "thread"
 
     def __len__(self) -> int:
         return len(self.results)
@@ -106,15 +118,26 @@ class BatchParser:
         after the batch, which is what the prefetch hooks in
         :mod:`repro.interface` exploit.
     max_workers:
-        Thread-pool size.  ``1`` runs inline with no pool at all, which
-        is the reference behaviour the concurrency tests compare against.
+        Pool size.  ``1`` runs inline with no pool at all, which is the
+        reference behaviour the concurrency tests compare against.
+    backend:
+        ``"thread"`` (shared caches, GIL-bound) or ``"process"`` (true
+        parallelism; see :mod:`repro.perf.procpool`).
     """
 
-    def __init__(self, parser: Optional[SemanticParser] = None, max_workers: int = 4) -> None:
+    def __init__(
+        self,
+        parser: Optional[SemanticParser] = None,
+        max_workers: int = 4,
+        backend: str = "thread",
+    ) -> None:
         if max_workers < 1:
             raise ValueError(f"BatchParser needs max_workers >= 1, got {max_workers}")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.parser = parser or SemanticParser()
         self.max_workers = max_workers
+        self.backend = backend
 
     # -- public API -----------------------------------------------------------
     def parse_all(
@@ -129,13 +152,34 @@ class BatchParser:
         started = time.perf_counter()
         if self.max_workers == 1 or len(normalized) <= 1:
             results = [self._parse_one(i, item) for i, item in enumerate(normalized)]
+        elif self.backend == "process":
+            from .procpool import ProcessPoolBackend  # lazy: fork cost only when used
+
+            pool_results = ProcessPoolBackend(
+                self.parser, max_workers=self.max_workers
+            ).parse_all(normalized)
+            results = [
+                BatchParseResult(
+                    index=i,
+                    question=item.question,
+                    table=item.table,
+                    parse=parse,
+                    seconds=seconds,
+                )
+                for i, (item, (parse, seconds)) in enumerate(zip(normalized, pool_results))
+            ]
         else:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 results = list(
                     pool.map(self._parse_one, range(len(normalized)), normalized)
                 )
         total = time.perf_counter() - started
-        return BatchReport(results=results, total_seconds=total, workers=self.max_workers)
+        return BatchReport(
+            results=results,
+            total_seconds=total,
+            workers=self.max_workers,
+            backend=self.backend,
+        )
 
     def prewarm(self, items: Iterable[BatchInput], k: Optional[int] = None) -> BatchReport:
         """Alias of :meth:`parse_all` named for its cache-warming side effect."""

@@ -1,36 +1,65 @@
-"""The parse-latency bench harness: sequential vs memoized vs batched.
+"""The parse-latency bench harness: five modes from seed scans to processes.
 
-This is the measurement side of the batching/caching subsystem.  It runs
-the same question workload through three parser configurations:
+This is the measurement side of the caching/indexing/parallelism
+subsystem.  It runs the same question workload through five parser
+configurations:
 
-* ``sequential`` — the seed hot path: plain :class:`Executor`, no
-  sub-query memoization, no candidate-list cache (per-table lexicons and
-  grammars are still built once, as the seed did);
-* ``memoized``  — content-addressed caching on (shared execution cache +
-  per-question candidate cache), still a sequential loop;
-* ``batched``   — same caches driven through a
-  :class:`~repro.perf.batch.BatchParser` thread pool.
+* ``sequential`` — the seed hot path: plain row-scan :class:`Executor`,
+  no sub-query memoization, no candidate-list cache (per-table lexicons
+  and grammars are still built once, as the seed did);
+* ``memoized``  — content-addressed caching (shared execution cache +
+  per-question candidate cache), still row scans, sequential loop;
+* ``indexed``   — the same caches with cache misses answered from the
+  content-addressed :class:`~repro.tables.index.TableIndex` (hash and
+  bisect lookups instead of scans), sequential loop;
+* ``batched``   — the indexed configuration driven through a
+  :class:`~repro.perf.batch.BatchParser` thread pool (GIL-bound);
+* ``process``   — the same through the process backend
+  (:mod:`repro.perf.procpool`): deduplicated work units, true
+  parallelism.
 
 and reports wall-clock totals, per-question timings and cache statistics
 in a JSON-able payload.  ``benchmarks/test_perf_batch_parsing.py`` runs
 the harness on the bench corpus and writes the payload to
 ``BENCH_parse.json`` so future PRs have a trajectory to beat; the
 ``repro bench-parse`` CLI sub-command does the same on demand.
+
+Every mode starts cold: the process-wide index registry is cleared
+before each mode, and the optional disk store is partitioned per mode
+(``<dir>/<mode>``) — within one harness run no mode inherits another's
+work, while a *second* run over the same ``disk_cache_dir`` measures the
+warm-start regime.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..parser.candidates import ParserConfig, SemanticParser
+from ..parser.features import clear_token_caches
 from ..parser.model import LogLinearModel
+from ..tables.index import clear_index_cache
+from ..tables.schema import clear_schema_cache
 from ..tables.table import Table
 from .batch import BatchParser
 
-#: The three modes of the harness, in reporting order.
-BENCH_MODES = ("sequential", "memoized", "batched")
+#: The modes of the harness, in reporting order.
+BENCH_MODES = ("sequential", "memoized", "indexed", "batched", "process")
+
+#: Environment variable scaling bench workloads (1.0 = full size; CI smoke
+#: runs use 0.1 to exercise every code path at a fraction of the cost).
+BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """The workload scale factor from ``REPRO_BENCH_SCALE`` (>= 0)."""
+    try:
+        return max(0.0, float(os.environ.get(BENCH_SCALE_ENV, default)))
+    except ValueError:
+        return default
 
 
 @dataclass
@@ -70,7 +99,7 @@ class ParseBenchReport:
     def to_payload(self) -> Dict[str, object]:
         """A JSON-able dict (the schema of the ``BENCH_parse.json`` artifact)."""
         return {
-            "schema": "repro-bench-parse-v1",
+            "schema": "repro-bench-parse-v2",
             "questions": self.questions,
             "repeats": self.repeats,
             "workers": self.workers,
@@ -111,8 +140,40 @@ class ParseBenchReport:
 
 
 def sequential_parser_config() -> ParserConfig:
-    """The seed-equivalent configuration: no memoization, no candidate cache."""
-    return ParserConfig(memoize_execution=False, cache_candidates=False)
+    """The seed-equivalent configuration: scans, no memoization, no caches."""
+    return ParserConfig(
+        memoize_execution=False, cache_candidates=False, index_tables=False
+    )
+
+
+def memoized_parser_config() -> ParserConfig:
+    """The PR 1 configuration: content-addressed caches over row scans."""
+    return ParserConfig(index_tables=False)
+
+
+def _reset_shared_caches() -> None:
+    """Start a harness mode cold: clear every *process-wide* cache.
+
+    Per-parser caches are fresh anyway (each mode builds its own parser);
+    the index registry, the schema profile cache and the memoised token
+    sets are module-level and would otherwise leak one mode's warm-up
+    into the next, biasing the asserted speedups by run order.
+    """
+    clear_index_cache()
+    clear_schema_cache()
+    clear_token_caches()
+
+
+def _mode_config(mode: str, disk_cache_dir: Optional[str]) -> ParserConfig:
+    """The parser configuration of one harness mode (see module docstring)."""
+    if mode == "sequential":
+        return sequential_parser_config()
+    if mode == "memoized":
+        return memoized_parser_config()
+    config = ParserConfig()  # indexed / batched / process: everything on
+    if disk_cache_dir:
+        config = ParserConfig(disk_cache_dir=os.path.join(disk_cache_dir, mode))
+    return config
 
 
 def run_parse_bench(
@@ -121,14 +182,22 @@ def run_parse_bench(
     repeats: int = 2,
     workers: int = 4,
     k: Optional[int] = None,
+    backends: Sequence[str] = ("thread", "process"),
+    disk_cache_dir: Optional[str] = None,
 ) -> ParseBenchReport:
-    """Run the three-mode harness over a ``(question, table)`` workload.
+    """Run the five-mode harness over a ``(question, table)`` workload.
 
     ``repeats`` replays the workload to model repeated deployment traffic
     (the regime Table 7 measures): the first pass is cold for every mode,
     later passes expose the warm-cache behaviour the caching modes exist
     for.  Every mode parses exactly ``len(pairs) * repeats`` questions on
     its own fresh parser, sharing only the (read-only) ``model`` weights.
+
+    ``backends`` selects the pooled modes: ``"thread"`` runs ``batched``,
+    ``"process"`` runs ``process``.  ``disk_cache_dir`` enables the
+    on-disk store for the indexed/batched/process modes (one
+    sub-directory per mode; pass the same directory twice to measure a
+    warm start).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -137,25 +206,32 @@ def run_parse_bench(
         questions=len(workload), repeats=repeats, workers=workers
     )
 
-    # -- sequential (seed path) ---------------------------------------------
-    parser = SemanticParser(model=model, config=sequential_parser_config())
-    report.modes["sequential"] = _run_sequential("sequential", parser, workload, k)
+    for mode in ("sequential", "memoized", "indexed"):
+        _reset_shared_caches()
+        parser = SemanticParser(model=model, config=_mode_config(mode, disk_cache_dir))
+        report.modes[mode] = _run_sequential(mode, parser, workload, k)
 
-    # -- memoized (content-addressed caches, sequential loop) ---------------
-    parser = SemanticParser(model=model)
-    report.modes["memoized"] = _run_sequential("memoized", parser, workload, k)
-
-    # -- batched (same caches + thread pool) --------------------------------
-    parser = SemanticParser(model=model)
-    batch = BatchParser(parser, max_workers=workers)
-    batch_report = batch.parse_all(workload, k=k)
-    report.modes["batched"] = ModeTiming(
-        mode="batched",
-        total_seconds=batch_report.total_seconds,
-        per_question_seconds=batch_report.per_question_seconds,
-        candidates=sum(result.num_candidates for result in batch_report),
-        cache_stats=parser.cache_stats(),
-    )
+    # The process mode forks; running it before the thread mode keeps the
+    # parent heap it must copy-on-write as small as possible.
+    pooled = [("process", "process"), ("batched", "thread")]
+    for mode, backend in pooled:
+        if backend not in backends:
+            continue
+        _reset_shared_caches()
+        parser = SemanticParser(model=model, config=_mode_config(mode, disk_cache_dir))
+        batch = BatchParser(parser, max_workers=workers, backend=backend)
+        batch_report = batch.parse_all(workload, k=k)
+        # Note: for the process backend these are the *driver's* cache
+        # stats (prewarm only) — worker caches are process-private by
+        # design and die with the pool, so their hit rates are not
+        # observable here.  The thread mode's stats cover all parsing.
+        report.modes[mode] = ModeTiming(
+            mode=mode,
+            total_seconds=batch_report.total_seconds,
+            per_question_seconds=batch_report.per_question_seconds,
+            candidates=sum(result.num_candidates for result in batch_report),
+            cache_stats=parser.cache_stats(),
+        )
     return report
 
 
@@ -188,13 +264,20 @@ def bench_pairs_from_dataset(
     questions_per_table: int = 4,
     seed: int = 2019,
     paraphrase_rate: float = 0.5,
+    scale: Optional[float] = None,
 ) -> List[Tuple[str, Table]]:
-    """A small synthetic ``(question, table)`` workload for the harness."""
+    """A small synthetic ``(question, table)`` workload for the harness.
+
+    ``scale`` multiplies both corpus dimensions (floored at 2), defaulting
+    to :func:`bench_scale` — so ``REPRO_BENCH_SCALE=0.1`` shrinks the CI
+    smoke workload without touching callers.
+    """
     from ..dataset.dataset import DatasetConfig, build_dataset
 
+    factor = bench_scale() if scale is None else scale
     config = DatasetConfig(
-        num_tables=num_tables,
-        questions_per_table=questions_per_table,
+        num_tables=max(2, int(round(num_tables * factor))),
+        questions_per_table=max(2, int(round(questions_per_table * factor))),
         seed=seed,
         paraphrase_rate=paraphrase_rate,
     )

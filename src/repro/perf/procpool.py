@@ -1,0 +1,247 @@
+"""True parallel candidate generation on a process pool.
+
+The thread pool of :class:`~repro.perf.batch.BatchParser` is GIL-bound:
+candidate generation is pure Python, so threads interleave instead of
+running in parallel and memoization — not the pool — carries the win.
+This backend breaks the GIL ceiling with worker *processes*:
+
+* **Tables ship once per worker, never per task.**  The driver collects
+  the distinct tables of the batch (by content fingerprint) and sends
+  them through the pool initializer; each worker keeps a
+  fingerprint-addressed registry in module state.  Work units on the
+  wire are just ``(fingerprint digest, question, k)`` triples.
+* **Work units are deduplicated.**  Candidate generation is
+  deterministic and weight-independent, so duplicate
+  ``(fingerprint, question)`` pairs in a batch are parsed once and the
+  result is fanned back out to every position — the process-pool
+  analogue of the thread pool's shared candidate cache.
+* **Results stay bit-identical.**  Workers rank with the driver's model
+  weights under the driver's config, so the report is indistinguishable
+  from a sequential loop (locked in by ``tests/test_perf_batch.py``).
+
+Under the ``fork`` start method workers additionally inherit the
+driver's pre-built per-table state (lexicons, grammars, column indexes,
+schema profiles) by copy-on-write, and run with their garbage collector
+frozen so a child GC pass never faults the inherited parent heap.
+Worker caches diverge from there and die with the pool; configure
+``ParserConfig.disk_cache_dir`` to share a content-addressed
+:class:`~repro.perf.diskcache.DiskCache` between workers and across
+runs — with a warm store, workers skip cold parsing entirely.
+
+A note on pool sizing: workers are capped at the cores the process may
+actually use (``sched_getaffinity``) — a CPU-bound pool gains nothing
+from oversubscription, and on a single-core host the backend degrades
+gracefully to one worker whose win comes from work-unit deduplication
+rather than parallelism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parser.candidates import ParseOutput, ParserConfig, SemanticParser
+from ..parser.model import LogLinearModel
+from ..tables.index import table_index
+from ..tables.schema import table_schema
+from ..tables.table import Table
+
+#: One unit of cross-process work: (fingerprint digest, question, top-k).
+WorkUnit = Tuple[str, str, Optional[int]]
+
+# Module state of a *worker* process, populated by the pool initializer.
+_WORKER_PARSER: Optional[SemanticParser] = None
+_WORKER_TABLES: Dict[str, Table] = {}
+
+#: Set in the *driver* process just before the pool forks.  Under the
+#: ``fork`` start method the workers inherit this module global — and with
+#: it the driver's warm per-table caches (lexicons, grammars, indexes) —
+#: by copy-on-write, with zero serialisation.  Under ``spawn`` the fresh
+#: interpreter sees ``None`` and the initializer builds a parser from the
+#: shipped weights/config instead.
+_FORK_PARSER: Optional[SemanticParser] = None
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _init_worker(tables_blob: bytes, weights: Dict[str, float], config: ParserConfig) -> None:
+    """Pool initializer: build the fingerprint-addressed table registry.
+
+    Runs once per worker process — the only time table data crosses the
+    process boundary.  The worker's garbage collector is frozen and
+    disabled first: workers are short-lived, the workload allocates no
+    reference cycles, and under the ``fork`` start method a child GC pass
+    would touch (and therefore copy-on-write) the entire inherited parent
+    heap for nothing.
+    """
+    global _WORKER_PARSER, _WORKER_TABLES
+    gc.freeze()
+    gc.disable()
+    tables: Sequence[Table] = pickle.loads(tables_blob)
+    _WORKER_TABLES = {table.fingerprint.digest: table for table in tables}
+    if _FORK_PARSER is not None:
+        _WORKER_PARSER = _FORK_PARSER
+        _refresh_inherited_locks(_WORKER_PARSER)
+    else:
+        model = LogLinearModel()
+        model.weights = dict(weights)
+        _WORKER_PARSER = SemanticParser(model=model, config=config)
+
+
+def _refresh_inherited_locks(parser: SemanticParser) -> None:
+    """Replace every lock the child inherited through fork.
+
+    ``fork`` copies locks in whatever state another driver thread held
+    them at fork time; a lock copied *held* stays held forever in the
+    child (its owner does not exist here) and the first cache access
+    would deadlock.  The child is single-threaded at this point, so
+    swapping in fresh locks is safe.  Reaches into sibling-module
+    internals deliberately — this is fork-inheritance plumbing, not API.
+    """
+    from ..tables import index as index_module
+    from ..tables import schema as schema_module
+
+    for cache in (parser._lexicons, parser._grammars, parser._candidate_cache):
+        cache._lock = threading.RLock()
+    parser._execution_cache._lru._lock = threading.RLock()
+    index_module._INDEX_REGISTRY._lock = threading.RLock()
+    schema_module._PROFILE_CACHE._lock = threading.RLock()
+    if parser._disk_cache is not None:
+        parser._disk_cache._lock = threading.Lock()
+
+
+def _parse_units(units: Sequence[WorkUnit]) -> List[Tuple[WorkUnit, ParseOutput, float]]:
+    """Parse a group of work units against the worker's table registry.
+
+    A group holds (mostly) units of one table, so per-table state —
+    lexicon, grammar, column index — is built at most once per group
+    instead of once per worker per table.
+    """
+    results = []
+    for unit in units:
+        digest, question, k = unit
+        table = _WORKER_TABLES[digest]
+        started = time.perf_counter()
+        parse = _WORKER_PARSER.parse(question, table, k=k)
+        elapsed = time.perf_counter() - started
+        # Strip the table from the wire format: the driver re-attaches its
+        # own table object, and candidates only reference cells, not tables.
+        parse.table = None
+        results.append((unit, parse, elapsed))
+    return results
+
+
+class ProcessPoolBackend:
+    """Drives a batch of ``(question, table)`` items through worker processes.
+
+    Created per batch (the worker registry is the batch's table set); the
+    pool forks lazily on :meth:`parse_all` and is torn down with it.
+    """
+
+    def __init__(self, parser: SemanticParser, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"ProcessPoolBackend needs max_workers >= 1, got {max_workers}")
+        self.parser = parser
+        self.max_workers = max_workers
+
+    def parse_all(self, items: Sequence) -> List[Tuple[ParseOutput, float]]:
+        """Index-aligned ``(parse, seconds)`` pairs for ``items``.
+
+        ``items`` are :class:`~repro.perf.batch.BatchItem` instances.
+        Duplicated work units are parsed once; every duplicate position
+        receives the shared parse and its worker-measured time.
+
+        Scheduling: units are grouped by table and each group is one
+        task, largest first — per-table state is never rebuilt across
+        workers, and a table's questions land on the worker that already
+        paid for its grammar.  Under the ``fork`` start method the driver
+        additionally pre-builds each table's lexicon, grammar, index and
+        schema *before* forking, so every worker inherits them warm by
+        copy-on-write instead of rebuilding its own.
+        """
+        global _FORK_PARSER
+        tables: Dict[str, Table] = {}
+        groups: Dict[str, List[WorkUnit]] = {}
+        seen: set = set()
+        for item in items:
+            digest = item.table.fingerprint.digest
+            tables.setdefault(digest, item.table)
+            unit: WorkUnit = (digest, item.question, item.k)
+            if unit not in seen:
+                seen.add(unit)
+                groups.setdefault(digest, []).append(unit)
+
+        group_lists = sorted(groups.values(), key=len, reverse=True)
+        # Never fork more workers than cores: a CPU-bound process pool
+        # gains nothing from oversubscription and each extra fork pays its
+        # own copy-on-write faults over the parent heap.
+        budget = min(self.max_workers, _available_cpus()) or 1
+        # A batch over few tables (one, typically, via ask_many) would
+        # otherwise collapse to one group and zero parallelism: split the
+        # largest groups until every budgeted worker has work.  Under fork
+        # the split is free — per-table state is pre-built by the driver
+        # and inherited — and under spawn it costs one duplicate grammar
+        # build per extra worker, still a win for multi-question batches.
+        while group_lists and len(group_lists) < budget and len(group_lists[0]) > 1:
+            largest = group_lists.pop(0)
+            half = (len(largest) + 1) // 2
+            group_lists.extend([largest[:half], largest[half:]])
+            group_lists.sort(key=len, reverse=True)
+        tables_blob = pickle.dumps(
+            list(tables.values()), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        workers = min(budget, len(group_lists)) or 1
+        fork_start = multiprocessing.get_start_method() == "fork"
+        try:
+            if fork_start:
+                self._prewarm(tables.values())
+                _FORK_PARSER = self.parser
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(tables_blob, self.parser.model.weights, self.parser.config),
+            ) as pool:
+                parsed = {
+                    unit: (parse, seconds)
+                    for group in pool.map(_parse_units, group_lists)
+                    for unit, parse, seconds in group
+                }
+        finally:
+            _FORK_PARSER = None
+
+        results: List[Tuple[ParseOutput, float]] = []
+        for item in items:
+            unit = (item.table.fingerprint.digest, item.question, item.k)
+            parse, seconds = parsed[unit]
+            results.append(
+                (dataclasses.replace(parse, table=item.table), seconds)
+            )
+        return results
+
+    def _prewarm(self, batch_tables) -> None:
+        """Build per-table state in the driver so forked workers inherit it.
+
+        Lexicon and grammar live in the driver parser's content-addressed
+        LRUs; the column index and schema profiles live in process-wide
+        registries.  All of it is read-mostly after construction, which is
+        exactly what fork's copy-on-write shares for free.
+        """
+        for table in batch_tables:
+            self.parser._lexicon(table)
+            self.parser._grammar(table)
+            if self.parser.config.index_tables:
+                table_index(table)
+                table_schema(table)

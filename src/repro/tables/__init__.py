@@ -12,8 +12,21 @@ from .values import (
 )
 from .fingerprint import LRUCache, TableFingerprint, fingerprint_table
 from .table import Cell, Record, Table, TableError
+from .index import (
+    ColumnIndex,
+    TableIndex,
+    clear_index_cache,
+    index_cache_stats,
+    table_index,
+)
 from .knowledge_base import KnowledgeBase, Triple
-from .schema import ColumnProfile, TableSchema, infer_schema, profile_column
+from .schema import (
+    ColumnProfile,
+    TableSchema,
+    infer_schema,
+    profile_column,
+    table_schema,
+)
 from .io import (
     load_tables,
     save_tables,
@@ -40,12 +53,18 @@ __all__ = [
     "TableFingerprint",
     "fingerprint_table",
     "LRUCache",
+    "ColumnIndex",
+    "TableIndex",
+    "table_index",
+    "index_cache_stats",
+    "clear_index_cache",
     "KnowledgeBase",
     "Triple",
     "ColumnProfile",
     "TableSchema",
     "infer_schema",
     "profile_column",
+    "table_schema",
     "table_from_csv",
     "table_from_tsv",
     "table_from_json",

@@ -214,6 +214,11 @@ class LRUCache:
         with self._lock:
             return iter(list(self._data.keys()))
 
+    def items(self):
+        """A snapshot of ``(key, value)`` pairs (no recency/counter effects)."""
+        with self._lock:
+            return list(self._data.items())
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()

@@ -1,0 +1,268 @@
+"""Per-column indexes answering equality and range lookups in O(log n).
+
+Every :class:`~repro.dcs.executor.Executor` operator of the seed walked a
+whole column per evaluation — an O(rows) scan re-running the expensive
+cross-type :func:`~repro.tables.values.values_equal` (which re-parses
+string cells on *every* comparison).  Memoization (PR 1) amortised the
+scans across duplicate sub-queries, but each distinct sub-query still
+paid one.  This module removes the scan itself:
+
+* :class:`ColumnIndex` — for one column, a hash map from normalised cell
+  value to row indices (equality), plus sorted numeric / sort-key arrays
+  (range comparisons and superlatives) answered by :mod:`bisect`.
+* :class:`TableIndex` — one :class:`ColumnIndex` per column, built
+  eagerly from the table's typed cells and holding **no reference** to
+  the table (only row indices and primitive keys), so a cached index
+  never keeps a dead table alive.
+* :func:`table_index` — the process-wide registry: indexes are built
+  lazily once per *table content* and held in the existing bounded
+  thread-safe :class:`~repro.tables.fingerprint.LRUCache`, keyed by
+  :attr:`~repro.tables.table.Table.fingerprint` — two tables with equal
+  content share one index, and a changed cell (changed fingerprint)
+  gets a fresh one.
+
+Exactness contract (locked in by the property tests in
+``tests/test_property_based.py`` and ``tests/test_table_index.py``): the
+index never changes results.  Equality lookups return a *superset* of
+candidate rows which callers re-check with ``values_equal`` — the index
+can produce a spurious candidate, never miss a matching row.  Ordered
+lookups mirror :func:`repro.dcs.executor._compare` exactly, including
+the numeric-vs-sort-key fallback, NaN cells (never selected by an
+ordered operator) and cross-type misses.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .fingerprint import LRUCache
+from .table import Cell, Table
+from .values import DateValue, NumberValue, StringValue, Value, parse_value
+
+#: Capacity of the process-wide index registry.  Indexes hold only row
+#: indices and primitive keys, so even large deployments stay small.
+INDEX_REGISTRY_SIZE = 256
+
+#: Relative slack of the numeric equality window.  ``values_equal`` uses
+#: ``math.isclose(rel_tol=1e-9, abs_tol=1e-9)``; the window is strictly
+#: wider, and callers filter the surplus with ``values_equal`` itself.
+_EQ_REL = 2e-9
+_EQ_ABS = 1e-9
+
+
+def _sorted_pairs(pairs: List[Tuple]) -> Tuple[Tuple, Tuple[int, ...]]:
+    """Split ``(key, row)`` pairs into parallel sorted key/row tuples."""
+    pairs.sort()
+    return tuple(key for key, _ in pairs), tuple(row for _, row in pairs)
+
+
+class ColumnIndex:
+    """Equality and range lookups over one column of one table content.
+
+    The structures hold only primitives (row indices, floats, normalised
+    strings, date triples, sort-key tuples) — never cells or tables.
+    """
+
+    __slots__ = (
+        "num_rows",
+        "_by_string",
+        "_by_date",
+        "_eq_numeric_keys",
+        "_eq_numeric_rows",
+        "_cmp_numeric_keys",
+        "_cmp_numeric_rows",
+        "_tag_all",
+        "_tag_nonnumeric",
+    )
+
+    def __init__(self, cells: Sequence[Cell]) -> None:
+        self.num_rows = len(cells)
+        #: normalised text -> rows holding an equal StringValue.
+        by_string: Dict[str, List[int]] = {}
+        #: (year, month, day) -> rows holding an equal date (typed or textual).
+        by_date: Dict[Tuple, List[int]] = {}
+        #: cells with a numeric *equality* view (numbers, bare-year dates,
+        #: strings that re-parse to a number), sorted by that number.
+        eq_numeric: List[Tuple[float, int]] = []
+        #: cells taking the numeric path of ``_compare`` (``is_numeric``
+        #: only — strings are excluded there), sorted by ``as_number()``.
+        cmp_numeric: List[Tuple[float, int]] = []
+        #: every cell by sort key, partitioned by type tag, for the
+        #: ``_compare`` fallback with a non-numeric reference.
+        tag_all: Dict[int, List[Tuple[Tuple, int]]] = {}
+        #: non-numeric cells only, for the fallback with a numeric reference.
+        tag_nonnumeric: Dict[int, List[Tuple[Tuple, int]]] = {}
+
+        for row, cell in enumerate(cells):
+            value = cell.value
+            key = value.sort_key()
+            tag_all.setdefault(key[0], []).append((key, row))
+            if value.is_numeric:
+                number = value.as_number()
+                if not math.isnan(number):
+                    cmp_numeric.append((number, row))
+                    eq_numeric.append((number, row))
+            else:
+                tag_nonnumeric.setdefault(key[0], []).append((key, row))
+            if isinstance(value, StringValue):
+                by_string.setdefault(value.normalized, []).append(row)
+                reparsed = parse_value(value.text)
+                if isinstance(reparsed, NumberValue):
+                    if not math.isnan(reparsed.number):
+                        eq_numeric.append((reparsed.number, row))
+                elif isinstance(reparsed, DateValue):
+                    by_date.setdefault(
+                        (reparsed.year, reparsed.month, reparsed.day), []
+                    ).append(row)
+            elif isinstance(value, DateValue):
+                by_date.setdefault((value.year, value.month, value.day), []).append(row)
+
+        self._by_string = {text: tuple(rows) for text, rows in by_string.items()}
+        self._by_date = {triple: tuple(rows) for triple, rows in by_date.items()}
+        self._eq_numeric_keys, self._eq_numeric_rows = _sorted_pairs(eq_numeric)
+        self._cmp_numeric_keys, self._cmp_numeric_rows = _sorted_pairs(cmp_numeric)
+        self._tag_all = {tag: _sorted_pairs(pairs) for tag, pairs in tag_all.items()}
+        self._tag_nonnumeric = {
+            tag: _sorted_pairs(pairs) for tag, pairs in tag_nonnumeric.items()
+        }
+
+    # -- equality --------------------------------------------------------------
+    def equality_candidates(self, value: Value) -> Iterable[int]:
+        """Rows that *may* hold a value equal to ``value``.
+
+        A superset of the true match set (callers re-check each candidate
+        with ``values_equal``); by construction it can never miss a row
+        that ``values_equal`` would accept — every cross-type bridge of
+        :func:`~repro.tables.values.values_equal` (string re-parsing,
+        bare-year dates as numbers) has a corresponding structure here.
+        """
+        if isinstance(value, StringValue):
+            rows = list(self._by_string.get(value.normalized, ()))
+            reparsed = parse_value(value.text)
+            if isinstance(reparsed, NumberValue):
+                rows.extend(self._numeric_equality_window(reparsed.number))
+            elif isinstance(reparsed, DateValue):
+                rows.extend(
+                    self._by_date.get(
+                        (reparsed.year, reparsed.month, reparsed.day), ()
+                    )
+                )
+                if reparsed.is_numeric:
+                    rows.extend(self._numeric_equality_window(reparsed.as_number()))
+            return rows
+        if isinstance(value, NumberValue):
+            return self._numeric_equality_window(value.number)
+        if isinstance(value, DateValue):
+            rows = list(self._by_date.get((value.year, value.month, value.day), ()))
+            if value.is_numeric:
+                rows.extend(self._numeric_equality_window(value.as_number()))
+            return rows
+        return range(self.num_rows)  # unknown value type: degrade to a scan
+
+    def _numeric_equality_window(self, number: float) -> Sequence[int]:
+        """Rows whose numeric equality key lies within the isclose window."""
+        if math.isnan(number):
+            return ()
+        keys = self._eq_numeric_keys
+        if not math.isfinite(number):
+            low, high = bisect_left(keys, number), bisect_right(keys, number)
+        else:
+            radius = _EQ_ABS + _EQ_REL * abs(number)
+            low = bisect_left(keys, number - radius)
+            high = bisect_right(keys, number + radius)
+        return self._eq_numeric_rows[low:high]
+
+    # -- ordered comparisons ---------------------------------------------------
+    def ordered_rows(self, op: str, reference: Value) -> List[int]:
+        """Rows selected by ``cell <op> reference`` for ``op`` in ``< <= > >=``.
+
+        Exact (no caller-side filtering needed): reproduces the two-path
+        semantics of ``repro.dcs.executor._compare`` — the numeric path
+        for numeric cell/reference pairs, the same-type-tag sort-key
+        fallback otherwise.
+        """
+        rows: List[int] = []
+        tag = reference.sort_key()[0]
+        if reference.is_numeric:
+            number = reference.as_number()
+            if not math.isnan(number):
+                rows.extend(
+                    self._bisect_range(
+                        self._cmp_numeric_keys, self._cmp_numeric_rows, op, number
+                    )
+                )
+            # Non-numeric cells of the same type tag (e.g. full dates
+            # compared against a bare-year date) take the sort-key path.
+            keys, tagged = self._tag_nonnumeric.get(tag, ((), ()))
+            rows.extend(self._bisect_range(keys, tagged, op, reference.sort_key()))
+        else:
+            keys, tagged = self._tag_all.get(tag, ((), ()))
+            rows.extend(self._bisect_range(keys, tagged, op, reference.sort_key()))
+        rows.sort()
+        return rows
+
+    @staticmethod
+    def _bisect_range(keys: Tuple, rows: Tuple[int, ...], op: str, pivot) -> Sequence[int]:
+        if op == ">":
+            return rows[bisect_right(keys, pivot):]
+        if op == ">=":
+            return rows[bisect_left(keys, pivot):]
+        if op == "<":
+            return rows[: bisect_left(keys, pivot)]
+        if op == "<=":
+            return rows[: bisect_right(keys, pivot)]
+        raise ValueError(f"unordered operator {op!r}")  # pragma: no cover
+
+
+class TableIndex:
+    """All column indexes of one table content.
+
+    Built eagerly (every column) from a table and addressed by the
+    table's fingerprint via :func:`table_index`; the index itself keeps
+    no reference to the table, its records or its cells.
+    """
+
+    __slots__ = ("fingerprint", "columns")
+
+    def __init__(self, table: Table) -> None:
+        self.fingerprint = table.fingerprint
+        self.columns: Dict[str, ColumnIndex] = {
+            column: ColumnIndex(table.column_cells(column))
+            for column in table.columns
+        }
+
+    def column(self, name: str) -> ColumnIndex:
+        return self.columns[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"TableIndex({self.fingerprint.short}, {len(self.columns)} columns)"
+
+
+# ---------------------------------------------------------------------------
+# the process-wide registry
+# ---------------------------------------------------------------------------
+
+_INDEX_REGISTRY = LRUCache(maxsize=INDEX_REGISTRY_SIZE)
+
+
+def table_index(table: Table) -> TableIndex:
+    """The (cached) :class:`TableIndex` for ``table``'s content.
+
+    Content-addressed: equal-content tables share one index; any change
+    to a cell, header or cell type changes the fingerprint and therefore
+    builds a fresh index.  The registry is a bounded thread-safe LRU, so
+    long-running deployments keep a fixed footprint.
+    """
+    return _INDEX_REGISTRY.get_or_create(table.fingerprint, lambda: TableIndex(table))
+
+
+def index_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the index registry (for ``cache_stats``)."""
+    return _INDEX_REGISTRY.stats()
+
+
+def clear_index_cache() -> None:
+    """Drop every cached index (tests and benchmarks use this for cold runs)."""
+    _INDEX_REGISTRY.clear()

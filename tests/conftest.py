@@ -7,6 +7,14 @@ import pytest
 from repro.tables import Table
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: fast, scaled-down sweep of the bench-parse code paths "
+        "(all backends, disk cache warm/cold); select with -m bench_smoke",
+    )
+
+
 @pytest.fixture
 def olympics_table() -> Table:
     """The Figure 1 table: Olympic games host cities."""

@@ -120,21 +120,49 @@ class TestBenchParseCommand:
         )
         text = out.getvalue()
         assert code == 0
-        for mode in ("sequential", "memoized", "batched"):
+        for mode in ("sequential", "memoized", "indexed", "batched", "process"):
             assert mode in text
         payload = json.loads(artifact.read_text())
-        assert payload["schema"] == "repro-bench-parse-v1"
-        assert set(payload["modes"]) == {"sequential", "memoized", "batched"}
+        assert payload["schema"] == "repro-bench-parse-v2"
+        assert set(payload["modes"]) == {
+            "sequential", "memoized", "indexed", "batched", "process"
+        }
         assert payload["questions"] == 8  # 2 tables x 2 questions x 2 repeats
         for mode_payload in payload["modes"].values():
             assert len(mode_payload["per_question_seconds"]) == 8
             assert mode_payload["total_seconds"] > 0
+            assert "indexes" in mode_payload["cache_stats"]
+            assert "disk" in mode_payload["cache_stats"]
+
+    def test_bench_parse_thread_backend_only(self, tmp_path):
+        out = io.StringIO()
+        artifact = tmp_path / "BENCH_parse.json"
+        code = main(
+            ["bench-parse", "--tables", "2", "--questions", "1", "--repeats", "1",
+             "--workers", "2", "--backend", "thread", "--output", str(artifact)],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(artifact.read_text())
+        assert set(payload["modes"]) == {"sequential", "memoized", "indexed", "batched"}
+
+    def test_bench_parse_disk_cache_flag_creates_store(self, tmp_path):
+        out = io.StringIO()
+        store = tmp_path / "cache"
+        code = main(
+            ["bench-parse", "--tables", "2", "--questions", "1", "--repeats", "1",
+             "--workers", "1", "--backend", "thread", "--disk-cache", str(store)],
+            out=out,
+        )
+        assert code == 0
+        # The indexed/batched modes persisted their candidate lists.
+        assert list(store.rglob("*.pkl"))
 
     def test_bench_parse_without_output_file(self):
         out = io.StringIO()
         code = main(
             ["bench-parse", "--tables", "2", "--questions", "1", "--repeats", "1",
-             "--workers", "1"],
+             "--workers", "1", "--backend", "thread"],
             out=out,
         )
         assert code == 0

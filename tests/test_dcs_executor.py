@@ -4,7 +4,7 @@ import pytest
 
 from repro.dcs import ExecutionError, builder as q, execute
 from repro.dcs.executor import answers_match
-from repro.tables.values import NumberValue, StringValue
+from repro.tables.values import DateValue, NumberValue, StringValue
 
 
 def answers(query, table):
@@ -291,3 +291,40 @@ class TestAnswersMatch:
         assert not answers_match(
             [StringValue("a"), StringValue("b")], [StringValue("a")]
         )
+
+    def test_cross_type_multiset(self):
+        """Cross-type pairs must survive the Counter fast path: the key
+        multisets differ, so the pairwise fallback decides."""
+        left = [NumberValue(2004), StringValue("Athens"), DateValue(1896)]
+        right = [StringValue("2004"), StringValue("athens"), NumberValue(1896)]
+        assert answers_match(left, right)
+        assert answers_match(right, left)
+
+    def test_cross_type_mismatch_still_fails(self):
+        assert not answers_match(
+            [NumberValue(2004), StringValue("x")],
+            [StringValue("2004"), StringValue("y")],
+        )
+
+    def test_identical_multisets_take_fast_path(self):
+        values = [StringValue("A"), StringValue(" a"), NumberValue(1.0), DateValue(1896)]
+        shuffled = [NumberValue(1.0), StringValue("a "), DateValue(1896), StringValue("a")]
+        assert answers_match(values, shuffled)
+
+    def test_duplicate_counts_respected(self):
+        # Equal lengths with different duplicate structure must not match.
+        assert not answers_match(
+            [StringValue("a"), StringValue("a"), StringValue("b")],
+            [StringValue("a"), StringValue("b"), StringValue("b")],
+        )
+
+    def test_large_answers_match_quickly(self):
+        """The quadratic fallback made 1000-value answers painful; the
+        Counter fast path must handle them instantly."""
+        import time
+
+        left = [NumberValue(i) for i in range(1000)]
+        right = [NumberValue(i) for i in reversed(range(1000))]
+        started = time.perf_counter()
+        assert answers_match(left, right)
+        assert time.perf_counter() - started < 0.1

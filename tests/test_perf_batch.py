@@ -116,6 +116,10 @@ class TestBatchParserConcurrency:
         with pytest.raises(ValueError):
             BatchParser(max_workers=0)
 
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            BatchParser(backend="fiber")
+
     def test_report_timing_fields(self):
         report = BatchParser(make_parser(), max_workers=2).parse_all(build_items())
         assert report.total_seconds > 0
@@ -124,6 +128,52 @@ class TestBatchParserConcurrency:
         assert report.mean_seconds == pytest.approx(
             report.total_seconds / len(report)
         )
+
+
+class TestProcessBackend:
+    """The process pool is a drop-in for the thread pool: order-stable,
+    bit-identical results, deduplicated work units."""
+
+    def test_results_match_sequential_loop(self):
+        items = build_items()
+        reference_parser = make_parser()
+        reference = [
+            signature(reference_parser.parse(question, table))
+            for question, table in items
+        ]
+        parser = make_parser()
+        report = BatchParser(parser, max_workers=4, backend="process").parse_all(items)
+        assert report.backend == "process"
+        assert len(report) == len(items)
+        for i, result in enumerate(report):
+            assert result.index == i
+            assert result.question == items[i][0]
+            assert result.table is items[i][1]
+            assert result.seconds >= 0.0
+        assert [signature(r.parse) for r in report] == reference, (
+            "process backend diverged from the sequential loop"
+        )
+
+    def test_duplicate_items_share_one_work_unit(self):
+        items = build_items()[:2] * 3
+        report = BatchParser(make_parser(), max_workers=2, backend="process").parse_all(items)
+        assert [r.question for r in report] == [question for question, _ in items]
+        # Duplicates fan out from one parsed unit: identical signatures.
+        for offset in (2, 4):
+            for i in range(2):
+                assert signature(report.results[i].parse) == signature(
+                    report.results[i + offset].parse
+                )
+
+    def test_batch_items_carry_their_own_k(self):
+        olympics, _ = build_tables()
+        items = [
+            BatchItem(question="what is the highest year", table=olympics, k=1),
+            BatchItem(question="what is the highest year", table=olympics, k=3),
+        ]
+        report = BatchParser(make_parser(), max_workers=2, backend="process").parse_all(items)
+        assert len(report.results[0].parse.candidates) == 1
+        assert len(report.results[1].parse.candidates) == 3
 
 
 class TestInterfaceBatch:
@@ -151,14 +201,24 @@ class TestParseBenchHarness:
     def test_report_has_all_modes_and_consistent_counts(self):
         pairs = build_items()[:3]
         report = run_parse_bench(pairs, repeats=2, workers=2)
-        assert set(report.modes) == {"sequential", "memoized", "batched"}
+        assert set(report.modes) == {
+            "sequential", "memoized", "indexed", "batched", "process"
+        }
         assert report.questions == 6
         for timing in report.modes.values():
             assert timing.questions == 6
             assert timing.total_seconds > 0
         payload = report.to_payload()
-        assert payload["schema"] == "repro-bench-parse-v1"
-        assert set(payload["speedups"]) == {"memoized", "batched"}
+        assert payload["schema"] == "repro-bench-parse-v2"
+        assert set(payload["speedups"]) == {"memoized", "indexed", "batched", "process"}
+        for timing in report.modes.values():
+            assert "indexes" in timing.cache_stats
+            assert "disk" in timing.cache_stats
+
+    def test_backend_selection_limits_pooled_modes(self):
+        pairs = build_items()[:2]
+        report = run_parse_bench(pairs, repeats=1, workers=2, backends=("thread",))
+        assert set(report.modes) == {"sequential", "memoized", "indexed", "batched"}
 
     def test_modes_agree_on_candidate_counts(self):
         pairs = build_items()[:3]

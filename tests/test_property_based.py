@@ -8,6 +8,9 @@ them; the properties checked are the ones the paper's machinery relies on:
 * the executor agrees with the SQL translation on sqlite,
 * the memoized executor is result-equivalent to the plain executor
   (answers, output cells and aggregate markers), cold and warm,
+* the column-indexed executor is bit-identical to the row-scan executor,
+  including on degenerate tables (NaN cells, empty strings, numeric
+  strings, duplicate-only columns),
 * the provenance chain is always ordered (``PO ⊆ PE ⊆ PC``),
 * highlight levels only cover cells of columns used by the query,
 * utterances exist and mention every column of the query.
@@ -233,6 +236,103 @@ class TestMemoizedExecutionProperties:
         cached_sexprs = {sexpr for _fingerprint, sexpr in cache._lru.keys()}
         for node in query.walk():
             assert to_sexpr(node) in cached_sexprs
+
+
+@st.composite
+def degenerate_tables(draw):
+    """Tables stressing the index's corner cases: NaN numbers, empty and
+    numeric strings, bare-year dates, and heavily duplicated values."""
+    from repro.tables.values import DateValue, NumberValue
+
+    num_rows = draw(st.integers(min_value=1, max_value=8))
+    pool = [
+        "x", "X ", "", "1896", "2,000", "$5", NumberValue(float("nan")),
+        NumberValue(5.0), 1896, DateValue(1896), DateValue(2013, 6, 8),
+        "June 8, 2013", 0, -3.5,
+    ]
+    rows = [
+        [draw(st.sampled_from(pool)), draw(st.sampled_from(pool))]
+        for _ in range(num_rows)
+    ]
+    return Table(columns=["A", "B"], rows=rows, name="degenerate")
+
+
+@st.composite
+def degenerate_queries(draw):
+    from repro.tables.values import DateValue, NumberValue
+
+    column = draw(st.sampled_from(["A", "B"]))
+    target = draw(
+        st.sampled_from(
+            ["x", "", "1896", 1896, 5, NumberValue(float("nan")),
+             DateValue(1896), DateValue(2013, 6, 8), "June 8, 2013"]
+        )
+    )
+    op = draw(st.sampled_from([">", ">=", "<", "<=", "!="]))
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:
+        return q.column_records(column, target)
+    if choice == 1:
+        return q.comparison_records(column, op, target)
+    if choice == 2:
+        return q.argmax_records(column)
+    if choice == 3:
+        return q.most_common(column)
+    return q.argmin_records(column, q.comparison_records(column, op, target))
+
+
+class TestIndexedExecutionProperties:
+    """The indexed executor is bit-identical to the row-scan path (ISSUE 2)."""
+
+    @staticmethod
+    def _assert_identical(table, query):
+        try:
+            scan = Executor(table, use_index=False).execute(query)
+            scan_error = None
+        except DCSError as error:
+            scan, scan_error = None, error
+        try:
+            indexed = Executor(table, use_index=True).execute(query)
+        except DCSError as error:
+            assert scan_error is not None, (
+                f"indexed raised but the scan path succeeded: {error}"
+            )
+            assert type(error) is type(scan_error)
+            assert str(error) == str(scan_error)
+        else:
+            assert scan_error is None, (
+                f"scan raised {scan_error} but indexed succeeded"
+            )
+            # Full ExecutionResult equality: kind, record indices, output
+            # cells (order included), answer values and aggregate markers.
+            assert indexed == scan
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_indexed_equals_scan_on_regular_tables(self, pair):
+        table, query = pair
+        self._assert_identical(table, query)
+
+    @given(degenerate_tables().flatmap(
+        lambda table: st.tuples(st.just(table), degenerate_queries())
+    ))
+    @SETTINGS
+    def test_indexed_equals_scan_on_degenerate_tables(self, pair):
+        table, query = pair
+        self._assert_identical(table, query)
+
+    @given(table_and_query)
+    @SETTINGS
+    def test_memoized_indexed_executor_matches_scan(self, pair):
+        """The production stack — memoization over the index — still equals
+        the plain scan executor."""
+        table, query = pair
+        cache = ExecutionCache()
+        try:
+            expected = Executor(table, use_index=False).execute(query)
+        except DCSError:
+            return
+        assert MemoizedExecutor(table, cache=cache).execute(query) == expected
 
 
 # ---------------------------------------------------------------------------

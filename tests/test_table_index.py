@@ -1,0 +1,211 @@
+"""Tests for the content-addressed column index (``repro.tables.index``).
+
+Two contracts are locked in here:
+
+* **Exactness** — the indexed executor selects exactly the rows the
+  row-scan executor selects, across every cross-type equality bridge of
+  ``values_equal`` (string/number re-parsing, bare-year dates), ordered
+  comparisons with the sort-key fallback, and degenerate columns (NaN,
+  empty strings, heavy duplication).  The broad property test lives in
+  ``tests/test_property_based.py``; the cases here are the targeted
+  corners.
+* **Content addressing** — indexes are cached per fingerprint: clones
+  share one index, a changed cell builds a fresh one, and the registry
+  is bounded.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dcs import Executor, builder as q
+from repro.dcs.errors import DCSError
+from repro.tables import Table, clear_index_cache, index_cache_stats, table_index
+from repro.tables.index import ColumnIndex, TableIndex
+from repro.tables.values import DateValue, NumberValue, StringValue
+
+
+def mixed_table() -> Table:
+    """Every value shape the equality bridges care about, in one table."""
+    return Table(
+        columns=["Year", "Label", "Score"],
+        rows=[
+            [1896, "alpha", 4],
+            ["1900", "Alpha", 5.0],           # numeric string / case-folded dup
+            [2004, "be ta", 4],
+            ["June 8, 2013", "$1,234", 9],    # textual date / numeric string
+            ["", "beta", float("nan")],       # empty string / NaN number
+            [DateValue(1900), "alpha", 4],    # bare-year date == number 1900
+        ],
+        name="mixed",
+    )
+
+
+def assert_same_result(table: Table, query) -> None:
+    def run(use_index):
+        try:
+            return Executor(table, use_index=use_index).execute(query)
+        except DCSError as error:
+            return ("error", type(error), str(error))
+
+    assert run(True) == run(False)
+
+
+class TestIndexedOperatorExactness:
+    @pytest.mark.parametrize(
+        "target",
+        ["alpha", "Alpha", "be ta", "beta", "", "$1,234", "1,234", "1900",
+         1896, 1900, 4, 5, 9, float("nan"), "June 8, 2013", "2013-06-08",
+         DateValue(1900), DateValue(2013, 6, 8), "nope"],
+    )
+    def test_column_records_equality(self, target):
+        table = mixed_table()
+        for column in table.columns:
+            assert_same_result(table, q.column_records(column, target))
+
+    @pytest.mark.parametrize("op", [">", ">=", "<", "<=", "!="])
+    @pytest.mark.parametrize(
+        "reference", [1900, 4, 4.5, "beta", DateValue(1900), DateValue(2013, 6, 8)]
+    )
+    def test_comparison_records(self, op, reference):
+        table = mixed_table()
+        for column in table.columns:
+            assert_same_result(table, q.comparison_records(column, op, reference))
+
+    @pytest.mark.parametrize("column", ["Year", "Label", "Score"])
+    def test_superlatives_and_most_common(self, column):
+        table = mixed_table()
+        assert_same_result(table, q.argmax_records(column))
+        assert_same_result(table, q.argmin_records(column))
+        assert_same_result(table, q.most_common(column))
+
+    def test_superlative_over_subset(self):
+        table = mixed_table()
+        assert_same_result(
+            table,
+            q.argmax_records("Score", q.comparison_records("Score", "<", 9)),
+        )
+        assert_same_result(
+            table,
+            q.argmin_records("Year", q.column_records("Label", "alpha")),
+        )
+
+    def test_compare_values(self):
+        table = mixed_table()
+        assert_same_result(
+            table,
+            q.compare_values(
+                key_column="Year",
+                value_column="Label",
+                candidates=q.column_values("Label", q.all_records()),
+                kind="argmax",
+            ),
+        )
+
+    def test_all_nan_column_superlative(self):
+        table = Table(
+            columns=["A", "B"],
+            rows=[[float("nan"), "x"], [float("nan"), "y"]],
+        )
+        assert_same_result(table, q.argmax_records("A"))
+        assert_same_result(table, q.comparison_records("A", ">", 0))
+        assert_same_result(table, q.column_records("A", float("nan")))
+
+    def test_duplicate_only_column(self):
+        table = Table(columns=["A"], rows=[["same"]] * 5)
+        assert_same_result(table, q.column_records("A", "same"))
+        assert_same_result(table, q.argmin_records("A"))
+        assert_same_result(table, q.most_common("A"))
+
+
+class TestColumnIndexLookups:
+    def test_equality_candidates_are_supersets_of_matches(self):
+        table = mixed_table()
+        from repro.tables.values import values_equal
+
+        for column in table.columns:
+            cells = table.column_cells(column)
+            index = ColumnIndex(cells)
+            targets = [cell.value for cell in cells] + [
+                NumberValue(1900), StringValue("alpha"), DateValue(1900)
+            ]
+            for target in targets:
+                candidates = set(index.equality_candidates(target))
+                true_rows = {
+                    cell.row_index
+                    for cell in cells
+                    if values_equal(cell.value, target)
+                }
+                assert true_rows <= candidates, (
+                    f"index missed rows {true_rows - candidates} for "
+                    f"{target!r} in column {column!r}"
+                )
+
+    def test_ordered_rows_match_scan_exactly(self):
+        from repro.dcs.executor import _compare
+        from repro.dcs.ast import ComparisonOperator
+
+        table = mixed_table()
+        references = [NumberValue(4), NumberValue(1900), StringValue("beta"),
+                      DateValue(1900), DateValue(2013, 6, 8)]
+        for column in table.columns:
+            cells = table.column_cells(column)
+            index = ColumnIndex(cells)
+            for reference in references:
+                for op in (ComparisonOperator.GT, ComparisonOperator.GE,
+                           ComparisonOperator.LT, ComparisonOperator.LE):
+                    expected = [
+                        cell.row_index
+                        for cell in cells
+                        if _compare(cell.value, op, reference)
+                    ]
+                    assert index.ordered_rows(op.value, reference) == expected
+
+    def test_nan_reference_selects_nothing_ordered(self):
+        index = ColumnIndex(Table(columns=["A"], rows=[[1], [2]]).column_cells("A"))
+        assert index.ordered_rows(">", NumberValue(float("nan"))) == []
+        assert list(index.equality_candidates(NumberValue(float("nan")))) == []
+
+    def test_infinite_reference(self):
+        table = Table(columns=["A"], rows=[[1], [NumberValue(math.inf)], [3]])
+        assert_same_result(table, q.comparison_records("A", "<", NumberValue(math.inf)))
+        assert_same_result(table, q.column_records("A", NumberValue(math.inf)))
+
+
+class TestIndexRegistry:
+    def test_equal_content_shares_one_index(self):
+        clear_index_cache()
+        first = table_index(mixed_table())
+        second = table_index(mixed_table())
+        assert first is second
+        stats = index_cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_changed_cell_builds_a_fresh_index(self):
+        """The regression the fingerprint contract exists for: a cell edit
+        must never be served by the old content's index."""
+        clear_index_cache()
+        base = Table(columns=["A", "B"], rows=[["x", 1], ["y", 2]])
+        edited = Table(columns=["A", "B"], rows=[["x", 1], ["y", 99]])
+        index_base = table_index(base)
+        index_edited = table_index(edited)
+        assert base.fingerprint != edited.fingerprint
+        assert index_base is not index_edited
+        # And the fresh index answers from the *new* content:
+        result = Executor(edited).execute(q.column_records("B", 99))
+        assert result.record_indices == frozenset({1})
+        assert Executor(base).execute(q.column_records("B", 99)).record_indices == frozenset()
+
+    def test_index_holds_no_table_reference(self):
+        index = TableIndex(mixed_table())
+        assert set(index.__slots__) == {"fingerprint", "columns"}
+        for column_index in index.columns.values():
+            assert not hasattr(column_index, "table")
+            assert not hasattr(column_index, "cells")
+
+    def test_executor_can_opt_out(self):
+        table = mixed_table()
+        assert Executor(table, use_index=False)._index is None
+        assert Executor(table)._index is not None
