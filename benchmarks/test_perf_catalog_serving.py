@@ -1,0 +1,76 @@
+"""Serving bench — sequential vs concurrent async sessions (ISSUE 3).
+
+The paper's deployment is an interactive service: many users, concurrent
+sessions, many tables.  This bench drives the held-out workload through
+the :class:`~repro.tables.catalog.TableCatalog` +
+:class:`~repro.serving.AsyncServer` stack three ways —
+
+* ``sequential``   — one ``catalog.ask`` loop (the reference),
+* ``async``        — the workload split into concurrent sessions over
+  the micro-batching dispatcher,
+* ``async_hotset`` — the same under memory pressure: the catalog keeps
+  a bounded hot set and evicts cold shards to the disk cache between
+  questions —
+
+and locks in the integrity contract: every mode's answers are
+bit-identical to the sequential reference (serving changes latency,
+never results).  Timings land in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import run_serving_bench
+
+from _bench_utils import emit_bench_artifact, print_table, scaled
+
+#: Workload size (questions from the held-out split) and concurrency.
+BENCH_QUESTIONS = scaled(16, minimum=6)
+BENCH_SESSIONS = scaled(8, minimum=4)
+BENCH_WORKERS = 4
+BENCH_REPEATS = 2
+@pytest.mark.benchmark(group="perf-serve")
+def test_perf_catalog_serving(benchmark, test_examples, tmp_path):
+    examples = test_examples[:BENCH_QUESTIONS]
+    pairs = [(example.question, example.table) for example in examples]
+    # Hot-shard bound of the eviction-pressure mode: strictly below the
+    # distinct-table count so the cold path is actually exercised at any
+    # REPRO_BENCH_SCALE.
+    distinct = len({table.fingerprint.digest for _, table in pairs})
+    max_hot = max(1, min(2, distinct - 1))
+
+    def run():
+        return run_serving_bench(
+            pairs,
+            sessions=BENCH_SESSIONS,
+            workers=BENCH_WORKERS,
+            repeats=BENCH_REPEATS,
+            disk_cache_dir=str(tmp_path / "serve-cache"),
+            max_hot_shards=max_hot,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        f"Serving: {report.questions} questions over {report.tables} tables, "
+        f"{BENCH_SESSIONS} sessions x {BENCH_WORKERS} workers",
+        ["mode", "total", "throughput", "identical", "speedup"],
+        report.rows(),
+    )
+
+    artifact = emit_bench_artifact("serve", report.to_payload())
+    assert artifact.exists()
+
+    # The integrity bar: serving concurrency and eviction pressure never
+    # change answers.  Deterministic — asserted on every run, no retries.
+    assert set(report.modes) == {"sequential", "async", "async_hotset"}
+    for timing in report.modes.values():
+        assert timing.identical, f"{timing.mode} diverged from the reference"
+    # Eviction pressure actually exercised the cold-shard path (needs at
+    # least two distinct shards — the one serving a request is protected).
+    if distinct > max_hot:
+        assert report.modes["async_hotset"].catalog_stats["evictions"] >= 1
+    # Every question was answered in every mode.
+    for timing in report.modes.values():
+        assert timing.questions == report.questions

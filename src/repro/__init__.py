@@ -14,10 +14,13 @@ The package is organised as:
 * :mod:`repro.interface` — the deployed NL interface and feedback retraining
   (Section 6),
 * :mod:`repro.perf` — batch parsing, content-addressed caches and the
-  parse-latency bench harness (Table 7 at deployment scale).
+  parse-latency bench harness (Table 7 at deployment scale),
+* :mod:`repro.serving` — the asyncio serving layer over the multi-table
+  catalog of :mod:`repro.tables.catalog` (concurrent sessions, TCP
+  endpoint, serving bench).
 """
 
-from . import core, dataset, dcs, interface, parser, perf, sql, tables, users
+from . import core, dataset, dcs, interface, parser, perf, serving, sql, tables, users
 
 __version__ = "1.0.0"
 
@@ -31,5 +34,6 @@ __all__ = [
     "users",
     "interface",
     "perf",
+    "serving",
     "__version__",
 ]

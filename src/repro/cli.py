@@ -1,12 +1,15 @@
 """Command-line interface for the reproduction.
 
-Five sub-commands cover the workflows a downstream user needs::
+Eight sub-commands cover the workflows a downstream user needs::
 
     python -m repro explain --table table.csv --query '(aggregate max (column-values "Year" (column-records "Country" (value "Greece"))))'
     python -m repro ask     --table table.csv --question "When did Greece last host?" --k 5
     python -m repro dataset --output corpus/ --tables 20 --questions 6
     python -m repro study   --tables 20 --questions 6 --k 7
     python -m repro bench-parse --tables 4 --questions 4 --repeats 2 --workers 4 --output BENCH_parse.json
+    python -m repro catalog --corpus corpus/ --question "which country hosted in 2004" --any
+    python -m repro serve   --corpus corpus/ --port 8765
+    python -m repro bench-serve --tables 4 --questions 4 --sessions 8 --output BENCH_serve.json
 
 * ``explain`` — parse a lambda DCS s-expression, execute it on a CSV table
   and print the utterance + provenance highlights (Section 5).
@@ -23,6 +26,15 @@ Five sub-commands cover the workflows a downstream user needs::
   pool backends, ``--disk-cache`` enables the persistent store) on a
   synthetic corpus and optionally write the ``BENCH_parse.json`` timing
   artifact.
+* ``catalog`` — load a table corpus into a fingerprint-addressed
+  :class:`~repro.tables.catalog.TableCatalog`, list the shards, and
+  optionally route one question (``--table REF`` or corpus-wide
+  ``--any``).
+* ``serve`` — serve a corpus over the asyncio JSON-lines TCP endpoint,
+  or run an in-process ``--self-test`` of N concurrent sessions.
+* ``bench-serve`` — run the serving harness (sequential vs concurrent
+  async sessions vs hot-set eviction) and optionally write
+  ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -95,6 +107,72 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
     bench_cmd.add_argument("--output", help="write the timing payload to this JSON file")
+
+    catalog_cmd = subparsers.add_parser(
+        "catalog", help="inspect and query a multi-table catalog"
+    )
+    catalog_cmd.add_argument(
+        "--corpus",
+        required=True,
+        help="corpus directory: JSON tables (a 'tables/' subdir or the directory "
+        "itself) and/or CSV files",
+    )
+    catalog_cmd.add_argument("--cache-dir", help="content-addressed disk cache root")
+    catalog_cmd.add_argument(
+        "--max-hot", type=int, help="keep at most N shards hot (LRU auto-eviction)"
+    )
+    catalog_cmd.add_argument("--question", help="a question to route")
+    catalog_cmd.add_argument("--table", help="table name/digest to route --question to")
+    catalog_cmd.add_argument(
+        "--any",
+        action="store_true",
+        help="score --question across every shard instead of one table",
+    )
+    catalog_cmd.add_argument("--k", type=int, default=7)
+    catalog_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
+
+    serve_cmd = subparsers.add_parser(
+        "serve", help="serve a table corpus over asyncio (JSON-lines TCP)"
+    )
+    serve_cmd.add_argument("--corpus", required=True, help="corpus directory (see catalog)")
+    serve_cmd.add_argument("--cache-dir", help="content-addressed disk cache root")
+    serve_cmd.add_argument("--max-hot", type=int, help="keep at most N shards hot")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765)
+    serve_cmd.add_argument("--workers", type=int, default=8, help="per-batch pool size")
+    serve_cmd.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="pool backend one dispatcher batch fans out over",
+    )
+    serve_cmd.add_argument(
+        "--self-test",
+        type=int,
+        metavar="SESSIONS",
+        help="run SESSIONS concurrent in-process sessions over the corpus "
+        "questions (questions.jsonl) instead of listening on a socket",
+    )
+    serve_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
+
+    bench_serve_cmd = subparsers.add_parser(
+        "bench-serve",
+        help="benchmark sequential vs concurrent-async serving over a catalog",
+    )
+    bench_serve_cmd.add_argument("--tables", type=int, default=4)
+    bench_serve_cmd.add_argument("--questions", type=int, default=4, help="questions per table")
+    bench_serve_cmd.add_argument("--seed", type=int, default=2019)
+    bench_serve_cmd.add_argument("--repeats", type=int, default=2)
+    bench_serve_cmd.add_argument("--sessions", type=int, default=8)
+    bench_serve_cmd.add_argument("--workers", type=int, default=8)
+    bench_serve_cmd.add_argument(
+        "--backend", choices=["thread", "process"], default="thread"
+    )
+    bench_serve_cmd.add_argument(
+        "--disk-cache", help="disk cache root (enables the async_hotset mode)"
+    )
+    bench_serve_cmd.add_argument(
+        "--max-hot", type=int, help="hot-shard bound of the async_hotset mode"
+    )
+    bench_serve_cmd.add_argument("--output", help="write the timing payload to this JSON file")
     return parser
 
 
@@ -230,6 +308,187 @@ def run_bench_parse(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _load_corpus(corpus: str):
+    """Load a corpus directory: tables (JSON and/or CSV) + optional questions.
+
+    Accepts both the ``repro dataset`` layout (``DIR/tables/*.json`` +
+    ``DIR/questions.jsonl``) and a flat directory of table files.
+    Returns ``(tables, questions)`` where questions are
+    ``(question, table_name)`` pairs (empty when no questions.jsonl).
+    """
+    from .tables import load_tables
+
+    root = Path(corpus)
+    tables_dir = root / "tables" if (root / "tables").is_dir() else root
+    tables = load_tables(tables_dir)
+    for csv_path in sorted(tables_dir.glob("*.csv")):
+        tables.append(table_from_csv(csv_path))
+    questions = []
+    questions_path = root / "questions.jsonl"
+    if questions_path.exists():
+        with questions_path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                questions.append((payload["question"], payload["table"]))
+    return tables, questions
+
+
+def _build_catalog(args, k: int = 7):
+    """A catalog honouring the shared --cache-dir/--max-hot/--model flags."""
+    from .tables import TableCatalog
+    from .parser import ParserConfig
+
+    model_path = getattr(args, "model", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    max_hot = getattr(args, "max_hot", None)
+    if model_path:
+        parser = SemanticParser(
+            model=LogLinearModel.load(model_path),
+            config=ParserConfig(disk_cache_dir=cache_dir or None),
+        )
+        interface = NLInterface(parser=parser, k=k)
+        return TableCatalog(
+            interface=interface, cache_dir=cache_dir, max_hot_shards=max_hot
+        )
+    return TableCatalog(cache_dir=cache_dir, max_hot_shards=max_hot, k=k)
+
+
+def run_catalog(args: argparse.Namespace, out) -> int:
+    from .serving import answer_payload
+
+    tables, _ = _load_corpus(args.corpus)
+    if not tables:
+        print(f"no tables found under {args.corpus}", file=out)
+        return 1
+    catalog = _build_catalog(args, k=args.k)
+    catalog.register_all(tables)
+    print(f"{'digest':<14} {'shape':>9}  {'hot':<4} name", file=out)
+    for ref in catalog.refs():
+        shape = f"{ref.num_rows}x{ref.num_columns}"
+        hot = "hot" if catalog.is_hot(ref) else "cold"
+        print(f"{ref.short:<14} {shape:>9}  {hot:<4} {ref.name}", file=out)
+    if not args.question:
+        return 0
+    if args.any or not args.table:
+        answer = catalog.ask_any(args.question, k=args.k)
+    else:
+        answer = catalog.ask(args.question, args.table, k=args.k)
+    print(json.dumps(answer_payload(answer), ensure_ascii=False, indent=2), file=out)
+    return 0
+
+
+def run_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from .serving import AsyncServer, split_sessions
+
+    tables, questions = _load_corpus(args.corpus)
+    if not tables:
+        print(f"no tables found under {args.corpus}", file=out)
+        return 1
+    catalog = _build_catalog(args)
+    catalog.register_all(tables)
+
+    if args.self_test is not None:
+        if not questions:
+            print(
+                f"--self-test needs {Path(args.corpus) / 'questions.jsonl'} "
+                "(generate one with `repro dataset`)",
+                file=out,
+            )
+            return 1
+        streams = split_sessions(questions, max(1, args.self_test))
+
+        async def _self_test():
+            import time
+
+            async with AsyncServer(
+                catalog, max_workers=args.workers, backend=args.backend
+            ) as server:
+                started = time.perf_counter()
+                answered = await asyncio.gather(
+                    *(server.run_session(stream) for stream in streams)
+                )
+                elapsed = time.perf_counter() - started
+                return answered, elapsed, server.stats.as_dict()
+
+        answered, elapsed, stats = asyncio.run(_self_test())
+        total = sum(len(session) for session in answered)
+        rate = f" ({total / elapsed:.1f} q/s)" if elapsed > 0 else ""
+        print(
+            f"{len(streams)} concurrent sessions answered {total} questions "
+            f"in {elapsed:.2f}s{rate}",
+            file=out,
+        )
+        print(f"dispatcher: {stats}", file=out)
+        return 0
+
+    async def _serve_forever():
+        async with AsyncServer(
+            catalog, max_workers=args.workers, backend=args.backend
+        ) as server:
+            tcp = await server.serve(host=args.host, port=args.port)
+            address = tcp.sockets[0].getsockname()
+            print(
+                f"serving {len(catalog)} tables on {address[0]}:{address[1]} "
+                "(JSON lines; send {\"op\": \"list\"} to enumerate)",
+                file=out,
+            )
+            out.flush()
+            async with tcp:
+                await tcp.serve_forever()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("stopped", file=out)
+    return 0
+
+
+def run_bench_serve(args: argparse.Namespace, out) -> int:
+    from .perf import bench_pairs_from_dataset
+    from .serving import run_serving_bench
+
+    pairs = bench_pairs_from_dataset(
+        num_tables=args.tables, questions_per_table=args.questions, seed=args.seed
+    )
+    report = run_serving_bench(
+        pairs,
+        sessions=args.sessions,
+        workers=args.workers,
+        backend=args.backend,
+        repeats=args.repeats,
+        disk_cache_dir=args.disk_cache,
+        max_hot_shards=args.max_hot,
+    )
+    print(
+        f"workload: {report.questions} questions over {report.tables} tables, "
+        f"{report.sessions} sessions, backend={report.backend}",
+        file=out,
+    )
+    print(
+        f"{'mode':<14} {'total':>10} {'throughput':>12} {'identical':>10} {'speedup':>8}",
+        file=out,
+    )
+    for mode, total, throughput, identical, speedup in report.rows():
+        print(
+            f"{mode:<14} {total:>10} {throughput:>12} {identical:>10} {speedup:>8}",
+            file=out,
+        )
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        print(f"wrote timings to {path}", file=out)
+    return 0 if all(t.identical for t in report.modes.values()) else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_argument_parser().parse_args(argv)
@@ -239,6 +498,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "dataset": run_dataset,
         "study": run_study,
         "bench-parse": run_bench_parse,
+        "catalog": run_catalog,
+        "serve": run_serve,
+        "bench-serve": run_bench_serve,
     }
     return handlers[args.command](args, out)
 

@@ -99,6 +99,25 @@ class ExecutionCache:
                 loaded += 1
         return loaded
 
+    def evict_fingerprint(self, fingerprint: TableFingerprint) -> int:
+        """Drop every entry of one table content; returns entries removed.
+
+        The shard-eviction hook: a catalog that has persisted a cold
+        table's execution bundle to disk removes its in-memory entries so
+        the shared cache only holds hot tables.  A later question over the
+        same content warm-starts from the disk bundle instead.
+        """
+        keys = [
+            key
+            for key in self._lru.keys()
+            if key[0] == fingerprint
+        ]
+        removed = 0
+        for key in keys:
+            if self._lru.pop(key, _MISS) is not _MISS:
+                removed += 1
+        return removed
+
     # -- introspection --------------------------------------------------------
     @property
     def hits(self) -> int:

@@ -85,6 +85,25 @@ class NLInterface:
             table.fingerprint, lambda: ExplanationGenerator(table)
         )
 
+    def evict_table(self, table: Table) -> None:
+        """Unload every in-memory artifact of ``table``'s content.
+
+        The interface-level shard-eviction hook used by
+        :class:`~repro.tables.catalog.TableCatalog`: flushes the parser's
+        execution bundle to the disk store (when configured), then drops
+        the parser caches, the explanation generator and the process-wide
+        index/schema entries for this content.  Results after eviction are
+        bit-identical — everything dropped is derived state.
+        """
+        from ..tables.index import evict_index
+        from ..tables.schema import evict_schema
+
+        self.parser.flush_table(table)
+        self.parser.evict_table(table)
+        self._generators.pop(table.fingerprint)
+        evict_index(table.fingerprint)
+        evict_schema(table.fingerprint)
+
     def ask(self, question: str, table: Table, k: Optional[int] = None) -> InterfaceResponse:
         """Parse a question and explain the top-k candidates."""
         limit = k if k is not None else self.k

@@ -9,9 +9,12 @@ optionally record the choice as feedback for later retraining.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from ..tables.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tables.catalog import TableCatalog
 from ..dcs.ast import Query
 from ..parser.training import TrainingExample
 from .nl_interface import ExplainedCandidate, InterfaceResponse, NLInterface
@@ -54,21 +57,52 @@ class SessionTurn:
 
 
 class InterfaceSession:
-    """Drives the NL interface over a sequence of questions and tables."""
+    """Drives the NL interface over a sequence of questions and tables.
 
-    def __init__(self, interface: Optional[NLInterface] = None, k: int = 7) -> None:
+    A session may run over a single shared interface (the seed behaviour)
+    or over a :class:`~repro.tables.catalog.TableCatalog`: with a catalog
+    attached, ``ask`` also accepts table *names*, fingerprint digests and
+    :class:`~repro.tables.catalog.TableRef` handles, routes through the
+    catalog (so recency/eviction bookkeeping sees the session), and
+    auto-registers plain :class:`Table` objects it has not seen before.
+    """
+
+    def __init__(
+        self,
+        interface: Optional[NLInterface] = None,
+        k: int = 7,
+        catalog: Optional["TableCatalog"] = None,
+    ) -> None:
+        if interface is None and catalog is not None:
+            interface = catalog.interface
         self.interface = interface or NLInterface(k=k)
+        self.catalog = catalog
         self.k = k
         self.turns: List[SessionTurn] = []
 
     def ask(
         self,
         question: str,
-        table: Table,
+        table,
         choose: Optional[ChoicePrompt] = None,
     ) -> SessionTurn:
-        """Ask one question; ``choose`` decides which candidate to accept."""
-        response = self.interface.ask(question, table, k=self.k)
+        """Ask one question; ``choose`` decides which candidate to accept.
+
+        ``table`` is a :class:`Table`, or — with a catalog attached — any
+        ref the catalog resolves (name, digest, digest prefix, ref).
+        """
+        if self.catalog is not None:
+            if isinstance(table, Table) and table not in self.catalog:
+                self.catalog.register(table)
+            ref = self.catalog.resolve(table)
+            response = self.catalog.ask(question, ref, k=self.k)
+            table = response.table
+        elif not isinstance(table, Table):
+            raise TypeError(
+                f"a session without a catalog needs a Table, got {type(table).__name__}"
+            )
+        else:
+            response = self.interface.ask(question, table, k=self.k)
         chosen_index = choose(response) if choose is not None else None
         turn = SessionTurn(
             question=question, table=table, response=response, chosen_index=chosen_index

@@ -332,6 +332,55 @@ class SemanticParser:
             self._disk_cache.put_execution_bundle(digest, bundle)
             self._stored_bundle_sizes[digest] = len(bundle)
 
+    # -- shard eviction hooks ---------------------------------------------------
+    def flush_table(self, table: Table) -> None:
+        """Force-persist ``table``'s execution bundle to the disk store.
+
+        Called by :class:`~repro.tables.catalog.TableCatalog` ahead of
+        evicting a cold shard: unlike the amortised gate in
+        :meth:`_store_execution_bundle`, eviction must not lose entries,
+        so a non-empty bundle is always written — a size comparison could
+        skip a *changed* bundle whose entry count happens to match (the
+        shared LRU can evict old entries while new ones arrive), and
+        evictions are rare enough that the unconditional write is cheap.
+        Candidate lists need no flushing — they are written to disk at
+        generation time.
+        """
+        if self._disk_cache is None or not self.config.memoize_execution:
+            return
+        digest = table.fingerprint.digest
+        bundle = self._execution_cache.entries_for(table.fingerprint)
+        if bundle:
+            # Merge over the stored bundle rather than replacing it:
+            # entries the bounded in-memory LRU already dropped stay
+            # available for future warm starts (they are immutable and
+            # deterministic, so stale-vs-fresh conflicts cannot exist).
+            stored = self._disk_cache.get_execution_bundle(digest) or {}
+            stored.update(bundle)
+            self._disk_cache.put_execution_bundle(digest, stored)
+            self._stored_bundle_sizes[digest] = len(stored)
+            self._stored_bundle_misses[digest] = self._execution_cache.misses
+
+    def evict_table(self, table: Table) -> None:
+        """Drop every in-memory artifact of ``table``'s content.
+
+        The in-memory complement of :meth:`flush_table`: lexicon, grammar,
+        per-question candidate lists and memoized execution entries are
+        removed, and the loaded-bundle marker is cleared so the next
+        question over the same content warm-starts from the disk store
+        (when configured) instead of trusting stale memory bookkeeping.
+        Content-addressing makes this safe at any time: a concurrent
+        parse of the same table simply rebuilds what it needs.
+        """
+        fingerprint = table.fingerprint
+        self._lexicons.pop(fingerprint)
+        self._grammars.pop(fingerprint)
+        for key in list(self._candidate_cache.keys()):
+            if key[0] == fingerprint:
+                self._candidate_cache.pop(key)
+        self._execution_cache.evict_fingerprint(fingerprint)
+        self._loaded_execution_bundles.discard(fingerprint.digest)
+
     # -- parsing -----------------------------------------------------------------------
     def parse(self, question: str, table: Table, k: Optional[int] = None) -> ParseOutput:
         """Parse a question into a ranked candidate list (top-``k`` if given)."""

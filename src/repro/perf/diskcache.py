@@ -44,6 +44,8 @@ DISK_CACHE_SCHEMA = "repro-diskcache-v1"
 CANDIDATES_NAMESPACE = "candidates"
 #: Namespace of per-table execution-memo bundles.
 EXECUTION_NAMESPACE = "execution"
+#: Namespace of evicted catalog shards (pickled tables, keyed by digest).
+TABLES_NAMESPACE = "tables"
 
 
 def _digest(key: object) -> str:
@@ -150,6 +152,19 @@ class DiskCache:
 
     def put_execution_bundle(self, fingerprint_digest: str, bundle: Dict[str, Any]) -> None:
         self.put(EXECUTION_NAMESPACE, (fingerprint_digest,), bundle)
+
+    def get_table(self, fingerprint_digest: str) -> Optional[Any]:
+        """An evicted catalog shard's table, or ``None`` when never evicted."""
+        return self.get(TABLES_NAMESPACE, (fingerprint_digest,))
+
+    def put_table(self, fingerprint_digest: str, table: Any) -> None:
+        """Persist a catalog shard's table ahead of dropping it from memory.
+
+        The pickle preserves typed cells exactly, so the rehydrated
+        table recomputes the same content fingerprint and re-joins every
+        content-addressed cache it left.
+        """
+        self.put(TABLES_NAMESPACE, (fingerprint_digest,), table)
 
     # -- introspection ---------------------------------------------------------
     def __len__(self) -> int:

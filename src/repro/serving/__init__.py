@@ -1,0 +1,43 @@
+"""Async serving over a multi-table catalog (the deployment front end).
+
+Builds the paper's interactive-service shape out of stdlib asyncio:
+
+* :class:`~repro.serving.server.AsyncServer` — micro-batching dispatcher
+  multiplexing concurrent sessions over the thread/process pool backends
+  via ``run_in_executor``, plus a JSON-lines TCP endpoint;
+* :func:`~repro.serving.server.answer_payload` — the wire schema shared
+  by the TCP endpoint and the ``repro serve`` CLI;
+* :func:`~repro.serving.bench.run_serving_bench` — the serving bench
+  harness (sequential vs concurrent sessions vs hot-set eviction).
+
+The routing/eviction substrate lives in
+:mod:`repro.tables.catalog`; this package adds concurrency only.
+"""
+
+from .bench import (
+    SERVE_MODES,
+    ServeBenchReport,
+    ServeModeTiming,
+    run_serving_bench,
+    split_sessions,
+)
+from .server import (
+    AsyncServer,
+    ServedAnswer,
+    ServerClosed,
+    ServerStats,
+    answer_payload,
+)
+
+__all__ = [
+    "AsyncServer",
+    "ServedAnswer",
+    "ServerClosed",
+    "ServerStats",
+    "answer_payload",
+    "SERVE_MODES",
+    "ServeBenchReport",
+    "ServeModeTiming",
+    "run_serving_bench",
+    "split_sessions",
+]

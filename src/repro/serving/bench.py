@@ -1,0 +1,262 @@
+"""The serving bench: sequential catalog loop vs concurrent async sessions.
+
+The parse bench (:mod:`repro.perf.bench`) measures raw parse latency;
+this harness measures the *serving* regime on top of it: a multi-table
+catalog answering S concurrent sessions.  Three modes:
+
+* ``sequential`` — one :meth:`~repro.tables.catalog.TableCatalog.ask`
+  loop over the whole workload: the reference for wall-clock and for
+  bit-identity.
+* ``async`` — the same workload split round-robin into ``sessions``
+  concurrent :meth:`~repro.serving.server.AsyncServer.run_session`
+  tasks; the dispatcher micro-batches whatever arrives together.
+* ``async_hotset`` (with ``max_hot_shards``) — the async mode under
+  memory pressure: the catalog keeps at most N shards hot and evicts
+  the rest to the disk cache between questions, measuring the
+  eviction/rehydration overhead of the cold-shard path.
+
+Every mode records whether its answers matched the sequential
+reference (``identical``); the bench asserts serving never changes
+results, only latency.  ``repro bench-serve`` is the CLI entry point
+and ``REPRO_BENCH_SCALE`` shrinks the workload the same way it does for
+the parse bench.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tables.catalog import TableCatalog, TableRef
+from ..tables.table import Table
+from .server import AsyncServer, ServedAnswer
+
+#: The serving bench modes, in reporting order.
+SERVE_MODES = ("sequential", "async", "async_hotset")
+
+
+@dataclass
+class ServeModeTiming:
+    """Wall-clock and integrity numbers of one serving mode."""
+
+    mode: str
+    total_seconds: float
+    questions: int
+    sessions: int
+    identical: bool
+    server_stats: Dict[str, int] = field(default_factory=dict)
+    catalog_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.questions / self.total_seconds if self.total_seconds > 0 else 0.0
+
+
+@dataclass
+class ServeBenchReport:
+    """One :class:`ServeModeTiming` per mode plus workload metadata."""
+
+    modes: Dict[str, ServeModeTiming] = field(default_factory=dict)
+    questions: int = 0
+    tables: int = 0
+    sessions: int = 0
+    backend: str = "thread"
+
+    def speedup(self, mode: str, baseline: str = "sequential") -> float:
+        base = self.modes[baseline].total_seconds
+        other = self.modes[mode].total_seconds
+        return base / other if other > 0 else float("inf")
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-able dict (the ``BENCH_serve.json`` artifact schema)."""
+        return {
+            "schema": "repro-bench-serve-v1",
+            "questions": self.questions,
+            "tables": self.tables,
+            "sessions": self.sessions,
+            "backend": self.backend,
+            "modes": {
+                name: {
+                    "total_seconds": timing.total_seconds,
+                    "throughput_qps": timing.throughput,
+                    "identical": timing.identical,
+                    "server": timing.server_stats,
+                    "catalog": timing.catalog_stats,
+                }
+                for name, timing in self.modes.items()
+            },
+            "speedups": {
+                name: self.speedup(name)
+                for name in self.modes
+                if name != "sequential" and "sequential" in self.modes
+            },
+        }
+
+    def rows(self) -> List[List[str]]:
+        """Console rows: mode, total, throughput, identical, speedup."""
+        rows = []
+        for name in SERVE_MODES:
+            timing = self.modes.get(name)
+            if timing is None:
+                continue
+            speedup = self.speedup(name) if "sequential" in self.modes else 1.0
+            rows.append(
+                [
+                    name,
+                    f"{timing.total_seconds:.3f}s",
+                    f"{timing.throughput:.1f} q/s",
+                    "yes" if timing.identical else "NO",
+                    f"{speedup:.2f}x",
+                ]
+            )
+        return rows
+
+
+def _answer_signature(answer: ServedAnswer) -> Tuple:
+    """A comparable digest of one answer (answers + utterances, no timing)."""
+    from ..tables.catalog import CatalogAnswer
+
+    if isinstance(answer, CatalogAnswer):
+        return tuple(
+            (ref.digest, tuple(resp.top.answer) if resp.top else ())
+            for ref, resp in answer.ranked
+        )
+    return tuple((item.answer, item.utterance) for item in answer.explained)
+
+
+def split_sessions(workload: Sequence, sessions: int) -> List[List]:
+    """Round-robin a workload into per-session question streams.
+
+    Shared by the bench and the ``repro serve --self-test`` CLI; empty
+    streams (more sessions than questions) are dropped.
+    """
+    streams: List[List] = [[] for _ in range(sessions)]
+    for position, item in enumerate(workload):
+        streams[position % sessions].append(item)
+    return [stream for stream in streams if stream]
+
+
+def _run_async_mode(
+    catalog: TableCatalog,
+    workload: Sequence[Tuple[str, TableRef]],
+    sessions: int,
+    workers: int,
+    backend: str,
+) -> Tuple[float, List[ServedAnswer], Dict[str, int]]:
+    """Drive the workload as concurrent sessions; returns flattened answers.
+
+    Answers come back in workload order (sessions are round-robin slices,
+    so re-interleaving their per-session lists restores the original
+    positions regardless of scheduling).
+    """
+    streams = split_sessions(workload, sessions)
+
+    async def _drive():
+        async with AsyncServer(
+            catalog, max_workers=workers, backend=backend
+        ) as server:
+            per_session = await asyncio.gather(
+                *(server.run_session(stream) for stream in streams)
+            )
+            return per_session, server.stats.as_dict()
+
+    started = time.perf_counter()
+    per_session, stats = asyncio.run(_drive())
+    elapsed = time.perf_counter() - started
+
+    flattened: List[Optional[ServedAnswer]] = [None] * len(workload)
+    cursors = [0] * len(per_session)
+    for position in range(len(workload)):
+        stream_index = position % len(per_session) if per_session else 0
+        flattened[position] = per_session[stream_index][cursors[stream_index]]
+        cursors[stream_index] += 1
+    return elapsed, flattened, stats
+
+
+def run_serving_bench(
+    pairs: Sequence[Tuple[str, Table]],
+    sessions: int = 8,
+    workers: int = 8,
+    backend: str = "thread",
+    repeats: int = 1,
+    disk_cache_dir: Optional[str] = None,
+    max_hot_shards: Optional[int] = None,
+) -> ServeBenchReport:
+    """Run the serving harness over a ``(question, table)`` workload.
+
+    Tables are registered once (content-deduplicated by the catalog);
+    ``repeats`` replays the workload to expose the warm-cache serving
+    regime.  Each mode gets a fresh catalog so no mode inherits another's
+    warm state; ``async_hotset`` runs only when both ``max_hot_shards``
+    and ``disk_cache_dir`` are given (eviction without a disk store
+    cannot drop tables).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+
+    def _fresh_catalog(tag: str, hot_limit: Optional[int]) -> Tuple[TableCatalog, List[Tuple[str, TableRef]]]:
+        from ..tables.index import clear_index_cache
+        from ..tables.schema import clear_schema_cache
+
+        clear_index_cache()
+        clear_schema_cache()
+        cache_dir = f"{disk_cache_dir}/{tag}" if disk_cache_dir else None
+        catalog = TableCatalog(cache_dir=cache_dir, max_hot_shards=hot_limit)
+        workload: List[Tuple[str, TableRef]] = []
+        for _ in range(repeats):
+            for question, table in pairs:
+                workload.append((question, catalog.register(table)))
+        return catalog, workload
+
+    report = ServeBenchReport(
+        questions=len(pairs) * repeats,
+        tables=len({table.fingerprint.digest for _, table in pairs}),
+        sessions=sessions,
+        backend=backend,
+    )
+
+    # -- sequential reference --------------------------------------------------
+    catalog, workload = _fresh_catalog("sequential", None)
+    started = time.perf_counter()
+    reference = [catalog.ask(question, ref) for question, ref in workload]
+    sequential_seconds = time.perf_counter() - started
+    reference_signatures = [_answer_signature(answer) for answer in reference]
+    report.modes["sequential"] = ServeModeTiming(
+        mode="sequential",
+        total_seconds=sequential_seconds,
+        questions=len(workload),
+        sessions=1,
+        identical=True,
+        catalog_stats={
+            key: value for key, value in catalog.stats().items() if key != "parser"
+        },
+    )
+
+    # -- concurrent sessions ---------------------------------------------------
+    async_modes = [("async", None)]
+    if max_hot_shards is not None and disk_cache_dir:
+        async_modes.append(("async_hotset", max_hot_shards))
+    for mode, hot_limit in async_modes:
+        catalog, workload = _fresh_catalog(mode, hot_limit)
+        elapsed, answers, server_stats = _run_async_mode(
+            catalog, workload, sessions, workers, backend
+        )
+        identical = [
+            _answer_signature(answer) for answer in answers
+        ] == reference_signatures
+        report.modes[mode] = ServeModeTiming(
+            mode=mode,
+            total_seconds=elapsed,
+            questions=len(workload),
+            sessions=sessions,
+            identical=identical,
+            server_stats=server_stats,
+            catalog_stats={
+                key: value for key, value in catalog.stats().items() if key != "parser"
+            },
+        )
+    return report

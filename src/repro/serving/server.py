@@ -1,0 +1,418 @@
+"""The asyncio serving layer over a multi-table catalog.
+
+The paper's deployment is an interactive web service: many users hold
+concurrent sessions, each a stream of questions over (possibly
+different) tables.  :class:`AsyncServer` is that layer for the
+reproduction, built on three pieces that already exist:
+
+* the :class:`~repro.tables.catalog.TableCatalog` routes each question
+  to its shard through the content-addressed caches;
+* a **micro-batching dispatcher** drains every request that arrived
+  while the previous batch was executing and ships the whole batch to a
+  worker thread via ``loop.run_in_executor`` — concurrent sessions are
+  multiplexed over one :meth:`~repro.tables.catalog.TableCatalog.ask_many`
+  call, which in turn fans out over the thread pool or the GIL-free
+  process-pool backend (``backend="process"``);
+* answers stay **order-stable and bit-identical** to the sequential
+  path: per-question results are deterministic and index-aligned through
+  every layer, so interleaving sessions can reorder *scheduling* but
+  never *answers* (locked in by ``tests/test_serving.py``).
+
+The event loop never blocks on parsing: it only awaits futures resolved
+by the dispatcher.  A TCP front end (JSON-lines protocol, stdlib only)
+is provided by :meth:`AsyncServer.serve`::
+
+    {"question": "which country hosted in 2004", "table": "olympics"}
+    → {"ok": true, "table": "olympics", "answer": ["Greece"], ...}
+
+Requests without a ``table`` are routed corpus-wide via
+:meth:`~repro.tables.catalog.TableCatalog.ask_any`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..interface.nl_interface import InterfaceResponse
+from ..tables.catalog import CatalogAnswer, CatalogError, TableCatalog, TableLike
+
+#: What one served question resolves to: a routed single-table response
+#: or a corpus-wide ranking.
+ServedAnswer = Union[InterfaceResponse, CatalogAnswer]
+
+
+class ServerClosed(RuntimeError):
+    """Raised by in-flight requests when the server shuts down under them."""
+
+
+@dataclass(frozen=True)
+class _AskRequest:
+    """One enqueued question (``ref=None`` means corpus-wide routing)."""
+
+    question: str
+    ref: Optional[TableLike]
+    k: Optional[int]
+
+
+@dataclass(frozen=True)
+class _Failure:
+    """A per-request error crossing the executor boundary."""
+
+    error: Exception
+
+
+@dataclass
+class ServerStats:
+    """Dispatcher counters (observability for the bench and the CLI)."""
+
+    requests: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "errors": self.errors,
+            "mean_batch": round(self.requests / self.batches, 2) if self.batches else 0,
+        }
+
+
+class AsyncServer:
+    """Serves concurrent sessions over a :class:`TableCatalog`.
+
+    Parameters
+    ----------
+    catalog:
+        The table catalog to serve.  All routing, eviction and cache
+        policy lives there; the server adds concurrency only.
+    max_workers:
+        Fan-out of one batch inside
+        :meth:`~repro.tables.catalog.TableCatalog.ask_many`.
+    backend:
+        ``"thread"`` (shared caches, default) or ``"process"`` (the
+        GIL-free pool of :mod:`repro.perf.procpool`) — the pool one
+        batch of multiplexed questions runs on.
+    max_batch:
+        Upper bound on questions merged into one dispatcher batch.
+
+    Use as an async context manager (``async with AsyncServer(...)``) or
+    call :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        catalog: TableCatalog,
+        max_workers: int = 8,
+        backend: str = "thread",
+        max_batch: int = 64,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"AsyncServer needs max_workers >= 1, got {max_workers}")
+        if max_batch < 1:
+            raise ValueError(f"AsyncServer needs max_batch >= 1, got {max_batch}")
+        self.catalog = catalog
+        self.max_workers = max_workers
+        self.backend = backend
+        self.max_batch = max_batch
+        self.stats = ServerStats()
+        # One dispatcher thread: batches run serially (parallelism lives
+        # *inside* a batch, via ask_many's worker pool), so arrivals
+        # during a batch accumulate into the next one.
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> "AsyncServer":
+        """Start the dispatcher (idempotent; ``ask`` calls it lazily)."""
+        if self._dispatcher is None or self._dispatcher.done():
+            self._queue = asyncio.Queue()
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Stop the dispatcher, failing any request still in the queue."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._queue is not None:
+            while True:
+                try:
+                    _, future = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not future.done():
+                    future.set_exception(ServerClosed("server stopped"))
+            self._queue = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "AsyncServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the asyncio API -------------------------------------------------------
+    async def ask(
+        self,
+        question: str,
+        table: Optional[TableLike] = None,
+        k: Optional[int] = None,
+    ) -> ServedAnswer:
+        """Answer one question; ``table=None`` routes corpus-wide.
+
+        Safe to call from any number of concurrent tasks: requests are
+        queued, micro-batched and answered off the event loop.
+        """
+        await self.start()
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put((_AskRequest(question, table, k), future))
+        return await future
+
+    async def ask_gathered(
+        self, items: Sequence[Tuple[str, Optional[TableLike]]], k: Optional[int] = None
+    ) -> List[ServedAnswer]:
+        """Answer many questions concurrently; results index-aligned."""
+        return list(
+            await asyncio.gather(
+                *(self.ask(question, table=ref, k=k) for question, ref in items)
+            )
+        )
+
+    async def run_session(
+        self,
+        items: Sequence[Tuple[str, Optional[TableLike]]],
+        k: Optional[int] = None,
+    ) -> List[ServedAnswer]:
+        """One user session: questions asked *in order*, answers aligned.
+
+        Within a session each question awaits the previous answer (the
+        interactive regime of the paper); across sessions the dispatcher
+        interleaves freely.
+        """
+        answers: List[ServedAnswer] = []
+        for question, ref in items:
+            answers.append(await self.ask(question, table=ref, k=k))
+        return answers
+
+    # -- dispatcher ------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            requests = [request for request, _ in batch]
+            self.stats.requests += len(batch)
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._answer_batch, requests
+                )
+            except asyncio.CancelledError:
+                # stop() cancelled us mid-batch: fail the in-flight
+                # futures so their sessions unblock, then shut down.
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(ServerClosed("server stopped"))
+                raise
+            except Exception as error:  # pragma: no cover - defensive
+                self.stats.errors += len(batch)
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(
+                            ServerClosed(f"batch execution failed: {error!r}")
+                        )
+                continue
+            for (_, future), outcome in zip(batch, outcomes):
+                if future.done():  # the session was cancelled while parsing
+                    continue
+                if isinstance(outcome, _Failure):
+                    self.stats.errors += 1
+                    future.set_exception(outcome.error)
+                else:
+                    future.set_result(outcome)
+
+    def _answer_batch(self, requests: Sequence[_AskRequest]) -> List[object]:
+        """Answer one batch on the dispatcher thread (never the event loop).
+
+        Routed questions are grouped by ``k`` and multiplexed through one
+        :meth:`TableCatalog.ask_many` per group — the call that rides the
+        thread or process pool.  Corpus-wide questions run through
+        :meth:`TableCatalog.ask_any` (itself a batch over every shard).
+        Per-request errors (unknown refs) fail only their own future.
+        """
+        outcomes: List[object] = [None] * len(requests)
+        routed: Dict[Optional[int], List[Tuple[int, _AskRequest]]] = {}
+        for position, request in enumerate(requests):
+            if request.ref is None:
+                try:
+                    outcomes[position] = self.catalog.ask_any(
+                        request.question,
+                        k=request.k,
+                        workers=self.max_workers,
+                        backend=self.backend,
+                    )
+                except Exception as error:
+                    outcomes[position] = _Failure(error)
+                continue
+            try:
+                ref = self.catalog.resolve(request.ref)
+            except CatalogError as error:
+                outcomes[position] = _Failure(error)
+                continue
+            routed.setdefault(request.k, []).append(
+                (position, _AskRequest(request.question, ref, request.k))
+            )
+        for k, group in routed.items():
+            try:
+                responses = self.catalog.ask_many(
+                    [(request.question, request.ref) for _, request in group],
+                    k=k,
+                    workers=self.max_workers,
+                    backend=self.backend,
+                )
+            except Exception as error:
+                for position, _ in group:
+                    outcomes[position] = _Failure(error)
+                continue
+            for (position, _), response in zip(group, responses):
+                outcomes[position] = response
+        return outcomes
+
+    # -- TCP front end ---------------------------------------------------------
+    async def serve(self, host: str = "127.0.0.1", port: int = 8765):
+        """Open the JSON-lines TCP endpoint; returns the asyncio server.
+
+        One request per line; see :func:`answer_payload` for the response
+        schema.  ``{"op": "list"}`` enumerates the catalog,
+        ``{"op": "stats"}`` reports catalog + dispatcher counters.
+        """
+        await self.start()
+        return await asyncio.start_server(self._handle_client, host, port)
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                payload = await self._handle_line(line)
+                writer.write(
+                    json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, object]:
+        try:
+            request = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return {"ok": False, "error": f"bad request: {error}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "bad request: expected a JSON object"}
+        op = request.get("op", "ask")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "list":
+            return {
+                "ok": True,
+                "tables": [
+                    {
+                        "name": ref.name,
+                        "digest": ref.digest,
+                        "rows": ref.num_rows,
+                        "columns": ref.num_columns,
+                        "hot": self.catalog.is_hot(ref),
+                    }
+                    for ref in self.catalog.refs()
+                ],
+            }
+        if op == "stats":
+            catalog_stats = dict(self.catalog.stats())
+            catalog_stats.pop("parser", None)  # too verbose for the wire
+            return {"ok": True, "catalog": catalog_stats, "server": self.stats.as_dict()}
+        if op != "ask":
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        question = request.get("question")
+        if not isinstance(question, str) or not question.strip():
+            return {"ok": False, "error": "missing question"}
+        k = request.get("k")
+        if k is not None and not isinstance(k, int):
+            return {"ok": False, "error": "k must be an integer"}
+        try:
+            answer = await self.ask(question, table=request.get("table"), k=k)
+        except CatalogError as error:
+            return {"ok": False, "error": str(error)}
+        except Exception as error:
+            # A failure inside the batch (e.g. a broken process pool) or a
+            # shutdown race must answer this request, not silently drop
+            # the whole connection mid-protocol.
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        return answer_payload(answer)
+
+
+def answer_payload(answer: ServedAnswer) -> Dict[str, object]:
+    """The wire form of one served answer (shared by TCP and the CLI).
+
+    Single-table responses carry the routed table, the top candidate's
+    answer/utterance and the candidate count; corpus-wide answers add the
+    per-shard ranking.
+    """
+    if isinstance(answer, CatalogAnswer):
+        ranked = [
+            {
+                "table": ref.name,
+                "digest": ref.short,
+                "answer": list(response.top.answer) if response.top else [],
+                "score": response.top.candidate.score if response.top else None,
+            }
+            for ref, response in answer.ranked
+        ]
+        return {
+            "ok": True,
+            "routed": "any",
+            "table": answer.best_ref.name if answer.best_ref else None,
+            "answer": list(answer.answer),
+            "ranked": ranked,
+        }
+    top = answer.top
+    return {
+        "ok": True,
+        "routed": "table",
+        "table": answer.table.name,
+        "answer": list(top.answer) if top else [],
+        "utterance": top.utterance if top else None,
+        "candidates": len(answer.explained),
+        "parse_seconds": answer.parse_seconds,
+    }

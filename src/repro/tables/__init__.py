@@ -16,13 +16,16 @@ from .index import (
     ColumnIndex,
     TableIndex,
     clear_index_cache,
+    evict_index,
     index_cache_stats,
     table_index,
 )
 from .knowledge_base import KnowledgeBase, Triple
+from .catalog import CatalogAnswer, CatalogError, TableCatalog, TableRef
 from .schema import (
     ColumnProfile,
     TableSchema,
+    evict_schema,
     infer_schema,
     profile_column,
     table_schema,
@@ -58,8 +61,14 @@ __all__ = [
     "table_index",
     "index_cache_stats",
     "clear_index_cache",
+    "evict_index",
+    "evict_schema",
     "KnowledgeBase",
     "Triple",
+    "TableCatalog",
+    "TableRef",
+    "CatalogAnswer",
+    "CatalogError",
     "ColumnProfile",
     "TableSchema",
     "infer_schema",

@@ -1,0 +1,461 @@
+"""A fingerprint-addressed catalog of many tables behind one interface.
+
+The paper's deployment (Section 6) serves hundreds of questions against
+many distinct web tables from one long-running process — not one table
+per process.  This module is that missing subsystem: a
+:class:`TableCatalog` registers tables *by content* (the
+:class:`~repro.tables.fingerprint.TableFingerprint` digest is the primary
+key; names are aliases), routes ``ask(question, table_ref)`` through the
+existing content-addressed parser/index/memo caches, scores a question
+across every shard with :meth:`TableCatalog.ask_any`, and keeps the
+memory footprint bounded by evicting cold shards — their candidate
+lists, execution bundles and the pickled table itself — to the
+:class:`~repro.perf.diskcache.DiskCache`.
+
+Because every cache in the repository is keyed by content fingerprint,
+routing many tables through one shared :class:`~repro.interface.NLInterface`
+needs no per-table plumbing: a question over shard A can never read
+shard B's state, and two shards with equal content transparently share
+lexicons, grammars, indexes and memoized execution results.
+
+Eviction is loss-free by construction.  Everything dropped from memory
+is *derived* state: with a cache directory configured, the execution
+bundle and candidate lists are flushed to the content-addressed disk
+store and the table is pickled beside them, so a rehydrated shard
+answers bit-identically to one that never went cold (locked in by
+``tests/test_catalog.py``); without a cache directory the table stays in
+memory and only the derived caches are dropped, trading rehydration
+speed for the same answers.
+
+The asyncio serving layer over this catalog lives in
+:mod:`repro.serving`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from .table import Table, TableError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime imports are lazy)
+    from ..interface.nl_interface import InterfaceResponse, NLInterface
+
+#: How a caller may name a table: a :class:`TableRef`, a registered name,
+#: a full or abbreviated (>= 8 hex chars, unique) fingerprint digest, or
+#: the :class:`~repro.tables.table.Table` object itself.
+TableLike = Union["TableRef", Table, str]
+
+#: Shortest digest prefix accepted by :meth:`TableCatalog.resolve`.
+_MIN_DIGEST_PREFIX = 8
+
+
+class CatalogError(TableError):
+    """Raised on unknown refs, name collisions and unrehydratable shards."""
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A stable handle to a registered table.
+
+    ``digest`` is the content fingerprint (the primary key — stable
+    across processes, sessions and table renames); ``name`` is the
+    display alias the table was registered under.
+    """
+
+    digest: str
+    name: str
+    num_rows: int
+    num_columns: int
+
+    @property
+    def short(self) -> str:
+        """A 12-hex-digit digest abbreviation for listings and logs."""
+        return self.digest[:12]
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.short}"
+
+
+@dataclass
+class _Shard:
+    """Internal per-table state (not part of the public API)."""
+
+    ref: TableRef
+    table: Optional[Table]
+    order: int
+    hot: bool = True
+    asks: int = 0
+    last_used: int = 0
+
+
+@dataclass
+class CatalogAnswer:
+    """The result of scoring one question across every shard.
+
+    ``ranked`` pairs every shard's ref with its response, best first:
+    ordered by the top candidate's model score (descending), ties broken
+    by registration order — deterministic for a fixed catalog and model.
+    """
+
+    question: str
+    ranked: List[Tuple[TableRef, "InterfaceResponse"]] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[Tuple[TableRef, "InterfaceResponse"]]:
+        return self.ranked[0] if self.ranked else None
+
+    @property
+    def best_ref(self) -> Optional[TableRef]:
+        return self.ranked[0][0] if self.ranked else None
+
+    @property
+    def best_response(self) -> Optional["InterfaceResponse"]:
+        return self.ranked[0][1] if self.ranked else None
+
+    @property
+    def answer(self) -> Tuple[str, ...]:
+        response = self.best_response
+        top = response.top if response is not None else None
+        return top.answer if top is not None else ()
+
+
+class TableCatalog:
+    """Routes questions across many registered tables.
+
+    Parameters
+    ----------
+    interface:
+        The shared :class:`~repro.interface.NLInterface` to route through.
+        Omitted, the catalog builds one whose parser persists candidate
+        lists and execution bundles under ``cache_dir`` (when given).
+    cache_dir:
+        Root of the content-addressed :class:`~repro.perf.diskcache.DiskCache`.
+        Enables *full* eviction: cold shards drop their table from memory
+        and rehydrate from disk bit-identically.  Without it eviction
+        only sheds derived caches and keeps tables resident.
+    max_hot_shards:
+        When set, the catalog auto-evicts least-recently-used shards so
+        at most this many stay hot.  ``None`` leaves eviction manual.
+    k:
+        Default top-``k`` for a catalog-built interface.
+    """
+
+    def __init__(
+        self,
+        interface: Optional["NLInterface"] = None,
+        cache_dir: Optional[str] = None,
+        max_hot_shards: Optional[int] = None,
+        k: int = 7,
+    ) -> None:
+        if max_hot_shards is not None and max_hot_shards < 1:
+            raise CatalogError(
+                f"max_hot_shards must be >= 1 (or None), got {max_hot_shards}"
+            )
+        # Imported lazily: repro.interface (and repro.perf) import
+        # repro.tables at package init, so module-level imports here would
+        # be circular.
+        from ..interface.nl_interface import NLInterface
+        from ..parser.candidates import ParserConfig, SemanticParser
+
+        if interface is None:
+            config = ParserConfig(
+                disk_cache_dir=str(cache_dir) if cache_dir else None
+            )
+            interface = NLInterface(parser=SemanticParser(config=config), k=k)
+        self.interface = interface
+        self.max_hot_shards = max_hot_shards
+        if cache_dir:
+            from ..perf.diskcache import DiskCache
+
+            self._disk: Optional["DiskCache"] = DiskCache(cache_dir)
+        else:
+            self._disk = None
+        self._shards: Dict[str, _Shard] = {}
+        self._names: Dict[str, str] = {}
+        self._order = itertools.count()
+        self._clock = itertools.count(1)
+        self._lock = threading.RLock()
+        self.evictions = 0
+        self.rehydrations = 0
+
+    # -- registration ----------------------------------------------------------
+    def register(self, table: Table, name: Optional[str] = None) -> TableRef:
+        """Register ``table`` under ``name`` (default: the table's own name).
+
+        Content-addressed and idempotent: re-registering equal content
+        returns the existing shard (adding the new name as an alias);
+        registering a *different* table under a taken name raises.
+        """
+        digest = table.fingerprint.digest
+        name = name if name is not None else table.name
+        with self._lock:
+            taken = self._names.get(name)
+            if taken is not None and taken != digest:
+                raise CatalogError(
+                    f"name {name!r} already registered for table {taken[:12]}"
+                )
+            shard = self._shards.get(digest)
+            if shard is None:
+                ref = TableRef(
+                    digest=digest,
+                    name=name,
+                    num_rows=table.num_rows,
+                    num_columns=table.num_columns,
+                )
+                shard = _Shard(ref=ref, table=table, order=next(self._order))
+                self._shards[digest] = shard
+            elif shard.table is None:
+                # Re-registering an evicted shard rehydrates it for free.
+                shard.table = table
+                shard.hot = True
+            self._names[name] = digest
+            self._touch(shard)
+            self._enforce_hot_limit(protect=digest)
+            return shard.ref
+
+    def register_all(
+        self, tables: Sequence[Table], names: Optional[Sequence[str]] = None
+    ) -> List[TableRef]:
+        """Register a sequence of tables; returns their refs, index-aligned."""
+        if names is not None and len(names) != len(tables):
+            raise CatalogError(
+                f"got {len(names)} names for {len(tables)} tables"
+            )
+        return [
+            self.register(table, name=names[i] if names is not None else None)
+            for i, table in enumerate(tables)
+        ]
+
+    # -- resolution ------------------------------------------------------------
+    def resolve(self, ref: TableLike) -> TableRef:
+        """Resolve a name / digest / digest prefix / table / ref to its ref."""
+        return self._shard_for(ref).ref
+
+    def _shard_for(self, ref: TableLike) -> _Shard:
+        with self._lock:
+            if isinstance(ref, TableRef):
+                shard = self._shards.get(ref.digest)
+                if shard is None:
+                    raise CatalogError(f"unknown table ref {ref}")
+                return shard
+            if isinstance(ref, Table):
+                shard = self._shards.get(ref.fingerprint.digest)
+                if shard is None:
+                    raise CatalogError(
+                        f"table {ref.name!r} ({ref.fingerprint.short}) is not registered"
+                    )
+                return shard
+            if isinstance(ref, str):
+                digest = self._names.get(ref)
+                if digest is not None:
+                    return self._shards[digest]
+                if ref in self._shards:
+                    return self._shards[ref]
+                if len(ref) >= _MIN_DIGEST_PREFIX:
+                    matches = [
+                        shard
+                        for digest, shard in self._shards.items()
+                        if digest.startswith(ref)
+                    ]
+                    if len(matches) == 1:
+                        return matches[0]
+                    if len(matches) > 1:
+                        raise CatalogError(f"ambiguous digest prefix {ref!r}")
+                raise CatalogError(f"unknown table {ref!r}")
+            raise CatalogError(f"cannot resolve {type(ref).__name__} as a table ref")
+
+    def table(self, ref: TableLike) -> Table:
+        """The live table for ``ref``, rehydrating an evicted shard."""
+        shard = self._shard_for(ref)
+        return self._materialize(shard)
+
+    def _materialize(self, shard: _Shard) -> Table:
+        with self._lock:
+            if shard.table is not None:
+                return shard.table
+            if self._disk is None:
+                raise CatalogError(
+                    f"shard {shard.ref} was evicted and no cache_dir is configured"
+                )
+            table = self._disk.get_table(shard.ref.digest)
+            if table is None:
+                raise CatalogError(
+                    f"shard {shard.ref} has no persisted table in the disk cache"
+                )
+            shard.table = table
+            shard.hot = True
+            self.rehydrations += 1
+            return table
+
+    # -- introspection ---------------------------------------------------------
+    def refs(self) -> List[TableRef]:
+        """Every registered ref, in registration order."""
+        with self._lock:
+            return [
+                shard.ref
+                for shard in sorted(self._shards.values(), key=lambda s: s.order)
+            ]
+
+    def is_hot(self, ref: TableLike) -> bool:
+        return self._shard_for(ref).hot
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    def __contains__(self, ref: TableLike) -> bool:
+        try:
+            self._shard_for(ref)
+            return True
+        except CatalogError:
+            return False
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for serving dashboards and the bench harness."""
+        with self._lock:
+            hot = sum(1 for shard in self._shards.values() if shard.hot)
+            return {
+                "shards": len(self._shards),
+                "hot": hot,
+                "cold": len(self._shards) - hot,
+                "asks": sum(shard.asks for shard in self._shards.values()),
+                "evictions": self.evictions,
+                "rehydrations": self.rehydrations,
+                "parser": self.interface.parser.cache_stats(),
+            }
+
+    # -- question routing ------------------------------------------------------
+    def ask(
+        self, question: str, ref: TableLike, k: Optional[int] = None
+    ) -> "InterfaceResponse":
+        """Answer ``question`` against one registered table.
+
+        Bit-identical to calling :meth:`NLInterface.ask` on the same
+        table directly — the catalog adds routing, recency bookkeeping
+        and (optional) hot-set enforcement, never different answers.
+        """
+        shard = self._shard_for(ref)
+        table = self._materialize(shard)
+        response = self.interface.ask(question, table, k=k)
+        with self._lock:
+            self._touch(shard)
+            self._enforce_hot_limit(protect=shard.ref.digest)
+        return response
+
+    def ask_many(
+        self,
+        items: Sequence[Tuple[str, TableLike]],
+        k: Optional[int] = None,
+        workers: int = 4,
+        backend: str = "thread",
+    ) -> List["InterfaceResponse"]:
+        """Answer a batch of ``(question, ref)`` pairs, index-aligned.
+
+        Routing resolves every ref up front, then the batch rides
+        :meth:`NLInterface.ask_many` — thread pool by default,
+        ``backend="process"`` for the GIL-free process pool.
+        """
+        shards = [self._shard_for(ref) for _, ref in items]
+        pairs = [
+            (question, self._materialize(shard))
+            for (question, _), shard in zip(items, shards)
+        ]
+        responses = self.interface.ask_many(
+            pairs, k=k, workers=workers, backend=backend
+        )
+        with self._lock:
+            protect = {shard.ref.digest for shard in shards}
+            for shard in shards:
+                self._touch(shard)
+            self._enforce_hot_limit(protect=protect)
+        return responses
+
+    def ask_any(
+        self,
+        question: str,
+        k: Optional[int] = None,
+        workers: int = 4,
+        backend: str = "thread",
+    ) -> CatalogAnswer:
+        """Score ``question`` across every shard and rank the answers.
+
+        Every registered table is asked (evicted shards rehydrate first);
+        shards are ranked by their top candidate's model score, with
+        registration order as the deterministic tie-break.  Shards that
+        produce no executable candidate rank last.
+        """
+        refs = self.refs()
+        responses = self.ask_many(
+            [(question, ref) for ref in refs], k=k, workers=workers, backend=backend
+        )
+        scored = sorted(
+            zip(refs, responses),
+            key=lambda pair: -(
+                pair[1].top.candidate.score
+                if pair[1].top is not None
+                else float("-inf")
+            ),
+        )
+        return CatalogAnswer(question=question, ranked=list(scored))
+
+    # -- eviction --------------------------------------------------------------
+    def evict(self, ref: TableLike) -> TableRef:
+        """Unload one shard's in-memory state, persisting it first.
+
+        With a ``cache_dir``: the execution bundle is flushed and the
+        table pickled to the disk store, then the table and every derived
+        cache entry are dropped — the shard survives as a cold stub that
+        rehydrates on its next question.  Without one: only derived
+        caches are dropped (the table stays resident), since dropping the
+        sole copy would lose data.
+        """
+        shard = self._shard_for(ref)
+        with self._lock:
+            table = shard.table
+            if table is not None:
+                if self._disk is not None:
+                    self._disk.put_table(shard.ref.digest, table)
+                self.interface.evict_table(table)
+                if self._disk is not None:
+                    shard.table = None
+            shard.hot = False
+            self.evictions += 1
+            return shard.ref
+
+    def evict_cold(self, keep: int = 0) -> List[TableRef]:
+        """Evict all but the ``keep`` most recently used shards."""
+        with self._lock:
+            by_recency = sorted(
+                (shard for shard in self._shards.values() if shard.hot),
+                key=lambda shard: shard.last_used,
+                reverse=True,
+            )
+            victims = by_recency[keep:]
+        return [self.evict(shard.ref) for shard in victims]
+
+    def _touch(self, shard: _Shard) -> None:
+        shard.asks += 1
+        shard.last_used = next(self._clock)
+        shard.hot = True
+
+    def _enforce_hot_limit(self, protect) -> None:
+        """Auto-evict LRU hot shards beyond ``max_hot_shards``.
+
+        ``protect`` (a digest or set of digests) names shards that must
+        stay hot — the ones serving the current request.
+        """
+        if self.max_hot_shards is None:
+            return
+        protected = {protect} if isinstance(protect, str) else set(protect)
+        while True:
+            hot = [shard for shard in self._shards.values() if shard.hot]
+            if len(hot) <= self.max_hot_shards:
+                return
+            victims = [s for s in hot if s.ref.digest not in protected]
+            if not victims:
+                return
+            victim = min(victims, key=lambda shard: shard.last_used)
+            self.evict(victim.ref)

@@ -201,6 +201,16 @@ class LRUCache:
                 self.evictions += 1
             return built
 
+    def pop(self, key: Any, default: Any = None) -> Any:
+        """Remove and return ``key``'s value (no hit/miss counting).
+
+        Explicit removal — used by shard eviction — is bookkeeping, not
+        lookup traffic, so the counters stay untouched.
+        """
+        with self._lock:
+            value = self._data.pop(key, _MISSING)
+            return default if value is _MISSING else value
+
     # -- introspection --------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:

@@ -266,3 +266,12 @@ def index_cache_stats() -> Dict[str, int]:
 def clear_index_cache() -> None:
     """Drop every cached index (tests and benchmarks use this for cold runs)."""
     _INDEX_REGISTRY.clear()
+
+
+def evict_index(fingerprint) -> None:
+    """Drop one table content's index (the shard-eviction hook).
+
+    Safe at any time — the registry rebuilds lazily on the next lookup —
+    so a catalog can unload a cold shard's index together with its table.
+    """
+    _INDEX_REGISTRY.pop(fingerprint)

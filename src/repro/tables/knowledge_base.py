@@ -44,12 +44,18 @@ class KnowledgeBase:
         self._triples: List[Triple] = []
         self._by_property: Dict[str, List[Triple]] = defaultdict(list)
         self._value_index: Dict[Tuple[str, Value], Set[int]] = defaultdict(set)
+        #: Value types present per column: the cross-type scan in
+        #: :meth:`records_with_value` is skipped when a column is
+        #: homogeneous in the probe's type (the typed index is complete
+        #: there), which keeps the common case O(1).
+        self._column_types: Dict[str, Set[type]] = defaultdict(set)
         for record in table.records:
             for cell in record.cells:
                 triple = Triple(record.index, cell.column, cell.value)
                 self._triples.append(triple)
                 self._by_property[cell.column].append(triple)
                 self._value_index[(cell.column, cell.value)].add(record.index)
+                self._column_types[cell.column].add(type(cell.value))
 
     # -- entity / property enumeration ---------------------------------------
     @property
@@ -71,18 +77,24 @@ class KnowledgeBase:
     def records_with_value(self, column: str, value: Value) -> FrozenSet[int]:
         """Indices of records where ``column`` holds ``value`` (the ``C.v`` join).
 
-        Falls back to a linear scan with :func:`values_equal` when the exact
-        typed value is not in the index (cross-type matches such as the
-        string ``"2004"`` against the number ``2004``).
+        The contract mirrors :class:`~repro.tables.index.TableIndex`: every
+        record whose cell satisfies :func:`values_equal` is returned.  The
+        typed index answers same-type matches in O(1); cross-type matches
+        (the string ``"2004"`` against the number ``2004``) come from a
+        scan over the column's *other-typed* cells, which a homogeneous
+        column — the common case — skips entirely.  An exact hit must NOT
+        short-circuit that scan: a column holding both ``"2004"`` and
+        ``2004`` owes the join both records.
         """
         exact = self._value_index.get((column, value))
-        if exact:
-            return frozenset(exact)
-        matches = {
-            triple.record_index
-            for triple in self._by_property.get(column, ())
-            if values_equal(triple.value, value)
-        }
+        matches: Set[int] = set(exact) if exact is not None else set()
+        probe_type = type(value)
+        if self._column_types.get(column, set()) - {probe_type}:
+            for triple in self._by_property.get(column, ()):
+                if type(triple.value) is not probe_type and values_equal(
+                    triple.value, value
+                ):
+                    matches.add(triple.record_index)
         return frozenset(matches)
 
     def values_of_records(self, column: str, indices) -> List[Value]:

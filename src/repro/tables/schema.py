@@ -118,6 +118,11 @@ def clear_schema_cache() -> None:
     _PROFILE_CACHE.clear()
 
 
+def evict_schema(fingerprint) -> None:
+    """Drop one table content's cached profiles (the shard-eviction hook)."""
+    _PROFILE_CACHE.pop(fingerprint)
+
+
 def table_schema(table: Table) -> TableSchema:
     """The (cached) :class:`TableSchema` of ``table``'s content.
 

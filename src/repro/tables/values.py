@@ -87,9 +87,25 @@ class StringValue(Value):
         return hash(("str", self.normalized))
 
 
+#: Inverse granularity of the numeric equality grid: two numbers are equal
+#: when they round to the same multiple of 1e-9.  Both ``__eq__`` and
+#: ``__hash__`` derive from this one bucket, which is what makes the
+#: ``a == b  ⇒  hash(a) == hash(b)`` invariant hold by construction (the
+#: seed's ``math.isclose`` equality was *wider* than its rounded hash, so
+#: equal values could hash apart and silently miss dict/set/index lookups).
+_NUMBER_QUANTUM_INV = 10 ** 9
+
+
 @dataclass(frozen=True)
 class NumberValue(Value):
-    """A numeric cell value (stored as a float)."""
+    """A numeric cell value (stored as a float).
+
+    Equality is quantized: numbers are compared on a 1e-9 grid (see
+    :data:`_NUMBER_QUANTUM_INV`), which absorbs float arithmetic noise
+    (``0.1 + 0.2 == 0.3``) while staying transitive and consistent with
+    ``__hash__`` — unlike tolerance-based ``isclose`` equality, which no
+    hash function can be consistent with.
+    """
 
     number: float
 
@@ -111,13 +127,30 @@ class NumberValue(Value):
             return str(int(self.number))
         return str(self.number)
 
+    def _bucket(self):
+        """The quantized equality key shared by ``__eq__`` and ``__hash__``."""
+        scaled = self.number * _NUMBER_QUANTUM_INV
+        if math.isinf(scaled):
+            # Either the number itself is infinite or it is too large for
+            # the grid; at that magnitude the grid is finer than float
+            # spacing anyway, so exact identity is the right bucket.  The
+            # tag keeps this domain disjoint from the grid's integers —
+            # round(n * 1e9) of a smaller number must never collide with
+            # the raw float of one 1e9 times larger.
+            return ("xl", self.number)
+        return round(scaled)
+
     def __eq__(self, other):
         if isinstance(other, NumberValue):
-            return math.isclose(self.number, other.number, rel_tol=1e-9, abs_tol=1e-9)
+            if math.isnan(self.number) or math.isnan(other.number):
+                return False
+            return self._bucket() == other._bucket()
         return NotImplemented
 
     def __hash__(self):
-        return hash(("num", round(self.number, 9)))
+        if math.isnan(self.number):
+            return hash(("num", "nan"))
+        return hash(("num", self._bucket()))
 
 
 @dataclass(frozen=True)
@@ -195,7 +228,11 @@ _MONTH_NAMES = {
     "december": 12, "dec": 12,
 }
 
-_NUMBER_RE = re.compile(r"^[+-]?\$?[\d,]+(?:\.\d+)?%?$")
+# Thousands separators must delimit groups of exactly three digits after a
+# 1-3 digit leading group ("1,234", "$1,000,000").  The seed's permissive
+# ``[\d,]+`` silently read malformed groupings such as ``"1,2,3"`` or
+# ``"12,34"`` as numbers; those cells now stay strings.
+_NUMBER_RE = re.compile(r"^[+-]?\$?(?:\d{1,3}(?:,\d{3})+|\d+)(?:\.\d+)?%?$")
 _ISO_DATE_RE = re.compile(r"^(\d{4})-(\d{1,2})(?:-(\d{1,2}))?$")
 _TEXT_DATE_RE = re.compile(
     r"^(?P<month>[A-Za-z]+)\s+(?P<day>\d{1,2})\s*,?\s+(?P<year>\d{4})$"
@@ -209,7 +246,9 @@ _YEAR_RE = re.compile(r"^\d{4}$")
 def parse_number(text: str) -> Optional[float]:
     """Parse a numeric string such as ``"1,234"``, ``"$150,000"`` or ``"42%"``.
 
-    Returns ``None`` when the text is not numeric.
+    Returns ``None`` when the text is not numeric, including texts with
+    malformed thousands groupings (``"1,2,3"``, ``"12,34"``) — cells like
+    those are identifiers or lists, not numbers.
     """
     candidate = text.strip()
     if not candidate or not _NUMBER_RE.match(candidate):

@@ -167,3 +167,100 @@ class TestBenchParseCommand:
         )
         assert code == 0
         assert "speedup" in out.getvalue()
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    """A tiny `repro dataset`-layout corpus for catalog/serve tests."""
+    out = io.StringIO()
+    code = main(
+        ["dataset", "--output", str(tmp_path / "corpus"), "--tables", "3",
+         "--questions", "2", "--seed", "11"],
+        out=out,
+    )
+    assert code == 0
+    return tmp_path / "corpus"
+
+
+class TestCatalogCommand:
+    def test_lists_shards(self, corpus_dir):
+        out = io.StringIO()
+        code = main(["catalog", "--corpus", str(corpus_dir)], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "digest" in text and "hot" in text
+        assert text.count("hot") >= 3  # header + >= 3 shards
+
+    def test_routes_a_question_corpus_wide(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            ["catalog", "--corpus", str(corpus_dir), "--question",
+             "which entry is first", "--any"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        payload = json.loads(text[text.index("{"):])
+        assert payload["ok"] is True
+        assert payload["routed"] == "any"
+        assert len(payload["ranked"]) >= 3
+
+    def test_loads_flat_csv_directory(self, tmp_path, olympics_table):
+        flat = tmp_path / "flat"
+        flat.mkdir()
+        table_to_csv(olympics_table, flat / "olympics.csv")
+        out = io.StringIO()
+        code = main(
+            ["catalog", "--corpus", str(flat), "--question",
+             "which country hosted in 2004", "--table", "olympics"],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue()[out.getvalue().index("{"):])
+        assert payload["answer"] == ["Greece"]
+
+    def test_empty_corpus_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        out = io.StringIO()
+        assert main(["catalog", "--corpus", str(empty)], out=out) == 1
+
+
+class TestServeCommand:
+    def test_self_test_runs_concurrent_sessions(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            ["serve", "--corpus", str(corpus_dir), "--self-test", "4",
+             "--workers", "2"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "concurrent sessions answered" in text
+        assert "dispatcher:" in text
+
+    def test_self_test_without_questions_fails(self, tmp_path, olympics_table):
+        flat = tmp_path / "flat"
+        flat.mkdir()
+        table_to_csv(olympics_table, flat / "olympics.csv")
+        out = io.StringIO()
+        code = main(["serve", "--corpus", str(flat), "--self-test", "2"], out=out)
+        assert code == 1
+        assert "questions.jsonl" in out.getvalue()
+
+
+class TestBenchServeCommand:
+    def test_bench_serve_writes_artifact(self, tmp_path):
+        out = io.StringIO()
+        artifact = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["bench-serve", "--tables", "2", "--questions", "2", "--repeats", "1",
+             "--sessions", "2", "--workers", "2", "--output", str(artifact)],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "sequential" in text and "async" in text
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro-bench-serve-v1"
+        assert payload["modes"]["async"]["identical"] is True

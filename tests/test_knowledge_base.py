@@ -58,3 +58,44 @@ class TestSearch:
     def test_find_columns(self, kb):
         assert kb.find_columns("city") == ["City"]
         assert kb.find_columns("continent") == []
+
+
+class TestMixedTypeColumns:
+    """ISSUE 3 regression: an exact typed-index hit must not short-circuit
+    the cross-type ``values_equal`` rows (the seed dropped them)."""
+
+    @pytest.fixture
+    def mixed_kb(self):
+        from repro.tables import Table
+
+        # "Year" holds the *string* "2004" in row 0 and the *number* 2004
+        # in row 1 — both must answer the C.v join for either probe type.
+        return KnowledgeBase(
+            Table(
+                columns=["Year", "Label"],
+                rows=[
+                    [StringValue("2004"), "a"],
+                    [NumberValue(2004), "b"],
+                    [NumberValue(1900), "c"],
+                    [StringValue("n/a"), "d"],
+                ],
+                name="mixed",
+            )
+        )
+
+    def test_number_probe_finds_both_rows(self, mixed_kb):
+        assert mixed_kb.records_with_value("Year", NumberValue(2004)) == frozenset({0, 1})
+
+    def test_string_probe_finds_both_rows(self, mixed_kb):
+        assert mixed_kb.records_with_value("Year", StringValue("2004")) == frozenset({0, 1})
+
+    def test_non_matching_probe(self, mixed_kb):
+        assert mixed_kb.records_with_value("Year", NumberValue(1900)) == frozenset({2})
+        assert mixed_kb.records_with_value("Year", StringValue("1899")) == frozenset()
+
+    def test_plain_string_rows_unaffected(self, mixed_kb):
+        assert mixed_kb.records_with_value("Label", StringValue("d")) == frozenset({3})
+
+    def test_homogeneous_column_fast_path_matches(self, kb):
+        # Olympics "Country" is all strings: the exact index alone answers.
+        assert kb.records_with_value("Country", StringValue("greece")) == frozenset({0, 2})

@@ -138,3 +138,60 @@ class TestParserDiskWiring:
         # is now Sweden, and the disk lookup was a miss (different key).
         assert "Sweden" in answers
         assert fresh.cache_stats()["disk"]["hits"] == 0
+
+
+class TestEvictionHooks:
+    """The parser-level flush/evict hooks behind catalog shard eviction."""
+
+    def test_flush_table_persists_the_execution_bundle(self, tmp_path):
+        parser = SemanticParser(config=ParserConfig(disk_cache_dir=str(tmp_path)))
+        table = small_table()
+        parser.parse("which country hosted in 2004", table)
+        parser.flush_table(table)
+        bundle = DiskCache(tmp_path).get_execution_bundle(table.fingerprint.digest)
+        assert bundle  # non-empty dict of sexpr -> result
+
+    def test_evict_table_drops_in_memory_state(self, tmp_path):
+        parser = SemanticParser(config=ParserConfig(disk_cache_dir=str(tmp_path)))
+        table = small_table()
+        parser.parse("which country hosted in 2004", table)
+        assert table.fingerprint in parser._lexicons
+        parser.flush_table(table)
+        parser.evict_table(table)
+        assert table.fingerprint not in parser._lexicons
+        assert table.fingerprint not in parser._grammars
+        assert not any(
+            key[0] == table.fingerprint for key in parser._candidate_cache.keys()
+        )
+        assert not parser._execution_cache.entries_for(table.fingerprint)
+
+    def test_parse_after_evict_is_identical_and_served_from_disk(self, tmp_path):
+        parser = SemanticParser(config=ParserConfig(disk_cache_dir=str(tmp_path)))
+        table = small_table()
+        before = signature(parser.parse("which country hosted in 2004", table))
+        parser.flush_table(table)
+        parser.evict_table(table)
+        disk_hits = parser._disk_cache.hits
+        after = signature(parser.parse("which country hosted in 2004", table))
+        assert after == before
+        assert parser._disk_cache.hits > disk_hits  # candidates came from disk
+
+    def test_evict_without_disk_cache_is_safe(self):
+        parser = SemanticParser()
+        table = small_table()
+        before = signature(parser.parse("which country hosted in 2004", table))
+        parser.flush_table(table)  # no-op without a store
+        parser.evict_table(table)
+        assert signature(parser.parse("which country hosted in 2004", table)) == before
+
+    def test_execution_cache_evict_fingerprint_is_scoped(self):
+        parser = SemanticParser()
+        table_a, table_b = small_table("a"), Table(
+            columns=["Rank", "Nation"], rows=[[1, "Fiji"], [2, "Samoa"]], name="b"
+        )
+        parser.parse("which country hosted in 2004", table_a)
+        parser.parse("which nation is ranked 1", table_b)
+        removed = parser._execution_cache.evict_fingerprint(table_a.fingerprint)
+        assert removed > 0
+        assert not parser._execution_cache.entries_for(table_a.fingerprint)
+        assert parser._execution_cache.entries_for(table_b.fingerprint)

@@ -391,3 +391,70 @@ class TestUtteranceProperties:
         text = utterance(query)
         for column in query.columns():
             assert column in text
+
+
+# ---------------------------------------------------------------------------
+# knowledge-base / index parity properties
+# ---------------------------------------------------------------------------
+
+
+_KB_PROBES = [
+    "x", "", "1896", "2,000", "$5", 1896, 5, 0, -3.5,
+    "June 8, 2013", "nope",
+]
+
+
+class TestKnowledgeBaseIndexParity:
+    """ISSUE 3: ``KnowledgeBase.records_with_value`` obeys the same
+    ``values_equal`` contract as the ``TableIndex`` equality lookups —
+    every record whose cell matches is returned, cross-type bridges
+    included, on tables with NaN/empty/duplicate/mixed-type cells."""
+
+    @given(
+        degenerate_tables().flatmap(
+            lambda table: st.tuples(
+                st.just(table),
+                st.sampled_from(["A", "B"]),
+                st.sampled_from(_KB_PROBES),
+            )
+        )
+    )
+    @SETTINGS
+    def test_kb_matches_index_and_scan(self, example):
+        from repro.tables import KnowledgeBase, table_index
+        from repro.tables.values import NumberValue as NV
+
+        table, column, raw = example
+        probe = parse_value(raw)
+        brute = frozenset(
+            record.index
+            for record in table.records
+            if values_equal(record.value(column), probe)
+        )
+        kb = KnowledgeBase(table)
+        assert kb.records_with_value(column, probe) == brute
+
+        # The index contract: a superset of candidates that survives a
+        # values_equal re-check down to exactly the brute-force set.
+        candidates = table_index(table).column(column).equality_candidates(probe)
+        rechecked = frozenset(
+            row
+            for row in candidates
+            if values_equal(table.column_cells(column)[row].value, probe)
+        )
+        assert rechecked == brute
+
+    @given(
+        degenerate_tables().flatmap(
+            lambda table: st.tuples(st.just(table), st.sampled_from(["A", "B"]))
+        )
+    )
+    @SETTINGS
+    def test_kb_nan_probe_matches_nothing(self, example):
+        from repro.tables import KnowledgeBase
+        from repro.tables.values import NumberValue as NV
+
+        table, column = example
+        assert KnowledgeBase(table).records_with_value(
+            column, NV(float("nan"))
+        ) == frozenset()

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.users",
     "repro.interface",
     "repro.perf",
+    "repro.serving",
 ]
 
 

@@ -1,0 +1,259 @@
+"""Tests for the asyncio serving layer (ISSUE 3).
+
+The acceptance bar: >= 8 concurrent sessions with order-stable outputs,
+bit-identical to the sequential path, plus the TCP front end and the
+serving bench integrity sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.interface import NLInterface
+from repro.tables import CatalogError, TableCatalog
+from repro.serving import AsyncServer, ServerClosed, answer_payload, run_serving_bench
+
+
+@pytest.fixture
+def corpus(olympics_table, medals_table, roster_table):
+    questions = {
+        "olympics": "which country hosted in 2004",
+        "medals": "how many gold did Fiji win",
+        "roster": "which club has the most players",
+    }
+    return [olympics_table, medals_table, roster_table], questions
+
+
+@pytest.fixture
+def catalog(corpus):
+    tables, _ = corpus
+    catalog = TableCatalog()
+    catalog.register_all(tables)
+    return catalog
+
+
+def _signature(response):
+    return [
+        (item.rank, item.answer, item.utterance, item.candidate.sexpr, item.candidate.score)
+        for item in response.explained
+    ]
+
+
+class TestAsyncServer:
+    def test_concurrent_sessions_are_order_stable_and_bit_identical(
+        self, corpus, catalog
+    ):
+        """Acceptance: >= 8 concurrent sessions, outputs identical to the
+        sequential NLInterface path, per-session order preserved."""
+        tables, questions = corpus
+        workload = [(questions[table.name], table.name) for table in tables] * 2
+
+        reference_interface = NLInterface()
+        reference = [
+            _signature(reference_interface.ask(question, tables[i % 3]))
+            for i, (question, _) in enumerate(workload)
+        ]
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                sessions = [server.run_session(workload) for _ in range(8)]
+                return await asyncio.gather(*sessions), server.stats.as_dict()
+
+        per_session, stats = asyncio.run(drive())
+        assert len(per_session) == 8
+        for answers in per_session:
+            assert [_signature(response) for response in answers] == reference
+        assert stats["requests"] == 8 * len(workload)
+        assert stats["errors"] == 0
+
+    def test_micro_batching_merges_concurrent_arrivals(self, corpus, catalog):
+        _, questions = corpus
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                await asyncio.gather(
+                    *(
+                        server.ask(questions["olympics"], "olympics")
+                        for _ in range(12)
+                    )
+                )
+                return server.stats.as_dict()
+
+        stats = asyncio.run(drive())
+        assert stats["requests"] == 12
+        # At least some arrivals were merged (the first batch may be 1).
+        assert stats["batches"] < 12
+
+    def test_ask_gathered_is_index_aligned(self, corpus, catalog):
+        tables, questions = corpus
+        items = [(questions[table.name], table.name) for table in tables]
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                return await server.ask_gathered(items)
+
+        answers = asyncio.run(drive())
+        for (question, name), response in zip(items, answers):
+            assert _signature(response) == _signature(catalog.ask(question, name))
+
+    def test_mixed_k_requests_keep_their_own_k(self, corpus, catalog):
+        _, questions = corpus
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                return await asyncio.gather(
+                    server.ask(questions["olympics"], "olympics", k=2),
+                    server.ask(questions["olympics"], "olympics", k=5),
+                )
+
+        small, large = asyncio.run(drive())
+        assert len(small.explained) == 2
+        assert len(large.explained) == 5
+
+    def test_corpus_wide_routing(self, corpus, catalog):
+        tables, questions = corpus
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                return await server.ask(questions["olympics"])  # no table
+
+        answer = asyncio.run(drive())
+        assert answer.best_ref.digest == tables[0].fingerprint.digest
+        assert answer.answer == ("Greece",)
+
+    def test_unknown_ref_fails_only_its_own_request(self, corpus, catalog):
+        _, questions = corpus
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                return await asyncio.gather(
+                    server.ask(questions["olympics"], "olympics"),
+                    server.ask(questions["olympics"], "atlantis"),
+                    server.ask(questions["medals"], "medals"),
+                    return_exceptions=True,
+                )
+
+        good, bad, also_good = asyncio.run(drive())
+        assert good.top.answer == ("Greece",)
+        assert isinstance(bad, CatalogError)
+        assert also_good.top is not None
+
+    def test_stop_fails_queued_requests(self, corpus, catalog):
+        _, questions = corpus
+
+        async def drive():
+            server = AsyncServer(catalog, max_workers=4)
+            await server.start()
+            # Enqueue without giving the dispatcher a chance to finish,
+            # then stop: the pending future must fail, not hang.
+            task = asyncio.get_running_loop().create_task(
+                server.ask(questions["olympics"], "olympics")
+            )
+            await asyncio.sleep(0)
+            await server.stop()
+            with pytest.raises(ServerClosed):
+                await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(drive())
+
+
+class TestAnswerPayload:
+    def test_single_table_payload(self, corpus, catalog):
+        _, questions = corpus
+        payload = answer_payload(catalog.ask(questions["olympics"], "olympics"))
+        assert payload["ok"] is True
+        assert payload["routed"] == "table"
+        assert payload["answer"] == ["Greece"]
+        assert payload["candidates"] >= 1
+        json.dumps(payload)  # wire-serialisable
+
+    def test_corpus_wide_payload(self, corpus, catalog):
+        _, questions = corpus
+        payload = answer_payload(catalog.ask_any(questions["olympics"]))
+        assert payload["ok"] is True
+        assert payload["routed"] == "any"
+        assert payload["answer"] == ["Greece"]
+        assert len(payload["ranked"]) == 3
+        json.dumps(payload)
+
+
+class TestTcpEndpoint:
+    def test_json_lines_roundtrip(self, corpus, catalog):
+        tables, questions = corpus
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                try:
+                    tcp = await server.serve(host="127.0.0.1", port=0)
+                except OSError as error:  # pragma: no cover - sandboxed CI
+                    pytest.skip(f"cannot bind a loopback socket: {error}")
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+                async def call(request) -> dict:
+                    data = request if isinstance(request, bytes) else (
+                        json.dumps(request).encode("utf-8")
+                    )
+                    writer.write(data + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                assert (await call({"op": "ping"}))["pong"] is True
+
+                listing = await call({"op": "list"})
+                assert {entry["name"] for entry in listing["tables"]} == {
+                    table.name for table in tables
+                }
+
+                routed = await call(
+                    {"question": questions["olympics"], "table": "olympics"}
+                )
+                assert routed["answer"] == ["Greece"]
+
+                anywhere = await call({"question": questions["olympics"]})
+                assert anywhere["routed"] == "any"
+                assert anywhere["answer"] == ["Greece"]
+
+                stats = await call({"op": "stats"})
+                assert stats["catalog"]["shards"] == 3
+                assert stats["server"]["requests"] >= 2
+
+                unknown = await call({"question": "x", "table": "atlantis"})
+                assert unknown["ok"] is False
+
+                garbage = await call(b"not json")
+                assert garbage["ok"] is False
+
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        asyncio.run(drive())
+
+
+@pytest.mark.bench_smoke
+class TestServingBenchSmoke:
+    def test_serving_bench_stays_bit_identical(self, corpus, tmp_path):
+        """The serving harness sweep: sequential vs async vs hot-set
+        eviction, every mode bit-identical to the reference."""
+        tables, questions = corpus
+        pairs = [(questions[table.name], table) for table in tables]
+        report = run_serving_bench(
+            pairs,
+            sessions=4,
+            workers=4,
+            repeats=2,
+            disk_cache_dir=str(tmp_path),
+            max_hot_shards=2,
+        )
+        assert set(report.modes) == {"sequential", "async", "async_hotset"}
+        assert all(timing.identical for timing in report.modes.values())
+        hotset = report.modes["async_hotset"]
+        assert hotset.catalog_stats["evictions"] >= 1
+        payload = report.to_payload()
+        assert payload["schema"] == "repro-bench-serve-v1"
+        json.dumps(payload)

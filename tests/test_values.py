@@ -176,3 +176,95 @@ class TestValuesEqual:
 
     def test_text_vs_full_date_mismatch(self):
         assert not values_equal(StringValue("Athens"), DateValue(2013, 6, 8))
+
+
+class TestNumberValueHashEqualityInvariant:
+    """ISSUE 3: ``a == b`` must imply ``hash(a) == hash(b)``.
+
+    The seed compared with ``math.isclose`` (rel+abs tolerance) but hashed
+    ``round(number, 9)``, so equal values could hash apart and silently
+    miss dict/set/index lookups.  Equality and hash now share one
+    quantized bucket.
+    """
+
+    def test_seed_counterexample(self):
+        # isclose(5e-10, 1.4e-9, abs_tol=1e-9) was True while the rounded
+        # hashes differed — the exact mismatch the seed shipped.
+        a, b = NumberValue(5e-10), NumberValue(1.4e-9)
+        if a == b:
+            assert hash(a) == hash(b)
+
+    def test_float_noise_still_equal(self):
+        assert NumberValue(0.1 + 0.2) == NumberValue(0.3)
+        assert hash(NumberValue(0.1 + 0.2)) == hash(NumberValue(0.3))
+
+    def test_dict_lookup_respects_equality(self):
+        index = {NumberValue(0.3): "hit"}
+        assert index[NumberValue(0.1 + 0.2)] == "hit"
+
+    def test_nan_is_never_equal(self):
+        nan = float("nan")
+        assert NumberValue(nan) != NumberValue(nan)
+        hash(NumberValue(nan))  # hashable regardless
+
+    def test_infinities(self):
+        assert NumberValue(float("inf")) == NumberValue(float("inf"))
+        assert hash(NumberValue(float("inf"))) == hash(NumberValue(float("inf")))
+        assert NumberValue(float("inf")) != NumberValue(float("-inf"))
+
+    def test_equality_is_transitive_on_the_grid(self):
+        # Tolerance-based equality was not transitive; bucket equality is.
+        a, b, c = NumberValue(1.0), NumberValue(1.0 + 4e-10), NumberValue(1.0 + 8e-10)
+        if a == b and b == c:
+            assert a == c
+
+    @pytest.mark.parametrize("scale", [1e-12, 1e-6, 1.0, 1e6, 1e12, 1e300])
+    def test_invariant_over_magnitudes(self, scale):
+        import random
+
+        rng = random.Random(2019)
+        values = [NumberValue(rng.uniform(-1, 1) * scale) for _ in range(80)]
+        # Seed perturbed near-duplicates to stress the bucket boundaries.
+        values += [NumberValue(v.number + rng.uniform(-2e-9, 2e-9)) for v in values]
+        for left in values:
+            for right in values:
+                if left == right:
+                    assert hash(left) == hash(right), (left.number, right.number)
+
+
+class TestParseNumberGroupings:
+    """ISSUE 3: thousands separators must sit on real group boundaries."""
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("1,234", 1234.0),
+            ("12,345", 12345.0),
+            ("$1,000,000", 1000000.0),
+            ("1,234.56", 1234.56),
+            ("-1,234", -1234.0),
+            ("1,234%", 1234.0),
+            ("1234567", 1234567.0),
+        ],
+    )
+    def test_well_formed(self, text, expected):
+        assert parse_number(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["1,2,3", "12,34", "1,23", "1234,567", ",123", "1,", "$1,0000", "1,234,56"],
+    )
+    def test_malformed_groupings_stay_non_numeric(self, text):
+        assert parse_number(text) is None
+
+    def test_malformed_cells_become_strings(self):
+        assert parse_value("1,2,3") == StringValue("1,2,3")
+        assert parse_value("12,34") == StringValue("12,34")
+
+    def test_grid_overflow_domain_never_collides_with_the_grid(self):
+        # round(2e290 * 1e9) is a finite grid integer equal in value to
+        # the float 2e299, whose own bucket lives in the overflow domain;
+        # the domains must stay disjoint or the two numbers alias.
+        assert NumberValue(2e290) != NumberValue(2e299)
+        assert NumberValue(2e299) == NumberValue(2e299)
+        assert hash(NumberValue(2e299)) == hash(NumberValue(2e299))
