@@ -10,11 +10,15 @@ the :class:`~repro.tables.catalog.TableCatalog` +
   the micro-batching dispatcher,
 * ``async_hotset`` — the same under memory pressure: the catalog keeps
   a bounded hot set and evicts cold shards to the disk cache between
-  questions —
+  questions,
+* ``route`` — corpus-wide ``ask_any`` with retrieval pruning versus the
+  full broadcast (ISSUE 4) —
 
-and locks in the integrity contract: every mode's answers are
-bit-identical to the sequential reference (serving changes latency,
-never results).  Timings land in ``BENCH_serve.json``.
+and locks in the integrity contracts: every serving mode's answers are
+bit-identical to the sequential reference, and the pruned pipeline
+returns the broadcast top answer while parsing strictly fewer shards on
+this multi-shard, disjoint-content corpus.  Timings land in
+``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -58,6 +62,12 @@ def test_perf_catalog_serving(benchmark, test_examples, tmp_path):
         ["mode", "total", "throughput", "identical", "speedup"],
         report.rows(),
     )
+    print_table(
+        f"Route: {report.route.questions} corpus-wide questions over "
+        f"{report.route.shards} shards ({report.route.fallbacks} fallbacks)",
+        ["regime", "total", "work", "top match", "speedup"],
+        report.route_rows(),
+    )
 
     artifact = emit_bench_artifact("serve", report.to_payload())
     assert artifact.exists()
@@ -74,3 +84,14 @@ def test_perf_catalog_serving(benchmark, test_examples, tmp_path):
     # Every question was answered in every mode.
     for timing in report.modes.values():
         assert timing.questions == report.questions
+    # The ISSUE 4 acceptance bar: pruned ask_any returns the broadcast
+    # top answer on every question whose broadcast winner is retrievable,
+    # while parsing strictly fewer shards than the broadcast (the bench
+    # corpus has >= 2 shards with disjoint content).
+    route = report.route
+    assert route is not None and route.top_answers_match
+    if route.shards >= 2:
+        assert route.strictly_fewer, (
+            f"pruning saved nothing: {route.pruned_shards_parsed} vs "
+            f"{route.broadcast_shards_parsed} shard-parses"
+        )

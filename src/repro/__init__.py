@@ -15,12 +15,27 @@ The package is organised as:
   (Section 6),
 * :mod:`repro.perf` — batch parsing, content-addressed caches and the
   parse-latency bench harness (Table 7 at deployment scale),
+* :mod:`repro.retrieval` — the corpus-level retrieval layer: a
+  content-addressed term/entity index and shard router that prune the
+  corpus *before* parsing (retrieve-then-parse),
 * :mod:`repro.serving` — the asyncio serving layer over the multi-table
   catalog of :mod:`repro.tables.catalog` (concurrent sessions, TCP
   endpoint, serving bench).
 """
 
-from . import core, dataset, dcs, interface, parser, perf, serving, sql, tables, users
+from . import (
+    core,
+    dataset,
+    dcs,
+    interface,
+    parser,
+    perf,
+    retrieval,
+    serving,
+    sql,
+    tables,
+    users,
+)
 
 __version__ = "1.0.0"
 
@@ -34,6 +49,7 @@ __all__ = [
     "users",
     "interface",
     "perf",
+    "retrieval",
     "serving",
     "__version__",
 ]

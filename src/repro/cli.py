@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Eight sub-commands cover the workflows a downstream user needs::
+Nine sub-commands cover the workflows a downstream user needs::
 
     python -m repro explain --table table.csv --query '(aggregate max (column-values "Year" (column-records "Country" (value "Greece"))))'
     python -m repro ask     --table table.csv --question "When did Greece last host?" --k 5
@@ -8,6 +8,7 @@ Eight sub-commands cover the workflows a downstream user needs::
     python -m repro study   --tables 20 --questions 6 --k 7
     python -m repro bench-parse --tables 4 --questions 4 --repeats 2 --workers 4 --output BENCH_parse.json
     python -m repro catalog --corpus corpus/ --question "which country hosted in 2004" --any
+    python -m repro route   --corpus corpus/ --question "which country hosted in 2004"
     python -m repro serve   --corpus corpus/ --port 8765
     python -m repro bench-serve --tables 4 --questions 4 --sessions 8 --output BENCH_serve.json
 
@@ -29,7 +30,11 @@ Eight sub-commands cover the workflows a downstream user needs::
 * ``catalog`` — load a table corpus into a fingerprint-addressed
   :class:`~repro.tables.catalog.TableCatalog`, list the shards, and
   optionally route one question (``--table REF`` or corpus-wide
-  ``--any``).
+  ``--any``; ``--no-prune`` forces the full broadcast).
+* ``route`` — inspect the corpus-retrieval routing decision for a
+  question: every shard's retrieval score, the matched terms, which
+  shards ``ask_any`` would parse versus prune, and whether the broadcast
+  fallback fires.  Pure inspection: nothing is parsed.
 * ``serve`` — serve a corpus over the asyncio JSON-lines TCP endpoint,
   or run an in-process ``--self-test`` of N concurrent sessions.
 * ``bench-serve`` — run the serving harness (sequential vs concurrent
@@ -130,6 +135,29 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     catalog_cmd.add_argument("--k", type=int, default=7)
     catalog_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
+    catalog_cmd.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="corpus-wide asks: parse only retrieved shards (--no-prune "
+        "forces the full broadcast)",
+    )
+
+    route_cmd = subparsers.add_parser(
+        "route",
+        help="inspect the corpus-retrieval routing decision for a question",
+    )
+    route_cmd.add_argument(
+        "--corpus", required=True, help="corpus directory (see catalog)"
+    )
+    route_cmd.add_argument("--question", required=True, help="the question to route")
+    route_cmd.add_argument("--cache-dir", help="content-addressed disk cache root")
+    route_cmd.add_argument(
+        "--max-hot", type=int, help="keep at most N shards hot (LRU auto-eviction)"
+    )
+    route_cmd.add_argument(
+        "--json", action="store_true", help="emit the decision as JSON"
+    )
 
     serve_cmd = subparsers.add_parser(
         "serve", help="serve a table corpus over asyncio (JSON-lines TCP)"
@@ -171,6 +199,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     bench_serve_cmd.add_argument(
         "--max-hot", type=int, help="hot-shard bound of the async_hotset mode"
+    )
+    bench_serve_cmd.add_argument(
+        "--route",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="also run the corpus-wide route mode (pruned vs broadcast ask_any)",
     )
     bench_serve_cmd.add_argument("--output", help="write the timing payload to this JSON file")
     return parser
@@ -301,7 +335,7 @@ def run_bench_parse(args: argparse.Namespace, out) -> int:
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
-            json.dumps(report.to_payload(), indent=2, sort_keys=True),
+            json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote timings to {path}", file=out)
@@ -373,10 +407,57 @@ def run_catalog(args: argparse.Namespace, out) -> int:
     if not args.question:
         return 0
     if args.any or not args.table:
-        answer = catalog.ask_any(args.question, k=args.k)
+        answer = catalog.ask_any(args.question, k=args.k, prune=args.prune)
     else:
         answer = catalog.ask(args.question, args.table, k=args.k)
     print(json.dumps(answer_payload(answer), ensure_ascii=False, indent=2), file=out)
+    return 0
+
+
+def run_route(args: argparse.Namespace, out) -> int:
+    tables, _ = _load_corpus(args.corpus)
+    if not tables:
+        print(f"no tables found under {args.corpus}", file=out)
+        return 1
+    catalog = _build_catalog(args)
+    catalog.register_all(tables)
+    decision = catalog.routing(args.question)
+    if args.json:
+        payload = {
+            "question": decision.question,
+            "fallback": decision.fallback,
+            "candidates": [ref.name for ref in decision.candidates],
+            "pruned": [ref.name for ref in decision.pruned],
+            "scored": [
+                {
+                    "table": scored.ref.name,
+                    "digest": scored.ref.short,
+                    "score": scored.score,
+                    "matched": list(scored.matched),
+                }
+                for scored in decision.scored
+            ],
+        }
+        print(json.dumps(payload, ensure_ascii=False, indent=2), file=out)
+        return 0
+    print(f"question: {decision.question}", file=out)
+    kept = {ref.digest for ref in decision.candidates}
+    print(
+        f"routing: parse {len(decision.candidates)}/{len(decision.scored)} shards"
+        + (" (fallback: no retrieval hits, broadcasting)" if decision.fallback else ""),
+        file=out,
+    )
+    print(f"{'decision':<8} {'score':>7}  {'digest':<14} {'name':<20} matched", file=out)
+    for scored in decision.scored:
+        verdict = "parse" if scored.ref.digest in kept else "prune"
+        matched = ", ".join(scored.matched[:6])
+        if len(scored.matched) > 6:
+            matched += f", ... ({len(scored.matched)} terms)"
+        print(
+            f"{verdict:<8} {scored.score:>7.1f}  {scored.ref.short:<14} "
+            f"{scored.ref.name:<20} {matched}",
+            file=out,
+        )
     return 0
 
 
@@ -463,6 +544,7 @@ def run_bench_serve(args: argparse.Namespace, out) -> int:
         repeats=args.repeats,
         disk_cache_dir=args.disk_cache,
         max_hot_shards=args.max_hot,
+        route=args.route,
     )
     print(
         f"workload: {report.questions} questions over {report.tables} tables, "
@@ -478,15 +560,31 @@ def run_bench_serve(args: argparse.Namespace, out) -> int:
             f"{mode:<14} {total:>10} {throughput:>12} {identical:>10} {speedup:>8}",
             file=out,
         )
+    if report.route is not None:
+        route = report.route
+        print(
+            f"route: {route.questions} corpus-wide questions over "
+            f"{route.shards} shards "
+            f"({route.fallbacks} fallbacks to broadcast)",
+            file=out,
+        )
+        for regime, total, parsed, matched, speedup in report.route_rows():
+            print(
+                f"{regime:<14} {total:>10} {parsed:>22} {matched:>10} {speedup:>8}",
+                file=out,
+            )
     if args.output:
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
-            json.dumps(report.to_payload(), indent=2, sort_keys=True),
+            json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote timings to {path}", file=out)
-    return 0 if all(t.identical for t in report.modes.values()) else 1
+    ok = all(t.identical for t in report.modes.values())
+    if report.route is not None:
+        ok = ok and report.route.top_answers_match
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -499,6 +597,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "study": run_study,
         "bench-parse": run_bench_parse,
         "catalog": run_catalog,
+        "route": run_route,
         "serve": run_serve,
         "bench-serve": run_bench_serve,
     }

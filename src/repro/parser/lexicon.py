@@ -45,6 +45,54 @@ def content_tokens(text: str) -> List[str]:
     return [token for token in tokenize(text) if token not in STOP_WORDS and token.isalnum()]
 
 
+# -- shared normalization (lexicon <-> corpus retrieval) ----------------------
+#
+# The corpus-level retrieval layer (:mod:`repro.retrieval`) prunes shards
+# *before* the parser runs, so its recall must cover everything the
+# lexicon below could anchor on.  That guarantee only holds if both
+# layers derive their terms through the same functions — these three are
+# that shared surface.  Changing any of them changes what the lexicon
+# matches AND what retrieval indexes, in lockstep.
+
+
+def normalize_value_key(value: Value) -> str:
+    """The normalized phrase key of one cell value.
+
+    Exactly the key :class:`Lexicon` indexes entity values under (and
+    matches question spans against): the value's display form, tokenized
+    and re-joined.  Empty when the display form has no tokens.
+    """
+    return " ".join(tokenize(value.display()))
+
+
+def column_matchable_tokens(column: str) -> Set[str]:
+    """The token set a column header can be matched through.
+
+    Content tokens of the header; for headers made entirely of stop words
+    (for example a column literally named "of"), the raw tokens — the same
+    fallback :meth:`Lexicon._match_columns` applies, so a header matchable
+    by the lexicon is never invisible to retrieval.
+    """
+    return set(content_tokens(column)) or set(tokenize(column))
+
+
+def question_phrases(
+    tokens: Sequence[str], max_span_length: int = 5
+) -> Set[str]:
+    """Every contiguous token span of a question, joined into phrase keys.
+
+    The phrase inventory entity linking draws from: a span can only
+    become an :class:`EntityMatch` if its joined form appears here, so a
+    retrieval index probed with this set can never miss a shard the
+    lexicon could anchor an entity on.
+    """
+    phrases: Set[str] = set()
+    for length in range(1, min(max_span_length, len(tokens)) + 1):
+        for start in range(0, len(tokens) - length + 1):
+            phrases.add(" ".join(tokens[start:start + length]))
+    return phrases
+
+
 @dataclass(frozen=True)
 class EntityMatch:
     """A question span linked to a table cell value."""
@@ -114,8 +162,7 @@ class Lexicon:
         self.max_span_length = max_span_length
         self._value_index = self._build_value_index()
         self._column_tokens = {
-            column: set(content_tokens(column)) or set(tokenize(column))
-            for column in table.columns
+            column: column_matchable_tokens(column) for column in table.columns
         }
 
     # -- index construction -----------------------------------------------------
@@ -123,7 +170,7 @@ class Lexicon:
         index: Dict[str, List[Tuple[str, Value]]] = {}
         for column in self.table.columns:
             for value in self.kb.column_entities(column):
-                key = " ".join(tokenize(value.display()))
+                key = normalize_value_key(value)
                 if not key:
                     continue
                 index.setdefault(key, [])

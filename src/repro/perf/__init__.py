@@ -33,8 +33,10 @@ from .bench import (
     bench_pairs_from_dataset,
     bench_scale,
     memoized_parser_config,
+    quantize_seconds,
     run_parse_bench,
     sequential_parser_config,
+    timing_summary,
 )
 from .diskcache import DiskCache
 from .procpool import ProcessPoolBackend
@@ -57,8 +59,10 @@ __all__ = [
     "bench_pairs_from_dataset",
     "bench_scale",
     "memoized_parser_config",
+    "quantize_seconds",
     "run_parse_bench",
     "sequential_parser_config",
+    "timing_summary",
     "ExecutionCache",
     "MemoizedExecutor",
     "execute_memoized",

@@ -62,6 +62,36 @@ def bench_scale(default: float = 1.0) -> float:
         return default
 
 
+def quantize_seconds(value: float) -> float:
+    """Wall-clock seconds rounded for the committed bench artifacts (1 ms).
+
+    Bench JSON is committed to the repository as a perf trajectory; raw
+    ``perf_counter`` floats (17 significant digits) made every re-run a
+    full-file diff even when nothing structural changed.  One-millisecond
+    resolution keeps the numbers meaningful while letting unchanged-
+    structure re-runs diff in a handful of lines.
+    """
+    return round(value, 3)
+
+
+def timing_summary(per_question_seconds: Sequence[float]) -> Dict[str, float]:
+    """Min/median/max of a per-question latency series, in rounded ms.
+
+    The artifact schema stores this summary instead of the raw series:
+    the full list was hundreds of lines of noise per mode (the source of
+    the 500-line artifact diffs), while min/p50/max is what the
+    trajectory comparisons actually read.
+    """
+    if not per_question_seconds:
+        return {"min_ms": 0.0, "p50_ms": 0.0, "max_ms": 0.0}
+    ordered = sorted(per_question_seconds)
+    return {
+        "min_ms": round(ordered[0] * 1000, 1),
+        "p50_ms": round(ordered[len(ordered) // 2] * 1000, 1),
+        "max_ms": round(ordered[-1] * 1000, 1),
+    }
+
+
 @dataclass
 class ModeTiming:
     """Timing of one harness mode over the whole workload."""
@@ -97,26 +127,43 @@ class ParseBenchReport:
         return base / other if other > 0 else float("inf")
 
     def to_payload(self) -> Dict[str, object]:
-        """A JSON-able dict (the schema of the ``BENCH_parse.json`` artifact)."""
+        """A JSON-able dict (the schema of the ``BENCH_parse.json`` artifact).
+
+        v3 segregates what changes between runs from what should not:
+        ``modes`` holds the structural facts (question/candidate counts,
+        cache counters — identical across re-runs of the same workload),
+        while everything wall-clock-derived lives under ``timings``,
+        quantized (1 ms / 0.1 ms / 0.01x) and with per-question series
+        summarized to min/p50/max.  Re-running an unchanged workload now
+        diffs a few timing lines instead of rewriting the artifact.
+        """
         return {
-            "schema": "repro-bench-parse-v2",
+            "schema": "repro-bench-parse-v3",
             "questions": self.questions,
             "repeats": self.repeats,
             "workers": self.workers,
             "modes": {
                 name: {
-                    "total_seconds": timing.total_seconds,
-                    "mean_seconds": timing.mean_seconds,
-                    "per_question_seconds": timing.per_question_seconds,
+                    "questions": timing.questions,
                     "candidates": timing.candidates,
                     "cache_stats": timing.cache_stats,
                 }
                 for name, timing in self.modes.items()
             },
-            "speedups": {
-                name: self.speedup(name)
-                for name in self.modes
-                if name != "sequential" and "sequential" in self.modes
+            "timings": {
+                "modes": {
+                    name: {
+                        "total_seconds": quantize_seconds(timing.total_seconds),
+                        "mean_ms": round(timing.mean_seconds * 1000, 1),
+                        "per_question": timing_summary(timing.per_question_seconds),
+                    }
+                    for name, timing in self.modes.items()
+                },
+                "speedups": {
+                    name: round(self.speedup(name), 2)
+                    for name in self.modes
+                    if name != "sequential" and "sequential" in self.modes
+                },
             },
         }
 

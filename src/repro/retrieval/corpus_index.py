@@ -1,0 +1,325 @@
+"""The content-addressed corpus index: normalized terms → shard digests.
+
+One :class:`ShardPosting` summarises everything retrieval may match a
+shard through; the :class:`CorpusIndex` holds the postings of a whole
+catalog as inverted maps so a question is scored against *terms*, never
+against shards — O(question terms), not O(shards).
+
+The recall-superset contract
+----------------------------
+Term extraction is built from the exact normalization functions of
+:mod:`repro.parser.lexicon` (:func:`~repro.parser.lexicon.normalize_value_key`,
+:func:`~repro.parser.lexicon.column_matchable_tokens`,
+:func:`~repro.parser.lexicon.question_phrases`,
+:func:`~repro.parser.lexicon.tokenize`), which makes the following hold
+by construction, not by tuning:
+
+* a shard where the lexicon could produce an :class:`EntityMatch` has
+  the matched phrase in its posting's ``entity_keys`` — and the question
+  probes every span phrase, so the shard scores a hit;
+* a shard where the lexicon could produce a :class:`ColumnMatch` shares
+  a header token with the question (column matching requires at least
+  one common token), so the shard scores a hit;
+* number mentions are probed through the same
+  :func:`~repro.tables.values.parse_number` the lexicon uses and matched
+  against quantized numeric cell values (:class:`NumberValue` equality,
+  the 1e-9 grid), so the string ``"33.0"`` in a question reaches the
+  cell ``33``.
+
+What pruning can drop, therefore, is only derivations with *no lexical
+anchor in the question*: floating candidates (whole-column projections,
+most-common-value, comparisons against columns never mentioned) that the
+grammar emits for every table regardless of the question.  Those score
+identically poorly everywhere, and the router's broadcast fallback
+(:mod:`repro.retrieval.router`) covers the corpora where they are all
+there is.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..parser.lexicon import (
+    STOP_WORDS,
+    column_matchable_tokens,
+    normalize_value_key,
+    question_phrases,
+    tokenize,
+)
+from ..tables.table import Table
+from ..tables.values import DateValue, NumberValue, parse_number
+
+#: Channel weights of the deterministic retrieval score.  A full entity
+#: phrase is the strongest signal (it is what entity linking anchors
+#: on); numbers and header tokens rank next; a lone entity *token*
+#: (partial phrase overlap) is the weakest.  Values are exact binary
+#: floats so summation order can never perturb a score.
+ENTITY_PHRASE_WEIGHT = 4.0
+NUMBER_WEIGHT = 2.0
+HEADER_TOKEN_WEIGHT = 1.0
+ENTITY_TOKEN_WEIGHT = 0.5
+
+
+@dataclass(frozen=True)
+class ShardPosting:
+    """Everything retrieval may match one shard (table content) through.
+
+    Content-addressed: a posting depends only on the table's headers and
+    cells, never on its name or registration state, so equal-content
+    shards share one posting and a posting outlives eviction (the whole
+    point — routing decisions must not require the table in memory).
+    """
+
+    digest: str
+    entity_keys: FrozenSet[str]
+    entity_tokens: FrozenSet[str]
+    header_tokens: FrozenSet[str]
+    numbers: FrozenSet[NumberValue]
+
+    @property
+    def num_terms(self) -> int:
+        return (
+            len(self.entity_keys)
+            + len(self.entity_tokens)
+            + len(self.header_tokens)
+            + len(self.numbers)
+        )
+
+
+@dataclass(frozen=True)
+class QuestionTerms:
+    """The retrieval-probe view of one question (mirrors the lexicon)."""
+
+    question: str
+    tokens: Tuple[str, ...]
+    phrases: FrozenSet[str]
+    numbers: FrozenSet[NumberValue]
+
+
+@dataclass(frozen=True)
+class RetrievalHit:
+    """One shard's accumulated score with the terms that produced it."""
+
+    digest: str
+    score: float
+    matched: Tuple[str, ...]
+
+
+def extract_shard_posting(table: Table) -> ShardPosting:
+    """Build the :class:`ShardPosting` of one table's content.
+
+    Entity keys are the lexicon's value-index keys (every distinct cell
+    value, display-normalized); entity tokens are their individual
+    tokens; header tokens come from
+    :func:`~repro.parser.lexicon.column_matchable_tokens`; numbers are
+    every numeric cell plus every date cell's year (a bare-year question
+    mention parses to a number, and ``values_equal`` bridges it to the
+    date — retrieval must bridge it too).
+    """
+    entity_keys: Set[str] = set()
+    entity_tokens: Set[str] = set()
+    header_tokens: Set[str] = set()
+    numbers: Set[NumberValue] = set()
+    for column in table.columns:
+        header_tokens |= column_matchable_tokens(column)
+        for cell in table.column_cells(column):
+            value = cell.value
+            key = normalize_value_key(value)
+            if key:
+                entity_keys.add(key)
+                entity_tokens.update(key.split(" "))
+            if value.is_numeric:
+                numbers.add(NumberValue(value.as_number()))
+            elif isinstance(value, DateValue) and value.year is not None:
+                numbers.add(NumberValue(value.year))
+    return ShardPosting(
+        digest=table.fingerprint.digest,
+        entity_keys=frozenset(entity_keys),
+        entity_tokens=frozenset(entity_tokens),
+        header_tokens=frozenset(header_tokens),
+        numbers=frozenset(numbers),
+    )
+
+
+def extract_question_terms(question: str, max_span_length: int = 5) -> QuestionTerms:
+    """Tokenize a question into the terms the index is probed with.
+
+    Phrases cover every span the lexicon's entity matcher could anchor
+    (lone stop-word tokens excluded, exactly as the lexicon excludes
+    them); numbers are parsed with the lexicon's own
+    :func:`~repro.tables.values.parse_number`.
+    """
+    tokens = tuple(tokenize(question))
+    phrases = {
+        phrase
+        for phrase in question_phrases(tokens, max_span_length=max_span_length)
+        if " " in phrase or phrase not in STOP_WORDS
+    }
+    numbers = {
+        NumberValue(number)
+        for number in (parse_number(token) for token in tokens)
+        if number is not None
+    }
+    return QuestionTerms(
+        question=question,
+        tokens=tokens,
+        phrases=frozenset(phrases),
+        numbers=frozenset(numbers),
+    )
+
+
+class CorpusIndex:
+    """Inverted maps from normalized terms to shard fingerprint digests.
+
+    Thread-safe and content-addressed: adding the same content twice is
+    a no-op, postings are kept per digest so :meth:`discard` can remove a
+    shard exactly.  Postings survive shard eviction by design — scoring a
+    question never touches a table, which is what lets a catalog route
+    around cold shards without rehydrating them.
+    """
+
+    def __init__(self, max_span_length: int = 5) -> None:
+        self.max_span_length = max_span_length
+        self._postings: Dict[str, ShardPosting] = {}
+        self._entities: Dict[str, Set[str]] = {}
+        self._entity_tokens: Dict[str, Set[str]] = {}
+        self._headers: Dict[str, Set[str]] = {}
+        self._numbers: Dict[NumberValue, Set[str]] = {}
+        self._lock = threading.RLock()
+
+    # -- maintenance -----------------------------------------------------------
+    def add(self, table: Table) -> ShardPosting:
+        """Index ``table``'s content (idempotent per fingerprint)."""
+        digest = table.fingerprint.digest
+        with self._lock:
+            existing = self._postings.get(digest)
+            if existing is not None:
+                return existing
+        # Extraction is pure and lock-free; only publication locks.
+        return self.add_posting(extract_shard_posting(table))
+
+    def add_posting(self, posting: ShardPosting) -> ShardPosting:
+        """Publish a pre-extracted posting (idempotent per digest)."""
+        with self._lock:
+            existing = self._postings.get(posting.digest)
+            if existing is not None:
+                return existing
+            self._postings[posting.digest] = posting
+            for key in posting.entity_keys:
+                self._entities.setdefault(key, set()).add(posting.digest)
+            for token in posting.entity_tokens:
+                self._entity_tokens.setdefault(token, set()).add(posting.digest)
+            for token in posting.header_tokens:
+                self._headers.setdefault(token, set()).add(posting.digest)
+            for number in posting.numbers:
+                self._numbers.setdefault(number, set()).add(posting.digest)
+            return posting
+
+    def discard(self, digest: str) -> bool:
+        """Remove one shard's posting; returns whether it was indexed."""
+        with self._lock:
+            posting = self._postings.pop(digest, None)
+            if posting is None:
+                return False
+            for mapping, keys in (
+                (self._entities, posting.entity_keys),
+                (self._entity_tokens, posting.entity_tokens),
+                (self._headers, posting.header_tokens),
+                (self._numbers, posting.numbers),
+            ):
+                for key in keys:
+                    digests = mapping.get(key)
+                    if digests is not None:
+                        digests.discard(digest)
+                        if not digests:
+                            del mapping[key]
+            return True
+
+    def posting(self, digest: str) -> Optional[ShardPosting]:
+        with self._lock:
+            return self._postings.get(digest)
+
+    def digests(self) -> List[str]:
+        with self._lock:
+            return sorted(self._postings)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._postings
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._postings)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "shards": len(self._postings),
+                "entity_keys": len(self._entities),
+                "entity_tokens": len(self._entity_tokens),
+                "header_tokens": len(self._headers),
+                "numbers": len(self._numbers),
+            }
+
+    # -- scoring ---------------------------------------------------------------
+    def score_question(self, question: str) -> Dict[str, RetrievalHit]:
+        """Score every indexed shard against ``question``.
+
+        Returns only shards with at least one hit, each with its score
+        and the sorted list of matched terms (for ``repro route`` and the
+        router's explanations).  Deterministic: terms are probed in
+        sorted order and weights are exact binary floats, so equal
+        (index, question) pairs always produce identical scores.
+        """
+        terms = extract_question_terms(
+            question, max_span_length=self.max_span_length
+        )
+        scores: Dict[str, float] = {}
+        matched: Dict[str, List[str]] = {}
+
+        def accumulate(
+            probe_keys: Iterable[str],
+            mapping: Dict,
+            weight: float,
+            label: str,
+        ) -> None:
+            for key in probe_keys:
+                for digest in mapping.get(key, ()):
+                    scores[digest] = scores.get(digest, 0.0) + weight
+                    matched.setdefault(digest, []).append(f"{label}:{key}")
+
+        with self._lock:
+            accumulate(
+                sorted(terms.phrases), self._entities, ENTITY_PHRASE_WEIGHT, "entity"
+            )
+            content = {
+                token
+                for token in terms.tokens
+                if token not in STOP_WORDS and token.isalnum()
+            }
+            accumulate(
+                sorted(content), self._entity_tokens, ENTITY_TOKEN_WEIGHT, "token"
+            )
+            # Header matching uses ALL question tokens (the lexicon's
+            # column matcher does not drop stop words on the question
+            # side), so stop-word-only headers stay reachable.
+            accumulate(
+                sorted(set(terms.tokens)), self._headers, HEADER_TOKEN_WEIGHT, "header"
+            )
+            number_keys = sorted(terms.numbers, key=lambda value: value.number)
+            for number in number_keys:
+                for digest in self._numbers.get(number, ()):
+                    scores[digest] = scores.get(digest, 0.0) + NUMBER_WEIGHT
+                    matched.setdefault(digest, []).append(
+                        f"number:{number.display()}"
+                    )
+        return {
+            digest: RetrievalHit(
+                digest=digest,
+                score=score,
+                matched=tuple(sorted(matched.get(digest, ()))),
+            )
+            for digest, score in scores.items()
+        }

@@ -1,0 +1,138 @@
+"""The shard router: deterministic scoring, pruning and the fallback contract.
+
+The router turns the :class:`~repro.retrieval.corpus_index.CorpusIndex`'s
+per-shard hits into a :class:`RoutingDecision`: which shards to parse,
+in what order, and why.  Two guarantees the rest of the system builds
+on:
+
+* **Determinism** — shards are ranked by ``(retrieval score desc,
+  registration order asc)``; the score itself is deterministic (see the
+  index), so a fixed (catalog, question) pair always routes the same.
+* **Guaranteed fallback** — when no shard scores a hit (an empty index,
+  a question with no lexical anchor anywhere), the decision degrades to
+  the full broadcast: every shard is a candidate, nothing is pruned, and
+  answers are exactly what the pre-retrieval pipeline produced.  Pruning
+  can therefore *narrow* work but never lose an answer that only a
+  broadcast would have found ranked first — unless a trained model ranks
+  a zero-hit shard's floating candidate above every anchored one, the
+  case the property test in ``tests/test_retrieval.py`` carves out
+  ("pruned top == broadcast top whenever the broadcast top shard is
+  retrievable").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tables.catalog import TableRef
+from .corpus_index import CorpusIndex, RetrievalHit
+
+
+@dataclass(frozen=True)
+class ShardScore:
+    """One shard's retrieval outcome for one question."""
+
+    ref: TableRef
+    score: float
+    matched: Tuple[str, ...]
+
+    @property
+    def hit(self) -> bool:
+        return self.score > 0.0
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Which shards a question will be parsed on, and why.
+
+    ``scored`` ranks *every* registered shard (score desc, registration
+    order asc); ``candidates`` are the shards that will actually parse —
+    the hits, or on ``fallback`` every shard.  ``pruned`` is the
+    complement: shards retrieval proved unanchorable, which stay
+    untouched (evicted ones stay on disk).
+    """
+
+    question: str
+    scored: Tuple[ShardScore, ...]
+    candidates: Tuple[TableRef, ...]
+    pruned: Tuple[TableRef, ...]
+    fallback: bool
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def num_pruned(self) -> int:
+        return len(self.pruned)
+
+    def score_of(self, digest: str) -> float:
+        for scored in self.scored:
+            if scored.ref.digest == digest:
+                return scored.score
+        return 0.0
+
+    def is_candidate(self, digest: str) -> bool:
+        return any(ref.digest == digest for ref in self.candidates)
+
+
+class ShardRouter:
+    """Routes questions to catalog shards through a :class:`CorpusIndex`.
+
+    Parameters
+    ----------
+    index:
+        The corpus index to score against (owned by the catalog, which
+        maintains it on register).
+    max_candidates:
+        Optional cap on how many (highest-scoring) hit shards survive
+        pruning.  ``None`` — the default, and what the fallback contract
+        is stated for — keeps every hit: capping trades recall for work
+        and can drop the broadcast winner, so it is strictly opt-in.
+    """
+
+    def __init__(
+        self, index: CorpusIndex, max_candidates: Optional[int] = None
+    ) -> None:
+        if max_candidates is not None and max_candidates < 1:
+            raise ValueError(
+                f"max_candidates must be >= 1 (or None), got {max_candidates}"
+            )
+        self.index = index
+        self.max_candidates = max_candidates
+
+    def route(self, question: str, refs: Sequence[TableRef]) -> RoutingDecision:
+        """The :class:`RoutingDecision` for ``question`` over ``refs``.
+
+        ``refs`` must be in registration order (the deterministic
+        tie-break); :meth:`TableCatalog.refs` provides exactly that.
+        """
+        hits: Dict[str, RetrievalHit] = self.index.score_question(question)
+        scored = [
+            ShardScore(
+                ref=ref,
+                score=hits[ref.digest].score if ref.digest in hits else 0.0,
+                matched=hits[ref.digest].matched if ref.digest in hits else (),
+            )
+            for ref in refs
+        ]
+        # Stable sort: equal scores keep registration order.
+        ranked = sorted(scored, key=lambda shard: -shard.score)
+        candidates: List[TableRef] = [
+            shard.ref for shard in ranked if shard.hit
+        ]
+        if self.max_candidates is not None:
+            candidates = candidates[: self.max_candidates]
+        fallback = not candidates
+        if fallback:
+            candidates = [ref for ref in refs]
+        kept = {ref.digest for ref in candidates}
+        pruned = [ref for ref in refs if ref.digest not in kept]
+        return RoutingDecision(
+            question=question,
+            scored=tuple(ranked),
+            candidates=tuple(candidates),
+            pruned=tuple(pruned),
+            fallback=fallback,
+        )

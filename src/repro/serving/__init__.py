@@ -8,14 +8,16 @@ Builds the paper's interactive-service shape out of stdlib asyncio:
 * :func:`~repro.serving.server.answer_payload` — the wire schema shared
   by the TCP endpoint and the ``repro serve`` CLI;
 * :func:`~repro.serving.bench.run_serving_bench` — the serving bench
-  harness (sequential vs concurrent sessions vs hot-set eviction).
+  harness (sequential vs concurrent sessions vs hot-set eviction, plus
+  the ``route`` regime: pruned vs broadcast corpus-wide ``ask_any``).
 
-The routing/eviction substrate lives in
-:mod:`repro.tables.catalog`; this package adds concurrency only.
+The routing/eviction substrate lives in :mod:`repro.tables.catalog` and
+:mod:`repro.retrieval`; this package adds concurrency only.
 """
 
 from .bench import (
     SERVE_MODES,
+    RouteTiming,
     ServeBenchReport,
     ServeModeTiming,
     run_serving_bench,
@@ -36,6 +38,7 @@ __all__ = [
     "ServerStats",
     "answer_payload",
     "SERVE_MODES",
+    "RouteTiming",
     "ServeBenchReport",
     "ServeModeTiming",
     "run_serving_bench",

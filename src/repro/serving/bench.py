@@ -14,6 +14,12 @@ catalog answering S concurrent sessions.  Three modes:
   memory pressure: the catalog keeps at most N shards hot and evicts
   the rest to the disk cache between questions, measuring the
   eviction/rehydration overhead of the cold-shard path.
+* ``route`` — the corpus-wide regime: every workload question asked via
+  :meth:`~repro.tables.catalog.TableCatalog.ask_any` with pruning
+  (retrieve-then-parse) versus the full broadcast, measuring shards
+  parsed and asserting the fallback contract (pruned top answer ==
+  broadcast top answer whenever the broadcast's top shard is
+  retrievable).
 
 Every mode records whether its answers matched the sequential
 reference (``identical``); the bench asserts serving never changes
@@ -29,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..perf.bench import quantize_seconds
 from ..tables.catalog import TableCatalog, TableRef
 from ..tables.table import Table
 from .server import AsyncServer, ServedAnswer
@@ -55,10 +62,43 @@ class ServeModeTiming:
 
 
 @dataclass
+class RouteTiming:
+    """Pruned vs broadcast ``ask_any`` over the corpus-wide workload.
+
+    ``top_answers_match`` asserts the fallback contract on every
+    question whose broadcast-winning shard was retrievable;
+    ``strictly_fewer`` is the acceptance bar — retrieval pruned at least
+    one shard's worth of parsing somewhere in the workload.
+    """
+
+    questions: int = 0
+    shards: int = 0
+    broadcast_seconds: float = 0.0
+    pruned_seconds: float = 0.0
+    broadcast_shards_parsed: int = 0
+    pruned_shards_parsed: int = 0
+    fallbacks: int = 0
+    top_answers_match: bool = True
+
+    @property
+    def strictly_fewer(self) -> bool:
+        return self.pruned_shards_parsed < self.broadcast_shards_parsed
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.broadcast_seconds / self.pruned_seconds
+            if self.pruned_seconds > 0
+            else float("inf")
+        )
+
+
+@dataclass
 class ServeBenchReport:
     """One :class:`ServeModeTiming` per mode plus workload metadata."""
 
     modes: Dict[str, ServeModeTiming] = field(default_factory=dict)
+    route: Optional[RouteTiming] = None
     questions: int = 0
     tables: int = 0
     sessions: int = 0
@@ -70,29 +110,61 @@ class ServeBenchReport:
         return base / other if other > 0 else float("inf")
 
     def to_payload(self) -> Dict[str, object]:
-        """A JSON-able dict (the ``BENCH_serve.json`` artifact schema)."""
-        return {
-            "schema": "repro-bench-serve-v1",
+        """A JSON-able dict (the ``BENCH_serve.json`` artifact schema).
+
+        v2 (like the parse artifact's v3) segregates run-to-run noise:
+        ``modes``/``route`` carry the structural facts — integrity flags,
+        shard/question counts, dispatcher and catalog counters, all
+        identical across re-runs of an unchanged workload — and every
+        wall-clock-derived number lives quantized under ``timings``.
+        """
+        payload: Dict[str, object] = {
+            "schema": "repro-bench-serve-v2",
             "questions": self.questions,
             "tables": self.tables,
             "sessions": self.sessions,
             "backend": self.backend,
             "modes": {
                 name: {
-                    "total_seconds": timing.total_seconds,
-                    "throughput_qps": timing.throughput,
                     "identical": timing.identical,
+                    "questions": timing.questions,
+                    "sessions": timing.sessions,
                     "server": timing.server_stats,
                     "catalog": timing.catalog_stats,
                 }
                 for name, timing in self.modes.items()
             },
-            "speedups": {
-                name: self.speedup(name)
-                for name in self.modes
-                if name != "sequential" and "sequential" in self.modes
+            "timings": {
+                "modes": {
+                    name: {
+                        "total_seconds": quantize_seconds(timing.total_seconds),
+                        "throughput_qps": round(timing.throughput, 1),
+                    }
+                    for name, timing in self.modes.items()
+                },
+                "speedups": {
+                    name: round(self.speedup(name), 2)
+                    for name in self.modes
+                    if name != "sequential" and "sequential" in self.modes
+                },
             },
         }
+        if self.route is not None:
+            payload["route"] = {
+                "questions": self.route.questions,
+                "shards": self.route.shards,
+                "broadcast_shards_parsed": self.route.broadcast_shards_parsed,
+                "pruned_shards_parsed": self.route.pruned_shards_parsed,
+                "fallbacks": self.route.fallbacks,
+                "top_answers_match": self.route.top_answers_match,
+                "strictly_fewer": self.route.strictly_fewer,
+            }
+            payload["timings"]["route"] = {
+                "broadcast_seconds": quantize_seconds(self.route.broadcast_seconds),
+                "pruned_seconds": quantize_seconds(self.route.pruned_seconds),
+                "speedup": round(self.route.speedup, 2),
+            }
+        return payload
 
     def rows(self) -> List[List[str]]:
         """Console rows: mode, total, throughput, identical, speedup."""
@@ -112,6 +184,28 @@ class ServeBenchReport:
                 ]
             )
         return rows
+
+    def route_rows(self) -> List[List[str]]:
+        """Console rows for the route mode: regime, total, shards parsed."""
+        if self.route is None:
+            return []
+        route = self.route
+        return [
+            [
+                "broadcast",
+                f"{route.broadcast_seconds:.3f}s",
+                f"{route.broadcast_shards_parsed} shards parsed",
+                "-",
+                "1.00x",
+            ],
+            [
+                "pruned",
+                f"{route.pruned_seconds:.3f}s",
+                f"{route.pruned_shards_parsed} shards parsed",
+                "yes" if route.top_answers_match else "NO",
+                f"{route.speedup:.2f}x",
+            ],
+        ]
 
 
 def _answer_signature(answer: ServedAnswer) -> Tuple:
@@ -175,6 +269,68 @@ def _run_async_mode(
     return elapsed, flattened, stats
 
 
+def _run_route_mode(
+    pairs: Sequence[Tuple[str, Table]],
+    workers: int,
+    backend: str,
+    fresh_catalog,
+) -> RouteTiming:
+    """Pruned vs broadcast ``ask_any`` over every distinct workload question.
+
+    Each regime runs on its own fresh (cold) catalog for a fair timing
+    comparison.  For every question the fallback contract is checked:
+    whenever the broadcast's top shard was retrievable (a routing
+    candidate), the pruned pipeline must produce the same top shard and
+    top answer.
+    """
+    questions: List[str] = []
+    for question, _ in pairs:
+        if question not in questions:
+            questions.append(question)
+
+    broadcast_catalog, _ = fresh_catalog("route_broadcast", None)
+    started = time.perf_counter()
+    broadcast = [
+        broadcast_catalog.ask_any(
+            question, workers=workers, backend=backend, prune=False
+        )
+        for question in questions
+    ]
+    broadcast_seconds = time.perf_counter() - started
+
+    pruned_catalog, _ = fresh_catalog("route_pruned", None)
+    started = time.perf_counter()
+    pruned = [
+        pruned_catalog.ask_any(
+            question, workers=workers, backend=backend, prune=True
+        )
+        for question in questions
+    ]
+    pruned_seconds = time.perf_counter() - started
+
+    timing = RouteTiming(
+        questions=len(questions),
+        shards=len(broadcast_catalog),
+        broadcast_seconds=broadcast_seconds,
+        pruned_seconds=pruned_seconds,
+        broadcast_shards_parsed=sum(a.shards_parsed for a in broadcast),
+        pruned_shards_parsed=sum(a.shards_parsed for a in pruned),
+        fallbacks=sum(1 for a in pruned if a.routing.fallback),
+    )
+    for broadcast_answer, pruned_answer in zip(broadcast, pruned):
+        top_ref = broadcast_answer.best_ref
+        if top_ref is None:
+            continue
+        if not pruned_answer.routing.is_candidate(top_ref.digest):
+            continue  # the carved-out case: an unretrievable broadcast winner
+        if (
+            pruned_answer.best_ref != top_ref
+            or pruned_answer.answer != broadcast_answer.answer
+        ):
+            timing.top_answers_match = False
+    return timing
+
+
 def run_serving_bench(
     pairs: Sequence[Tuple[str, Table]],
     sessions: int = 8,
@@ -183,6 +339,7 @@ def run_serving_bench(
     repeats: int = 1,
     disk_cache_dir: Optional[str] = None,
     max_hot_shards: Optional[int] = None,
+    route: bool = True,
 ) -> ServeBenchReport:
     """Run the serving harness over a ``(question, table)`` workload.
 
@@ -191,7 +348,8 @@ def run_serving_bench(
     regime.  Each mode gets a fresh catalog so no mode inherits another's
     warm state; ``async_hotset`` runs only when both ``max_hot_shards``
     and ``disk_cache_dir`` are given (eviction without a disk store
-    cannot drop tables).
+    cannot drop tables); ``route`` adds the corpus-wide pruned-vs-
+    broadcast :meth:`~repro.tables.catalog.TableCatalog.ask_any` regime.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -259,4 +417,8 @@ def run_serving_bench(
                 key: value for key, value in catalog.stats().items() if key != "parser"
             },
         )
+
+    # -- corpus-wide routing (pruned vs broadcast ask_any) ---------------------
+    if route:
+        report.route = _run_route_mode(pairs, workers, backend, _fresh_catalog)
     return report

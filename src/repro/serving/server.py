@@ -12,7 +12,10 @@ reproduction, built on three pieces that already exist:
   worker thread via ``loop.run_in_executor`` — concurrent sessions are
   multiplexed over one :meth:`~repro.tables.catalog.TableCatalog.ask_many`
   call, which in turn fans out over the thread pool or the GIL-free
-  process-pool backend (``backend="process"``);
+  process-pool backend (``backend="process"``).  Batches are composed
+  with **shard affinity**: routed requests are stably grouped by their
+  resolved shard before the pool call, so same-table questions run
+  adjacent (process-pool locality) without changing any output;
 * answers stay **order-stable and bit-identical** to the sequential
   path: per-question results are deterministic and index-aligned through
   every layer, so interleaving sessions can reorder *scheduling* but
@@ -51,11 +54,16 @@ class ServerClosed(RuntimeError):
 
 @dataclass(frozen=True)
 class _AskRequest:
-    """One enqueued question (``ref=None`` means corpus-wide routing)."""
+    """One enqueued question (``ref=None`` means corpus-wide routing).
+
+    ``prune`` only applies corpus-wide: ``None`` defers to the catalog's
+    routing policy, ``False`` forces the broadcast for this request.
+    """
 
     question: str
     ref: Optional[TableLike]
     k: Optional[int]
+    prune: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,7 @@ class ServerStats:
     batches: int = 0
     largest_batch: int = 0
     errors: int = 0
+    shard_groups: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -80,6 +89,7 @@ class ServerStats:
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "errors": self.errors,
+            "shard_groups": self.shard_groups,
             "mean_batch": round(self.requests / self.batches, 2) if self.batches else 0,
         }
 
@@ -176,15 +186,18 @@ class AsyncServer:
         question: str,
         table: Optional[TableLike] = None,
         k: Optional[int] = None,
+        prune: Optional[bool] = None,
     ) -> ServedAnswer:
         """Answer one question; ``table=None`` routes corpus-wide.
 
         Safe to call from any number of concurrent tasks: requests are
-        queued, micro-batched and answered off the event loop.
+        queued, micro-batched and answered off the event loop.  ``prune``
+        (corpus-wide only) overrides the catalog's routing policy per
+        request.
         """
         await self.start()
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put((_AskRequest(question, table, k), future))
+        await self._queue.put((_AskRequest(question, table, k, prune), future))
         return await future
 
     async def ask_gathered(
@@ -259,11 +272,19 @@ class AsyncServer:
     def _answer_batch(self, requests: Sequence[_AskRequest]) -> List[object]:
         """Answer one batch on the dispatcher thread (never the event loop).
 
-        Routed questions are grouped by ``k`` and multiplexed through one
-        :meth:`TableCatalog.ask_many` per group — the call that rides the
-        thread or process pool.  Corpus-wide questions run through
-        :meth:`TableCatalog.ask_any` (itself a batch over every shard).
-        Per-request errors (unknown refs) fail only their own future.
+        Routed questions are grouped by ``k``, then composed with
+        **shard affinity**: within a group, requests are stably sorted by
+        their resolved shard's digest before the single
+        :meth:`TableCatalog.ask_many` call, so questions targeting the
+        same shard land adjacent in the batch — the process-pool backend
+        ships each table once per contiguous run, and the thread backend
+        hits warm per-table caches back to back.  The sort is stable
+        (same-shard requests keep arrival order) and responses are
+        re-aligned by queue position, so outputs remain order-stable and
+        bit-identical to the unsorted path.  Corpus-wide questions run
+        through :meth:`TableCatalog.ask_any` (the retrieve-then-parse
+        pipeline).  Per-request errors (unknown refs) fail only their own
+        future.
         """
         outcomes: List[object] = [None] * len(requests)
         routed: Dict[Optional[int], List[Tuple[int, _AskRequest]]] = {}
@@ -275,6 +296,7 @@ class AsyncServer:
                         k=request.k,
                         workers=self.max_workers,
                         backend=self.backend,
+                        prune=request.prune,
                     )
                 except Exception as error:
                     outcomes[position] = _Failure(error)
@@ -288,6 +310,11 @@ class AsyncServer:
                 (position, _AskRequest(request.question, ref, request.k))
             )
         for k, group in routed.items():
+            # Shard-affinity composition: stable sort by resolved digest.
+            group.sort(key=lambda pair: pair[1].ref.digest)
+            self.stats.shard_groups += len(
+                {request.ref.digest for _, request in group}
+            )
             try:
                 responses = self.catalog.ask_many(
                     [(request.question, request.ref) for _, request in group],
@@ -370,8 +397,13 @@ class AsyncServer:
         k = request.get("k")
         if k is not None and not isinstance(k, int):
             return {"ok": False, "error": "k must be an integer"}
+        prune = request.get("prune")
+        if prune is not None and not isinstance(prune, bool):
+            return {"ok": False, "error": "prune must be a boolean"}
         try:
-            answer = await self.ask(question, table=request.get("table"), k=k)
+            answer = await self.ask(
+                question, table=request.get("table"), k=k, prune=prune
+            )
         except CatalogError as error:
             return {"ok": False, "error": str(error)}
         except Exception as error:
@@ -387,7 +419,8 @@ def answer_payload(answer: ServedAnswer) -> Dict[str, object]:
 
     Single-table responses carry the routed table, the top candidate's
     answer/utterance and the candidate count; corpus-wide answers add the
-    per-shard ranking.
+    parsed-shard ranking plus the routing decision (how many shards were
+    pruned before parsing, and whether the broadcast fallback fired).
     """
     if isinstance(answer, CatalogAnswer):
         ranked = [
@@ -399,12 +432,17 @@ def answer_payload(answer: ServedAnswer) -> Dict[str, object]:
             }
             for ref, response in answer.ranked
         ]
+        routing = answer.routing
         return {
             "ok": True,
             "routed": "any",
             "table": answer.best_ref.name if answer.best_ref else None,
             "answer": list(answer.answer),
             "ranked": ranked,
+            "pruned": answer.pruned,
+            "shards_parsed": answer.shards_parsed,
+            "shards_pruned": answer.shards_pruned,
+            "fallback": routing.fallback if routing is not None else False,
         }
     top = answer.top
     return {

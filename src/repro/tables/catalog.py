@@ -6,11 +6,13 @@ per process.  This module is that missing subsystem: a
 :class:`TableCatalog` registers tables *by content* (the
 :class:`~repro.tables.fingerprint.TableFingerprint` digest is the primary
 key; names are aliases), routes ``ask(question, table_ref)`` through the
-existing content-addressed parser/index/memo caches, scores a question
-across every shard with :meth:`TableCatalog.ask_any`, and keeps the
-memory footprint bounded by evicting cold shards — their candidate
-lists, execution bundles and the pickled table itself — to the
-:class:`~repro.perf.diskcache.DiskCache`.
+existing content-addressed parser/index/memo caches, answers corpus-wide
+questions with the retrieve-then-parse pipeline of
+:meth:`TableCatalog.ask_any` (the :mod:`repro.retrieval` corpus index
+prunes the shard set before the parser runs, with a guaranteed broadcast
+fallback), and keeps the memory footprint bounded by evicting cold
+shards — their candidate lists, execution bundles and the pickled table
+itself — to the :class:`~repro.perf.diskcache.DiskCache`.
 
 Because every cache in the repository is keyed by content fingerprint,
 routing many tables through one shared :class:`~repro.interface.NLInterface`
@@ -42,6 +44,7 @@ from .table import Table, TableError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (runtime imports are lazy)
     from ..interface.nl_interface import InterfaceResponse, NLInterface
+    from ..retrieval.router import RoutingDecision
 
 #: How a caller may name a table: a :class:`TableRef`, a registered name,
 #: a full or abbreviated (>= 8 hex chars, unique) fingerprint digest, or
@@ -93,15 +96,34 @@ class _Shard:
 
 @dataclass
 class CatalogAnswer:
-    """The result of scoring one question across every shard.
+    """The result of scoring one question across the catalog.
 
-    ``ranked`` pairs every shard's ref with its response, best first:
-    ordered by the top candidate's model score (descending), ties broken
-    by registration order — deterministic for a fixed catalog and model.
+    ``ranked`` pairs every *parsed* shard's ref with its response, best
+    first: ordered by the top candidate's model score (descending), ties
+    broken by retrieval score (descending) then registration order —
+    deterministic for a fixed catalog, index and model.
+
+    With pruning (the default pipeline) only the shards the
+    :class:`~repro.retrieval.router.ShardRouter` kept were parsed;
+    ``routing`` records the full decision (every shard's retrieval score,
+    the pruned set, whether the broadcast fallback fired) and ``pruned``
+    says whether the retrieve-then-parse path was active at all.
     """
 
     question: str
     ranked: List[Tuple[TableRef, "InterfaceResponse"]] = field(default_factory=list)
+    routing: Optional["RoutingDecision"] = None
+    pruned: bool = False
+
+    @property
+    def shards_parsed(self) -> int:
+        return len(self.ranked)
+
+    @property
+    def shards_pruned(self) -> int:
+        if not self.pruned or self.routing is None:
+            return 0
+        return self.routing.num_pruned
 
     @property
     def best(self) -> Optional[Tuple[TableRef, "InterfaceResponse"]]:
@@ -141,6 +163,13 @@ class TableCatalog:
         at most this many stay hot.  ``None`` leaves eviction manual.
     k:
         Default top-``k`` for a catalog-built interface.
+    prune:
+        Default routing policy of :meth:`ask_any`: ``True`` (the
+        retrieve-then-parse pipeline) parses only the shards the
+        :class:`~repro.retrieval.router.ShardRouter` retrieves, falling
+        back to the full broadcast when retrieval has no hits; ``False``
+        restores the unconditional broadcast.  Per-call ``prune=``
+        overrides this default.
     """
 
     def __init__(
@@ -149,6 +178,7 @@ class TableCatalog:
         cache_dir: Optional[str] = None,
         max_hot_shards: Optional[int] = None,
         k: int = 7,
+        prune: bool = True,
     ) -> None:
         if max_hot_shards is not None and max_hot_shards < 1:
             raise CatalogError(
@@ -173,6 +203,14 @@ class TableCatalog:
             self._disk: Optional["DiskCache"] = DiskCache(cache_dir)
         else:
             self._disk = None
+        # Imported lazily for the same reason as the interface above
+        # (repro.retrieval pulls in repro.parser, which imports
+        # repro.tables at package init).
+        from ..retrieval import CorpusIndex, ShardRouter
+
+        self.prune = prune
+        self._index = CorpusIndex()
+        self._router = ShardRouter(self._index)
         self._shards: Dict[str, _Shard] = {}
         self._names: Dict[str, str] = {}
         self._order = itertools.count()
@@ -188,6 +226,11 @@ class TableCatalog:
         Content-addressed and idempotent: re-registering equal content
         returns the existing shard (adding the new name as an alias);
         registering a *different* table under a taken name raises.
+        Registration also indexes the shard's content into the corpus
+        retrieval index (terms, entities, numbers, header tokens), so
+        corpus-wide questions can route to it; the posting is keyed by
+        content and survives eviction — routing never needs the table
+        back in memory.
         """
         digest = table.fingerprint.digest
         name = name if name is not None else table.name
@@ -197,6 +240,9 @@ class TableCatalog:
                 raise CatalogError(
                     f"name {name!r} already registered for table {taken[:12]}"
                 )
+            # Index only once registration is certain: a rejected table
+            # must not leave a posting behind.
+            self._index.add(table)
             shard = self._shards.get(digest)
             if shard is None:
                 ref = TableRef(
@@ -324,6 +370,7 @@ class TableCatalog:
                 "asks": sum(shard.asks for shard in self._shards.values()),
                 "evictions": self.evictions,
                 "rehydrations": self.rehydrations,
+                "retrieval": self._index.stats(),
                 "parser": self.interface.parser.cache_stats(),
             }
 
@@ -373,33 +420,75 @@ class TableCatalog:
             self._enforce_hot_limit(protect=protect)
         return responses
 
+    def routing(self, question: str) -> "RoutingDecision":
+        """The router's decision for ``question`` — without parsing anything.
+
+        Scores every registered shard against the corpus index and
+        reports which shards :meth:`ask_any` would parse (``candidates``)
+        versus prune, and whether the broadcast fallback would fire.
+        Pure inspection: no shard is materialized, no caches change.
+        ``repro route`` is the CLI face of this method.
+        """
+        return self._router.route(question, self.refs())
+
     def ask_any(
         self,
         question: str,
         k: Optional[int] = None,
         workers: int = 4,
         backend: str = "thread",
+        prune: Optional[bool] = None,
     ) -> CatalogAnswer:
-        """Score ``question`` across every shard and rank the answers.
+        """Answer ``question`` corpus-wide: retrieve, parse survivors, rank.
 
-        Every registered table is asked (evicted shards rehydrate first);
-        shards are ranked by their top candidate's model score, with
-        registration order as the deterministic tie-break.  Shards that
-        produce no executable candidate rank last.
+        The retrieve-then-parse pipeline (default): the
+        :class:`~repro.retrieval.router.ShardRouter` scores every shard
+        against the corpus index and only the shards with retrieval hits
+        are parsed — evicted shards that are pruned out stay on disk.
+        When retrieval yields *no* candidate the router falls back to the
+        full broadcast, so an answer is never lost to pruning.
+        ``prune=False`` (or a catalog built with ``prune=False``) forces
+        the broadcast: every registered table is asked and evicted shards
+        rehydrate first.
+
+        Parsed shards are ranked by their top candidate's model score,
+        ties broken by retrieval score then registration order — all
+        deterministic, and unchanged by pruning: removing shards never
+        reorders the survivors, so the pruned top answer equals the
+        broadcast top answer whenever the broadcast's top shard is
+        retrievable (property-tested in ``tests/test_retrieval.py``).
+        Shards that produce no executable candidate rank last.
         """
         refs = self.refs()
+        decision = self._router.route(question, refs)
+        apply_prune = self.prune if prune is None else prune
+        targets = list(decision.candidates) if apply_prune else list(refs)
         responses = self.ask_many(
-            [(question, ref) for ref in refs], k=k, workers=workers, backend=backend
+            [(question, ref) for ref in targets],
+            k=k,
+            workers=workers,
+            backend=backend,
         )
-        scored = sorted(
-            zip(refs, responses),
-            key=lambda pair: -(
-                pair[1].top.candidate.score
-                if pair[1].top is not None
-                else float("-inf")
+        order = {ref.digest: position for position, ref in enumerate(refs)}
+        retrieval = {scored.ref.digest: scored.score for scored in decision.scored}
+        ranked = sorted(
+            zip(targets, responses),
+            key=lambda pair: (
+                -(
+                    pair[1].top.candidate.score
+                    if pair[1].top is not None
+                    else float("-inf")
+                ),
+                -retrieval.get(pair[0].digest, 0.0),
+                order[pair[0].digest],
             ),
         )
-        return CatalogAnswer(question=question, ranked=list(scored))
+        return CatalogAnswer(
+            question=question,
+            ranked=list(ranked),
+            routing=decision,
+            pruned=apply_prune,
+        )
 
     # -- eviction --------------------------------------------------------------
     def evict(self, ref: TableLike) -> TableRef:
@@ -411,6 +500,11 @@ class TableCatalog:
         rehydrates on its next question.  Without one: only derived
         caches are dropped (the table stays resident), since dropping the
         sole copy would lose data.
+
+        The shard's corpus-index posting is deliberately *kept*: routing
+        a question must work without the table in memory — that is what
+        lets :meth:`ask_any` leave pruned-out cold shards on disk instead
+        of rehydrating them just to rank them last.
         """
         shard = self._shard_for(ref)
         with self._lock:

@@ -68,6 +68,8 @@ class TestRegistration:
         catalog.register(tables[0], name="shared")
         with pytest.raises(CatalogError, match="already registered"):
             catalog.register(tables[1], name="shared")
+        # The rejected table must leave no corpus-index posting behind.
+        assert catalog.stats()["retrieval"]["shards"] == len(catalog) == 1
 
 
 class TestResolution:
@@ -134,9 +136,43 @@ class TestRouting:
         catalog = TableCatalog()
         refs = catalog.register_all(tables)
         answer = catalog.ask_any("which country hosted in 2004")
-        assert len(answer.ranked) == 3
+        # Retrieve-then-parse: only the anchorable shard was parsed.
+        assert answer.pruned
         assert answer.best_ref == refs[0]  # the olympics shard
         assert answer.answer == ("Greece",)
+        assert answer.shards_parsed < 3
+        assert answer.shards_parsed + answer.shards_pruned == 3
+        assert not answer.routing.fallback
+
+    def test_ask_any_broadcast_parses_every_shard(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        refs = catalog.register_all(tables)
+        answer = catalog.ask_any("which country hosted in 2004", prune=False)
+        assert len(answer.ranked) == 3
+        assert answer.best_ref == refs[0]
+        assert answer.answer == ("Greece",)
+        assert answer.shards_pruned == 0
+
+    def test_ask_any_pruned_top_matches_broadcast_top(self, corpus):
+        tables, questions = corpus
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        for question in questions.values():
+            broadcast = catalog.ask_any(question, prune=False)
+            pruned = catalog.ask_any(question, prune=True)
+            assert pruned.routing.is_candidate(broadcast.best_ref.digest)
+            assert pruned.best_ref == broadcast.best_ref
+            assert pruned.answer == broadcast.answer
+
+    def test_ask_any_falls_back_to_broadcast_on_no_hits(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        answer = catalog.ask_any("zyxgarblefrobnicate quux")
+        assert answer.routing.fallback
+        assert answer.shards_parsed == 3  # nothing pruned: answers never lost
+        assert answer.shards_pruned == 0
 
     def test_ask_any_is_deterministic(self, corpus):
         tables, _ = corpus

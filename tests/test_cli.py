@@ -123,16 +123,20 @@ class TestBenchParseCommand:
         for mode in ("sequential", "memoized", "indexed", "batched", "process"):
             assert mode in text
         payload = json.loads(artifact.read_text())
-        assert payload["schema"] == "repro-bench-parse-v2"
+        assert payload["schema"] == "repro-bench-parse-v3"
         assert set(payload["modes"]) == {
             "sequential", "memoized", "indexed", "batched", "process"
         }
         assert payload["questions"] == 8  # 2 tables x 2 questions x 2 repeats
         for mode_payload in payload["modes"].values():
-            assert len(mode_payload["per_question_seconds"]) == 8
-            assert mode_payload["total_seconds"] > 0
+            assert mode_payload["questions"] == 8
             assert "indexes" in mode_payload["cache_stats"]
             assert "disk" in mode_payload["cache_stats"]
+        # Timing fields live segregated (and quantized) under "timings".
+        assert set(payload["timings"]["modes"]) == set(payload["modes"])
+        for timing in payload["timings"]["modes"].values():
+            assert timing["total_seconds"] > 0
+            assert set(timing["per_question"]) == {"min_ms", "p50_ms", "max_ms"}
 
     def test_bench_parse_thread_backend_only(self, tmp_path):
         out = io.StringIO()
@@ -225,6 +229,58 @@ class TestCatalogCommand:
         out = io.StringIO()
         assert main(["catalog", "--corpus", str(empty)], out=out) == 1
 
+    def test_no_prune_broadcasts(self, tmp_path, olympics_table):
+        flat = tmp_path / "flat"
+        flat.mkdir()
+        table_to_csv(olympics_table, flat / "olympics.csv")
+        out = io.StringIO()
+        code = main(
+            ["catalog", "--corpus", str(flat), "--question",
+             "which country hosted in 2004", "--any", "--no-prune"],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue()[out.getvalue().index("{"):])
+        assert payload["pruned"] is False
+        assert payload["answer"] == ["Greece"]
+
+
+class TestRouteCommand:
+    def test_route_inspects_the_decision(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            ["route", "--corpus", str(corpus_dir), "--question",
+             "which country hosted in 2004"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "routing: parse" in text
+        assert "decision" in text and "score" in text
+
+    def test_route_json_payload(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            ["route", "--corpus", str(corpus_dir), "--question",
+             "which country hosted in 2004", "--json"],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert set(payload) == {
+            "question", "fallback", "candidates", "pruned", "scored"
+        }
+        assert len(payload["scored"]) == 3
+        assert len(payload["candidates"]) + len(payload["pruned"]) == 3
+
+    def test_route_empty_corpus_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        out = io.StringIO()
+        assert main(
+            ["route", "--corpus", str(empty), "--question", "x"], out=out
+        ) == 1
+
 
 class TestServeCommand:
     def test_self_test_runs_concurrent_sessions(self, corpus_dir):
@@ -261,6 +317,23 @@ class TestBenchServeCommand:
         text = out.getvalue()
         assert code == 0
         assert "sequential" in text and "async" in text
+        assert "route:" in text and "broadcast" in text and "pruned" in text
         payload = json.loads(artifact.read_text())
-        assert payload["schema"] == "repro-bench-serve-v1"
+        assert payload["schema"] == "repro-bench-serve-v2"
         assert payload["modes"]["async"]["identical"] is True
+        assert payload["route"]["top_answers_match"] is True
+        assert payload["timings"]["modes"]["async"]["total_seconds"] > 0
+
+    def test_bench_serve_no_route_skips_route_mode(self, tmp_path):
+        out = io.StringIO()
+        artifact = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["bench-serve", "--tables", "2", "--questions", "2", "--repeats", "1",
+             "--sessions", "2", "--workers", "2", "--no-route",
+             "--output", str(artifact)],
+            out=out,
+        )
+        assert code == 0
+        assert "route:" not in out.getvalue()
+        payload = json.loads(artifact.read_text())
+        assert "route" not in payload

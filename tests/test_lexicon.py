@@ -76,3 +76,44 @@ class TestNumberMatching:
     def test_no_numbers(self, olympics_table):
         analysis = Lexicon(olympics_table).analyze("which city hosted first?")
         assert analysis.numbers == ()
+
+
+class TestSharedNormalization:
+    """The term-extraction surface shared with repro.retrieval (ISSUE 4):
+    the lexicon must consume the exact helpers the corpus index builds
+    its postings from, or the retrieval recall-superset contract breaks."""
+
+    def test_normalize_value_key_is_the_value_index_key(self, olympics_table):
+        from repro.parser.lexicon import normalize_value_key
+
+        lexicon = Lexicon(olympics_table)
+        for column in olympics_table.columns:
+            for value in lexicon.kb.column_entities(column):
+                key = normalize_value_key(value)
+                if key:
+                    assert (column, value) in lexicon._value_index[key]
+
+    def test_column_matchable_tokens_match_lexicon_columns(self, medals_table):
+        from repro.parser.lexicon import column_matchable_tokens
+
+        lexicon = Lexicon(medals_table)
+        for column in medals_table.columns:
+            assert lexicon._column_tokens[column] == column_matchable_tokens(column)
+
+    def test_stop_word_only_header_falls_back_to_raw_tokens(self):
+        from repro.parser.lexicon import column_matchable_tokens
+
+        assert column_matchable_tokens("of") == {"of"}
+        assert column_matchable_tokens("Lives lost") == {"lives", "lost"}
+
+    def test_question_phrases_cover_every_entity_span(self, olympics_table):
+        from repro.parser.lexicon import question_phrases
+
+        lexicon = Lexicon(olympics_table)
+        question = "did Rio de Janeiro host after Greece"
+        tokens = tokenize(question)
+        phrases = question_phrases(tokens)
+        analysis = lexicon.analyze(question)
+        assert analysis.entities  # the premise: something anchors
+        for match in analysis.entities:
+            assert match.text in phrases

@@ -209,8 +209,10 @@ class TestParseBenchHarness:
             assert timing.questions == 6
             assert timing.total_seconds > 0
         payload = report.to_payload()
-        assert payload["schema"] == "repro-bench-parse-v2"
-        assert set(payload["speedups"]) == {"memoized", "indexed", "batched", "process"}
+        assert payload["schema"] == "repro-bench-parse-v3"
+        assert set(payload["timings"]["speedups"]) == {
+            "memoized", "indexed", "batched", "process"
+        }
         for timing in report.modes.values():
             assert "indexes" in timing.cache_stats
             assert "disk" in timing.cache_stats

@@ -1,0 +1,341 @@
+"""The corpus-retrieval layer (ISSUE 4): index, router, fallback contract.
+
+Three layers of guarantees, each locked in here:
+
+* **recall superset** — any shard the parser's lexicon could anchor an
+  entity or column match on is retrieved by the corpus index (their term
+  extraction is literally shared code, so this is checked directly
+  against :class:`~repro.parser.lexicon.Lexicon` output);
+* **guaranteed fallback** — no retrieval hits ⇒ full broadcast; pruning
+  can narrow work, never erase answers (empty-index, no-hit, all-hit and
+  evict-during-``ask_any`` cases);
+* **ranking stability** — ``ask_any(prune=True)``'s top answer equals
+  the broadcast top answer whenever the broadcast's winning shard is
+  retrievable, property-tested over random catalogs and questions.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.parser.lexicon import Lexicon
+from repro.retrieval import (
+    CorpusIndex,
+    ShardRouter,
+    extract_question_terms,
+    extract_shard_posting,
+)
+from repro.tables import Table, TableCatalog
+
+
+@pytest.fixture
+def corpus(olympics_table, medals_table, roster_table):
+    questions = {
+        "olympics": "which country hosted in 2004",
+        "medals": "how many gold did Fiji win",
+        "roster": "which club has the most players",
+    }
+    return [olympics_table, medals_table, roster_table], questions
+
+
+# ---------------------------------------------------------------------------
+# the corpus index
+# ---------------------------------------------------------------------------
+
+
+class TestCorpusIndex:
+    def test_postings_are_content_addressed_and_idempotent(self, olympics_table):
+        index = CorpusIndex()
+        first = index.add(olympics_table)
+        again = index.add(olympics_table)
+        assert first is again
+        assert len(index) == 1
+        assert olympics_table.fingerprint.digest in index
+
+    def test_posting_covers_entities_headers_and_numbers(self, olympics_table):
+        posting = extract_shard_posting(olympics_table)
+        assert "greece" in posting.entity_keys
+        assert "rio de janeiro" in posting.entity_keys
+        assert {"rio", "de", "janeiro"} <= posting.entity_tokens
+        assert {"year", "country", "city"} <= posting.header_tokens
+        assert any(number.number == 2004 for number in posting.numbers)
+
+    def test_scoring_hits_the_right_shard(self, corpus):
+        tables, _ = corpus
+        index = CorpusIndex()
+        for table in tables:
+            index.add(table)
+        hits = index.score_question("which country hosted in 2004")
+        digest = tables[0].fingerprint.digest
+        assert digest in hits
+        assert hits[digest].score > 0
+        assert any(term.startswith("header:country") for term in hits[digest].matched)
+        assert tables[2].fingerprint.digest not in hits
+
+    def test_scoring_is_deterministic(self, corpus):
+        tables, questions = corpus
+        index = CorpusIndex()
+        for table in tables:
+            index.add(table)
+        for question in questions.values():
+            first = index.score_question(question)
+            second = index.score_question(question)
+            assert {d: (h.score, h.matched) for d, h in first.items()} == {
+                d: (h.score, h.matched) for d, h in second.items()
+            }
+
+    def test_discard_removes_every_inverted_entry(self, corpus):
+        tables, _ = corpus
+        index = CorpusIndex()
+        for table in tables:
+            index.add(table)
+        digest = tables[0].fingerprint.digest
+        assert index.discard(digest)
+        assert not index.discard(digest)  # already gone
+        assert digest not in index
+        for question in ("which country hosted in 2004", "Greece", "2004"):
+            assert digest not in index.score_question(question)
+        # The other shards' entries are untouched.
+        assert tables[1].fingerprint.digest in index.score_question("Fiji gold")
+
+    def test_recall_superset_of_lexicon_anchors(self, corpus):
+        """Any (question, table) pair where the lexicon finds an entity or
+        column match MUST be a retrieval hit — the recall contract."""
+        tables, questions = corpus
+        index = CorpusIndex()
+        for table in tables:
+            index.add(table)
+        for table in tables:
+            lexicon = Lexicon(table)
+            for question in questions.values():
+                analysis = lexicon.analyze(question)
+                if analysis.entities or analysis.columns:
+                    hits = index.score_question(question)
+                    assert table.fingerprint.digest in hits, (
+                        f"lexicon anchors {question!r} on {table.name} "
+                        "but retrieval missed it"
+                    )
+
+    def test_question_terms_mirror_lexicon_normalization(self):
+        terms = extract_question_terms("How many Gold did Fiji win in 2004?")
+        assert "fiji" in terms.phrases
+        assert "gold" in terms.phrases
+        assert "in 2004" in terms.phrases  # spans may cross stop words
+        assert "in" not in terms.phrases  # lone stop words are not probes
+        assert any(number.number == 2004 for number in terms.numbers)
+
+
+# ---------------------------------------------------------------------------
+# the router and the fallback contract
+# ---------------------------------------------------------------------------
+
+
+class TestShardRouter:
+    def test_empty_index_falls_back_to_broadcast(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        refs = catalog.register_all(tables)
+        router = ShardRouter(CorpusIndex())  # nothing indexed
+        decision = router.route("which country hosted in 2004", refs)
+        assert decision.fallback
+        assert decision.candidates == tuple(refs)
+        assert decision.pruned == ()
+
+    def test_no_hit_question_falls_back(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        decision = catalog.routing("zyxgarblefrobnicate quux")
+        assert decision.fallback
+        assert decision.num_candidates == 3
+        assert decision.num_pruned == 0
+
+    def test_all_hit_question_keeps_every_shard(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        # One anchor per fixture shard: an olympics entity, a medals
+        # entity and a roster club.
+        decision = catalog.routing("Greece Fiji Servette")
+        assert not decision.fallback
+        assert decision.num_candidates == 3
+        assert decision.num_pruned == 0
+
+    def test_partial_hit_question_prunes_the_rest(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        refs = catalog.register_all(tables)
+        decision = catalog.routing("which country hosted in 2004")
+        assert not decision.fallback
+        assert refs[0] in decision.candidates
+        assert refs[2] in decision.pruned
+
+    def test_ranking_is_score_then_registration_order(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        refs = catalog.register_all(tables)
+        decision = catalog.routing("which country hosted in 2004")
+        scores = [scored.score for scored in decision.scored]
+        assert scores == sorted(scores, reverse=True)
+        # Zero-score shards keep registration order (stable sort).
+        zeros = [s.ref for s in decision.scored if s.score == 0.0]
+        assert zeros == [ref for ref in refs if ref in zeros]
+
+    def test_max_candidates_caps_the_survivors(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        refs = catalog.register_all(tables)
+        router = ShardRouter(catalog._index, max_candidates=1)
+        decision = router.route("Greece Fiji United 10", refs)
+        assert decision.num_candidates == 1
+
+    def test_max_candidates_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(CorpusIndex(), max_candidates=0)
+
+
+class TestEvictionInteraction:
+    def test_pruned_out_evicted_shards_stay_on_disk(self, corpus, tmp_path):
+        """The ISSUE 4 regression: ask_any must not rehydrate evicted
+        shards that retrieval pruned out."""
+        tables, _ = corpus
+        catalog = TableCatalog(cache_dir=str(tmp_path), max_hot_shards=1)
+        catalog.register_all(tables)  # LRU keeps only roster hot
+        assert catalog.is_hot("roster")
+        assert not catalog.is_hot("olympics") and not catalog.is_hot("medals")
+
+        answer = catalog.ask_any("which club has the most players")
+        assert answer.best_ref.name == "roster"
+        assert answer.shards_parsed == 1
+        # The evicted shards were pruned, not rehydrated-and-ranked-last.
+        assert catalog.stats()["rehydrations"] == 0
+        assert not catalog.is_hot("olympics") and not catalog.is_hot("medals")
+
+    def test_evicted_shard_with_hits_rehydrates_during_ask_any(
+        self, corpus, tmp_path
+    ):
+        tables, _ = corpus
+        catalog = TableCatalog(cache_dir=str(tmp_path), max_hot_shards=1)
+        catalog.register_all(tables)
+        assert not catalog.is_hot("olympics")
+
+        answer = catalog.ask_any("which country hosted in 2004")
+        assert answer.best_ref.name == "olympics"
+        assert answer.answer == ("Greece",)
+        assert catalog.stats()["rehydrations"] >= 1
+
+    def test_evict_during_ask_any_workload_keeps_answers(self, corpus, tmp_path):
+        """Interleaving evictions with corpus-wide asks never changes
+        answers — postings outlive eviction, parsing rehydrates on hit."""
+        tables, questions = corpus
+        reference = TableCatalog()
+        reference.register_all(tables)
+        expected = {
+            question: reference.ask_any(question).answer
+            for question in questions.values()
+        }
+
+        catalog = TableCatalog(cache_dir=str(tmp_path))
+        catalog.register_all(tables)
+        for name, question in questions.items():
+            catalog.evict(name)  # the shard the question targets goes cold
+            answer = catalog.ask_any(question)
+            assert answer.answer == expected[question]
+
+
+# ---------------------------------------------------------------------------
+# the property: pruned top == broadcast top whenever retrievable
+# ---------------------------------------------------------------------------
+
+WORDS = ["lyra", "vega", "altair", "deneb", "rigel", "sirius", "capella", "mizar"]
+HEADERS = [["Star", "Magnitude"], ["City", "People"], ["Team", "Points"]]
+
+
+@st.composite
+def catalogs_and_questions(draw):
+    """A random multi-table catalog plus a question mixing shard terms
+    and noise — sometimes anchorable, sometimes not."""
+    num_tables = draw(st.integers(min_value=2, max_value=4))
+    tables = []
+    for position in range(num_tables):
+        headers = draw(st.sampled_from(HEADERS))
+        num_rows = draw(st.integers(min_value=2, max_value=4))
+        names = draw(
+            st.lists(
+                st.sampled_from(WORDS), min_size=num_rows, max_size=num_rows,
+                unique=True,
+            )
+        )
+        numbers = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=50),
+                min_size=num_rows,
+                max_size=num_rows,
+            )
+        )
+        tables.append(
+            Table(
+                columns=list(headers),
+                rows=[[name, number] for name, number in zip(names, numbers)],
+                name=f"shard-{position}",
+            )
+        )
+    # Question: a few tokens drawn from shard vocabulary + pure noise.
+    vocab = sorted({word for table in tables for word in
+                    (cell.value.display().lower() for record in table.records
+                     for cell in record.cells)})
+    num_terms = draw(st.integers(min_value=0, max_value=3))
+    terms = draw(
+        st.lists(st.sampled_from(vocab), min_size=num_terms, max_size=num_terms)
+        if vocab and num_terms
+        else st.just([])
+    )
+    noise = draw(
+        st.lists(
+            st.text(alphabet=string.ascii_lowercase, min_size=4, max_size=8),
+            min_size=0,
+            max_size=2,
+        )
+    )
+    question = " ".join(["what is"] + terms + noise) or "what"
+    return tables, question
+
+
+class TestPrunedMatchesBroadcastProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(catalogs_and_questions())
+    def test_pruned_top_matches_broadcast_when_retrievable(self, case):
+        tables, question = case
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        broadcast = catalog.ask_any(question, prune=False)
+        pruned = catalog.ask_any(question, prune=True)
+
+        # Fallback contract: pruning never empties the answer set when a
+        # broadcast would have found one.
+        if broadcast.ranked:
+            assert pruned.ranked
+
+        top_ref = broadcast.best_ref
+        if top_ref is not None and pruned.routing.is_candidate(top_ref.digest):
+            assert pruned.best_ref == top_ref
+            assert pruned.answer == broadcast.answer
+
+        # Survivor responses are bit-identical to their broadcast runs —
+        # pruning changes which shards parse, never how they parse.
+        broadcast_by_digest = {
+            ref.digest: response for ref, response in broadcast.ranked
+        }
+        for ref, response in pruned.ranked:
+            reference = broadcast_by_digest[ref.digest]
+            assert [item.answer for item in response.explained] == [
+                item.answer for item in reference.explained
+            ]

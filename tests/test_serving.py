@@ -68,6 +68,48 @@ class TestAsyncServer:
             assert [_signature(response) for response in answers] == reference
         assert stats["requests"] == 8 * len(workload)
         assert stats["errors"] == 0
+        # Shard-affinity batching composed every batch (a group per
+        # distinct shard, never more groups than requests) — and, per the
+        # assertions above, changed no output.
+        assert stats["batches"] <= stats["shard_groups"] <= stats["requests"]
+
+    def test_batches_are_composed_with_shard_affinity(self, corpus, catalog):
+        """Within one dispatcher batch, requests reach ask_many grouped by
+        resolved shard (contiguous digest runs), in arrival order within
+        each run — and answers still come back request-aligned."""
+        tables, questions = corpus
+        observed: list = []
+        inner_ask_many = catalog.ask_many
+
+        def recording_ask_many(items, **kwargs):
+            observed.append([ref.digest for _, ref in items])
+            return inner_ask_many(items, **kwargs)
+
+        catalog.ask_many = recording_ask_many
+        # Interleave shards so arrival order is maximally un-grouped.
+        interleaved = [
+            (questions[table.name], table.name)
+            for _ in range(3)
+            for table in tables
+        ]
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                return await server.ask_gathered(interleaved)
+
+        answers = asyncio.run(drive())
+        catalog.ask_many = inner_ask_many
+        for (question, name), response in zip(interleaved, answers):
+            assert _signature(response) == _signature(catalog.ask(question, name))
+        for batch_digests in observed:
+            runs = [
+                digest
+                for i, digest in enumerate(batch_digests)
+                if i == 0 or digest != batch_digests[i - 1]
+            ]
+            assert len(runs) == len(set(runs)), (
+                f"batch not grouped by shard: {batch_digests}"
+            )
 
     def test_micro_batching_merges_concurrent_arrivals(self, corpus, catalog):
         _, questions = corpus
@@ -176,7 +218,22 @@ class TestAnswerPayload:
         assert payload["ok"] is True
         assert payload["routed"] == "any"
         assert payload["answer"] == ["Greece"]
+        # The retrieve-then-parse pipeline: only parsed shards are ranked,
+        # and the payload reports the routing decision.
+        assert payload["pruned"] is True
+        assert payload["fallback"] is False
+        assert len(payload["ranked"]) == payload["shards_parsed"]
+        assert payload["shards_parsed"] + payload["shards_pruned"] == 3
+        json.dumps(payload)
+
+    def test_corpus_wide_payload_broadcast(self, corpus, catalog):
+        _, questions = corpus
+        payload = answer_payload(
+            catalog.ask_any(questions["olympics"], prune=False)
+        )
+        assert payload["pruned"] is False
         assert len(payload["ranked"]) == 3
+        assert payload["shards_pruned"] == 0
         json.dumps(payload)
 
 
@@ -254,6 +311,16 @@ class TestServingBenchSmoke:
         assert all(timing.identical for timing in report.modes.values())
         hotset = report.modes["async_hotset"]
         assert hotset.catalog_stats["evictions"] >= 1
+        # The route mode ran and upheld the fallback contract; on this
+        # disjoint-content corpus pruning parsed strictly fewer shards.
+        assert report.route is not None
+        assert report.route.top_answers_match
+        assert report.route.strictly_fewer
         payload = report.to_payload()
-        assert payload["schema"] == "repro-bench-serve-v1"
+        assert payload["schema"] == "repro-bench-serve-v2"
+        assert payload["route"]["top_answers_match"] is True
+        assert payload["route"]["strictly_fewer"] is True
+        assert set(payload["timings"]["route"]) == {
+            "broadcast_seconds", "pruned_seconds", "speedup"
+        }
         json.dumps(payload)
