@@ -1,0 +1,88 @@
+"""The unified query API: one engine, one envelope, every surface.
+
+Run with::
+
+    python examples/unified_api.py
+
+The script registers two web tables with a :class:`repro.api.ReproEngine`
+and asks the same questions three ways — directly, through a
+:class:`repro.api.ReproClient`, and as a batch — showing that every
+surface speaks the same typed ``QueryRequest``/``QueryResult`` envelope:
+ranked candidates with NL utterances, the routing decision, the coded
+error taxonomy, and the lossless JSON codec the TCP protocol ships
+(``repro serve`` exposes the identical envelope over a socket; connect
+with ``ReproClient.connect(host, port)``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import ErrorCode, QueryRequest, QueryResult, ReproClient, ReproEngine
+from repro.tables import Table
+
+
+def main() -> None:
+    olympics = Table(
+        columns=["Year", "Country", "City"],
+        rows=[
+            [1896, "Greece", "Athens"],
+            [1900, "France", "Paris"],
+            [2004, "Greece", "Athens"],
+            [2008, "China", "Beijing"],
+        ],
+        name="olympics",
+    )
+    medals = Table(
+        columns=["Rank", "Nation", "Gold"],
+        rows=[[1, "New Caledonia", 120], [2, "Tahiti", 60], [4, "Fiji", 33]],
+        name="medals",
+    )
+
+    # 1. One engine over a content-addressed catalog of tables.
+    engine = ReproEngine(tables=[olympics, medals])
+
+    # 2. An explicit-target query: ranked candidates with utterances.
+    result = engine.query("which country hosted in 2004", target="olympics", k=3)
+    print("answer     :", ", ".join(result.answer))
+    print("utterance  :", result.top.utterance)
+    print("candidates :", len(result.candidates))
+
+    # 3. A corpus-wide query: retrieval routes it to the right shard.
+    anywhere = engine.query("how many gold did Fiji win")
+    print()
+    print("routed to  :", anywhere.shard.name)
+    print(
+        "routing    :",
+        f"parsed {anywhere.routing.shards_parsed}, "
+        f"pruned {anywhere.routing.shards_pruned} "
+        f"(fallback={anywhere.routing.fallback})",
+    )
+
+    # 4. Failures are coded envelopes, not stringly exceptions.
+    missing = engine.query("anything", target="atlantis")
+    print()
+    print("error code :", missing.error.code.value)
+    assert missing.error_code is ErrorCode.UNKNOWN_TABLE
+
+    # 5. The client surface is the same in-process and over TCP
+    #    (ReproClient.connect("127.0.0.1", 8765) against `repro serve`).
+    with ReproClient.in_process(engine) as client:
+        batch = client.query_many(
+            [
+                QueryRequest(question="which country hosted in 2004", target="olympics"),
+                QueryRequest(question="how many gold did Fiji win"),
+            ]
+        )
+        print()
+        print("batch      :", [list(item.answer) for item in batch])
+
+    # 6. The envelope round-trips losslessly through JSON — this exact
+    #    shape (schemas/query_result.v2.json) is what the wire carries.
+    wire = json.dumps(result.to_dict())
+    assert QueryResult.from_dict(json.loads(wire)) == result
+    print("wire bytes :", len(wire))
+
+
+if __name__ == "__main__":
+    main()

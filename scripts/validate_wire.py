@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Validate wire payloads against the committed JSON Schemas.
+
+The CI wire-shape gate: any drift between what the server emits and the
+committed schemas (``schemas/query_result.v2.json``,
+``schemas/serve_response.v1.json``) fails the build.
+
+Usage::
+
+    # v2 QueryResult envelopes, one JSON object per line
+    # (e.g. from `repro serve --self-test N --emit-results results.jsonl`)
+    python scripts/validate_wire.py --schema v2 results.jsonl
+
+    # a recorded v1 response fixture (single JSON object per file)
+    python scripts/validate_wire.py --schema v1 schemas/fixtures/*.v1.json
+
+    # no arguments: validate the committed fixtures
+    python scripts/validate_wire.py
+
+Files ending in ``.jsonl`` are treated as JSON lines; anything else as a
+single JSON document.  Uses the ``jsonschema`` package when installed,
+else the bundled subset validator in :mod:`repro.api.schema`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import schema as wire_schema  # noqa: E402
+
+SCHEMAS = {
+    "v1": "serve_response.v1.json",
+    "v2": "query_result.v2.json",
+}
+
+FIXTURES = [
+    ("v1", REPO_ROOT / "schemas" / "fixtures" / "ask_response.v1.json"),
+    ("v1", REPO_ROOT / "schemas" / "fixtures" / "ask_any_response.v1.json"),
+    ("v2", REPO_ROOT / "schemas" / "fixtures" / "query_result.v2.json"),
+]
+
+
+def validate_file(path: Path, schema_name: str) -> int:
+    """Validate one file; returns the number of payloads checked."""
+    schema = wire_schema.load_schema(SCHEMAS[schema_name])
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".jsonl":
+        return wire_schema.validate_lines(text.splitlines(), schema)
+    wire_schema.validate_payload(json.loads(text), schema)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--schema", choices=sorted(SCHEMAS), help="which schema the files follow"
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="payload files (.jsonl = JSON lines); default: committed fixtures",
+    )
+    args = parser.parse_args(argv)
+
+    targets = (
+        [(args.schema, path) for path in args.files] if args.files else FIXTURES
+    )
+    if args.files and not args.schema:
+        parser.error("--schema is required when files are given")
+
+    failures = 0
+    for schema_name, path in targets:
+        try:
+            checked = validate_file(path, schema_name)
+        except (wire_schema.SchemaValidationError, OSError, json.JSONDecodeError) as error:
+            print(f"FAIL {path} [{schema_name}]: {error}")
+            failures += 1
+            continue
+        print(f"ok   {path} [{schema_name}]: {checked} payload(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

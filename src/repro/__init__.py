@@ -20,10 +20,19 @@ The package is organised as:
   corpus *before* parsing (retrieve-then-parse),
 * :mod:`repro.serving` — the asyncio serving layer over the multi-table
   catalog of :mod:`repro.tables.catalog` (concurrent sessions, TCP
-  endpoint, serving bench).
+  endpoint, serving bench),
+* :mod:`repro.api` — the unified query API: the typed, versioned
+  :class:`~repro.api.QueryRequest`/:class:`~repro.api.QueryResult`
+  envelope with lossless JSON codecs and the structured
+  :class:`~repro.api.ErrorCode` taxonomy, the
+  :class:`~repro.api.ReproEngine` façade (sync ``query``/``query_many``,
+  async ``aquery``) every entry point routes through, the
+  :class:`~repro.api.ReproClient` (in-process or TCP), and the v1/v2
+  JSON-lines wire protocol of :mod:`repro.api.wire`.
 """
 
 from . import (
+    api,
     core,
     dataset,
     dcs,
@@ -37,9 +46,10 @@ from . import (
     users,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "tables",
     "dcs",
     "sql",

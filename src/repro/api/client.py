@@ -1,0 +1,244 @@
+""":class:`ReproClient` — one client, two transports (in-process / TCP).
+
+Tests, benches and downstream programs talk to the system through the
+same object whether the engine lives in their process or behind the
+JSON-lines TCP endpoint — which means the test suite exercises the
+*exact* client path a networked consumer runs:
+
+* ``ReproClient.in_process(engine)`` — calls the
+  :class:`~repro.api.engine.ReproEngine` directly;
+* ``ReproClient.connect(host, port)`` — a stdlib-socket v2 wire client:
+  sends the ``hello`` negotiation, then ``query`` ops, and decodes every
+  response back into a :class:`~repro.api.envelope.QueryResult` with the
+  same codec the server used to encode it.
+
+Both transports return error *envelopes* (never raise for semantic
+failures), mirroring :meth:`ReproEngine.query`; call
+``result.raise_for_error()`` for exception behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence
+
+from . import wire
+from .engine import ReproEngine, RequestLike, coerce_request
+from .envelope import ErrorInfo, QueryRequest, QueryResult
+from .errors import ApiError, ErrorCode, bad_request
+
+
+class _InProcessTransport:
+    """Directly invokes a :class:`ReproEngine` (no serialization)."""
+
+    def __init__(self, engine: ReproEngine) -> None:
+        self.engine = engine
+
+    def query(self, request: QueryRequest) -> QueryResult:
+        return self.engine.query(request)
+
+    def query_many(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
+        return self.engine.query_many(requests)
+
+    def call(self, op: str) -> Dict[str, Any]:
+        # The payload builders are shared with the TCP server (repro.api
+        # .wire), so swapping a client between transports never changes
+        # what callers parse.
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "list":
+            return {"ok": True, "tables": wire.table_listing(self.engine.catalog)}
+        if op == "stats":
+            return {"ok": True, **wire.stats_payload(self.engine.catalog)}
+        raise ApiError(ErrorCode.UNKNOWN_OP, f"unknown op {op!r}")
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+class _TcpTransport:
+    """A v2 JSON-lines client over a blocking stdlib socket."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float]) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+        self._sequence = 0
+        hello = self._call_raw({"v": 2, "op": "hello"})
+        versions = hello.get("versions", ())
+        if not hello.get("ok") or 2 not in versions:
+            raise ApiError(
+                ErrorCode.UNSUPPORTED_VERSION,
+                f"server does not speak protocol v2 (offered {versions!r})",
+            )
+
+    def _call_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._sequence += 1
+        payload.setdefault("id", self._sequence)
+        self._file.write(json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ApiError(
+                ErrorCode.SERVER_CLOSED, "server closed the connection mid-request"
+            )
+        response = json.loads(line.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise bad_request("server sent a non-object response line")
+        return response
+
+    @staticmethod
+    def _query_fields(request: QueryRequest) -> Dict[str, Any]:
+        return {
+            key: value
+            for key, value in request.to_dict().items()
+            if value is not None
+        }
+
+    @staticmethod
+    def _decode_query_response(
+        request: QueryRequest, response: Optional[Dict[str, Any]]
+    ) -> QueryResult:
+        if response is not None:
+            result = response.get("result")
+            if result is not None:
+                return QueryResult.from_dict(result)
+        # Protocol-level failure: no result was built server-side, so
+        # synthesize the error envelope from the top-level coded error.
+        error = (response.get("error") if response is not None else None) or {
+            "code": ErrorCode.INTERNAL.value,
+            "message": "server sent neither result nor error",
+        }
+        return QueryResult(
+            question=request.question if isinstance(request.question, str) else "",
+            ok=False,
+            request_id=request.request_id,
+            error=ErrorInfo.from_dict(error),
+        )
+
+    def query(self, request: QueryRequest) -> QueryResult:
+        response = self._call_raw(
+            {"v": 2, "op": "query", **self._query_fields(request)}
+        )
+        return self._decode_query_response(request, response)
+
+    def query_many(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
+        """Pipelined batch: all request lines ship before any read.
+
+        The JSON-lines server answers every line of a connection in
+        order, so a batch of N queries pays one round trip, not N —
+        responses are re-matched to requests by the ``id`` echo.
+        """
+        if not requests:
+            return []
+        ids: List[int] = []
+        lines: List[bytes] = []
+        for request in requests:
+            self._sequence += 1
+            ids.append(self._sequence)
+            payload = {
+                "v": 2, "id": self._sequence, "op": "query",
+                **self._query_fields(request),
+            }
+            lines.append(
+                json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
+            )
+        self._file.write(b"".join(lines))
+        self._file.flush()
+        by_id: Dict[Any, Dict[str, Any]] = {}
+        for _ in requests:
+            line = self._file.readline()
+            if not line:
+                break  # missing responses decode to coded INTERNAL errors
+            response = json.loads(line.decode("utf-8"))
+            if isinstance(response, dict):
+                by_id[response.get("id")] = response
+        return [
+            self._decode_query_response(request, by_id.get(request_id))
+            for request, request_id in zip(requests, ids)
+        ]
+
+    def call(self, op: str) -> Dict[str, Any]:
+        return self._call_raw({"v": 2, "op": op})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+
+class ReproClient:
+    """The unified query client (see module docstring).
+
+    Build with :meth:`in_process` or :meth:`connect`; both speak
+    :class:`QueryRequest` in and :class:`QueryResult` out.
+    """
+
+    def __init__(self, transport) -> None:
+        self._transport = transport
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def in_process(cls, engine: ReproEngine) -> "ReproClient":
+        """A client that calls ``engine`` directly (zero serialization)."""
+        return cls(_InProcessTransport(engine))
+
+    @classmethod
+    def connect(
+        cls, host: str = "127.0.0.1", port: int = 8765,
+        timeout: Optional[float] = 30.0,
+    ) -> "ReproClient":
+        """Connect to a ``repro serve`` endpoint and negotiate v2."""
+        return cls(_TcpTransport(host, port, timeout))
+
+    # -- the query API ---------------------------------------------------------
+    def _coerce(self, request: RequestLike, options: Dict[str, Any]) -> QueryRequest:
+        return coerce_request(request, options)
+
+    def query(self, request: RequestLike, **options) -> QueryResult:
+        return self._transport.query(self._coerce(request, options))
+
+    def query_many(self, requests: Sequence[RequestLike], **options) -> List[QueryResult]:
+        return self._transport.query_many(
+            [self._coerce(request, options) for request in requests]
+        )
+
+    async def aquery(self, request: RequestLike, **options) -> QueryResult:
+        """Async :meth:`query` (runs the transport off the event loop)."""
+        import asyncio
+        import functools
+
+        return await asyncio.get_running_loop().run_in_executor(
+            None, functools.partial(self.query, request, **options)
+        )
+
+    # -- auxiliary ops ---------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._transport.call("ping").get("pong"))
+
+    def tables(self) -> List[Dict[str, Any]]:
+        """Catalog listing: name/digest/rows/columns/hot per shard."""
+        return list(self._transport.call("list").get("tables", ()))
+
+    def stats(self) -> Dict[str, Any]:
+        """``{"catalog": ..., "server": ...}`` counters.
+
+        ``server`` is ``None`` for an in-process client — there is no
+        dispatcher in front of the engine.
+        """
+        response = self._transport.call("stats")
+        return {
+            "catalog": response.get("catalog"),
+            "server": response.get("server"),
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,410 @@
+""":class:`ReproEngine` — the one façade every query surface goes through.
+
+The paper's system is a single interface: a user poses a question and
+gets ranked candidates with NL utterances and provenance.  Before this
+module the reproduction had grown three overlapping entry points
+(:meth:`NLInterface.ask`, :meth:`TableCatalog.ask`/:meth:`ask_any`, the
+:class:`~repro.serving.AsyncServer`) with three result shapes.  The
+engine collapses them: it owns a :class:`~repro.tables.catalog.TableCatalog`
+and answers every :class:`~repro.api.envelope.QueryRequest` with a
+:class:`~repro.api.envelope.QueryResult` —
+
+* ``query`` / ``query_many`` — synchronous, with the same shard-grouped
+  batching the serving dispatcher uses;
+* ``aquery`` — the asyncio face (one request off the running loop);
+* ``server()`` — an :class:`~repro.serving.AsyncServer` bound to this
+  engine, for micro-batched concurrent sessions and the TCP endpoint.
+
+Errors never escape as stringly exceptions: the engine returns an error
+envelope carrying an :class:`~repro.api.errors.ErrorCode`
+(``result.raise_for_error()`` restores exception behaviour when wanted).
+
+The module also hosts the two result builders (:func:`result_from_response`,
+:func:`result_from_catalog_answer`) shared by the engine, the serving
+layer's v2 wire path and the CLI — one construction site is what makes
+"TCP result == in-process result" a structural property instead of a
+hope.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..tables.catalog import CatalogAnswer, TableCatalog
+from .envelope import (
+    CandidateInfo,
+    ErrorInfo,
+    QueryRequest,
+    QueryResult,
+    RankedShard,
+    RoutingInfo,
+    ShardInfo,
+    ShardScoreInfo,
+    TimingInfo,
+)
+from .errors import ApiError, ErrorCode, bad_request, classify_exception
+
+#: What ``query`` accepts: a full request or a bare question string.
+RequestLike = Union[QueryRequest, str]
+
+
+# ---------------------------------------------------------------------------
+# result builders (shared with repro.serving and the CLI)
+# ---------------------------------------------------------------------------
+
+
+def _candidates_from_response(response) -> Tuple[CandidateInfo, ...]:
+    return tuple(
+        CandidateInfo(
+            rank=item.rank,
+            answer=tuple(item.answer),
+            utterance=item.utterance,
+            sexpr=item.candidate.sexpr,
+            score=item.candidate.score,
+        )
+        for item in response.explained
+    )
+
+
+def _parse_failure(question: str) -> ErrorInfo:
+    return ErrorInfo(
+        code=ErrorCode.PARSE_FAILURE,
+        message=f"no executable candidate queries for {question!r}",
+    )
+
+
+def result_from_response(
+    request: QueryRequest,
+    response,
+    shard: Optional[ShardInfo] = None,
+    cache: Optional[Dict[str, Any]] = None,
+) -> QueryResult:
+    """Build the envelope for a routed single-table answer.
+
+    ``response`` is an :class:`~repro.interface.nl_interface.InterfaceResponse`;
+    ``shard`` defaults to the response's own table identity.
+    """
+    candidates = _candidates_from_response(response)
+    ok = bool(candidates)
+    return QueryResult(
+        question=response.question,
+        ok=ok,
+        answer=tuple(candidates[0].answer) if candidates else (),
+        request_id=request.request_id,
+        error=None if ok else _parse_failure(response.question),
+        shard=shard if shard is not None else ShardInfo.from_table(response.table),
+        candidates=candidates,
+        routing=RoutingInfo(
+            mode="table",
+            pruned=False,
+            fallback=False,
+            shards_parsed=1,
+            shards_pruned=0,
+        ),
+        timing=TimingInfo(
+            parse_seconds=response.parse_seconds,
+            explain_seconds=response.explain_seconds,
+            total_seconds=response.parse_seconds + response.explain_seconds,
+        ),
+        cache=cache,
+        raw=response,
+    )
+
+
+def result_from_catalog_answer(
+    request: QueryRequest,
+    answer: CatalogAnswer,
+    cache: Optional[Dict[str, Any]] = None,
+) -> QueryResult:
+    """Build the envelope for a corpus-wide :meth:`TableCatalog.ask_any`."""
+    decision = answer.routing
+    retrieval = (
+        {scored.ref.digest: scored.score for scored in decision.scored}
+        if decision is not None
+        else {}
+    )
+    ranked = tuple(
+        RankedShard(
+            shard=ShardInfo.from_ref(ref),
+            answer=tuple(response.top.answer) if response.top else (),
+            score=response.top.candidate.score if response.top else None,
+            retrieval_score=retrieval.get(ref.digest, 0.0),
+        )
+        for ref, response in answer.ranked
+    )
+    best = answer.best
+    candidates = _candidates_from_response(best[1]) if best is not None else ()
+    ok = bool(candidates)
+    parse_seconds = sum(response.parse_seconds for _, response in answer.ranked)
+    explain_seconds = sum(response.explain_seconds for _, response in answer.ranked)
+    return QueryResult(
+        question=answer.question,
+        ok=ok,
+        answer=tuple(answer.answer),
+        request_id=request.request_id,
+        error=None if ok else _parse_failure(answer.question),
+        shard=ShardInfo.from_ref(best[0]) if best is not None else None,
+        candidates=candidates,
+        ranked=ranked,
+        routing=RoutingInfo(
+            mode="any",
+            pruned=answer.pruned,
+            fallback=decision.fallback if decision is not None else False,
+            shards_parsed=answer.shards_parsed,
+            shards_pruned=answer.shards_pruned,
+            scores=tuple(
+                ShardScoreInfo(
+                    digest=scored.ref.digest,
+                    name=scored.ref.name,
+                    score=scored.score,
+                    matched=tuple(scored.matched),
+                )
+                for scored in decision.scored
+            )
+            if decision is not None
+            else (),
+        ),
+        timing=TimingInfo(
+            parse_seconds=parse_seconds,
+            explain_seconds=explain_seconds,
+            total_seconds=parse_seconds + explain_seconds,
+        ),
+        cache=cache,
+        raw=answer,
+    )
+
+
+def error_result(request: QueryRequest, error: ApiError) -> QueryResult:
+    """The envelope for a request that failed before (or instead of) parsing."""
+    return QueryResult(
+        question=request.question if isinstance(request.question, str) else "",
+        ok=False,
+        request_id=request.request_id,
+        error=ErrorInfo.from_error(error),
+    )
+
+
+def result_from_served(
+    question: str,
+    answer,
+    request: Optional[QueryRequest] = None,
+    shard: Optional[ShardInfo] = None,
+) -> QueryResult:
+    """Envelope any served answer (``InterfaceResponse`` or ``CatalogAnswer``).
+
+    The adapter the serving layer and ``repro serve --self-test`` use to
+    lift dispatcher outputs into the v2 envelope without re-parsing.
+    ``shard`` should be the *resolved* catalog ref's identity when the
+    answer was routed to one table — the registered name can be an alias
+    of the table's own name, and the envelope must report the former.
+    """
+    request = request if request is not None else QueryRequest(question=question)
+    if isinstance(answer, CatalogAnswer):
+        return result_from_catalog_answer(request, answer)
+    return result_from_response(request, answer, shard=shard)
+
+
+def coerce_request(request: RequestLike, options: Dict[str, Any]) -> QueryRequest:
+    """Normalize a bare question + keyword options into a :class:`QueryRequest`.
+
+    The one coercion site shared by :class:`ReproEngine` and
+    :class:`~repro.api.client.ReproClient` — construction failures
+    (unknown options, conflicting inputs) are coded ``BAD_REQUEST``.
+    """
+    if isinstance(request, QueryRequest):
+        if options:
+            raise bad_request(
+                "pass options inside the QueryRequest, not alongside it"
+            )
+        return request
+    try:
+        return QueryRequest(question=request, **options)
+    except TypeError as error:
+        raise bad_request(str(error))
+
+
+# ---------------------------------------------------------------------------
+# the façade
+# ---------------------------------------------------------------------------
+
+
+class ReproEngine:
+    """One object that answers questions — however they arrive.
+
+    Parameters
+    ----------
+    catalog:
+        An existing :class:`~repro.tables.catalog.TableCatalog` to serve.
+        Omitted, the engine builds one from the remaining arguments
+        (which mirror the catalog's own constructor).
+    tables:
+        Tables to register immediately.
+    interface / cache_dir / max_hot_shards / k / prune:
+        Forwarded to :class:`TableCatalog` when ``catalog`` is omitted.
+    workers / backend:
+        Pool defaults for batched queries (per-request ``backend``
+        overrides the default).
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[TableCatalog] = None,
+        *,
+        tables: Optional[Sequence] = None,
+        interface=None,
+        cache_dir: Optional[str] = None,
+        max_hot_shards: Optional[int] = None,
+        k: int = 7,
+        prune: bool = True,
+        workers: int = 4,
+        backend: str = "thread",
+    ) -> None:
+        if catalog is None:
+            catalog = TableCatalog(
+                interface=interface,
+                cache_dir=cache_dir,
+                max_hot_shards=max_hot_shards,
+                k=k,
+                prune=prune,
+            )
+        self.catalog = catalog
+        self.workers = workers
+        self.backend = backend
+        if tables:
+            self.catalog.register_all(list(tables))
+
+    # -- registration passthrough ---------------------------------------------
+    def register(self, table, name: Optional[str] = None):
+        return self.catalog.register(table, name=name)
+
+    def register_all(self, tables, names=None):
+        return self.catalog.register_all(tables, names=names)
+
+    def refs(self):
+        return self.catalog.refs()
+
+    def routing(self, question: str):
+        """The corpus-retrieval routing decision (no parsing)."""
+        return self.catalog.routing(question)
+
+    # -- the query API ---------------------------------------------------------
+    def _coerce(self, request: RequestLike, options: Dict[str, Any]) -> QueryRequest:
+        return coerce_request(request, options)
+
+    def query(self, request: RequestLike, **options) -> QueryResult:
+        """Answer one request; never raises for request-level failures.
+
+        ``request`` is a :class:`QueryRequest` or a bare question string
+        (options — ``target``, ``mode``, ``k``, ``prune``, ``backend``,
+        ``request_id`` — then come as keywords).  Failures come back as
+        coded error envelopes; call ``.raise_for_error()`` to get
+        exception behaviour.
+        """
+        try:
+            request = self._coerce(request, options)
+        except ApiError as error:
+            coerced = request if isinstance(request, QueryRequest) else QueryRequest(
+                question=request if isinstance(request, str) else ""
+            )
+            return error_result(coerced, error)
+        try:
+            request.validate()
+            if request.resolved_mode == "table":
+                ref = self.catalog.resolve(request.target)
+                response = self.catalog.ask(request.question, ref, k=request.k)
+                return result_from_response(
+                    request, response, shard=ShardInfo.from_ref(ref),
+                    cache=self.cache_stats(),
+                )
+            answer = self.catalog.ask_any(
+                request.question,
+                k=request.k,
+                workers=self.workers,
+                backend=request.backend or self.backend,
+                prune=request.prune,
+            )
+            return result_from_catalog_answer(
+                request, answer, cache=self.cache_stats()
+            )
+        except Exception as error:
+            return error_result(request, classify_exception(error))
+
+    def query_many(self, requests: Sequence[RequestLike], **options) -> List[QueryResult]:
+        """Answer a batch, index-aligned, with shard-grouped batching.
+
+        Explicit-table requests sharing ``(k, backend)`` ride one
+        :meth:`TableCatalog.ask_many` call (the same composition the
+        serving dispatcher uses); corpus-wide requests run the
+        retrieve-then-parse pipeline individually.  Per-request failures
+        become per-request error envelopes — one bad ref never fails its
+        neighbours.
+        """
+        results: List[Optional[QueryResult]] = [None] * len(requests)
+        grouped: Dict[Tuple, List[Tuple[int, QueryRequest, object]]] = {}
+        for position, raw_request in enumerate(requests):
+            try:
+                request = self._coerce(raw_request, options)
+                request.validate()
+            except Exception as error:
+                fallback = QueryRequest(
+                    question=raw_request if isinstance(raw_request, str) else ""
+                )
+                coerced = raw_request if isinstance(raw_request, QueryRequest) else fallback
+                results[position] = error_result(coerced, classify_exception(error))
+                continue
+            if request.resolved_mode == "any":
+                results[position] = self.query(request)
+                continue
+            try:
+                ref = self.catalog.resolve(request.target)
+            except Exception as error:
+                results[position] = error_result(request, classify_exception(error))
+                continue
+            key = (request.k, request.backend or self.backend)
+            grouped.setdefault(key, []).append((position, request, ref))
+        for (k, backend), members in grouped.items():
+            try:
+                responses = self.catalog.ask_many(
+                    [(request.question, ref) for _, request, ref in members],
+                    k=k,
+                    workers=self.workers,
+                    backend=backend,
+                )
+            except Exception as error:
+                coded = classify_exception(error)
+                for position, request, _ in members:
+                    results[position] = error_result(request, coded)
+                continue
+            for (position, request, ref), response in zip(members, responses):
+                results[position] = result_from_response(
+                    request, response, shard=ShardInfo.from_ref(ref),
+                    cache=self.cache_stats(),
+                )
+        return [result for result in results if result is not None]
+
+    async def aquery(self, request: RequestLike, **options) -> QueryResult:
+        """Asynchronous :meth:`query` — runs off the event loop."""
+        import asyncio
+        import functools
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(self.query, request, **options)
+        )
+
+    # -- observability & serving ----------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        """The shared parser/index/disk cache counters (JSON-safe)."""
+        return self.catalog.interface.parser.cache_stats()
+
+    def stats(self) -> Dict[str, Any]:
+        return self.catalog.stats()
+
+    def server(self, **kwargs):
+        """An :class:`~repro.serving.AsyncServer` bound to this engine."""
+        from ..serving.server import AsyncServer
+
+        return AsyncServer(self, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.catalog)

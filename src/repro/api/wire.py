@@ -1,0 +1,212 @@
+"""The versioned JSON-lines wire protocol (v1 legacy + v2 envelope).
+
+One request per line, one response line per request.  Two protocol
+versions coexist on the same port:
+
+**v1 (legacy, frozen)** — the shapes the PR-3 server spoke.  Requests
+are bare objects (``{"question": ..., "table": ...}``, ``{"op":
+"list"}``); responses are the ad-hoc ``{"ok": ...}`` dicts of
+:func:`v1_answer_payload`.  v1 lines are recognised by the *absence* of
+a ``"v"`` key and keep receiving byte-compatible v1 responses — locked
+by ``tests/test_serving.py``.
+
+**v2 (the typed envelope)** — requests carry ``{"v": 2, "id": ...,
+"op": ...}``; the ``query`` op embeds the
+:class:`~repro.api.envelope.QueryRequest` fields and the response
+carries the full serialized :class:`~repro.api.envelope.QueryResult`
+(explanations, routing decision, timing) under ``"result"``, plus a
+top-level coded ``"error"`` on failure::
+
+    → {"v": 2, "id": 1, "op": "query", "question": "...", "target": "olympics"}
+    ← {"v": 2, "id": 1, "ok": true, "result": {...QueryResult...}}
+    ← {"v": 2, "id": 2, "ok": false, "error": {"code": "UNKNOWN_TABLE", ...}}
+
+Version negotiation is per connection: ``{"v": 2, "op": "hello"}`` pins
+the connection to v2 (subsequent lines may omit ``"v"``); any line's
+explicit ``"v"`` wins for that line.  A connection that never says
+``"v"`` is a v1 client and never sees a v2 shape — including for
+unparsable lines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Union
+
+from ..tables.catalog import CatalogAnswer
+from .envelope import ENVELOPE_VERSION, QueryRequest, QueryResult
+from .errors import ApiError, ErrorCode, bad_request
+
+#: Protocol versions the server answers.
+PROTOCOL_VERSIONS = (1, 2)
+
+#: Ops of the v2 vocabulary (v1 keeps its own: ping/list/stats/ask).
+V2_OPS = ("hello", "ping", "list", "stats", "query", "ask")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Decode one raw wire line into a request object.
+
+    Raises a coded ``BAD_REQUEST`` whose message matches the v1 server's
+    historical strings (so the v1 error rendering stays byte-compatible).
+    """
+    try:
+        request = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise bad_request(f"bad request: {error}")
+    if not isinstance(request, dict):
+        raise bad_request("bad request: expected a JSON object")
+    return request
+
+
+def request_version(request: Dict[str, Any], negotiated: Optional[int]) -> int:
+    """The protocol version governing one request line.
+
+    An explicit ``"v"`` wins; otherwise the connection's negotiated
+    version; otherwise v1 (the legacy default).  Unsupported versions
+    raise ``UNSUPPORTED_VERSION``.
+    """
+    version = request.get("v", negotiated if negotiated is not None else 1)
+    if not isinstance(version, int) or isinstance(version, bool) or (
+        version not in PROTOCOL_VERSIONS
+    ):
+        raise ApiError(
+            ErrorCode.UNSUPPORTED_VERSION,
+            f"unsupported protocol version {version!r} "
+            f"(supported: {', '.join(str(v) for v in PROTOCOL_VERSIONS)})",
+        )
+    return version
+
+
+def query_request_from_wire(request: Dict[str, Any]) -> QueryRequest:
+    """Decode the v2 ``query`` op's embedded :class:`QueryRequest`."""
+    fields = {
+        key: value
+        for key, value in request.items()
+        if key not in ("v", "id", "op")
+    }
+    return QueryRequest.from_dict(fields)
+
+
+# -- payloads shared across transports ---------------------------------------
+
+
+def table_listing(catalog) -> list:
+    """The ``list`` op's per-shard entries (same shape on every surface)."""
+    return [
+        {
+            "name": ref.name,
+            "digest": ref.digest,
+            "rows": ref.num_rows,
+            "columns": ref.num_columns,
+            "hot": catalog.is_hot(ref),
+        }
+        for ref in catalog.refs()
+    ]
+
+
+def stats_payload(catalog, server_stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The ``stats`` op's body: catalog counters + dispatcher counters.
+
+    ``server_stats`` is ``None`` when no dispatcher fronts the catalog
+    (the in-process client).
+    """
+    catalog_stats = dict(catalog.stats())
+    catalog_stats.pop("parser", None)  # too verbose for the wire
+    return {"catalog": catalog_stats, "server": server_stats}
+
+
+# -- v2 response envelopes ---------------------------------------------------
+
+
+def v2_result_response(
+    result: QueryResult, request_id: Optional[Union[int, str]] = None
+) -> Dict[str, Any]:
+    """Wrap a :class:`QueryResult` in the v2 response envelope.
+
+    ``ok`` mirrors ``result.ok``; error results surface their coded
+    error at the top level *and* keep the full result (a
+    ``PARSE_FAILURE`` still reports its routing metadata).
+    """
+    payload: Dict[str, Any] = {
+        "v": ENVELOPE_VERSION,
+        "id": request_id,
+        "ok": result.ok,
+        "result": result.to_dict(),
+    }
+    if result.error is not None:
+        payload["error"] = result.error.to_dict()
+    return payload
+
+
+def v2_error_response(
+    error: ApiError, request_id: Optional[Union[int, str]] = None
+) -> Dict[str, Any]:
+    """A v2 failure with no result (protocol-level errors)."""
+    return {
+        "v": ENVELOPE_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error.to_dict(),
+    }
+
+
+def v2_ok_response(
+    request_id: Optional[Union[int, str]] = None, **fields: Any
+) -> Dict[str, Any]:
+    """A v2 success for the auxiliary ops (hello/ping/list/stats)."""
+    payload: Dict[str, Any] = {"v": ENVELOPE_VERSION, "id": request_id, "ok": True}
+    payload.update(fields)
+    return payload
+
+
+# -- v1 response shapes (frozen) ---------------------------------------------
+
+
+def v1_error_response(error: ApiError) -> Dict[str, Any]:
+    """The legacy error line — message only, byte-compatible with PR 3."""
+    return {"ok": False, "error": error.message}
+
+
+def v1_answer_payload(answer) -> Dict[str, Any]:
+    """The legacy wire form of one served answer (v1 ``ask`` responses).
+
+    Single-table responses carry the routed table, the top candidate's
+    answer/utterance and the candidate count; corpus-wide answers add the
+    parsed-shard ranking plus the routing decision (how many shards were
+    pruned before parsing, and whether the broadcast fallback fired).
+    Frozen: v1 clients parse these keys.  New code should read
+    :meth:`QueryResult.to_dict` on the v2 protocol instead.
+    """
+    if isinstance(answer, CatalogAnswer):
+        ranked = [
+            {
+                "table": ref.name,
+                "digest": ref.short,
+                "answer": list(response.top.answer) if response.top else [],
+                "score": response.top.candidate.score if response.top else None,
+            }
+            for ref, response in answer.ranked
+        ]
+        routing = answer.routing
+        return {
+            "ok": True,
+            "routed": "any",
+            "table": answer.best_ref.name if answer.best_ref else None,
+            "answer": list(answer.answer),
+            "ranked": ranked,
+            "pruned": answer.pruned,
+            "shards_parsed": answer.shards_parsed,
+            "shards_pruned": answer.shards_pruned,
+            "fallback": routing.fallback if routing is not None else False,
+        }
+    top = answer.top
+    return {
+        "ok": True,
+        "routed": "table",
+        "table": answer.table.name,
+        "answer": list(top.answer) if top else [],
+        "utterance": top.utterance if top else None,
+        "candidates": len(answer.explained),
+        "parse_seconds": answer.parse_seconds,
+    }

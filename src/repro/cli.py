@@ -35,11 +35,20 @@ Nine sub-commands cover the workflows a downstream user needs::
   question: every shard's retrieval score, the matched terms, which
   shards ``ask_any`` would parse versus prune, and whether the broadcast
   fallback fires.  Pure inspection: nothing is parsed.
-* ``serve`` — serve a corpus over the asyncio JSON-lines TCP endpoint,
-  or run an in-process ``--self-test`` of N concurrent sessions.
+* ``serve`` — serve a corpus over the versioned JSON-lines TCP endpoint
+  (v1 legacy + v2 typed envelope, see :mod:`repro.api.wire`), or run an
+  in-process ``--self-test`` of N concurrent sessions
+  (``--emit-results`` writes their v2 ``QueryResult`` envelopes as JSON
+  lines for schema validation).
 * ``bench-serve`` — run the serving harness (sequential vs concurrent
   async sessions vs hot-set eviction) and optionally write
   ``BENCH_serve.json``.
+
+The question-answering commands (``ask``, ``catalog``, ``serve``,
+``route``) are thin faces over :class:`repro.api.ReproEngine` — the same
+façade library users call — and failures exit non-zero with a one-line
+coded message (the :class:`repro.api.ErrorCode` taxonomy), never a
+traceback.
 """
 
 from __future__ import annotations
@@ -50,7 +59,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .tables import Table, save_tables, table_from_csv
+from .api import ApiError, ErrorCode, ReproEngine, classify_exception
+from .tables import CatalogError, Table, save_tables, table_from_csv
 from .dcs import from_sexpr, to_sexpr
 from .core import explain as explain_query
 from .parser import LogLinearModel, SemanticParser, train_parser
@@ -76,6 +86,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
     ask_cmd.add_argument("--question", required=True, help="the NL question")
     ask_cmd.add_argument("--k", type=int, default=7, help="number of candidates to explain")
     ask_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
+    ask_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the typed v2 QueryResult envelope instead of rendered text",
+    )
 
     dataset_cmd = subparsers.add_parser("dataset", help="generate a synthetic corpus")
     dataset_cmd.add_argument("--output", required=True, help="output directory")
@@ -179,6 +194,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="run SESSIONS concurrent in-process sessions over the corpus "
         "questions (questions.jsonl) instead of listening on a socket",
     )
+    serve_cmd.add_argument(
+        "--emit-results",
+        metavar="PATH",
+        help="with --self-test: write every answer as a v2 QueryResult "
+        "envelope (JSON lines) for schema validation",
+    )
     serve_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
 
     bench_serve_cmd = subparsers.add_parser(
@@ -237,12 +258,20 @@ def run_ask(args: argparse.Namespace, out) -> int:
     parser = SemanticParser()
     if args.model:
         parser.model = LogLinearModel.load(args.model)
-    interface = NLInterface(parser=parser, k=args.k)
-    response = interface.ask(args.question, table)
-    if not response.explained:
+    engine = ReproEngine(
+        interface=NLInterface(parser=parser, k=args.k), tables=[table], k=args.k
+    )
+    result = engine.query(args.question, target=table.name, k=args.k)
+    if args.json:
+        # JSON mode always emits the envelope — a PARSE_FAILURE is
+        # structured output (coded error + routing), not a text apology.
+        print(json.dumps(result.to_dict(), ensure_ascii=False, indent=2), file=out)
+        return 0 if result.ok else 1
+    if result.error_code is ErrorCode.PARSE_FAILURE:
         print("no executable candidate queries were generated", file=out)
         return 1
-    print(response.as_text(), file=out)
+    result.raise_for_error()
+    print(result.raw.as_text(), file=out)
     return 0
 
 
@@ -370,58 +399,63 @@ def _load_corpus(corpus: str):
     return tables, questions
 
 
-def _build_catalog(args, k: int = 7):
-    """A catalog honouring the shared --cache-dir/--max-hot/--model flags."""
-    from .tables import TableCatalog
+def _build_engine(args, k: int = 7) -> ReproEngine:
+    """An engine honouring the shared --cache-dir/--max-hot/--model flags."""
     from .parser import ParserConfig
 
     model_path = getattr(args, "model", None)
     cache_dir = getattr(args, "cache_dir", None)
     max_hot = getattr(args, "max_hot", None)
+    interface = None
     if model_path:
         parser = SemanticParser(
             model=LogLinearModel.load(model_path),
             config=ParserConfig(disk_cache_dir=cache_dir or None),
         )
         interface = NLInterface(parser=parser, k=k)
-        return TableCatalog(
-            interface=interface, cache_dir=cache_dir, max_hot_shards=max_hot
-        )
-    return TableCatalog(cache_dir=cache_dir, max_hot_shards=max_hot, k=k)
+    return ReproEngine(
+        interface=interface, cache_dir=cache_dir, max_hot_shards=max_hot, k=k
+    )
 
 
-def run_catalog(args: argparse.Namespace, out) -> int:
-    from .serving import answer_payload
-
+def _corpus_engine(args, out, k: int = 7) -> Optional[ReproEngine]:
+    """Load --corpus into a fresh engine; None (after a message) if empty."""
     tables, _ = _load_corpus(args.corpus)
     if not tables:
         print(f"no tables found under {args.corpus}", file=out)
+        return None
+    engine = _build_engine(args, k=k)
+    engine.register_all(tables)
+    return engine
+
+
+def run_catalog(args: argparse.Namespace, out) -> int:
+    engine = _corpus_engine(args, out, k=args.k)
+    if engine is None:
         return 1
-    catalog = _build_catalog(args, k=args.k)
-    catalog.register_all(tables)
+    catalog = engine.catalog
     print(f"{'digest':<14} {'shape':>9}  {'hot':<4} name", file=out)
-    for ref in catalog.refs():
+    for ref in engine.refs():
         shape = f"{ref.num_rows}x{ref.num_columns}"
         hot = "hot" if catalog.is_hot(ref) else "cold"
         print(f"{ref.short:<14} {shape:>9}  {hot:<4} {ref.name}", file=out)
     if not args.question:
         return 0
-    if args.any or not args.table:
-        answer = catalog.ask_any(args.question, k=args.k, prune=args.prune)
-    else:
-        answer = catalog.ask(args.question, args.table, k=args.k)
-    print(json.dumps(answer_payload(answer), ensure_ascii=False, indent=2), file=out)
-    return 0
+    result = engine.query(
+        args.question,
+        target=args.table if not args.any else None,
+        k=args.k,
+        prune=args.prune if (args.any or not args.table) else None,
+    )
+    print(json.dumps(result.to_dict(), ensure_ascii=False, indent=2), file=out)
+    return 0 if result.ok else 1
 
 
 def run_route(args: argparse.Namespace, out) -> int:
-    tables, _ = _load_corpus(args.corpus)
-    if not tables:
-        print(f"no tables found under {args.corpus}", file=out)
+    engine = _corpus_engine(args, out)
+    if engine is None:
         return 1
-    catalog = _build_catalog(args)
-    catalog.register_all(tables)
-    decision = catalog.routing(args.question)
+    decision = engine.routing(args.question)
     if args.json:
         payload = {
             "question": decision.question,
@@ -464,14 +498,15 @@ def run_route(args: argparse.Namespace, out) -> int:
 def run_serve(args: argparse.Namespace, out) -> int:
     import asyncio
 
-    from .serving import AsyncServer, split_sessions
+    from .api import result_from_served
+    from .serving import split_sessions
 
     tables, questions = _load_corpus(args.corpus)
     if not tables:
         print(f"no tables found under {args.corpus}", file=out)
         return 1
-    catalog = _build_catalog(args)
-    catalog.register_all(tables)
+    engine = _build_engine(args)
+    engine.register_all(tables)
 
     if args.self_test is not None:
         if not questions:
@@ -486,8 +521,8 @@ def run_serve(args: argparse.Namespace, out) -> int:
         async def _self_test():
             import time
 
-            async with AsyncServer(
-                catalog, max_workers=args.workers, backend=args.backend
+            async with engine.server(
+                max_workers=args.workers, backend=args.backend
             ) as server:
                 started = time.perf_counter()
                 answered = await asyncio.gather(
@@ -498,6 +533,28 @@ def run_serve(args: argparse.Namespace, out) -> int:
 
         answered, elapsed, stats = asyncio.run(_self_test())
         total = sum(len(session) for session in answered)
+        if args.emit_results:
+            # Every served answer, lifted into the typed v2 envelope —
+            # one JSON line per question, validated against
+            # schemas/query_result.v2.json by scripts/validate_wire.py
+            # (CI runs exactly that pipeline).
+            emit_path = Path(args.emit_results)
+            emit_path.parent.mkdir(parents=True, exist_ok=True)
+            from .api import ShardInfo
+
+            with emit_path.open("w", encoding="utf-8") as handle:
+                for stream, session in zip(streams, answered):
+                    for (question, ref), answer in zip(stream, session):
+                        shard = (
+                            ShardInfo.from_ref(engine.catalog.resolve(ref))
+                            if ref is not None
+                            else None
+                        )
+                        result = result_from_served(question, answer, shard=shard)
+                        handle.write(
+                            json.dumps(result.to_dict(), ensure_ascii=False) + "\n"
+                        )
+            print(f"wrote {total} v2 result envelopes to {emit_path}", file=out)
         rate = f" ({total / elapsed:.1f} q/s)" if elapsed > 0 else ""
         print(
             f"{len(streams)} concurrent sessions answered {total} questions "
@@ -508,14 +565,15 @@ def run_serve(args: argparse.Namespace, out) -> int:
         return 0
 
     async def _serve_forever():
-        async with AsyncServer(
-            catalog, max_workers=args.workers, backend=args.backend
+        async with engine.server(
+            max_workers=args.workers, backend=args.backend
         ) as server:
             tcp = await server.serve(host=args.host, port=args.port)
             address = tcp.sockets[0].getsockname()
             print(
-                f"serving {len(catalog)} tables on {address[0]}:{address[1]} "
-                "(JSON lines; send {\"op\": \"list\"} to enumerate)",
+                f"serving {len(engine)} tables on {address[0]}:{address[1]} "
+                "(JSON lines, protocol v1+v2; send {\"op\": \"list\"} to "
+                "enumerate, {\"v\": 2, \"op\": \"hello\"} to negotiate v2)",
                 file=out,
             )
             out.flush()
@@ -601,7 +659,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "serve": run_serve,
         "bench-serve": run_bench_serve,
     }
-    return handlers[args.command](args, out)
+    try:
+        return handlers[args.command](args, out)
+    except (ApiError, CatalogError, OSError, ValueError) as error:
+        # One coded line, no traceback: every catalog/API failure — and
+        # the mundane ones (missing files, unreadable models) — funnels
+        # through the repro.api error taxonomy.
+        coded = classify_exception(error)
+        print(f"error[{coded.code.value}]: {coded.message}", file=out)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 from ..tables.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.engine import ReproEngine
     from ..tables.catalog import TableCatalog
 from ..dcs.ast import Query
 from ..parser.training import TrainingExample
@@ -59,12 +60,15 @@ class SessionTurn:
 class InterfaceSession:
     """Drives the NL interface over a sequence of questions and tables.
 
-    A session may run over a single shared interface (the seed behaviour)
-    or over a :class:`~repro.tables.catalog.TableCatalog`: with a catalog
-    attached, ``ask`` also accepts table *names*, fingerprint digests and
-    :class:`~repro.tables.catalog.TableRef` handles, routes through the
-    catalog (so recency/eviction bookkeeping sees the session), and
-    auto-registers plain :class:`Table` objects it has not seen before.
+    A session may run over a single shared interface (the seed
+    behaviour), over a :class:`~repro.tables.catalog.TableCatalog`, or —
+    the unified path — over a :class:`~repro.api.ReproEngine`: with a
+    catalog or engine attached, ``ask`` also accepts table *names*,
+    fingerprint digests and :class:`~repro.tables.catalog.TableRef`
+    handles, routes through the engine's ``query`` façade (so
+    recency/eviction bookkeeping sees the session and the answer is the
+    same typed result every other surface gets), and auto-registers
+    plain :class:`Table` objects it has not seen before.
     """
 
     def __init__(
@@ -72,13 +76,24 @@ class InterfaceSession:
         interface: Optional[NLInterface] = None,
         k: int = 7,
         catalog: Optional["TableCatalog"] = None,
+        engine: Optional["ReproEngine"] = None,
     ) -> None:
+        if engine is not None and catalog is None:
+            catalog = engine.catalog
         if interface is None and catalog is not None:
             interface = catalog.interface
         self.interface = interface or NLInterface(k=k)
         self.catalog = catalog
+        self.engine = engine
         self.k = k
         self.turns: List[SessionTurn] = []
+
+    def _engine(self) -> "ReproEngine":
+        if self.engine is None:
+            from ..api.engine import ReproEngine
+
+            self.engine = ReproEngine(self.catalog)
+        return self.engine
 
     def ask(
         self,
@@ -88,14 +103,20 @@ class InterfaceSession:
     ) -> SessionTurn:
         """Ask one question; ``choose`` decides which candidate to accept.
 
-        ``table`` is a :class:`Table`, or — with a catalog attached — any
-        ref the catalog resolves (name, digest, digest prefix, ref).
+        ``table`` is a :class:`Table`, or — with a catalog/engine
+        attached — any ref the catalog resolves (name, digest, digest
+        prefix, ref).
         """
         if self.catalog is not None:
             if isinstance(table, Table) and table not in self.catalog:
                 self.catalog.register(table)
             ref = self.catalog.resolve(table)
-            response = self.catalog.ask(question, ref, k=self.k)
+            result = self._engine().query(
+                question, target=ref, k=self.k
+            )
+            if result.error is not None and result.raw is None:
+                result.raise_for_error()
+            response = result.raw
             table = response.table
         elif not isinstance(table, Table):
             raise TypeError(

@@ -4,15 +4,22 @@ Builds the paper's interactive-service shape out of stdlib asyncio:
 
 * :class:`~repro.serving.server.AsyncServer` — micro-batching dispatcher
   multiplexing concurrent sessions over the thread/process pool backends
-  via ``run_in_executor``, plus a JSON-lines TCP endpoint;
-* :func:`~repro.serving.server.answer_payload` — the wire schema shared
-  by the TCP endpoint and the ``repro serve`` CLI;
+  via ``run_in_executor``, plus a JSON-lines TCP endpoint speaking the
+  versioned wire protocol of :mod:`repro.api.wire` (legacy v1 lines stay
+  byte-compatible; v2 lines carry the typed
+  :class:`~repro.api.QueryResult` envelope with per-connection version
+  negotiation);
+* :func:`~repro.serving.server.answer_payload` — **deprecated** shim for
+  the ad-hoc v1 wire dict; use :func:`repro.api.wire.v1_answer_payload`
+  or :func:`repro.api.result_from_served` instead;
 * :func:`~repro.serving.bench.run_serving_bench` — the serving bench
   harness (sequential vs concurrent sessions vs hot-set eviction, plus
   the ``route`` regime: pruned vs broadcast corpus-wide ``ask_any``).
 
 The routing/eviction substrate lives in :mod:`repro.tables.catalog` and
-:mod:`repro.retrieval`; this package adds concurrency only.
+:mod:`repro.retrieval`; the request/response envelope and the
+:class:`~repro.api.ReproEngine` façade live in :mod:`repro.api`; this
+package adds concurrency only.
 """
 
 from .bench import (

@@ -22,24 +22,35 @@ reproduction, built on three pieces that already exist:
   never *answers* (locked in by ``tests/test_serving.py``).
 
 The event loop never blocks on parsing: it only awaits futures resolved
-by the dispatcher.  A TCP front end (JSON-lines protocol, stdlib only)
-is provided by :meth:`AsyncServer.serve`::
+by the dispatcher.
 
-    {"question": "which country hosted in 2004", "table": "olympics"}
-    → {"ok": true, "table": "olympics", "answer": ["Greece"], ...}
-
-Requests without a ``table`` are routed corpus-wide via
-:meth:`~repro.tables.catalog.TableCatalog.ask_any`.
+The TCP front end (:meth:`AsyncServer.serve`) speaks the **versioned
+JSON-lines protocol** of :mod:`repro.api.wire`: legacy v1 lines
+(``{"question": ..., "table": ...}`` → ``{"ok": true, ...}``) keep
+their byte-compatible responses, while v2 lines (``{"v": 2, "id": ...,
+"op": "query", ...}``) carry the full serialized
+:class:`~repro.api.envelope.QueryResult` — candidates, routing
+decision, timing — built by the same
+:mod:`repro.api.engine` builders the in-process façade uses, so the
+wire answer is bit-identical to :meth:`ReproEngine.query`.  Version
+negotiation is per connection (``{"v": 2, "op": "hello"}``); lines are
+framed manually with a bounded buffer, so an oversized line gets a
+structured ``BAD_REQUEST`` response instead of killing the connection.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..api import wire
+from ..api.engine import ReproEngine, result_from_served
+from ..api.envelope import QueryRequest
+from ..api.errors import ApiError, ErrorCode, ServerClosed, classify_exception
 from ..interface.nl_interface import InterfaceResponse
 from ..tables.catalog import CatalogAnswer, CatalogError, TableCatalog, TableLike
 
@@ -47,9 +58,8 @@ from ..tables.catalog import CatalogAnswer, CatalogError, TableCatalog, TableLik
 #: or a corpus-wide ranking.
 ServedAnswer = Union[InterfaceResponse, CatalogAnswer]
 
-
-class ServerClosed(RuntimeError):
-    """Raised by in-flight requests when the server shuts down under them."""
+#: Chunk size for the manual line framing of the TCP front end.
+_READ_CHUNK = 65536
 
 
 @dataclass(frozen=True)
@@ -58,12 +68,14 @@ class _AskRequest:
 
     ``prune`` only applies corpus-wide: ``None`` defers to the catalog's
     routing policy, ``False`` forces the broadcast for this request.
+    ``backend`` overrides the server's pool backend for this request.
     """
 
     question: str
     ref: Optional[TableLike]
     k: Optional[int]
     prune: Optional[bool] = None
+    backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -75,7 +87,14 @@ class _Failure:
 
 @dataclass
 class ServerStats:
-    """Dispatcher counters (observability for the bench and the CLI)."""
+    """Dispatcher counters (observability for the bench and the CLI).
+
+    ``as_dict`` reports, with stable types (documented in the README's
+    serving section): ``requests``/``batches``/``largest_batch``/
+    ``errors``/``shard_groups`` as ints and ``mean_batch`` always as a
+    float (``0.0`` before the first batch — historically it degraded to
+    the int ``0``, which broke type-sensitive consumers).
+    """
 
     requests: int = 0
     batches: int = 0
@@ -83,15 +102,26 @@ class ServerStats:
     errors: int = 0
     shard_groups: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "requests": self.requests,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "errors": self.errors,
             "shard_groups": self.shard_groups,
-            "mean_batch": round(self.requests / self.batches, 2) if self.batches else 0,
+            "mean_batch": (
+                round(self.requests / self.batches, 2) if self.batches else 0.0
+            ),
         }
+
+
+class _Connection:
+    """Per-connection wire state: the negotiated protocol version."""
+
+    __slots__ = ("version",)
+
+    def __init__(self) -> None:
+        self.version: Optional[int] = None
 
 
 class AsyncServer:
@@ -100,8 +130,9 @@ class AsyncServer:
     Parameters
     ----------
     catalog:
-        The table catalog to serve.  All routing, eviction and cache
-        policy lives there; the server adds concurrency only.
+        The :class:`TableCatalog` — or a :class:`~repro.api.ReproEngine`
+        wrapping one — to serve.  All routing, eviction and cache policy
+        lives there; the server adds concurrency only.
     max_workers:
         Fan-out of one batch inside
         :meth:`~repro.tables.catalog.TableCatalog.ask_many`.
@@ -111,6 +142,9 @@ class AsyncServer:
         batch of multiplexed questions runs on.
     max_batch:
         Upper bound on questions merged into one dispatcher batch.
+    max_line_bytes:
+        Upper bound on one TCP request line.  Longer lines are answered
+        with a structured ``BAD_REQUEST`` (the connection survives).
 
     Use as an async context manager (``async with AsyncServer(...)``) or
     call :meth:`start` / :meth:`stop` explicitly.
@@ -118,19 +152,32 @@ class AsyncServer:
 
     def __init__(
         self,
-        catalog: TableCatalog,
+        catalog: Union[TableCatalog, ReproEngine],
         max_workers: int = 8,
         backend: str = "thread",
         max_batch: int = 64,
+        max_line_bytes: int = 64 * 1024,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"AsyncServer needs max_workers >= 1, got {max_workers}")
         if max_batch < 1:
             raise ValueError(f"AsyncServer needs max_batch >= 1, got {max_batch}")
-        self.catalog = catalog
+        if max_line_bytes < 1024:
+            raise ValueError(
+                f"AsyncServer needs max_line_bytes >= 1024, got {max_line_bytes}"
+            )
+        if isinstance(catalog, ReproEngine):
+            self.engine = catalog
+            self.catalog = catalog.catalog
+        else:
+            self.catalog = catalog
+            self.engine = ReproEngine(
+                catalog, workers=max_workers, backend=backend
+            )
         self.max_workers = max_workers
         self.backend = backend
         self.max_batch = max_batch
+        self.max_line_bytes = max_line_bytes
         self.stats = ServerStats()
         # One dispatcher thread: batches run serially (parallelism lives
         # *inside* a batch, via ask_many's worker pool), so arrivals
@@ -187,18 +234,59 @@ class AsyncServer:
         table: Optional[TableLike] = None,
         k: Optional[int] = None,
         prune: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> ServedAnswer:
         """Answer one question; ``table=None`` routes corpus-wide.
 
         Safe to call from any number of concurrent tasks: requests are
         queued, micro-batched and answered off the event loop.  ``prune``
         (corpus-wide only) overrides the catalog's routing policy per
-        request.
+        request; ``backend`` overrides the server's pool backend.
         """
         await self.start()
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put((_AskRequest(question, table, k, prune), future))
+        await self._queue.put(
+            (_AskRequest(question, table, k, prune, backend), future)
+        )
         return await future
+
+    async def aquery(self, request: QueryRequest):
+        """Answer one :class:`QueryRequest` through the dispatcher.
+
+        The v2 face of :meth:`ask`: the request is validated, resolved
+        and micro-batched like any other, and the answer comes back as a
+        :class:`~repro.api.envelope.QueryResult` built by the shared
+        :mod:`repro.api.engine` builders — bit-identical (modulo timing)
+        to :meth:`ReproEngine.query` on the same catalog.
+        """
+        from ..api.engine import error_result
+        from ..api.envelope import ShardInfo
+
+        try:
+            request.validate()
+            ref = (
+                self.catalog.resolve(request.target)
+                if request.resolved_mode == "table"
+                else None
+            )
+            answer = await self.ask(
+                request.question,
+                table=ref,
+                k=request.k,
+                prune=request.prune,
+                backend=request.backend,
+            )
+        except Exception as error:
+            return error_result(request, classify_exception(error))
+        # The resolved ref carries the *registered* identity (which may
+        # alias the table's own name) — exactly what ReproEngine.query
+        # reports, keeping the wire envelope bit-identical to it.
+        return result_from_served(
+            request.question,
+            answer,
+            request=request,
+            shard=ShardInfo.from_ref(ref) if ref is not None else None,
+        )
 
     async def ask_gathered(
         self, items: Sequence[Tuple[str, Optional[TableLike]]], k: Optional[int] = None
@@ -272,9 +360,9 @@ class AsyncServer:
     def _answer_batch(self, requests: Sequence[_AskRequest]) -> List[object]:
         """Answer one batch on the dispatcher thread (never the event loop).
 
-        Routed questions are grouped by ``k``, then composed with
-        **shard affinity**: within a group, requests are stably sorted by
-        their resolved shard's digest before the single
+        Routed questions are grouped by ``(k, backend)``, then composed
+        with **shard affinity**: within a group, requests are stably
+        sorted by their resolved shard's digest before the single
         :meth:`TableCatalog.ask_many` call, so questions targeting the
         same shard land adjacent in the batch — the process-pool backend
         ships each table once per contiguous run, and the thread backend
@@ -287,7 +375,9 @@ class AsyncServer:
         future.
         """
         outcomes: List[object] = [None] * len(requests)
-        routed: Dict[Optional[int], List[Tuple[int, _AskRequest]]] = {}
+        routed: Dict[
+            Tuple[Optional[int], Optional[str]], List[Tuple[int, _AskRequest]]
+        ] = {}
         for position, request in enumerate(requests):
             if request.ref is None:
                 try:
@@ -295,7 +385,7 @@ class AsyncServer:
                         request.question,
                         k=request.k,
                         workers=self.max_workers,
-                        backend=self.backend,
+                        backend=request.backend or self.backend,
                         prune=request.prune,
                     )
                 except Exception as error:
@@ -306,10 +396,10 @@ class AsyncServer:
             except CatalogError as error:
                 outcomes[position] = _Failure(error)
                 continue
-            routed.setdefault(request.k, []).append(
+            routed.setdefault((request.k, request.backend), []).append(
                 (position, _AskRequest(request.question, ref, request.k))
             )
-        for k, group in routed.items():
+        for (k, backend), group in routed.items():
             # Shard-affinity composition: stable sort by resolved digest.
             group.sort(key=lambda pair: pair[1].ref.digest)
             self.stats.shard_groups += len(
@@ -320,7 +410,7 @@ class AsyncServer:
                     [(request.question, request.ref) for _, request in group],
                     k=k,
                     workers=self.max_workers,
-                    backend=self.backend,
+                    backend=backend or self.backend,
                 )
             except Exception as error:
                 for position, _ in group:
@@ -334,9 +424,11 @@ class AsyncServer:
     async def serve(self, host: str = "127.0.0.1", port: int = 8765):
         """Open the JSON-lines TCP endpoint; returns the asyncio server.
 
-        One request per line; see :func:`answer_payload` for the response
-        schema.  ``{"op": "list"}`` enumerates the catalog,
-        ``{"op": "stats"}`` reports catalog + dispatcher counters.
+        One request per line; see :mod:`repro.api.wire` for both protocol
+        versions.  v1: ``{"op": "list"}`` enumerates the catalog,
+        ``{"op": "stats"}`` reports catalog + dispatcher counters.  v2:
+        ``{"v": 2, "op": "hello"}`` negotiates, ``{"v": 2, "op":
+        "query", ...}`` answers with the serialized ``QueryResult``.
         """
         await self.start()
         return await asyncio.start_server(self._handle_client, host, port)
@@ -344,16 +436,52 @@ class AsyncServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        connection = _Connection()
+
+        async def send(payload: Dict[str, object]) -> None:
+            writer.write(
+                json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
+            )
+            await writer.drain()
+
+        # Lines are framed manually (reader.read, never reader.readline):
+        # StreamReader.readline raises LimitOverrunError/ValueError on a
+        # line longer than the stream limit and leaves the connection
+        # unusable — an oversized request would kill the session with no
+        # response.  With our own buffer the oversized line is answered
+        # with a structured BAD_REQUEST and *discarded up to its
+        # newline*, and the connection keeps serving.
+        buffer = bytearray()
+        dropping = False
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                newline = buffer.find(b"\n")
+                if newline >= 0:
+                    line = bytes(buffer[:newline])
+                    del buffer[: newline + 1]
+                    if dropping:
+                        # The tail of an already-answered oversized line.
+                        dropping = False
+                        continue
+                    if len(line) > self.max_line_bytes:
+                        await send(self._oversized_payload(connection))
+                        continue
+                    await send(await self._handle_line(line, connection))
+                    continue
+                if dropping:
+                    buffer.clear()
+                elif len(buffer) > self.max_line_bytes:
+                    await send(self._oversized_payload(connection))
+                    dropping = True
+                    buffer.clear()
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    if buffer and not dropping:
+                        # Trailing unterminated line at EOF (legacy
+                        # readline behaviour): answer it before closing.
+                        await send(await self._handle_line(bytes(buffer), connection))
                     break
-                payload = await self._handle_line(line)
-                writer.write(
-                    json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
-                )
-                await writer.drain()
+                buffer += chunk
         finally:
             writer.close()
             try:
@@ -361,96 +489,139 @@ class AsyncServer:
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
 
-    async def _handle_line(self, line: bytes) -> Dict[str, object]:
+    def _oversized_payload(self, connection: _Connection) -> Dict[str, object]:
+        error = ApiError(
+            ErrorCode.BAD_REQUEST,
+            f"bad request: line exceeds {self.max_line_bytes} bytes",
+        )
+        if (connection.version or 1) >= 2:
+            return wire.v2_error_response(error)
+        return wire.v1_error_response(error)
+
+    async def _handle_line(
+        self, line: bytes, connection: _Connection
+    ) -> Dict[str, object]:
+        """Answer one wire line in whichever protocol version governs it."""
         try:
-            request = json.loads(line.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            return {"ok": False, "error": f"bad request: {error}"}
-        if not isinstance(request, dict):
-            return {"ok": False, "error": "bad request: expected a JSON object"}
+            request = wire.decode_line(line)
+        except ApiError as error:
+            if (connection.version or 1) >= 2:
+                return wire.v2_error_response(error)
+            return wire.v1_error_response(error)
+        request_id = request.get("id")
+        try:
+            version = wire.request_version(request, connection.version)
+        except ApiError as error:
+            # An unsupported version is answered in the newest shape we
+            # speak — the requester already left v1 territory.
+            return wire.v2_error_response(error, request_id)
+        if version >= 2:
+            return await self._handle_v2(request, connection)
+        return await self._handle_v1(request)
+
+    # -- v1 (legacy, byte-compatible) ------------------------------------------
+    async def _handle_v1(self, request: Dict[str, object]) -> Dict[str, object]:
         op = request.get("op", "ask")
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "list":
-            return {
-                "ok": True,
-                "tables": [
-                    {
-                        "name": ref.name,
-                        "digest": ref.digest,
-                        "rows": ref.num_rows,
-                        "columns": ref.num_columns,
-                        "hot": self.catalog.is_hot(ref),
-                    }
-                    for ref in self.catalog.refs()
-                ],
-            }
+            return {"ok": True, "tables": self._table_listing()}
         if op == "stats":
-            catalog_stats = dict(self.catalog.stats())
-            catalog_stats.pop("parser", None)  # too verbose for the wire
-            return {"ok": True, "catalog": catalog_stats, "server": self.stats.as_dict()}
+            return {"ok": True, **self._stats_payload()}
         if op != "ask":
-            return {"ok": False, "error": f"unknown op {op!r}"}
-        question = request.get("question")
-        if not isinstance(question, str) or not question.strip():
-            return {"ok": False, "error": "missing question"}
-        k = request.get("k")
-        if k is not None and not isinstance(k, int):
-            return {"ok": False, "error": "k must be an integer"}
-        prune = request.get("prune")
-        if prune is not None and not isinstance(prune, bool):
-            return {"ok": False, "error": "prune must be a boolean"}
-        try:
-            answer = await self.ask(
-                question, table=request.get("table"), k=k, prune=prune
+            return wire.v1_error_response(
+                ApiError(ErrorCode.UNKNOWN_OP, f"unknown op {op!r}")
             )
-        except CatalogError as error:
-            return {"ok": False, "error": str(error)}
+        try:
+            ask_request = self._wire_ask_request(request)
+            answer = await self.ask(
+                ask_request.question,
+                table=ask_request.ref,
+                k=ask_request.k,
+                prune=ask_request.prune,
+            )
         except Exception as error:
-            # A failure inside the batch (e.g. a broken process pool) or a
-            # shutdown race must answer this request, not silently drop
-            # the whole connection mid-protocol.
-            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
-        return answer_payload(answer)
+            return wire.v1_error_response(self._wire_error(error))
+        return wire.v1_answer_payload(answer)
+
+    # -- v2 (the typed envelope) -----------------------------------------------
+    async def _handle_v2(
+        self, request: Dict[str, object], connection: _Connection
+    ) -> Dict[str, object]:
+        request_id = request.get("id")
+        op = request.get("op", "query")
+        if op not in wire.V2_OPS:
+            return wire.v2_error_response(
+                ApiError(ErrorCode.UNKNOWN_OP, f"unknown op {op!r}"), request_id
+            )
+        if op == "hello":
+            # Per-connection negotiation: subsequent lines may omit "v".
+            connection.version = 2
+            return wire.v2_ok_response(
+                request_id, versions=list(wire.PROTOCOL_VERSIONS)
+            )
+        if op == "ping":
+            return wire.v2_ok_response(request_id, pong=True)
+        if op == "list":
+            return wire.v2_ok_response(request_id, tables=self._table_listing())
+        if op == "stats":
+            return wire.v2_ok_response(request_id, **self._stats_payload())
+        # What remains of V2_OPS: "query" and its v1-flavoured alias "ask".
+        try:
+            query = wire.query_request_from_wire(request)
+            query.validate()
+        except Exception as error:
+            return wire.v2_error_response(self._wire_error(error), request_id)
+        result = await self.aquery(query)
+        return wire.v2_result_response(result, request_id)
+
+    # -- shared wire helpers ---------------------------------------------------
+    def _wire_ask_request(self, request: Dict[str, object]) -> _AskRequest:
+        """Validate a v1 ``ask`` body through the shared request codec.
+
+        Only the v1 vocabulary is read — the legacy protocol always
+        ignored unknown keys, and that leniency is part of its contract.
+        """
+        query = QueryRequest.from_dict(
+            {
+                key: request[key]
+                for key in ("question", "table", "k", "prune")
+                if key in request
+            }
+        )
+        query.validate()
+        return _AskRequest(
+            question=query.question,
+            ref=query.target if query.resolved_mode == "table" else None,
+            k=query.k,
+            prune=query.prune,
+            backend=query.backend,
+        )
+
+    def _wire_error(self, error: Exception) -> ApiError:
+        if isinstance(error, ApiError):
+            return error
+        return classify_exception(error)
+
+    def _table_listing(self) -> List[Dict[str, object]]:
+        return wire.table_listing(self.catalog)
+
+    def _stats_payload(self) -> Dict[str, object]:
+        return wire.stats_payload(self.catalog, self.stats.as_dict())
 
 
 def answer_payload(answer: ServedAnswer) -> Dict[str, object]:
-    """The wire form of one served answer (shared by TCP and the CLI).
+    """Deprecated: the ad-hoc v1 wire dict for one served answer.
 
-    Single-table responses carry the routed table, the top candidate's
-    answer/utterance and the candidate count; corpus-wide answers add the
-    parsed-shard ranking plus the routing decision (how many shards were
-    pruned before parsing, and whether the broadcast fallback fired).
+    Use :func:`repro.api.wire.v1_answer_payload` for the frozen v1 shape,
+    or :meth:`repro.api.QueryResult.to_dict` (via
+    :func:`repro.api.result_from_served`) for the typed v2 envelope.
     """
-    if isinstance(answer, CatalogAnswer):
-        ranked = [
-            {
-                "table": ref.name,
-                "digest": ref.short,
-                "answer": list(response.top.answer) if response.top else [],
-                "score": response.top.candidate.score if response.top else None,
-            }
-            for ref, response in answer.ranked
-        ]
-        routing = answer.routing
-        return {
-            "ok": True,
-            "routed": "any",
-            "table": answer.best_ref.name if answer.best_ref else None,
-            "answer": list(answer.answer),
-            "ranked": ranked,
-            "pruned": answer.pruned,
-            "shards_parsed": answer.shards_parsed,
-            "shards_pruned": answer.shards_pruned,
-            "fallback": routing.fallback if routing is not None else False,
-        }
-    top = answer.top
-    return {
-        "ok": True,
-        "routed": "table",
-        "table": answer.table.name,
-        "answer": list(top.answer) if top else [],
-        "utterance": top.utterance if top else None,
-        "candidates": len(answer.explained),
-        "parse_seconds": answer.parse_seconds,
-    }
+    warnings.warn(
+        "repro.serving.answer_payload is deprecated; use "
+        "repro.api.wire.v1_answer_payload (legacy v1 shape) or "
+        "repro.api.result_from_served(...).to_dict() (typed v2 envelope)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return wire.v1_answer_payload(answer)

@@ -21,7 +21,14 @@ from .index import (
     table_index,
 )
 from .knowledge_base import KnowledgeBase, Triple
-from .catalog import CatalogAnswer, CatalogError, TableCatalog, TableRef
+from .catalog import (
+    AmbiguousTableError,
+    CatalogAnswer,
+    CatalogError,
+    TableCatalog,
+    TableRef,
+    UnknownTableError,
+)
 from .schema import (
     ColumnProfile,
     TableSchema,
@@ -69,6 +76,8 @@ __all__ = [
     "TableRef",
     "CatalogAnswer",
     "CatalogError",
+    "UnknownTableError",
+    "AmbiguousTableError",
     "ColumnProfile",
     "TableSchema",
     "infer_schema",

@@ -59,6 +59,14 @@ class CatalogError(TableError):
     """Raised on unknown refs, name collisions and unrehydratable shards."""
 
 
+class UnknownTableError(CatalogError):
+    """The ref resolves to no registered shard (``ErrorCode.UNKNOWN_TABLE``)."""
+
+
+class AmbiguousTableError(CatalogError):
+    """A digest prefix matches several shards (``ErrorCode.AMBIGUOUS_TABLE``)."""
+
+
 @dataclass(frozen=True)
 class TableRef:
     """A stable handle to a registered table.
@@ -285,12 +293,12 @@ class TableCatalog:
             if isinstance(ref, TableRef):
                 shard = self._shards.get(ref.digest)
                 if shard is None:
-                    raise CatalogError(f"unknown table ref {ref}")
+                    raise UnknownTableError(f"unknown table ref {ref}")
                 return shard
             if isinstance(ref, Table):
                 shard = self._shards.get(ref.fingerprint.digest)
                 if shard is None:
-                    raise CatalogError(
+                    raise UnknownTableError(
                         f"table {ref.name!r} ({ref.fingerprint.short}) is not registered"
                     )
                 return shard
@@ -309,9 +317,11 @@ class TableCatalog:
                     if len(matches) == 1:
                         return matches[0]
                     if len(matches) > 1:
-                        raise CatalogError(f"ambiguous digest prefix {ref!r}")
-                raise CatalogError(f"unknown table {ref!r}")
-            raise CatalogError(f"cannot resolve {type(ref).__name__} as a table ref")
+                        raise AmbiguousTableError(f"ambiguous digest prefix {ref!r}")
+                raise UnknownTableError(f"unknown table {ref!r}")
+            raise UnknownTableError(
+                f"cannot resolve {type(ref).__name__} as a table ref"
+            )
 
     def table(self, ref: TableLike) -> Table:
         """The live table for ``ref``, rehydrating an evicted shard."""

@@ -64,6 +64,32 @@ class TestAskCommand:
         assert code == 0
         assert "candidate 1" in out.getvalue()
 
+    def test_missing_table_file_is_one_coded_line(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["ask", "--table", str(tmp_path / "nope.csv"), "--question", "x"],
+            out=out,
+        )
+        assert code == 1
+        text = out.getvalue()
+        assert text.startswith("error[")
+        assert "Traceback" not in text
+        assert len(text.strip().splitlines()) == 1
+
+    def test_ask_json_emits_v2_envelope(self, table_csv):
+        out = io.StringIO()
+        code = main(
+            ["ask", "--table", str(table_csv), "--question",
+             "When did Greece host the games?", "--k", "3", "--json"],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["v"] == 2
+        assert payload["ok"] is True
+        assert payload["routing"]["mode"] == "table"
+        assert payload["candidates"]
+
     def test_ask_with_saved_model(self, table_csv, tmp_path):
         from repro.parser import LogLinearModel
 
@@ -205,8 +231,10 @@ class TestCatalogCommand:
         assert code == 0
         text = out.getvalue()
         payload = json.loads(text[text.index("{"):])
+        # The catalog command now prints the typed v2 QueryResult envelope.
+        assert payload["v"] == 2
         assert payload["ok"] is True
-        assert payload["routed"] == "any"
+        assert payload["routing"]["mode"] == "any"
         assert len(payload["ranked"]) >= 3
 
     def test_loads_flat_csv_directory(self, tmp_path, olympics_table):
@@ -222,12 +250,30 @@ class TestCatalogCommand:
         assert code == 0
         payload = json.loads(out.getvalue()[out.getvalue().index("{"):])
         assert payload["answer"] == ["Greece"]
+        assert payload["routing"]["mode"] == "table"
+        assert payload["shard"]["name"] == "olympics"
 
     def test_empty_corpus_fails(self, tmp_path):
         empty = tmp_path / "empty"
         empty.mkdir()
         out = io.StringIO()
         assert main(["catalog", "--corpus", str(empty)], out=out) == 1
+
+    def test_unknown_table_exits_nonzero_with_coded_line(self, corpus_dir):
+        """A CatalogError mid-run: one coded line, non-zero exit, no
+        traceback (the error-taxonomy unification in cli.main)."""
+        out = io.StringIO()
+        code = main(
+            ["catalog", "--corpus", str(corpus_dir), "--question", "x",
+             "--table", "atlantis"],
+            out=out,
+        )
+        assert code == 1
+        text = out.getvalue()
+        payload = json.loads(text[text.index("{"):])
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "UNKNOWN_TABLE"
+        assert "Traceback" not in text
 
     def test_no_prune_broadcasts(self, tmp_path, olympics_table):
         flat = tmp_path / "flat"
@@ -241,7 +287,7 @@ class TestCatalogCommand:
         )
         assert code == 0
         payload = json.loads(out.getvalue()[out.getvalue().index("{"):])
-        assert payload["pruned"] is False
+        assert payload["routing"]["pruned"] is False
         assert payload["answer"] == ["Greece"]
 
 
@@ -294,6 +340,22 @@ class TestServeCommand:
         assert code == 0
         assert "concurrent sessions answered" in text
         assert "dispatcher:" in text
+
+    def test_self_test_emits_schema_valid_results(self, corpus_dir, tmp_path):
+        from repro.api import schema as wire_schema
+
+        emitted = tmp_path / "results.jsonl"
+        out = io.StringIO()
+        code = main(
+            ["serve", "--corpus", str(corpus_dir), "--self-test", "2",
+             "--workers", "2", "--emit-results", str(emitted)],
+            out=out,
+        )
+        assert code == 0
+        lines = emitted.read_text(encoding="utf-8").splitlines()
+        assert lines
+        schema = wire_schema.load_schema("query_result.v2.json")
+        assert wire_schema.validate_lines(lines, schema) == len(lines)
 
     def test_self_test_without_questions_fails(self, tmp_path, olympics_table):
         flat = tmp_path / "flat"

@@ -13,7 +13,12 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
-FAST_EXAMPLES = ["quickstart.py", "sql_equivalence.py", "olympics_provenance.py"]
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sql_equivalence.py",
+    "olympics_provenance.py",
+    "unified_api.py",
+]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)

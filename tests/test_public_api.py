@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.interface",
     "repro.perf",
     "repro.serving",
+    "repro.api",
 ]
 
 

@@ -12,6 +12,10 @@ import json
 
 import pytest
 
+import warnings
+
+from repro.api import ReproEngine
+from repro.api.wire import v1_answer_payload
 from repro.interface import NLInterface
 from repro.tables import CatalogError, TableCatalog
 from repro.serving import AsyncServer, ServerClosed, answer_payload, run_serving_bench
@@ -203,9 +207,18 @@ class TestAsyncServer:
 
 
 class TestAnswerPayload:
+    def test_deprecated_shim_warns_and_delegates(self, corpus, catalog):
+        """repro.serving.answer_payload survives as a warning shim over
+        the frozen v1 codec in repro.api.wire."""
+        _, questions = corpus
+        answer = catalog.ask(questions["olympics"], "olympics")
+        with pytest.warns(DeprecationWarning, match="v1_answer_payload"):
+            shimmed = answer_payload(answer)
+        assert shimmed == v1_answer_payload(answer)
+
     def test_single_table_payload(self, corpus, catalog):
         _, questions = corpus
-        payload = answer_payload(catalog.ask(questions["olympics"], "olympics"))
+        payload = v1_answer_payload(catalog.ask(questions["olympics"], "olympics"))
         assert payload["ok"] is True
         assert payload["routed"] == "table"
         assert payload["answer"] == ["Greece"]
@@ -214,7 +227,7 @@ class TestAnswerPayload:
 
     def test_corpus_wide_payload(self, corpus, catalog):
         _, questions = corpus
-        payload = answer_payload(catalog.ask_any(questions["olympics"]))
+        payload = v1_answer_payload(catalog.ask_any(questions["olympics"]))
         assert payload["ok"] is True
         assert payload["routed"] == "any"
         assert payload["answer"] == ["Greece"]
@@ -228,7 +241,7 @@ class TestAnswerPayload:
 
     def test_corpus_wide_payload_broadcast(self, corpus, catalog):
         _, questions = corpus
-        payload = answer_payload(
+        payload = v1_answer_payload(
             catalog.ask_any(questions["olympics"], prune=False)
         )
         assert payload["pruned"] is False
@@ -284,6 +297,280 @@ class TestTcpEndpoint:
                 garbage = await call(b"not json")
                 assert garbage["ok"] is False
 
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        asyncio.run(drive())
+
+
+class TestServerStats:
+    def test_mean_batch_is_always_a_float(self, catalog):
+        """Regression: mean_batch degraded to the int 0 before the first
+        batch but was a rounded float afterwards — the type is stable now."""
+        server = AsyncServer(catalog)
+        assert isinstance(server.stats.as_dict()["mean_batch"], float)
+        assert server.stats.as_dict()["mean_batch"] == 0.0
+        server.stats.requests = 7
+        server.stats.batches = 2
+        assert isinstance(server.stats.as_dict()["mean_batch"], float)
+        assert server.stats.as_dict()["mean_batch"] == 3.5
+
+
+async def _tcp_call(reader, writer, request) -> dict:
+    data = request if isinstance(request, bytes) else (
+        json.dumps(request).encode("utf-8")
+    )
+    writer.write(data + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+async def _open_server(server):
+    try:
+        tcp = await server.serve(host="127.0.0.1", port=0)
+    except OSError as error:  # pragma: no cover - sandboxed CI
+        pytest.skip(f"cannot bind a loopback socket: {error}")
+    port = tcp.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    return tcp, reader, writer
+
+
+class TestWireProtocolV2:
+    def test_hello_negotiates_and_query_matches_in_process_engine(
+        self, corpus, catalog
+    ):
+        """Acceptance: the v2 TCP path returns answers bit-identical to
+        in-process ReproEngine.query — including ask_any routing
+        metadata — modulo the run-dependent fields canonical_dict strips."""
+        from repro.api import QueryResult
+
+        tables, questions = corpus
+        engine = ReproEngine(catalog)
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                tcp, reader, writer = await _open_server(server)
+                hello = await _tcp_call(reader, writer, {"v": 2, "op": "hello"})
+                assert hello["ok"] is True and 2 in hello["versions"]
+
+                # Routed to one table.
+                routed = await _tcp_call(
+                    reader, writer,
+                    {"v": 2, "id": 1, "op": "query",
+                     "question": questions["olympics"], "target": "olympics"},
+                )
+                assert routed["v"] == 2 and routed["id"] == 1 and routed["ok"]
+                wire_result = QueryResult.from_dict(routed["result"])
+                local = engine.query(questions["olympics"], target="olympics")
+                assert wire_result.canonical_dict() == local.canonical_dict()
+                assert wire_result.answer == ("Greece",)
+
+                # Corpus-wide: the routing decision crosses the wire.
+                anywhere = await _tcp_call(
+                    reader, writer,
+                    {"v": 2, "id": 2, "op": "query",
+                     "question": questions["olympics"]},
+                )
+                wire_any = QueryResult.from_dict(anywhere["result"])
+                local_any = engine.query(questions["olympics"])
+                assert wire_any.canonical_dict() == local_any.canonical_dict()
+                assert wire_any.routing.mode == "any"
+                assert wire_any.routing.pruned is True
+                assert wire_any.routing.scores  # per-shard retrieval scores
+                assert wire_any.shard.name == "olympics"
+
+                # After hello, lines may omit "v" and still speak v2.
+                bare = await _tcp_call(
+                    reader, writer, {"question": questions["medals"],
+                                     "target": "medals"},
+                )
+                assert bare["v"] == 2 and bare["ok"] is True
+
+                # v2 auxiliary ops.
+                pong = await _tcp_call(reader, writer, {"v": 2, "op": "ping"})
+                assert pong == {"v": 2, "id": None, "ok": True, "pong": True}
+                listing = await _tcp_call(reader, writer, {"v": 2, "op": "list"})
+                assert {entry["name"] for entry in listing["tables"]} == {
+                    table.name for table in tables
+                }
+                stats = await _tcp_call(reader, writer, {"v": 2, "op": "stats"})
+                assert stats["ok"] and "server" in stats and "catalog" in stats
+
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        asyncio.run(drive())
+
+    def test_v1_lines_keep_byte_compatible_shapes(self, corpus, catalog):
+        """A connection that never says "v" is a v1 client: every response
+        keeps the exact legacy key set (locked against the v1 schema)."""
+        from repro.api import schema as wire_schema
+
+        _, questions = corpus
+        v1_schema = wire_schema.load_schema("serve_response.v1.json")
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                tcp, reader, writer = await _open_server(server)
+
+                routed = await _tcp_call(
+                    reader, writer,
+                    {"question": questions["olympics"], "table": "olympics"},
+                )
+                assert set(routed) == {
+                    "ok", "routed", "table", "answer", "utterance",
+                    "candidates", "parse_seconds",
+                }
+                wire_schema.validate_payload(routed, v1_schema)
+                assert routed["answer"] == ["Greece"]
+
+                anywhere = await _tcp_call(
+                    reader, writer, {"question": questions["olympics"]}
+                )
+                assert set(anywhere) == {
+                    "ok", "routed", "table", "answer", "ranked", "pruned",
+                    "shards_parsed", "shards_pruned", "fallback",
+                }
+                wire_schema.validate_payload(anywhere, v1_schema)
+
+                unknown = await _tcp_call(
+                    reader, writer, {"question": "x", "table": "atlantis"}
+                )
+                assert set(unknown) == {"ok", "error"}
+                wire_schema.validate_payload(unknown, v1_schema)
+
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        asyncio.run(drive())
+
+    def test_oversized_line_gets_bad_request_and_connection_survives(
+        self, corpus, catalog
+    ):
+        """Regression: a >64 KiB line used to kill the connection with no
+        response (StreamReader.readline raised past the handler).  Now it
+        is answered with a structured BAD_REQUEST and the connection keeps
+        serving — in both protocol versions."""
+        _, questions = corpus
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=4) as server:
+                tcp, reader, writer = await _open_server(server)
+
+                # v1 connection: oversized line → legacy error shape.
+                huge = json.dumps(
+                    {"question": "x" * (80 * 1024), "table": "olympics"}
+                ).encode("utf-8")
+                assert len(huge) > 64 * 1024
+                answer = await _tcp_call(reader, writer, huge)
+                assert answer["ok"] is False and "error" in answer
+                # ... and the next request on the same connection works.
+                ok = await _tcp_call(
+                    reader, writer,
+                    {"question": questions["olympics"], "table": "olympics"},
+                )
+                assert ok["ok"] is True and ok["answer"] == ["Greece"]
+
+                # v2-negotiated connection: structured code, same survival.
+                await _tcp_call(reader, writer, {"v": 2, "op": "hello"})
+                answer = await _tcp_call(reader, writer, huge)
+                assert answer["ok"] is False
+                assert answer["error"]["code"] == "BAD_REQUEST"
+                ok = await _tcp_call(
+                    reader, writer,
+                    {"question": questions["olympics"], "target": "olympics"},
+                )
+                assert ok["ok"] is True
+
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        asyncio.run(drive())
+
+
+#: The wire-protocol error paths, by expected code.  Each case gives the
+#: request body (bytes are sent raw); the v2 variant adds {"v": 2}
+#: (malformed lines that cannot carry "v" are sent on a hello-negotiated
+#: connection instead).
+_ERROR_CASES = [
+    ("malformed-utf8", b"\xff\xfe{", "BAD_REQUEST"),
+    ("not-json", b"{nope", "BAD_REQUEST"),
+    ("non-object", b'"just a string"', "BAD_REQUEST"),
+    ("unknown-op", {"op": "zap"}, "UNKNOWN_OP"),
+    ("missing-question", {"table": "olympics"}, "BAD_REQUEST"),
+    ("blank-question", {"question": "   "}, "BAD_REQUEST"),
+    ("bad-k-type", {"question": "x", "k": "five"}, "BAD_REQUEST"),
+    ("bad-k-bool", {"question": "x", "k": True}, "BAD_REQUEST"),
+    ("bad-prune-type", {"question": "x", "prune": "yes"}, "BAD_REQUEST"),
+    ("unknown-table", {"question": "x", "table": "atlantis"}, "UNKNOWN_TABLE"),
+]
+
+
+class TestWireErrorPaths:
+    """Satellite: every malformed line answers with a *coded* error on v2
+    and the frozen two-key shape on v1 — codes asserted, never messages."""
+
+    @pytest.mark.parametrize(
+        "name,body,code", _ERROR_CASES, ids=[case[0] for case in _ERROR_CASES]
+    )
+    def test_v1_error_shape(self, catalog, name, body, code):
+        async def drive():
+            async with AsyncServer(catalog, max_workers=2) as server:
+                tcp, reader, writer = await _open_server(server)
+                response = await _tcp_call(reader, writer, body)
+                assert response["ok"] is False
+                assert set(response) == {"ok", "error"}
+                assert isinstance(response["error"], str)
+                # The connection survived the error.
+                pong = await _tcp_call(reader, writer, {"op": "ping"})
+                assert pong["pong"] is True
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        asyncio.run(drive())
+
+    @pytest.mark.parametrize(
+        "name,body,code", _ERROR_CASES, ids=[case[0] for case in _ERROR_CASES]
+    )
+    def test_v2_error_codes(self, catalog, name, body, code):
+        async def drive():
+            async with AsyncServer(catalog, max_workers=2) as server:
+                tcp, reader, writer = await _open_server(server)
+                # Negotiate v2 so even unparsable lines answer in v2 shape.
+                await _tcp_call(reader, writer, {"v": 2, "op": "hello"})
+                request = body if isinstance(body, bytes) else {"v": 2, **body}
+                response = await _tcp_call(reader, writer, request)
+                assert response["v"] == 2
+                assert response["ok"] is False
+                assert response["error"]["code"] == code
+                pong = await _tcp_call(reader, writer, {"v": 2, "op": "ping"})
+                assert pong["pong"] is True
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        asyncio.run(drive())
+
+    def test_unsupported_version_is_coded(self, catalog):
+        async def drive():
+            async with AsyncServer(catalog, max_workers=2) as server:
+                tcp, reader, writer = await _open_server(server)
+                response = await _tcp_call(
+                    reader, writer, {"v": 3, "op": "query", "question": "x"}
+                )
+                assert response["ok"] is False
+                assert response["error"]["code"] == "UNSUPPORTED_VERSION"
                 writer.close()
                 await writer.wait_closed()
                 tcp.close()

@@ -1,0 +1,129 @@
+"""The committed wire schemas gate the envelope shape (ISSUE 5, CI task).
+
+Live engine output, live server output and the recorded fixtures must
+all validate against ``schemas/query_result.v2.json`` /
+``schemas/serve_response.v1.json`` — the same check CI runs via
+``scripts/validate_wire.py``, so wire drift fails tier-1 before it
+fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import ReproEngine, schema as wire_schema
+from repro.api.wire import v1_answer_payload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def engine(olympics_table, medals_table):
+    return ReproEngine(tables=[olympics_table, medals_table])
+
+
+@pytest.fixture
+def v2_schema():
+    return wire_schema.load_schema("query_result.v2.json")
+
+
+@pytest.fixture
+def v1_schema():
+    return wire_schema.load_schema("serve_response.v1.json")
+
+
+class TestLivePayloads:
+    def test_v2_results_validate(self, engine, v2_schema):
+        question = "which country hosted in 2004"
+        results = [
+            engine.query(question, target="olympics"),
+            engine.query(question),
+            engine.query(question, prune=False),
+            engine.query("q", target="atlantis"),
+            engine.query(""),
+        ]
+        for result in results:
+            wire_schema.validate_payload(result.to_dict(), v2_schema)
+            # The bundled subset validator agrees with jsonschema.
+            wire_schema.validate_subset(result.to_dict(), v2_schema)
+
+    def test_v1_payloads_validate(self, engine, v1_schema):
+        question = "which country hosted in 2004"
+        payloads = [
+            v1_answer_payload(engine.catalog.ask(question, "olympics")),
+            v1_answer_payload(engine.catalog.ask_any(question)),
+            {"ok": False, "error": "unknown table 'atlantis'"},
+        ]
+        for payload in payloads:
+            wire_schema.validate_payload(payload, v1_schema)
+            wire_schema.validate_subset(payload, v1_schema)
+
+    def test_drift_is_caught(self, engine, v2_schema):
+        payload = engine.query("which country hosted in 2004").to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(wire_schema.SchemaValidationError):
+            wire_schema.validate_payload(payload, v2_schema)
+        with pytest.raises(wire_schema.SchemaValidationError):
+            wire_schema.validate_subset(payload, v2_schema)
+        missing = engine.query("which country hosted in 2004").to_dict()
+        del missing["routing"]
+        with pytest.raises(wire_schema.SchemaValidationError):
+            wire_schema.validate_subset(missing, v2_schema)
+
+
+class TestRecordedFixtures:
+    """The committed fixtures are the frozen-shape regression corpus."""
+
+    @pytest.mark.parametrize(
+        "fixture,schema_name",
+        [
+            ("ask_response.v1.json", "serve_response.v1.json"),
+            ("ask_any_response.v1.json", "serve_response.v1.json"),
+            ("query_result.v2.json", "query_result.v2.json"),
+        ],
+    )
+    def test_fixture_validates(self, fixture, schema_name):
+        path = REPO_ROOT / "schemas" / "fixtures" / fixture
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        schema = wire_schema.load_schema(schema_name)
+        wire_schema.validate_payload(payload, schema)
+        wire_schema.validate_subset(payload, schema)
+
+    def test_validate_lines_counts_and_reports(self, engine, v2_schema):
+        lines = [
+            json.dumps(engine.query("which country hosted in 2004").to_dict()),
+            "",
+            json.dumps(engine.query("q", target="atlantis").to_dict()),
+        ]
+        assert wire_schema.validate_lines(lines, v2_schema) == 2
+        with pytest.raises(wire_schema.SchemaValidationError, match="line 1"):
+            wire_schema.validate_lines(["{bad"], v2_schema)
+
+
+class TestValidateWireScript:
+    def test_script_validates_the_committed_fixtures(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "validate_wire", REPO_ROOT / "scripts" / "validate_wire.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main([]) == 0
+
+    def test_script_fails_on_drift(self, tmp_path, engine):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "validate_wire", REPO_ROOT / "scripts" / "validate_wire.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        payload = engine.query("which country hosted in 2004").to_dict()
+        payload["drifted"] = True
+        drifted = tmp_path / "drifted.jsonl"
+        drifted.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        assert module.main(["--schema", "v2", str(drifted)]) == 1
