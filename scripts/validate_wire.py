@@ -3,7 +3,10 @@
 
 The CI wire-shape gate: any drift between what the server emits and the
 committed schemas (``schemas/query_result.v2.json``,
-``schemas/serve_response.v1.json``) fails the build.
+``schemas/serve_response.v1.json``, ``schemas/bench_serve.v3.json``)
+fails the build.  The committed ``BENCH_serve.json`` artifact is itself
+a fixture: a bench payload that stops matching the v3 schema fails here
+before it ever lands.
 
 Usage::
 
@@ -37,12 +40,14 @@ from repro.api import schema as wire_schema  # noqa: E402
 SCHEMAS = {
     "v1": "serve_response.v1.json",
     "v2": "query_result.v2.json",
+    "bench-serve-v3": "bench_serve.v3.json",
 }
 
 FIXTURES = [
     ("v1", REPO_ROOT / "schemas" / "fixtures" / "ask_response.v1.json"),
     ("v1", REPO_ROOT / "schemas" / "fixtures" / "ask_any_response.v1.json"),
     ("v2", REPO_ROOT / "schemas" / "fixtures" / "query_result.v2.json"),
+    ("bench-serve-v3", REPO_ROOT / "BENCH_serve.json"),
 ]
 
 

@@ -28,6 +28,7 @@ hope.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..tables.catalog import CatalogAnswer, TableCatalog
@@ -244,6 +245,13 @@ class ReproEngine:
     workers / backend:
         Pool defaults for batched queries (per-request ``backend``
         overrides the default).
+    persistent_pools:
+        When true (the default) the engine owns one long-lived
+        :class:`~repro.perf.pool.WorkerPool` per backend, created
+        lazily and reused for every batched query until :meth:`close`
+        — warm workers, incremental table shipping and shard pinning
+        instead of per-batch executor churn.  ``False`` restores the
+        per-call executors (useful for one-shot scripts).
     """
 
     def __init__(
@@ -258,6 +266,7 @@ class ReproEngine:
         prune: bool = True,
         workers: int = 4,
         backend: str = "thread",
+        persistent_pools: bool = True,
     ) -> None:
         if catalog is None:
             catalog = TableCatalog(
@@ -270,6 +279,9 @@ class ReproEngine:
         self.catalog = catalog
         self.workers = workers
         self.backend = backend
+        self.persistent_pools = persistent_pools
+        self._pools: Dict[str, Any] = {}
+        self._pools_lock = threading.Lock()
         if tables:
             self.catalog.register_all(list(tables))
 
@@ -286,6 +298,48 @@ class ReproEngine:
     def routing(self, question: str):
         """The corpus-retrieval routing decision (no parsing)."""
         return self.catalog.routing(question)
+
+    # -- persistent pools -------------------------------------------------------
+    def pool(self, backend: Optional[str] = None):
+        """The engine's long-lived worker pool for ``backend`` (lazy).
+
+        Returns ``None`` when ``persistent_pools`` is off — callers pass
+        the value straight through as the ``pool=`` argument and the
+        per-call executors take over.
+        """
+        if not self.persistent_pools:
+            return None
+        backend = backend or self.backend
+        with self._pools_lock:
+            pool = self._pools.get(backend)
+            if pool is None:
+                from ..perf.pool import create_pool
+
+                pool = create_pool(
+                    backend, self.catalog.interface.parser, self.workers
+                )
+                self._pools[backend] = pool
+            return pool
+
+    def pool_stats(self) -> Dict[str, Any]:
+        """Per-backend counters of the live persistent pools (JSON-safe)."""
+        with self._pools_lock:
+            return {backend: pool.stats() for backend, pool in self._pools.items()}
+
+    def close(self) -> None:
+        """Tear down every persistent pool (idempotent; engine stays usable —
+        the next batched query lazily builds fresh pools)."""
+        with self._pools_lock:
+            pools = list(self._pools.values())
+            self._pools = {}
+        for pool in pools:
+            pool.close()
+
+    def __enter__(self) -> "ReproEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- the query API ---------------------------------------------------------
     def _coerce(self, request: RequestLike, options: Dict[str, Any]) -> QueryRequest:
@@ -316,12 +370,14 @@ class ReproEngine:
                     request, response, shard=ShardInfo.from_ref(ref),
                     cache=self.cache_stats(),
                 )
+            backend = request.backend or self.backend
             answer = self.catalog.ask_any(
                 request.question,
                 k=request.k,
                 workers=self.workers,
-                backend=request.backend or self.backend,
+                backend=backend,
                 prune=request.prune,
+                pool=self.pool(backend),
             )
             return result_from_catalog_answer(
                 request, answer, cache=self.cache_stats()
@@ -369,6 +425,7 @@ class ReproEngine:
                     k=k,
                     workers=self.workers,
                     backend=backend,
+                    pool=self.pool(backend),
                 )
             except Exception as error:
                 coded = classify_exception(error)

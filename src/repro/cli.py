@@ -610,12 +610,14 @@ def run_bench_serve(args: argparse.Namespace, out) -> int:
         file=out,
     )
     print(
-        f"{'mode':<14} {'total':>10} {'throughput':>12} {'identical':>10} {'speedup':>8}",
+        f"{'mode':<14} {'total':>10} {'throughput':>12} {'p50/p95/p99':>16} "
+        f"{'identical':>10} {'speedup':>8}",
         file=out,
     )
-    for mode, total, throughput, identical, speedup in report.rows():
+    for mode, total, throughput, latency, identical, speedup in report.rows():
         print(
-            f"{mode:<14} {total:>10} {throughput:>12} {identical:>10} {speedup:>8}",
+            f"{mode:<14} {total:>10} {throughput:>12} {latency:>16} "
+            f"{identical:>10} {speedup:>8}",
             file=out,
         )
     if report.route is not None:

@@ -36,6 +36,13 @@ class ExplainedCandidate:
     def answer(self) -> Tuple[str, ...]:
         return self.candidate.answer
 
+    def __repr__(self) -> str:
+        # Bounded: skips the explanation/provenance graph.
+        return (
+            f"ExplainedCandidate(rank={self.rank}, answer={self.answer!r}, "
+            f"utterance={self.utterance!r})"
+        )
+
 
 @dataclass
 class InterfaceResponse:
@@ -54,6 +61,17 @@ class InterfaceResponse:
 
     def utterances(self) -> List[str]:
         return [item.utterance for item in self.explained]
+
+    def __repr__(self) -> str:
+        # Bounded: the generated repr would recurse through the parse
+        # output and every explanation — any accidental repr of a served
+        # answer (asyncio task formatting, logging) pays the whole graph.
+        top = self.top
+        return (
+            f"InterfaceResponse(question={self.question!r}, "
+            f"table={self.table.name!r}, explained=<{len(self.explained)}>, "
+            f"top_answer={top.answer if top else ()!r})"
+        )
 
     def as_text(self, ansi: bool = False) -> str:
         """Render the whole candidate list for a terminal."""
@@ -135,31 +153,50 @@ class NLInterface:
         k: Optional[int] = None,
         workers: int = 4,
         backend: str = "thread",
+        pool=None,
     ) -> List[InterfaceResponse]:
         """Answer a batch of (question, table) pairs concurrently.
 
         Parsing fans out over a :class:`~repro.perf.batch.BatchParser`
         worker pool (order-stable, identical to asking sequentially);
-        ``backend="process"`` swaps in the GIL-free process pool.
-        Explanation stays sequential per response since it is cheap
-        relative to parsing.  Returns one :class:`InterfaceResponse` per
-        input pair, index-aligned.
+        ``backend="process"`` swaps in the GIL-free process pool, and a
+        persistent :class:`~repro.perf.pool.WorkerPool` passed as
+        ``pool`` is reused across calls instead of building executors
+        per batch.  Explanation stays sequential per response since it
+        is cheap relative to parsing.  Returns one
+        :class:`InterfaceResponse` per input pair, index-aligned.
         """
         limit = k if k is not None else self.k
-        batch = BatchParser(self.parser, max_workers=workers, backend=backend)
+        batch = BatchParser(
+            self.parser, max_workers=workers, backend=backend, pool=pool
+        )
         report = batch.parse_all(items)
+        warm_explanations = pool.explanations if pool is not None else None
         responses: List[InterfaceResponse] = []
         for result in report:
-            generator = self._generator(result.table)
+            # The generator is built lazily: on a fully warm batch every
+            # explanation comes out of the pool registry and an evicted
+            # generator is never rebuilt at all.
+            generator: Optional[ExplanationGenerator] = None
             started = time.perf_counter()
-            explained = [
-                ExplainedCandidate(
-                    rank=rank,
-                    candidate=candidate,
-                    explanation=generator.explain(candidate.query),
+            explained: List[ExplainedCandidate] = []
+            for rank, candidate in enumerate(result.parse.top_k(limit)):
+                explanation = None
+                key = None
+                if warm_explanations is not None:
+                    key = (result.table.fingerprint, candidate.sexpr)
+                    explanation = warm_explanations.get(key)
+                if explanation is None:
+                    if generator is None:
+                        generator = self._generator(result.table)
+                    explanation = generator.explain(candidate.query)
+                    if key is not None:
+                        warm_explanations.put(key, explanation)
+                explained.append(
+                    ExplainedCandidate(
+                        rank=rank, candidate=candidate, explanation=explanation
+                    )
                 )
-                for rank, candidate in enumerate(result.parse.top_k(limit))
-            ]
             explain_seconds = time.perf_counter() - started
             responses.append(
                 InterfaceResponse(

@@ -49,6 +49,16 @@ class Candidate:
     def sexpr(self) -> str:
         return to_sexpr(self.query)
 
+    def __repr__(self) -> str:
+        # Bounded on purpose: the generated dataclass repr recurses into
+        # the query AST, the feature vector and the execution result —
+        # any accidental repr (a log line, an assertion message, asyncio
+        # formatting a task result) pays the whole graph.
+        return (
+            f"Candidate(sexpr={self.sexpr!r}, score={self.score:.4f}, "
+            f"answer={self.answer!r})"
+        )
+
 
 @dataclass
 class ParseOutput:
@@ -72,6 +82,15 @@ class ParseOutput:
 
     def __len__(self) -> int:
         return len(self.candidates)
+
+    def __repr__(self) -> str:
+        # Bounded: a full repr would recurse into every candidate (up to
+        # max_candidates of them) — see Candidate.__repr__.
+        table = self.table.name if self.table is not None else None
+        return (
+            f"ParseOutput(question={self.question!r}, table={table!r}, "
+            f"candidates=<{len(self.candidates)}>)"
+        )
 
 
 @dataclass
@@ -349,6 +368,16 @@ class SemanticParser:
         if self._disk_cache is None or not self.config.memoize_execution:
             return
         digest = table.fingerprint.digest
+        # No executions at all since this table's last flush (the global
+        # miss counter is unchanged) means its bundle cannot have gained
+        # entries: skip the O(cache) snapshot and the read-merge-write
+        # round-trip entirely.  Misses are global so this only ever
+        # over-triggers — a flush may still find nothing new, never the
+        # reverse.  This is the hot case under shard eviction pressure
+        # once the serving pool's warm registries satisfy repeat traffic
+        # without re-executing anything.
+        if self._execution_cache.misses == self._stored_bundle_misses.get(digest, -1):
+            return
         bundle = self._execution_cache.entries_for(table.fingerprint)
         if bundle:
             # Merge over the stored bundle rather than replacing it:

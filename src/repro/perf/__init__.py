@@ -39,6 +39,7 @@ from .bench import (
     timing_summary,
 )
 from .diskcache import DiskCache
+from .pool import ProcessWorkerPool, ThreadWorkerPool, WorkerPool, create_pool
 from .procpool import ProcessPoolBackend
 
 __all__ = [
@@ -52,6 +53,10 @@ __all__ = [
     "ModeTiming",
     "ParseBenchReport",
     "ProcessPoolBackend",
+    "ProcessWorkerPool",
+    "ThreadWorkerPool",
+    "WorkerPool",
+    "create_pool",
     "TableIndex",
     "table_index",
     "index_cache_stats",

@@ -31,7 +31,10 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import is lazy)
+    from .pool import WorkerPool
 
 #: The pool backends accepted by :class:`BatchParser`.
 BACKENDS = ("thread", "process")
@@ -123,6 +126,13 @@ class BatchParser:
     backend:
         ``"thread"`` (shared caches, GIL-bound) or ``"process"`` (true
         parallelism; see :mod:`repro.perf.procpool`).
+    pool:
+        A persistent :class:`~repro.perf.pool.WorkerPool` to run batches
+        on instead of the per-call executors above.  The pool survives
+        between ``parse_all`` calls (warm workers, incremental table
+        shipping, shard pinning — see :mod:`repro.perf.pool`); its
+        backend and worker count override ``backend``/``max_workers``.
+        Results stay bit-identical either way.
     """
 
     def __init__(
@@ -130,7 +140,11 @@ class BatchParser:
         parser: Optional[SemanticParser] = None,
         max_workers: int = 4,
         backend: str = "thread",
+        pool: Optional["WorkerPool"] = None,
     ) -> None:
+        if pool is not None:
+            backend = pool.backend
+            max_workers = pool.workers
         if max_workers < 1:
             raise ValueError(f"BatchParser needs max_workers >= 1, got {max_workers}")
         if backend not in BACKENDS:
@@ -138,6 +152,7 @@ class BatchParser:
         self.parser = parser or SemanticParser()
         self.max_workers = max_workers
         self.backend = backend
+        self.pool = pool
 
     # -- public API -----------------------------------------------------------
     def parse_all(
@@ -150,7 +165,20 @@ class BatchParser:
         """
         normalized = [self._normalize(item, k) for item in items]
         started = time.perf_counter()
-        if self.max_workers == 1 or len(normalized) <= 1:
+        if self.pool is not None:
+            results = [
+                BatchParseResult(
+                    index=i,
+                    question=item.question,
+                    table=item.table,
+                    parse=parse,
+                    seconds=seconds,
+                )
+                for i, (item, (parse, seconds)) in enumerate(
+                    zip(normalized, self.pool.parse_all(normalized))
+                )
+            ]
+        elif self.max_workers == 1 or len(normalized) <= 1:
             results = [self._parse_one(i, item) for i, item in enumerate(normalized)]
         elif self.backend == "process":
             from .procpool import ProcessPoolBackend  # lazy: fork cost only when used

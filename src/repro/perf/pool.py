@@ -1,0 +1,547 @@
+"""Persistent warm worker pools: the serving hot path's engine room.
+
+The per-batch backends (:class:`~repro.perf.batch.BatchParser`'s ad-hoc
+``ThreadPoolExecutor``, :class:`~repro.perf.procpool.ProcessPoolBackend`'s
+fork-per-call pool) pay their whole setup cost — executor construction,
+worker forks, table shipment — on *every* dispatcher batch.  For the
+interactive serving regime (many small batches over a long-lived
+catalog) that churn ate the concurrency win: the serving bench measured
+async throughput *below* sequential.
+
+This module provides the long-lived alternative: a :class:`WorkerPool`
+created once (by :class:`~repro.api.engine.ReproEngine` /
+:class:`~repro.serving.server.AsyncServer`) and reused across every
+batch until :meth:`~WorkerPool.close`.
+
+Two flavours behind one interface:
+
+* :class:`ThreadWorkerPool` — one persistent ``ThreadPoolExecutor``
+  driving the shared :class:`~repro.parser.candidates.SemanticParser`.
+  No per-batch executor construction; every cache stays shared.
+* :class:`ProcessWorkerPool` — persistent worker *processes*, each
+  holding a fingerprint-addressed table registry that survives between
+  batches.  The driver ships only fingerprints a worker has never seen
+  (incremental registry updates — never the whole corpus re-pickled per
+  batch), re-syncs model weights only when they changed, and pins shards
+  to workers with a stable digest hash so a shard's questions land on
+  the worker whose lexicon/grammar/index are already hot.
+
+Correctness contract (the same one every batch backend honours, locked
+in by ``tests/test_pool.py``): ``parse_all`` results are index-aligned
+with the input items and **bit-identical** to a sequential loop over the
+same parser configuration — pinning and persistence change scheduling
+and locality, never answers.
+
+Shard pinning and the spill valve
+---------------------------------
+``pin(digest) = int(digest[:8], 16) % workers`` is stable across
+batches, processes and runs: shard S always lands on worker
+``pin(S)``, so repeat traffic for S finds warm worker-local caches.
+A pure pin would serialise a batch over few shards (one hot worker,
+the rest idle), so assignment *spills* deterministically: while a
+worker is idle and another holds more than one unit, half of the
+busiest worker's largest shard group moves to the idle worker (shipping
+that table there, once ever).  The spill pattern is a pure function of
+the batch composition, so repeated workloads spill to the same workers
+and stay warm there too.  ``ProcessWorkerPool(spill=False)`` disables
+the valve for strict-pinning tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parser.candidates import ParseOutput, ParserConfig, SemanticParser
+from ..parser.model import LogLinearModel
+from ..tables.fingerprint import LRUCache
+from ..tables.table import Table
+from . import procpool
+from .procpool import WorkUnit, _available_cpus, _refresh_inherited_locks
+
+#: What ``WorkerPool.parse_all`` returns per item: the parse plus the
+#: worker-measured wall-clock seconds it took.
+PoolResult = Tuple[ParseOutput, float]
+
+
+def create_pool(
+    backend: str, parser: SemanticParser, max_workers: int = 4
+) -> "WorkerPool":
+    """The one construction site: a persistent pool for ``backend``."""
+    if backend == "process":
+        return ProcessWorkerPool(parser, max_workers=max_workers)
+    if backend == "thread":
+        return ThreadWorkerPool(parser, max_workers=max_workers)
+    raise ValueError(f"unknown pool backend {backend!r}")
+
+
+class WorkerPool:
+    """The persistent-pool interface both flavours implement.
+
+    A pool is created once, survives any number of :meth:`parse_all`
+    batches, and is torn down with :meth:`close` (idempotent; also a
+    context manager).  ``parse_all`` takes
+    :class:`~repro.perf.batch.BatchItem` instances and returns
+    index-aligned ``(parse, seconds)`` pairs.
+    """
+
+    backend: str = "?"
+
+    def __init__(self, parser: SemanticParser, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"{type(self).__name__} needs max_workers >= 1")
+        self.parser = parser
+        self.max_workers = max_workers
+        self.batches = 0
+        self.units = 0
+        # Warm explanation registry, shared by both flavours and used by
+        # :meth:`NLInterface.ask_many` on the batch path: explanations
+        # are a pure function of (table content, query), so entries are
+        # keyed ``(fingerprint, query sexpr)`` and survive shard
+        # eviction — a warm batch never rebuilds an evicted
+        # ``ExplanationGenerator`` just to re-derive identical output.
+        self.explanations = LRUCache(
+            maxsize=parser.config.candidate_cache_size * 8
+        )
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers
+
+    def parse_all(self, items: Sequence) -> List[PoolResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "batches": self.batches,
+            "units": self.units,
+        }
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ThreadWorkerPool(WorkerPool):
+    """A persistent thread pool over one shared parser.
+
+    The executor is built lazily on the first multi-item batch and then
+    reused for every later batch — the per-batch
+    ``ThreadPoolExecutor`` construction/teardown of the old path is the
+    churn this class exists to remove.  All parser caches are shared
+    (the thread backend's defining property), so answers are trivially
+    bit-identical to the sequential loop.
+
+    Like the process flavour's worker-side table registries, the pool
+    keeps its own fingerprint-addressed **warm registry** of generated
+    candidate lists, immune to the catalog's shard eviction: eviction
+    drops the *parser's* per-table caches (driver policy — bounded hot
+    set), but the pool re-seeds the parser's own candidate cache from
+    the registry before each parse, so an evicted-and-rehydrated shard
+    skips candidate generation entirely.  Entries are the parser's own
+    content-addressed cache values — generation is deterministic and
+    weight-independent (ranking re-runs with the live weights every
+    parse), so re-seeding cannot change any answer.
+    """
+
+    backend = "thread"
+
+    def __init__(self, parser: SemanticParser, max_workers: int = 4) -> None:
+        super().__init__(parser, max_workers=max_workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        # Same content-addressed keys and bound as the parser's own
+        # candidate cache (reaching into parser internals deliberately —
+        # this is persistence plumbing, not API).
+        self._registry = LRUCache(maxsize=parser.config.candidate_cache_size)
+        # Fully-ranked parses, valid only for the weights snapshot below:
+        # the thread analogue of the process workers' per-batch weight
+        # resync.  Keyed (fingerprint, question, k); flushed whenever the
+        # model weights change, so online training invalidates cleanly.
+        self._ranked = LRUCache(maxsize=parser.config.candidate_cache_size)
+        self._ranked_weights: Optional[Dict[str, float]] = None
+
+    @property
+    def workers(self) -> int:
+        # Parsing is pure Python (GIL-bound): threads beyond the cores
+        # this process may use cannot overlap compute, they only add
+        # switch churn — cap like the process flavour does.
+        return min(self.max_workers, _available_cpus()) or 1
+
+    def registry_size(self) -> int:
+        """Entries held in the eviction-immune warm registry."""
+        return len(self._registry)
+
+    def _parse_one(self, item) -> PoolResult:
+        parser = self.parser
+        warm = parser.config.cache_candidates
+        key = (item.table.fingerprint, item.question)
+        ranked_key = (item.table.fingerprint, item.question, item.k)
+        started = time.perf_counter()
+        if warm:
+            ranked = self._ranked.get(ranked_key)
+            if ranked is not None:
+                # Ranking is deterministic for fixed weights (checked per
+                # batch in parse_all), so the memoized parse is value-
+                # identical to re-ranking — only the wall-clock differs.
+                return (
+                    dataclasses.replace(ranked, table=item.table),
+                    time.perf_counter() - started,
+                )
+            if parser._candidate_cache.get(key) is None:
+                entry = self._registry.get(key)
+                if entry is not None:
+                    parser._candidate_cache.put(key, entry)
+        parse = parser.parse(item.question, item.table, k=item.k)
+        elapsed = time.perf_counter() - started
+        if warm:
+            entry = parser._candidate_cache.get(key)
+            if entry is not None:
+                self._registry.put(key, entry)
+            self._ranked.put(ranked_key, parse)
+        return parse, elapsed
+
+    def parse_all(self, items: Sequence) -> List[PoolResult]:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self.batches += 1
+        self.units += len(items)
+        weights = self.parser.model.weights
+        if self._ranked_weights != weights:
+            # Same contract as the process workers' weight resync: new
+            # weights flush every memoized ranking before any parse runs.
+            self._ranked.clear()
+            self._ranked_weights = dict(weights)
+        if self.workers == 1 or len(items) <= 1:
+            return [self._parse_one(item) for item in items]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-pool"
+            )
+        return list(self._executor.map(self._parse_one, items))
+
+    def close(self) -> None:
+        self._closed = True
+        self._registry.clear()
+        self._ranked.clear()
+        self.explanations.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def stats(self) -> Dict[str, object]:
+        payload = super().stats()
+        payload["registry"] = self.registry_size()
+        payload["ranked"] = len(self._ranked)
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# the process flavour
+# ---------------------------------------------------------------------------
+
+
+def _pool_worker_main(conn, weights: Dict[str, float], config: ParserConfig) -> None:
+    """The long-lived worker loop (runs in a child process).
+
+    State that persists across batches: the fingerprint-addressed table
+    registry and the worker's parser with all its per-table caches —
+    exactly what the per-batch pool threw away each call.  The GC is
+    frozen/disabled for the same copy-on-write reasons as
+    :func:`repro.perf.procpool._init_worker`.
+    """
+    gc.freeze()
+    gc.disable()
+    parser = procpool._FORK_PARSER
+    if parser is not None:
+        _refresh_inherited_locks(parser)
+    else:  # spawn start method: rebuild from the shipped weights/config
+        model = LogLinearModel()
+        model.weights = dict(weights)
+        parser = SemanticParser(model=model, config=config)
+    tables: Dict[str, Table] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind != "parse":  # pragma: no cover - protocol guard
+            conn.send(("error", f"unknown message kind {kind!r}"))
+            continue
+        _, tables_blob, new_weights, units = message
+        try:
+            if tables_blob is not None:
+                for table in pickle.loads(tables_blob):
+                    tables[table.fingerprint.digest] = table
+            if new_weights is not None:
+                parser.model.weights = dict(new_weights)
+            results = []
+            for unit in units:
+                digest, question, k = unit
+                table = tables[digest]
+                started = time.perf_counter()
+                parse = parser.parse(question, table, k=k)
+                elapsed = time.perf_counter() - started
+                # The driver re-attaches its own table object; candidates
+                # only reference cells, never the table itself.
+                parse.table = None
+                results.append((unit, parse, elapsed))
+            conn.send(("parsed", results))
+        except Exception as error:  # surface, don't kill the worker
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+
+
+@dataclass
+class _Worker:
+    """Driver-side handle of one persistent worker process."""
+
+    process: multiprocessing.Process
+    conn: object  # multiprocessing.connection.Connection
+    shipped: set = field(default_factory=set)
+    weights: Dict[str, float] = field(default_factory=dict)
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Persistent worker processes with shard affinity.
+
+    Workers fork lazily on the first batch (inheriting the driver's warm
+    caches copy-on-write under the ``fork`` start method, guarded by the
+    same :data:`~repro.perf.procpool._FORK_LOCK` the per-batch backend
+    uses) and live until :meth:`close`.  Across batches each worker
+    keeps its table registry and parser caches, the driver tracks what
+    every worker already holds, and work routes by the stable pin hash —
+    see the module docstring for the full contract.
+
+    ``parse_all`` is thread-safe: concurrent batches (e.g. a broadcast
+    and a routed group interleaved by the serving dispatcher) serialise
+    on a driver-side lock; each still fans out across all workers.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self, parser: SemanticParser, max_workers: int = 4, spill: bool = True
+    ) -> None:
+        super().__init__(parser, max_workers=max_workers)
+        self.spill = spill
+        self.tables_shipped = 0
+        self.last_shipped: List[str] = []
+        self._workers: List[_Worker] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        # Like the per-batch backend: never more processes than cores.
+        return min(self.max_workers, _available_cpus()) or 1
+
+    def pin(self, digest: str) -> int:
+        """The stable shard→worker hash (pure; same answer every run)."""
+        return int(digest[:8], 16) % self.workers
+
+    def pids(self) -> List[int]:
+        """PIDs of the live workers (empty before the first batch)."""
+        return [worker.process.pid for worker in self._workers]
+
+    # -- lifecycle -------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        weights = self.parser.model.weights
+        # Fork under the shared lock: _FORK_PARSER is module-global state
+        # and a concurrent per-batch ProcessPoolBackend fork must not see
+        # (or null) our parser mid-flight.
+        with procpool._FORK_LOCK:
+            fork_start = multiprocessing.get_start_method() == "fork"
+            if fork_start:
+                procpool._FORK_PARSER = self.parser
+            try:
+                for _ in range(self.workers):
+                    parent_conn, child_conn = multiprocessing.Pipe()
+                    process = multiprocessing.Process(
+                        target=_pool_worker_main,
+                        args=(child_conn, weights, self.parser.config),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    self._workers.append(
+                        _Worker(
+                            process=process,
+                            conn=parent_conn,
+                            weights=dict(weights),
+                        )
+                    )
+            finally:
+                if fork_start:
+                    procpool._FORK_PARSER = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self.explanations.clear()
+            for worker in self._workers:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in self._workers:
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():  # pragma: no cover - stuck worker
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+                worker.conn.close()
+            self._workers = []
+
+    # -- scheduling ------------------------------------------------------------
+    def _assign(
+        self, groups: Dict[str, List[WorkUnit]]
+    ) -> Dict[int, Dict[str, List[WorkUnit]]]:
+        """Pin each shard's units, then spill to idle workers.
+
+        Deterministic: pinning is a pure hash, donors are picked by
+        (load, lowest index), targets lowest-index-first, and a split
+        moves the tail half of the donor's largest group.
+        """
+        assignment: Dict[int, Dict[str, List[WorkUnit]]] = {}
+        for digest, units in groups.items():
+            assignment.setdefault(self.pin(digest), {}).setdefault(
+                digest, []
+            ).extend(units)
+        if not self.spill:
+            return assignment
+
+        def load(index: int) -> int:
+            return sum(len(units) for units in assignment.get(index, {}).values())
+
+        idle = [index for index in range(self.workers) if load(index) == 0]
+        while idle:
+            donors = [index for index in range(self.workers) if load(index) > 1]
+            if not donors:
+                break
+            donor = max(donors, key=lambda index: (load(index), -index))
+            donor_groups = assignment[donor]
+            digest, units = max(
+                donor_groups.items(), key=lambda pair: (len(pair[1]), pair[0])
+            )
+            target = idle.pop(0)
+            if len(units) == 1:
+                # All of the donor's groups are singletons: move one whole
+                # group instead of splitting.
+                moved = donor_groups.pop(digest)
+            else:
+                half = len(units) // 2
+                moved = units[len(units) - half:]
+                del units[len(units) - half:]
+            assignment.setdefault(target, {}).setdefault(digest, []).extend(moved)
+        return assignment
+
+    # -- the batch entry point -------------------------------------------------
+    def parse_all(self, items: Sequence) -> List[PoolResult]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self._ensure_workers()
+            self.batches += 1
+            self.units += len(items)
+
+            tables: Dict[str, Table] = {}
+            groups: Dict[str, List[WorkUnit]] = {}
+            seen: set = set()
+            for item in items:
+                digest = item.table.fingerprint.digest
+                tables.setdefault(digest, item.table)
+                unit: WorkUnit = (digest, item.question, item.k)
+                if unit not in seen:
+                    seen.add(unit)
+                    groups.setdefault(digest, []).append(unit)
+
+            assignment = self._assign(groups)
+            weights = self.parser.model.weights
+            shipped_now: List[str] = []
+            busy: List[Tuple[_Worker, int]] = []
+            for index, worker_groups in sorted(assignment.items()):
+                worker = self._workers[index]
+                units = [
+                    unit for _, units in sorted(worker_groups.items())
+                    for unit in units
+                ]
+                if not units:
+                    continue
+                # Incremental registry update: only fingerprints this
+                # worker has never held cross the pipe.
+                new_digests = [
+                    digest
+                    for digest in sorted(worker_groups)
+                    if digest not in worker.shipped
+                ]
+                blob = (
+                    pickle.dumps(
+                        [tables[digest] for digest in new_digests],
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    if new_digests
+                    else None
+                )
+                new_weights = None if worker.weights == weights else dict(weights)
+                worker.conn.send(("parse", blob, new_weights, units))
+                worker.shipped.update(new_digests)
+                shipped_now.extend(new_digests)
+                if new_weights is not None:
+                    worker.weights = new_weights
+                busy.append((worker, len(units)))
+            self.tables_shipped += len(shipped_now)
+            self.last_shipped = shipped_now
+
+            parsed: Dict[WorkUnit, Tuple[ParseOutput, float]] = {}
+            for worker, _ in busy:
+                try:
+                    reply = worker.conn.recv()
+                except (EOFError, OSError) as error:
+                    raise RuntimeError(
+                        f"pool worker {worker.process.pid} died mid-batch"
+                    ) from error
+                if reply[0] == "error":
+                    raise RuntimeError(f"pool worker failed: {reply[1]}")
+                for unit, parse, seconds in reply[1]:
+                    parsed[unit] = (parse, seconds)
+
+        results: List[PoolResult] = []
+        for item in items:
+            unit = (item.table.fingerprint.digest, item.question, item.k)
+            parse, seconds = parsed[unit]
+            results.append((dataclasses.replace(parse, table=item.table), seconds))
+        return results
+
+    def stats(self) -> Dict[str, object]:
+        payload = super().stats()
+        payload.update(
+            {
+                "pids": self.pids(),
+                "tables_shipped": self.tables_shipped,
+                "last_shipped": list(self.last_shipped),
+                "registry": {
+                    index: len(worker.shipped)
+                    for index, worker in enumerate(self._workers)
+                },
+            }
+        )
+        return payload

@@ -68,6 +68,15 @@ _WORKER_TABLES: Dict[str, Table] = {}
 #: shipped weights/config instead.
 _FORK_PARSER: Optional[SemanticParser] = None
 
+#: Guards every set/clear of :data:`_FORK_PARSER`.  Two concurrent
+#: batches used to clobber each other's global — the ``finally`` of one
+#: nulled the other's parser mid-fork, so its workers forked seeing
+#: ``None`` and silently rebuilt cold parsers (or raced the assignment).
+#: The lock is held from setting the global until every fork that must
+#: inherit it has happened, and is shared with the persistent
+#: :class:`~repro.perf.pool.ProcessWorkerPool` for the same reason.
+_FORK_LOCK = threading.Lock()
+
 
 def _available_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
@@ -172,7 +181,6 @@ class ProcessPoolBackend:
         schema *before* forking, so every worker inherits them warm by
         copy-on-write instead of rebuilding its own.
         """
-        global _FORK_PARSER
         tables: Dict[str, Table] = {}
         groups: Dict[str, List[WorkUnit]] = {}
         seen: set = set()
@@ -204,23 +212,43 @@ class ProcessPoolBackend:
             list(tables.values()), protocol=pickle.HIGHEST_PROTOCOL
         )
         workers = min(budget, len(group_lists)) or 1
-        fork_start = multiprocessing.get_start_method() == "fork"
+        # _FORK_PARSER is module state: hold the lock from setting it
+        # until every submission (and with it every worker fork — the
+        # executor spawns processes during submit) has happened, then
+        # clear it *inside* the lock.  Two concurrent batches serialise
+        # their fork windows instead of nulling each other's parser
+        # mid-fork; result collection overlaps freely outside the lock.
+        pool = None
         try:
-            if fork_start:
-                self._prewarm(tables.values())
-                _FORK_PARSER = self.parser
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(tables_blob, self.parser.model.weights, self.parser.config),
-            ) as pool:
-                parsed = {
-                    unit: (parse, seconds)
-                    for group in pool.map(_parse_units, group_lists)
-                    for unit, parse, seconds in group
-                }
+            with _FORK_LOCK:
+                global _FORK_PARSER
+                fork_start = multiprocessing.get_start_method() == "fork"
+                try:
+                    if fork_start:
+                        self._prewarm(tables.values())
+                        _FORK_PARSER = self.parser
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_init_worker,
+                        initargs=(
+                            tables_blob,
+                            self.parser.model.weights,
+                            self.parser.config,
+                        ),
+                    )
+                    futures = [
+                        pool.submit(_parse_units, group) for group in group_lists
+                    ]
+                finally:
+                    _FORK_PARSER = None
+            parsed = {
+                unit: (parse, seconds)
+                for future in futures
+                for unit, parse, seconds in future.result()
+            }
         finally:
-            _FORK_PARSER = None
+            if pool is not None:
+                pool.shutdown(wait=True)
 
         results: List[Tuple[ParseOutput, float]] = []
         for item in items:

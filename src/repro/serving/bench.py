@@ -44,21 +44,57 @@ from .server import AsyncServer, ServedAnswer
 SERVE_MODES = ("sequential", "async", "async_hotset")
 
 
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 < q <= 1)."""
+    if not ordered:
+        return 0.0
+    rank = max(1, -(-int(q * 1000) * len(ordered) // 1000))  # ceil without float drift
+    return ordered[min(len(ordered), rank) - 1]
+
+
+def latency_summary(per_question_seconds: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 of a per-question latency series, in rounded ms.
+
+    The tail percentiles are the serving story (a throughput win that
+    costs a 10x p99 is not a win); like
+    :func:`~repro.perf.bench.timing_summary` the artifact stores this
+    summary, never the raw series.
+    """
+    ordered = sorted(per_question_seconds)
+    return {
+        "p50_ms": round(_percentile(ordered, 0.50) * 1000, 1),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1000, 1),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1000, 1),
+    }
+
+
 @dataclass
 class ServeModeTiming:
-    """Wall-clock and integrity numbers of one serving mode."""
+    """Wall-clock and integrity numbers of one serving mode.
+
+    ``per_question_seconds`` holds each question's *request* latency:
+    for the sequential reference that is the bare ``ask`` call, for the
+    async modes it is enqueue-to-answer as a session observes it
+    (queueing + batching + parse + explain), which is what makes the
+    p50/p95/p99 columns comparable across modes.
+    """
 
     mode: str
     total_seconds: float
     questions: int
     sessions: int
     identical: bool
+    per_question_seconds: List[float] = field(default_factory=list)
     server_stats: Dict[str, int] = field(default_factory=dict)
     catalog_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
         return self.questions / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    @property
+    def latency(self) -> Dict[str, float]:
+        return latency_summary(self.per_question_seconds)
 
 
 @dataclass
@@ -112,14 +148,18 @@ class ServeBenchReport:
     def to_payload(self) -> Dict[str, object]:
         """A JSON-able dict (the ``BENCH_serve.json`` artifact schema).
 
-        v2 (like the parse artifact's v3) segregates run-to-run noise:
+        v2 (like the parse artifact's v3) segregated run-to-run noise:
         ``modes``/``route`` carry the structural facts — integrity flags,
         shard/question counts, dispatcher and catalog counters, all
         identical across re-runs of an unchanged workload — and every
         wall-clock-derived number lives quantized under ``timings``.
+        v3 adds per-mode request-latency percentiles
+        (``latency.p50_ms/p95_ms/p99_ms``) next to the qps numbers, so
+        the artifact records the tail cost of batching, not just the
+        throughput win.
         """
         payload: Dict[str, object] = {
-            "schema": "repro-bench-serve-v2",
+            "schema": "repro-bench-serve-v3",
             "questions": self.questions,
             "tables": self.tables,
             "sessions": self.sessions,
@@ -139,6 +179,7 @@ class ServeBenchReport:
                     name: {
                         "total_seconds": quantize_seconds(timing.total_seconds),
                         "throughput_qps": round(timing.throughput, 1),
+                        "latency": timing.latency,
                     }
                     for name, timing in self.modes.items()
                 },
@@ -167,18 +208,21 @@ class ServeBenchReport:
         return payload
 
     def rows(self) -> List[List[str]]:
-        """Console rows: mode, total, throughput, identical, speedup."""
+        """Console rows: mode, total, throughput, p50/p95/p99, identical, speedup."""
         rows = []
         for name in SERVE_MODES:
             timing = self.modes.get(name)
             if timing is None:
                 continue
             speedup = self.speedup(name) if "sequential" in self.modes else 1.0
+            latency = timing.latency
             rows.append(
                 [
                     name,
                     f"{timing.total_seconds:.3f}s",
                     f"{timing.throughput:.1f} q/s",
+                    f"{latency['p50_ms']:.0f}/{latency['p95_ms']:.0f}"
+                    f"/{latency['p99_ms']:.0f}ms",
                     "yes" if timing.identical else "NO",
                     f"{speedup:.2f}x",
                 ]
@@ -238,21 +282,31 @@ def _run_async_mode(
     sessions: int,
     workers: int,
     backend: str,
-) -> Tuple[float, List[ServedAnswer], Dict[str, int]]:
+) -> Tuple[float, List[ServedAnswer], List[float], Dict[str, int]]:
     """Drive the workload as concurrent sessions; returns flattened answers.
 
-    Answers come back in workload order (sessions are round-robin slices,
-    so re-interleaving their per-session lists restores the original
-    positions regardless of scheduling).
+    Answers (and their per-question request latencies — enqueue to
+    answered, as the session observes it) come back in workload order
+    (sessions are round-robin slices, so re-interleaving their
+    per-session lists restores the original positions regardless of
+    scheduling).
     """
     streams = split_sessions(workload, sessions)
+
+    async def _timed_session(server, stream):
+        answers: List[Tuple[ServedAnswer, float]] = []
+        for question, ref in stream:
+            asked = time.perf_counter()
+            answer = await server.ask(question, table=ref)
+            answers.append((answer, time.perf_counter() - asked))
+        return answers
 
     async def _drive():
         async with AsyncServer(
             catalog, max_workers=workers, backend=backend
         ) as server:
             per_session = await asyncio.gather(
-                *(server.run_session(stream) for stream in streams)
+                *(_timed_session(server, stream) for stream in streams)
             )
             return per_session, server.stats.as_dict()
 
@@ -261,12 +315,15 @@ def _run_async_mode(
     elapsed = time.perf_counter() - started
 
     flattened: List[Optional[ServedAnswer]] = [None] * len(workload)
+    latencies: List[float] = [0.0] * len(workload)
     cursors = [0] * len(per_session)
     for position in range(len(workload)):
         stream_index = position % len(per_session) if per_session else 0
-        flattened[position] = per_session[stream_index][cursors[stream_index]]
+        answer, latency = per_session[stream_index][cursors[stream_index]]
+        flattened[position] = answer
+        latencies[position] = latency
         cursors[stream_index] += 1
-    return elapsed, flattened, stats
+    return elapsed, flattened, latencies, stats
 
 
 def _run_route_mode(
@@ -379,8 +436,13 @@ def run_serving_bench(
 
     # -- sequential reference --------------------------------------------------
     catalog, workload = _fresh_catalog("sequential", None)
+    reference: List[ServedAnswer] = []
+    sequential_latencies: List[float] = []
     started = time.perf_counter()
-    reference = [catalog.ask(question, ref) for question, ref in workload]
+    for question, ref in workload:
+        asked = time.perf_counter()
+        reference.append(catalog.ask(question, ref))
+        sequential_latencies.append(time.perf_counter() - asked)
     sequential_seconds = time.perf_counter() - started
     reference_signatures = [_answer_signature(answer) for answer in reference]
     report.modes["sequential"] = ServeModeTiming(
@@ -389,6 +451,7 @@ def run_serving_bench(
         questions=len(workload),
         sessions=1,
         identical=True,
+        per_question_seconds=sequential_latencies,
         catalog_stats={
             key: value for key, value in catalog.stats().items() if key != "parser"
         },
@@ -400,7 +463,7 @@ def run_serving_bench(
         async_modes.append(("async_hotset", max_hot_shards))
     for mode, hot_limit in async_modes:
         catalog, workload = _fresh_catalog(mode, hot_limit)
-        elapsed, answers, server_stats = _run_async_mode(
+        elapsed, answers, latencies, server_stats = _run_async_mode(
             catalog, workload, sessions, workers, backend
         )
         identical = [
@@ -412,6 +475,7 @@ def run_serving_bench(
             questions=len(workload),
             sessions=sessions,
             identical=identical,
+            per_question_seconds=latencies,
             server_stats=server_stats,
             catalog_stats={
                 key: value for key, value in catalog.stats().items() if key != "parser"

@@ -69,6 +69,10 @@ class _AskRequest:
     ``prune`` only applies corpus-wide: ``None`` defers to the catalog's
     routing policy, ``False`` forces the broadcast for this request.
     ``backend`` overrides the server's pool backend for this request.
+    ``want_ref`` asks the dispatcher to return the *resolved* catalog
+    ref alongside the answer (a :class:`_ResolvedAnswer`) — how
+    :meth:`AsyncServer.aquery` learns the shard identity without ever
+    resolving on the event loop.
     """
 
     question: str
@@ -76,6 +80,15 @@ class _AskRequest:
     k: Optional[int]
     prune: Optional[bool] = None
     backend: Optional[str] = None
+    want_ref: bool = False
+
+
+@dataclass(frozen=True)
+class _ResolvedAnswer:
+    """A routed answer paired with its resolved shard ref (``want_ref``)."""
+
+    ref: object
+    answer: "InterfaceResponse"
 
 
 @dataclass(frozen=True)
@@ -145,6 +158,12 @@ class AsyncServer:
     max_line_bytes:
         Upper bound on one TCP request line.  Longer lines are answered
         with a structured ``BAD_REQUEST`` (the connection survives).
+    persistent:
+        When true (the default) batches run on the engine's long-lived
+        :class:`~repro.perf.pool.WorkerPool` — warm workers with
+        incremental table shipping and shard pinning, reused across
+        every dispatcher batch.  ``False`` restores the per-batch
+        executors.
 
     Use as an async context manager (``async with AsyncServer(...)``) or
     call :meth:`start` / :meth:`stop` explicitly.
@@ -157,6 +176,7 @@ class AsyncServer:
         backend: str = "thread",
         max_batch: int = 64,
         max_line_bytes: int = 64 * 1024,
+        persistent: bool = True,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"AsyncServer needs max_workers >= 1, got {max_workers}")
@@ -169,20 +189,29 @@ class AsyncServer:
         if isinstance(catalog, ReproEngine):
             self.engine = catalog
             self.catalog = catalog.catalog
+            self._owns_engine = False
         else:
             self.catalog = catalog
             self.engine = ReproEngine(
-                catalog, workers=max_workers, backend=backend
+                catalog,
+                workers=max_workers,
+                backend=backend,
+                persistent_pools=persistent,
             )
+            self._owns_engine = True
         self.max_workers = max_workers
         self.backend = backend
         self.max_batch = max_batch
         self.max_line_bytes = max_line_bytes
+        self.persistent = persistent
         self.stats = ServerStats()
         # One dispatcher thread: batches run serially (parallelism lives
         # *inside* a batch, via ask_many's worker pool), so arrivals
-        # during a batch accumulate into the next one.
+        # during a batch accumulate into the next one.  The jobs executor
+        # carries corpus-wide broadcasts so they overlap the routed
+        # groups (and each other) instead of running serially inline.
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._jobs: Optional[ThreadPoolExecutor] = None
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
 
@@ -194,13 +223,24 @@ class AsyncServer:
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-serve"
             )
+            self._jobs = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-serve-job"
+            )
             self._dispatcher = asyncio.get_running_loop().create_task(
                 self._dispatch_loop()
             )
         return self
 
     async def stop(self) -> None:
-        """Stop the dispatcher, failing any request still in the queue."""
+        """Stop the dispatcher, failing any request still in the queue.
+
+        Concurrent :meth:`ask` calls racing a stop get a clean
+        :class:`~repro.api.errors.ServerClosed` (never an internal
+        ``AttributeError`` — the queue handoff is identity-checked).
+        When the server built its own engine it also tears down the
+        engine's persistent pools; a caller-supplied engine keeps its
+        pools (its owner decides their lifetime).
+        """
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -217,9 +257,17 @@ class AsyncServer:
                 if not future.done():
                     future.set_exception(ServerClosed("server stopped"))
             self._queue = None
+        # The dispatcher executor first (waits out any in-flight
+        # _answer_batch, which may still submit to the jobs executor),
+        # then the jobs executor.
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._jobs is not None:
+            self._jobs.shutdown(wait=True)
+            self._jobs = None
+        if self._owns_engine:
+            self.engine.close()
 
     async def __aenter__(self) -> "AsyncServer":
         return await self.start()
@@ -228,6 +276,27 @@ class AsyncServer:
         await self.stop()
 
     # -- the asyncio API -------------------------------------------------------
+    async def _enqueue(self, request: _AskRequest) -> object:
+        """Queue one request and await its answer (race-safe vs ``stop``).
+
+        The queue reference is captured once after :meth:`start`;
+        a concurrent :meth:`stop` — before the put, or landing between
+        the put and the dispatcher picking the request up — surfaces as
+        :class:`~repro.api.errors.ServerClosed`, never as an
+        ``AttributeError`` on the nulled queue (the historical race).
+        """
+        await self.start()
+        queue = self._queue
+        if queue is None:  # stop() ran between start() and here
+            raise ServerClosed("server stopped")
+        future = asyncio.get_running_loop().create_future()
+        await queue.put((request, future))
+        if self._queue is not queue and not future.done():
+            # stop() swapped the queue out from under the put: the
+            # request can never be served — fail it like the drained ones.
+            future.set_exception(ServerClosed("server stopped"))
+        return await future
+
     async def ask(
         self,
         question: str,
@@ -243,12 +312,7 @@ class AsyncServer:
         (corpus-wide only) overrides the catalog's routing policy per
         request; ``backend`` overrides the server's pool backend.
         """
-        await self.start()
-        future = asyncio.get_running_loop().create_future()
-        await self._queue.put(
-            (_AskRequest(question, table, k, prune, backend), future)
-        )
-        return await future
+        return await self._enqueue(_AskRequest(question, table, k, prune, backend))
 
     async def aquery(self, request: QueryRequest):
         """Answer one :class:`QueryRequest` through the dispatcher.
@@ -258,24 +322,39 @@ class AsyncServer:
         :class:`~repro.api.envelope.QueryResult` built by the shared
         :mod:`repro.api.engine` builders — bit-identical (modulo timing)
         to :meth:`ReproEngine.query` on the same catalog.
+
+        Resolution happens on the *dispatcher thread*, never here: the
+        catalog's resolve path takes the catalog lock (held across disk
+        writes during eviction), which must not stall the event loop.
         """
         from ..api.engine import error_result
         from ..api.envelope import ShardInfo
 
         try:
             request.validate()
-            ref = (
-                self.catalog.resolve(request.target)
-                if request.resolved_mode == "table"
-                else None
-            )
-            answer = await self.ask(
-                request.question,
-                table=ref,
-                k=request.k,
-                prune=request.prune,
-                backend=request.backend,
-            )
+            if request.resolved_mode == "table":
+                outcome = await self._enqueue(
+                    _AskRequest(
+                        request.question,
+                        request.target,
+                        request.k,
+                        request.prune,
+                        request.backend,
+                        want_ref=True,
+                    )
+                )
+                ref, answer = outcome.ref, outcome.answer
+            else:
+                ref = None
+                answer = await self._enqueue(
+                    _AskRequest(
+                        request.question,
+                        None,
+                        request.k,
+                        request.prune,
+                        request.backend,
+                    )
+                )
         except Exception as error:
             return error_result(request, classify_exception(error))
         # The resolved ref carries the *registered* identity (which may
@@ -357,6 +436,12 @@ class AsyncServer:
                 else:
                     future.set_result(outcome)
 
+    def _pool(self, backend: Optional[str]):
+        """The engine's persistent pool for ``backend`` (``None`` if off)."""
+        if not self.persistent:
+            return None
+        return self.engine.pool(backend or self.backend)
+
     def _answer_batch(self, requests: Sequence[_AskRequest]) -> List[object]:
         """Answer one batch on the dispatcher thread (never the event loop).
 
@@ -364,32 +449,45 @@ class AsyncServer:
         with **shard affinity**: within a group, requests are stably
         sorted by their resolved shard's digest before the single
         :meth:`TableCatalog.ask_many` call, so questions targeting the
-        same shard land adjacent in the batch — the process-pool backend
-        ships each table once per contiguous run, and the thread backend
-        hits warm per-table caches back to back.  The sort is stable
+        same shard land adjacent in the batch — the persistent pool pins
+        each shard's run to its worker, the process-pool backend ships
+        each table once per contiguous run, and the thread backend hits
+        warm per-table caches back to back.  The sort is stable
         (same-shard requests keep arrival order) and responses are
         re-aligned by queue position, so outputs remain order-stable and
-        bit-identical to the unsorted path.  Corpus-wide questions run
-        through :meth:`TableCatalog.ask_any` (the retrieve-then-parse
-        pipeline).  Per-request errors (unknown refs) fail only their own
-        future.
+        bit-identical to the unsorted path.
+
+        Corpus-wide questions run through :meth:`TableCatalog.ask_any`
+        (the retrieve-then-parse pipeline) **interleaved** with the
+        routed groups: each broadcast is submitted to the jobs executor
+        up front and collected after the routed groups finish, so a slow
+        corpus sweep never serialises in front of cheap routed traffic
+        (it used to run inline, and strictly before the groups).
+        Per-request errors (unknown refs) fail only their own future.
         """
         outcomes: List[object] = [None] * len(requests)
         routed: Dict[
-            Tuple[Optional[int], Optional[str]], List[Tuple[int, _AskRequest]]
+            Tuple[Optional[int], Optional[str]],
+            List[Tuple[int, _AskRequest, object]],
         ] = {}
+        broadcasts: List[Tuple[int, object]] = []
         for position, request in enumerate(requests):
             if request.ref is None:
-                try:
-                    outcomes[position] = self.catalog.ask_any(
-                        request.question,
-                        k=request.k,
-                        workers=self.max_workers,
-                        backend=request.backend or self.backend,
-                        prune=request.prune,
+                backend = request.backend or self.backend
+                broadcasts.append(
+                    (
+                        position,
+                        self._jobs.submit(
+                            self.catalog.ask_any,
+                            request.question,
+                            k=request.k,
+                            workers=self.max_workers,
+                            backend=backend,
+                            prune=request.prune,
+                            pool=self._pool(backend),
+                        ),
                     )
-                except Exception as error:
-                    outcomes[position] = _Failure(error)
+                )
                 continue
             try:
                 ref = self.catalog.resolve(request.ref)
@@ -397,27 +495,33 @@ class AsyncServer:
                 outcomes[position] = _Failure(error)
                 continue
             routed.setdefault((request.k, request.backend), []).append(
-                (position, _AskRequest(request.question, ref, request.k))
+                (position, request, ref)
             )
         for (k, backend), group in routed.items():
             # Shard-affinity composition: stable sort by resolved digest.
-            group.sort(key=lambda pair: pair[1].ref.digest)
-            self.stats.shard_groups += len(
-                {request.ref.digest for _, request in group}
-            )
+            group.sort(key=lambda entry: entry[2].digest)
+            self.stats.shard_groups += len({ref.digest for _, _, ref in group})
             try:
                 responses = self.catalog.ask_many(
-                    [(request.question, request.ref) for _, request in group],
+                    [(request.question, ref) for _, request, ref in group],
                     k=k,
                     workers=self.max_workers,
                     backend=backend or self.backend,
+                    pool=self._pool(backend),
                 )
             except Exception as error:
-                for position, _ in group:
+                for position, _, _ in group:
                     outcomes[position] = _Failure(error)
                 continue
-            for (position, _), response in zip(group, responses):
-                outcomes[position] = response
+            for (position, request, ref), response in zip(group, responses):
+                outcomes[position] = (
+                    _ResolvedAnswer(ref, response) if request.want_ref else response
+                )
+        for position, future in broadcasts:
+            try:
+                outcomes[position] = future.result()
+            except Exception as error:
+                outcomes[position] = _Failure(error)
         return outcomes
 
     # -- TCP front end ---------------------------------------------------------

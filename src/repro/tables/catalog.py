@@ -137,6 +137,14 @@ class CatalogAnswer:
     def best(self) -> Optional[Tuple[TableRef, "InterfaceResponse"]]:
         return self.ranked[0] if self.ranked else None
 
+    def __repr__(self) -> str:
+        # Bounded: the generated repr would recurse into every ranked
+        # shard's full response graph (see InterfaceResponse.__repr__).
+        return (
+            f"CatalogAnswer(question={self.question!r}, "
+            f"shards_parsed={self.shards_parsed}, answer={self.answer!r})"
+        )
+
     @property
     def best_ref(self) -> Optional[TableRef]:
         return self.ranked[0][0] if self.ranked else None
@@ -224,6 +232,12 @@ class TableCatalog:
         self._order = itertools.count()
         self._clock = itertools.count(1)
         self._lock = threading.RLock()
+        # Digests whose table blob this catalog already wrote to its disk
+        # store.  Tables are immutable and content-addressed, so one
+        # write per digest suffices — repeat evictions of a hot-again
+        # shard must not re-pickle identical bytes (the cache dir is
+        # owned by this catalog for its lifetime).
+        self._persisted_tables: set = set()
         self.evictions = 0
         self.rehydrations = 0
 
@@ -408,12 +422,15 @@ class TableCatalog:
         k: Optional[int] = None,
         workers: int = 4,
         backend: str = "thread",
+        pool=None,
     ) -> List["InterfaceResponse"]:
         """Answer a batch of ``(question, ref)`` pairs, index-aligned.
 
         Routing resolves every ref up front, then the batch rides
         :meth:`NLInterface.ask_many` — thread pool by default,
-        ``backend="process"`` for the GIL-free process pool.
+        ``backend="process"`` for the GIL-free process pool, or a
+        persistent :class:`~repro.perf.pool.WorkerPool` (``pool``)
+        reused across batches.
         """
         shards = [self._shard_for(ref) for _, ref in items]
         pairs = [
@@ -421,7 +438,7 @@ class TableCatalog:
             for (question, _), shard in zip(items, shards)
         ]
         responses = self.interface.ask_many(
-            pairs, k=k, workers=workers, backend=backend
+            pairs, k=k, workers=workers, backend=backend, pool=pool
         )
         with self._lock:
             protect = {shard.ref.digest for shard in shards}
@@ -448,6 +465,7 @@ class TableCatalog:
         workers: int = 4,
         backend: str = "thread",
         prune: Optional[bool] = None,
+        pool=None,
     ) -> CatalogAnswer:
         """Answer ``question`` corpus-wide: retrieve, parse survivors, rank.
 
@@ -478,6 +496,7 @@ class TableCatalog:
             k=k,
             workers=workers,
             backend=backend,
+            pool=pool,
         )
         order = {ref.digest: position for position, ref in enumerate(refs)}
         retrieval = {scored.ref.digest: scored.score for scored in decision.scored}
@@ -520,8 +539,12 @@ class TableCatalog:
         with self._lock:
             table = shard.table
             if table is not None:
-                if self._disk is not None:
+                if (
+                    self._disk is not None
+                    and shard.ref.digest not in self._persisted_tables
+                ):
                     self._disk.put_table(shard.ref.digest, table)
+                    self._persisted_tables.add(shard.ref.digest)
                 self.interface.evict_table(table)
                 if self._disk is not None:
                     shard.table = None

@@ -381,10 +381,13 @@ class TestBenchServeCommand:
         assert "sequential" in text and "async" in text
         assert "route:" in text and "broadcast" in text and "pruned" in text
         payload = json.loads(artifact.read_text())
-        assert payload["schema"] == "repro-bench-serve-v2"
+        assert payload["schema"] == "repro-bench-serve-v3"
         assert payload["modes"]["async"]["identical"] is True
         assert payload["route"]["top_answers_match"] is True
         assert payload["timings"]["modes"]["async"]["total_seconds"] > 0
+        latency = payload["timings"]["modes"]["async"]["latency"]
+        assert set(latency) == {"p50_ms", "p95_ms", "p99_ms"}
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
 
     def test_bench_serve_no_route_skips_route_mode(self, tmp_path):
         out = io.StringIO()

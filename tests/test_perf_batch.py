@@ -175,6 +175,55 @@ class TestProcessBackend:
         assert len(report.results[0].parse.candidates) == 1
         assert len(report.results[1].parse.candidates) == 3
 
+    def test_concurrent_batches_do_not_cross_fork_parsers(self):
+        """Regression: ``_FORK_PARSER`` is module state shared by every
+        process-backend batch.  Two batches forking concurrently from
+        two threads used to race the set/clear window, so one batch's
+        workers could inherit the *other* batch's parser (or ``None``).
+        Both batches must complete bit-identical to their own parser's
+        sequential loop."""
+        import threading
+
+        base_items = build_items()
+        reference_parser = make_parser()
+        reference = [
+            signature(reference_parser.parse(question, table))
+            for question, table in base_items
+        ]
+        # The second batch runs a *differently weighted* parser: if its
+        # fork inherits the first batch's parser, signatures diverge.
+        shifted_weights = dict(WEIGHTS)
+        shifted_weights["op:Aggregate"] = 5.0
+        shifted_parser = make_parser()
+        shifted_parser.model.weights = dict(shifted_weights)
+        shifted_reference_parser = make_parser()
+        shifted_reference_parser.model.weights = dict(shifted_weights)
+        shifted_reference = [
+            signature(shifted_reference_parser.parse(question, table))
+            for question, table in base_items
+        ]
+
+        outcomes: dict = {}
+        barrier = threading.Barrier(2)
+
+        def run(tag, parser):
+            barrier.wait()
+            outcomes[tag] = BatchParser(
+                parser, max_workers=2, backend="process"
+            ).parse_all(list(base_items))
+
+        threads = [
+            threading.Thread(target=run, args=("base", make_parser())),
+            threading.Thread(target=run, args=("shifted", shifted_parser)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert [signature(r.parse) for r in outcomes["base"]] == reference
+        assert [signature(r.parse) for r in outcomes["shifted"]] == shifted_reference
+
 
 class TestInterfaceBatch:
     def test_ask_many_matches_sequential_ask(self):

@@ -305,6 +305,186 @@ class TestTcpEndpoint:
         asyncio.run(drive())
 
 
+class TestServingRaceRegressions:
+    """The stop()/ask() races and thread-placement contracts."""
+
+    def test_ask_racing_stop_is_server_closed_never_attribute_error(
+        self, corpus, catalog
+    ):
+        """Regression: a stop() landing while asks were in flight used to
+        surface as ``AttributeError: 'NoneType' object has no attribute
+        'put'`` on the nulled queue.  Every racing ask must now end in a
+        real answer or a clean ServerClosed."""
+        _, questions = corpus
+
+        async def drive():
+            server = AsyncServer(catalog, max_workers=2)
+            await server.start()
+
+            async def one_ask():
+                try:
+                    return await server.ask(questions["olympics"], "olympics")
+                except ServerClosed as error:
+                    return error
+
+            tasks = [
+                asyncio.get_running_loop().create_task(one_ask())
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0)
+            await server.stop()
+            outcomes = await asyncio.gather(*tasks)
+            # A straggler ask may have lazily restarted the dispatcher;
+            # tear it down again so nothing outlives the loop.
+            await server.stop()
+            return outcomes
+
+        for outcome in asyncio.run(drive()):
+            assert isinstance(outcome, ServerClosed) or outcome.top is not None
+
+    def test_stop_nulling_queue_between_start_and_capture(self, corpus, catalog):
+        """The exact historical interleaving, pinned deterministically:
+        stop() nulls the queue after ask()'s lazy start() returns but
+        before the queue reference is captured."""
+        _, questions = corpus
+
+        async def drive():
+            server = AsyncServer(catalog)
+            await server.start()
+            real_start = server.start
+
+            async def start_then_lose_queue():
+                await real_start()
+                server._queue = None  # what the concurrent stop() does
+
+            server.start = start_then_lose_queue
+            with pytest.raises(ServerClosed):
+                await server.ask(questions["olympics"], "olympics")
+            server.start = real_start
+            await server.stop()
+
+        asyncio.run(drive())
+
+    def test_stop_swapping_queue_after_the_put(self, corpus, catalog):
+        """The narrower window: stop() drains and nulls the queue right
+        after the put but before the dispatcher picks the request up."""
+        _, questions = corpus
+
+        async def drive():
+            server = AsyncServer(catalog)
+            await server.start()
+            # Let the dispatcher park on the original queue, then hand
+            # _enqueue a side queue nothing consumes, whose put itself
+            # loses the queue — the identity check must fail the future
+            # instead of letting it hang.
+            await asyncio.sleep(0)
+            real_queue = server._queue
+            real_start = server.start
+            parked = asyncio.Queue()
+            real_put = parked.put
+
+            async def put_then_lose_queue(item):
+                await real_put(item)
+                server._queue = None
+
+            parked.put = put_then_lose_queue
+            server._queue = parked
+
+            async def noop_start():
+                return server
+
+            server.start = noop_start
+            with pytest.raises(ServerClosed):
+                await asyncio.wait_for(
+                    server.ask(questions["olympics"], "olympics"), timeout=10
+                )
+            server.start = real_start
+            server._queue = real_queue
+            await server.stop()
+
+        asyncio.run(drive())
+
+    def test_resolve_runs_on_dispatcher_thread_not_event_loop(
+        self, corpus, catalog
+    ):
+        """Regression: aquery used to call catalog.resolve on the event
+        loop; the catalog lock (held across disk writes during eviction)
+        could stall every session.  Resolution must happen on the
+        dispatcher thread."""
+        import threading
+
+        from repro.api.envelope import QueryRequest
+
+        _, questions = corpus
+        seen_threads = []
+        real_resolve = catalog.resolve
+
+        def recording_resolve(ref):
+            seen_threads.append(threading.current_thread().name)
+            return real_resolve(ref)
+
+        catalog.resolve = recording_resolve
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=2) as server:
+                return await server.aquery(
+                    QueryRequest(
+                        question=questions["olympics"], target="olympics"
+                    )
+                )
+
+        try:
+            result = asyncio.run(drive())
+        finally:
+            catalog.resolve = real_resolve
+        assert result.ok
+        assert seen_threads
+        for name in seen_threads:
+            assert name.startswith("repro-serve")
+            assert name != threading.main_thread().name
+
+    def test_broadcasts_run_on_jobs_executor_interleaved_with_routed(
+        self, corpus, catalog
+    ):
+        """Regression: corpus-wide ask_any used to run inline on the
+        dispatcher thread, strictly before the routed groups.  In a mixed
+        batch it must run on the jobs executor, and both halves must stay
+        bit-identical to the direct catalog calls."""
+        import threading
+
+        _, questions = corpus
+        seen_threads = []
+        real_ask_any = catalog.ask_any
+
+        def recording_ask_any(question, **kwargs):
+            seen_threads.append(threading.current_thread().name)
+            return real_ask_any(question, **kwargs)
+
+        catalog.ask_any = recording_ask_any
+
+        async def drive():
+            async with AsyncServer(catalog, max_workers=2, max_batch=8) as server:
+                routed_task = asyncio.get_running_loop().create_task(
+                    server.ask(questions["olympics"], "olympics")
+                )
+                broadcast_task = asyncio.get_running_loop().create_task(
+                    server.ask(questions["medals"])
+                )
+                return await asyncio.gather(routed_task, broadcast_task)
+
+        try:
+            routed, broadcast = asyncio.run(drive())
+        finally:
+            catalog.ask_any = real_ask_any
+        assert seen_threads
+        for name in seen_threads:
+            assert name.startswith("repro-serve-job")
+        assert routed.top.answer == ("Greece",)
+        reference = real_ask_any(questions["medals"])
+        assert broadcast.answer == reference.answer
+        assert broadcast.best_ref.digest == reference.best_ref.digest
+
+
 class TestServerStats:
     def test_mean_batch_is_always_a_float(self, catalog):
         """Regression: mean_batch degraded to the int 0 before the first
@@ -604,10 +784,27 @@ class TestServingBenchSmoke:
         assert report.route.top_answers_match
         assert report.route.strictly_fewer
         payload = report.to_payload()
-        assert payload["schema"] == "repro-bench-serve-v2"
+        assert payload["schema"] == "repro-bench-serve-v3"
         assert payload["route"]["top_answers_match"] is True
         assert payload["route"]["strictly_fewer"] is True
         assert set(payload["timings"]["route"]) == {
             "broadcast_seconds", "pruned_seconds", "speedup"
         }
+        # v3: every mode records request-latency percentiles, and each
+        # mode timed as many questions as it answered.
+        for name, timing in report.modes.items():
+            mode_timings = payload["timings"]["modes"][name]
+            assert set(mode_timings["latency"]) == {"p50_ms", "p95_ms", "p99_ms"}
+            assert mode_timings["latency"]["p50_ms"] > 0
+            assert (
+                mode_timings["latency"]["p50_ms"]
+                <= mode_timings["latency"]["p95_ms"]
+                <= mode_timings["latency"]["p99_ms"]
+            )
+            assert len(timing.per_question_seconds) == timing.questions
         json.dumps(payload)
+        # The committed-artifact gate: the payload satisfies the v3
+        # wire schema the CI fixture check enforces.
+        from repro.api.schema import load_schema, validate_payload
+
+        validate_payload(payload, load_schema("bench_serve.v3.json"))
