@@ -17,8 +17,10 @@ the :class:`~repro.tables.catalog.TableCatalog` +
 and locks in the integrity contracts: every serving mode's answers are
 bit-identical to the sequential reference, and the pruned pipeline
 returns the broadcast top answer while parsing strictly fewer shards on
-this multi-shard, disjoint-content corpus.  Timings land in
-``BENCH_serve.json``.
+this multi-shard, disjoint-content corpus.  Timings land in a
+``BENCH_serve.json`` scratch artifact (see ``_bench_utils.artifact_dir``
+— the committed repo-root snapshot is regenerated only via the README's
+``repro bench-serve`` protocol, never by a test run).
 """
 
 from __future__ import annotations
