@@ -15,18 +15,29 @@ JSON-lines TCP endpoint — which means the test suite exercises the
 Both transports return error *envelopes* (never raise for semantic
 failures), mirroring :meth:`ReproEngine.query`; call
 ``result.raise_for_error()`` for exception behaviour.
+
+Transport faults are **coded, never raw**: a socket timeout surfaces as
+``ApiError(TIMEOUT)``, a refused/reset/closed connection as
+``ApiError(SERVER_CLOSED)`` — callers branch on codes at every layer,
+including the transport boundary.  The TCP transport also **retries**
+retryable failures (``OVERLOADED`` envelopes, connection resets) with
+capped exponential backoff + jitter, reconnecting first when the
+connection died; ``TIMEOUT`` is never retried — the caller's deadline is
+already spent (see :data:`repro.api.errors.RETRYABLE_CODES`).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from . import wire
 from .engine import ReproEngine, RequestLike, coerce_request
 from .envelope import ErrorInfo, QueryRequest, QueryResult
-from .errors import ApiError, ErrorCode, bad_request
+from .errors import RETRYABLE_CODES, ApiError, ErrorCode, bad_request
 
 
 class _InProcessTransport:
@@ -58,12 +69,68 @@ class _InProcessTransport:
 
 
 class _TcpTransport:
-    """A v2 JSON-lines client over a blocking stdlib socket."""
+    """A v2 JSON-lines client over a blocking stdlib socket.
 
-    def __init__(self, host: str, port: int, timeout: Optional[float]) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._socket.makefile("rwb")
+    Every socket fault is mapped to a coded :class:`ApiError` at this
+    boundary (``TIMEOUT`` for a read that ran out of budget,
+    ``SERVER_CLOSED`` for refused/reset/closed connections) — raw
+    ``socket.timeout``/``ConnectionResetError`` never reach callers.
+    ``retries``/``backoff_base``/``backoff_cap`` govern the retry loop
+    in :meth:`query`: retryable failures back off exponentially (with
+    jitter, capped) and reconnect when the connection is gone.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float],
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = max(0, retries)
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
         self._sequence = 0
+        attempt = 0
+        while True:
+            try:
+                self._connect()
+                return
+            except ApiError as error:
+                if (
+                    error.code is not ErrorCode.SERVER_CLOSED
+                    or attempt >= self._retries
+                ):
+                    raise
+                self._backoff(attempt)
+                attempt += 1
+
+    @staticmethod
+    def _map_transport_error(error: Exception) -> ApiError:
+        """Raw socket faults → the coded taxonomy, at the boundary."""
+        if isinstance(error, (socket.timeout, TimeoutError)):
+            return ApiError(
+                ErrorCode.TIMEOUT,
+                f"transport timeout: {type(error).__name__}: {error}",
+            )
+        return ApiError(
+            ErrorCode.SERVER_CLOSED,
+            f"connection failed: {type(error).__name__}: {error}",
+        )
+
+    def _connect(self) -> None:
+        try:
+            self._socket = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except OSError as error:
+            raise self._map_transport_error(error) from error
+        self._file = self._socket.makefile("rwb")
         hello = self._call_raw({"v": 2, "op": "hello"})
         versions = hello.get("versions", ())
         if not hello.get("ok") or 2 not in versions:
@@ -72,12 +139,30 @@ class _TcpTransport:
                 f"server does not speak protocol v2 (offered {versions!r})",
             )
 
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+
+    def _backoff(self, attempt: int) -> None:
+        """Capped exponential backoff with jitter (thundering-herd safe)."""
+        delay = min(self._backoff_cap, self._backoff_base * (2 ** attempt))
+        time.sleep(delay * (0.5 + random.random() * 0.5))
+
     def _call_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         self._sequence += 1
         payload.setdefault("id", self._sequence)
-        self._file.write(json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(
+                json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
+            )
+            self._file.flush()
+            line = self._file.readline()
+        except (TimeoutError, OSError) as error:
+            raise self._map_transport_error(error) from error
+        except ValueError as error:  # I/O on a file closed under us
+            raise ApiError(
+                ErrorCode.SERVER_CLOSED, f"connection closed: {error}"
+            ) from error
         if not line:
             raise ApiError(
                 ErrorCode.SERVER_CLOSED, "server closed the connection mid-request"
@@ -116,11 +201,52 @@ class _TcpTransport:
             error=ErrorInfo.from_dict(error),
         )
 
-    def query(self, request: QueryRequest) -> QueryResult:
-        response = self._call_raw(
-            {"v": 2, "op": "query", **self._query_fields(request)}
+    @staticmethod
+    def _result_code(result: QueryResult) -> Optional[ErrorCode]:
+        if result.ok or result.error is None:
+            return None
+        try:
+            return ErrorCode(result.error.code)
+        except ValueError:  # a code this client version doesn't know
+            return None
+
+    def _should_retry(self, code: Optional[ErrorCode], attempt: int) -> bool:
+        return (
+            code is not None
+            and code in RETRYABLE_CODES
+            and attempt < self._retries
         )
-        return self._decode_query_response(request, response)
+
+    def _recover(self, code: ErrorCode, attempt: int) -> None:
+        """Back off (jittered), reconnecting first if the link is dead."""
+        self._backoff(attempt)
+        if code is ErrorCode.SERVER_CLOSED:
+            self._reconnect()
+
+    def query(self, request: QueryRequest) -> QueryResult:
+        attempt = 0
+        while True:
+            try:
+                response = self._call_raw(
+                    {"v": 2, "op": "query", **self._query_fields(request)}
+                )
+            except ApiError as error:
+                if not self._should_retry(error.code, attempt):
+                    raise
+                # A failed reconnect raises its own coded SERVER_CLOSED.
+                self._recover(error.code, attempt)
+                attempt += 1
+                continue
+            result = self._decode_query_response(request, response)
+            code = self._result_code(result)
+            if self._should_retry(code, attempt):
+                try:
+                    self._recover(code, attempt)
+                except ApiError:
+                    return result  # can't recover: report the envelope
+                attempt += 1
+                continue
+            return result
 
     def query_many(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
         """Pipelined batch: all request lines ship before any read.
@@ -128,9 +254,25 @@ class _TcpTransport:
         The JSON-lines server answers every line of a connection in
         order, so a batch of N queries pays one round trip, not N —
         responses are re-matched to requests by the ``id`` echo.
+        Connection-level failures retry the whole (idempotent) batch
+        with backoff; per-request error envelopes come back as-is.
         """
         if not requests:
             return []
+        attempt = 0
+        while True:
+            try:
+                return self._query_many_once(requests)
+            except ApiError as error:
+                if error.code is not ErrorCode.SERVER_CLOSED or not (
+                    attempt < self._retries
+                ):
+                    raise
+                self._backoff(attempt)
+                self._reconnect()
+                attempt += 1
+
+    def _query_many_once(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
         ids: List[int] = []
         lines: List[bytes] = []
         for request in requests:
@@ -143,12 +285,27 @@ class _TcpTransport:
             lines.append(
                 json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
             )
-        self._file.write(b"".join(lines))
-        self._file.flush()
+        try:
+            self._file.write(b"".join(lines))
+            self._file.flush()
+        except (TimeoutError, OSError) as error:
+            raise self._map_transport_error(error) from error
         by_id: Dict[Any, Dict[str, Any]] = {}
-        for _ in requests:
-            line = self._file.readline()
+        for index in range(len(requests)):
+            try:
+                line = self._file.readline()
+            except (TimeoutError, OSError) as error:
+                if index == 0:
+                    # Nothing read yet: the batch never started — safe
+                    # to surface as retryable.
+                    raise self._map_transport_error(error) from error
+                break  # partial batch: missing responses decode below
             if not line:
+                if index == 0:
+                    raise ApiError(
+                        ErrorCode.SERVER_CLOSED,
+                        "server closed the connection mid-request",
+                    )
                 break  # missing responses decode to coded INTERNAL errors
             response = json.loads(line.decode("utf-8"))
             if isinstance(response, dict):
@@ -187,10 +344,21 @@ class ReproClient:
     @classmethod
     def connect(
         cls, host: str = "127.0.0.1", port: int = 8765,
-        timeout: Optional[float] = 30.0,
+        timeout: Optional[float] = 30.0, retries: int = 2,
+        backoff_base: float = 0.05, backoff_cap: float = 1.0,
     ) -> "ReproClient":
-        """Connect to a ``repro serve`` endpoint and negotiate v2."""
-        return cls(_TcpTransport(host, port, timeout))
+        """Connect to a ``repro serve`` endpoint and negotiate v2.
+
+        ``retries`` extra attempts are made for retryable failures
+        (``OVERLOADED`` envelopes, dropped connections) with capped
+        exponential backoff + jitter; ``TIMEOUT`` is never retried.
+        """
+        return cls(
+            _TcpTransport(
+                host, port, timeout, retries=retries,
+                backoff_base=backoff_base, backoff_cap=backoff_cap,
+            )
+        )
 
     # -- the query API ---------------------------------------------------------
     def _coerce(self, request: RequestLike, options: Dict[str, Any]) -> QueryRequest:

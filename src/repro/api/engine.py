@@ -29,6 +29,7 @@ hope.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..tables.catalog import CatalogAnswer, TableCatalog
@@ -252,6 +253,12 @@ class ReproEngine:
         — warm workers, incremental table shipping and shard pinning
         instead of per-batch executor churn.  ``False`` restores the
         per-call executors (useful for one-shot scripts).
+    call_timeout:
+        Per-dispatch watchdog of the persistent process pool: a worker
+        sitting on one batch message longer than this (seconds) is
+        declared hung, killed and respawned, and its units retried.
+        ``None`` (default) disables the watchdog; request deadlines
+        still apply.
     """
 
     def __init__(
@@ -267,6 +274,7 @@ class ReproEngine:
         workers: int = 4,
         backend: str = "thread",
         persistent_pools: bool = True,
+        call_timeout: Optional[float] = None,
     ) -> None:
         if catalog is None:
             catalog = TableCatalog(
@@ -280,6 +288,7 @@ class ReproEngine:
         self.workers = workers
         self.backend = backend
         self.persistent_pools = persistent_pools
+        self.call_timeout = call_timeout
         self._pools: Dict[str, Any] = {}
         self._pools_lock = threading.Lock()
         if tables:
@@ -316,7 +325,10 @@ class ReproEngine:
                 from ..perf.pool import create_pool
 
                 pool = create_pool(
-                    backend, self.catalog.interface.parser, self.workers
+                    backend,
+                    self.catalog.interface.parser,
+                    self.workers,
+                    call_timeout=self.call_timeout,
                 )
                 self._pools[backend] = pool
             return pool
@@ -419,6 +431,16 @@ class ReproEngine:
             key = (request.k, request.backend or self.backend)
             grouped.setdefault(key, []).append((position, request, ref))
         for (k, backend), members in grouped.items():
+            # deadline_ms → absolute monotonic deadlines, one budget per
+            # request, started here (the in-process analogue of the
+            # serving dispatcher's enqueue-time stamp).
+            started = time.monotonic()
+            deadlines = [
+                started + request.deadline_ms / 1000.0
+                if request.deadline_ms is not None
+                else None
+                for _, request, _ in members
+            ]
             try:
                 responses = self.catalog.ask_many(
                     [(request.question, ref) for _, request, ref in members],
@@ -426,6 +448,7 @@ class ReproEngine:
                     workers=self.workers,
                     backend=backend,
                     pool=self.pool(backend),
+                    deadlines=deadlines,
                 )
             except Exception as error:
                 coded = classify_exception(error)
@@ -433,6 +456,11 @@ class ReproEngine:
                     results[position] = error_result(request, coded)
                 continue
             for (position, request, ref), response in zip(members, responses):
+                if response.error is not None:
+                    results[position] = error_result(
+                        request, classify_exception(response.error)
+                    )
+                    continue
                 results[position] = result_from_response(
                     request, response, shard=ShardInfo.from_ref(ref),
                     cache=self.cache_stats(),

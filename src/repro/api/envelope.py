@@ -71,6 +71,12 @@ class QueryRequest:
     prune: Optional[bool] = None
     backend: Optional[str] = None
     request_id: Optional[str] = None
+    #: Optional end-to-end budget in milliseconds.  The serving layer
+    #: starts the clock when it accepts the request; a request whose
+    #: budget expires — in the dispatcher queue or on a hung worker —
+    #: returns a coded ``TIMEOUT`` error instead of an answer.  Additive
+    #: v2 wire field (v1 stays frozen and never carries it).
+    deadline_ms: Optional[int] = None
 
     def validate(self) -> None:
         """Raise a coded ``BAD_REQUEST`` on any malformed field.
@@ -99,6 +105,13 @@ class QueryRequest:
             raise bad_request(
                 f"backend must be one of {', '.join(_BACKENDS)}, got {self.backend!r}"
             )
+        if self.deadline_ms is not None and (
+            isinstance(self.deadline_ms, bool)
+            or not isinstance(self.deadline_ms, int)
+        ):
+            raise bad_request("deadline_ms must be an integer")
+        if self.deadline_ms is not None and self.deadline_ms < 1:
+            raise bad_request("deadline_ms must be >= 1")
 
     @property
     def resolved_mode(self) -> str:
@@ -116,6 +129,7 @@ class QueryRequest:
             "prune": self.prune,
             "backend": self.backend,
             "request_id": self.request_id,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod
@@ -125,7 +139,7 @@ class QueryRequest:
             raise bad_request("expected a JSON object")
         known = {
             "question", "target", "table", "mode", "k", "prune", "backend",
-            "request_id",
+            "request_id", "deadline_ms",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -143,6 +157,7 @@ class QueryRequest:
             prune=payload.get("prune"),
             backend=payload.get("backend"),
             request_id=payload.get("request_id"),
+            deadline_ms=payload.get("deadline_ms"),
         )
         if request.mode is not None and not isinstance(request.mode, str):
             raise bad_request("mode must be a string")

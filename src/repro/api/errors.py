@@ -43,6 +43,12 @@ class ErrorCode(str, Enum):
     PARSE_FAILURE = "PARSE_FAILURE"
     #: The serving layer shut down while the request was in flight.
     SERVER_CLOSED = "SERVER_CLOSED"
+    #: The request's deadline (``deadline_ms``) expired before an answer
+    #: was produced — in the dispatcher queue or on a hung worker.
+    TIMEOUT = "TIMEOUT"
+    #: The server shed this request: its bounded dispatcher queue was
+    #: full (``max_pending``).  Safe to retry with backoff.
+    OVERLOADED = "OVERLOADED"
     #: The wire request's ``op`` is not in the protocol vocabulary.
     UNKNOWN_OP = "UNKNOWN_OP"
     #: The wire request asked for a protocol version the server lacks.
@@ -78,6 +84,21 @@ def bad_request(message: str) -> ApiError:
     return ApiError(ErrorCode.BAD_REQUEST, message)
 
 
+def timeout_error(message: str) -> ApiError:
+    return ApiError(ErrorCode.TIMEOUT, message)
+
+
+def overloaded_error(message: str) -> ApiError:
+    return ApiError(ErrorCode.OVERLOADED, message)
+
+
+#: Error codes a client may retry (with capped backoff + jitter): the
+#: request never started executing, or re-executing it is side-effect
+#: free.  ``TIMEOUT`` is deliberately absent — the caller's deadline is
+#: already spent — and so is everything that would fail identically.
+RETRYABLE_CODES = frozenset({ErrorCode.OVERLOADED, ErrorCode.SERVER_CLOSED})
+
+
 def classify_exception(error: BaseException) -> ApiError:
     """Map an arbitrary exception onto the taxonomy.
 
@@ -96,15 +117,27 @@ def classify_exception(error: BaseException) -> ApiError:
     """
     # Imported lazily: repro.tables is a heavier import than this module
     # and the catalog itself imports nothing from repro.api.
+    from ..perf.pool import DeadlineExceeded, WorkerFailed
     from ..tables.catalog import AmbiguousTableError, CatalogError, UnknownTableError
 
     if isinstance(error, ApiError):
         return error
+    if isinstance(error, DeadlineExceeded):
+        return ApiError(ErrorCode.TIMEOUT, str(error))
+    if isinstance(error, WorkerFailed):
+        return ApiError(ErrorCode.INTERNAL, str(error))
     if isinstance(error, UnknownTableError):
         return ApiError(ErrorCode.UNKNOWN_TABLE, str(error))
     if isinstance(error, AmbiguousTableError):
         return ApiError(ErrorCode.AMBIGUOUS_TABLE, str(error))
     if isinstance(error, ServerClosed):
+        return ApiError(ErrorCode.SERVER_CLOSED, f"{type(error).__name__}: {error}")
+    if isinstance(error, TimeoutError):
+        # socket.timeout is an alias of TimeoutError on 3.10+: a blocking
+        # transport read ran out of budget.
+        return ApiError(ErrorCode.TIMEOUT, f"{type(error).__name__}: {error}")
+    if isinstance(error, ConnectionError):
+        # Reset / refused / broken pipe: the peer is gone, not the request.
         return ApiError(ErrorCode.SERVER_CLOSED, f"{type(error).__name__}: {error}")
     if isinstance(error, CatalogError):
         # Registration collisions, unrehydratable shards: server-side

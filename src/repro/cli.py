@@ -188,6 +188,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="pool backend one dispatcher batch fans out over",
     )
     serve_cmd.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="bound on queued requests before the server sheds new asks "
+        "with OVERLOADED (0 = unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--call-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog budget for a single worker parse call; a worker "
+        "exceeding it is presumed hung and respawned (process backend)",
+    )
+    serve_cmd.add_argument(
         "--self-test",
         type=int,
         metavar="SESSIONS",
@@ -414,7 +424,8 @@ def _build_engine(args, k: int = 7) -> ReproEngine:
         )
         interface = NLInterface(parser=parser, k=k)
     return ReproEngine(
-        interface=interface, cache_dir=cache_dir, max_hot_shards=max_hot, k=k
+        interface=interface, cache_dir=cache_dir, max_hot_shards=max_hot, k=k,
+        call_timeout=getattr(args, "call_timeout", None),
     )
 
 
@@ -522,7 +533,8 @@ def run_serve(args: argparse.Namespace, out) -> int:
             import time
 
             async with engine.server(
-                max_workers=args.workers, backend=args.backend
+                max_workers=args.workers, backend=args.backend,
+                max_pending=args.max_pending,
             ) as server:
                 started = time.perf_counter()
                 answered = await asyncio.gather(
@@ -566,7 +578,8 @@ def run_serve(args: argparse.Namespace, out) -> int:
 
     async def _serve_forever():
         async with engine.server(
-            max_workers=args.workers, backend=args.backend
+            max_workers=args.workers, backend=args.backend,
+            max_pending=args.max_pending,
         ) as server:
             tcp = await server.serve(host=args.host, port=args.port)
             address = tcp.sockets[0].getsockname()

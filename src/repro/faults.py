@@ -1,0 +1,242 @@
+"""Deterministic fault injection: named failpoints for chaos testing.
+
+Production-scale serving earns its throughput numbers only when it
+survives faults — but a chaos test that kills workers *randomly* is a
+flaky test.  This module provides **failpoints**: named hooks compiled
+into the hot paths (worker dispatch, the wire front end, the disk
+cache) that do nothing until armed, and when armed fire
+**deterministically by hit count**.  The same workload with the same
+failpoint spec produces the same faults at the same points, every run —
+chaos tests are ordinary reproducible tests.
+
+Arming
+------
+Two equivalent ways:
+
+* the ``REPRO_FAILPOINTS`` environment variable, read once at import —
+  ``;``-separated specs of the form ``name[:hits[:param]]`` where
+  ``hits`` is a ``,``-separated list of 1-based hit numbers or ``*``
+  (every hit) and ``param`` is an optional float the call site
+  interprets (e.g. the hang duration)::
+
+      REPRO_FAILPOINTS="worker.crash_before_batch:1;wire.drop_connection:2,4"
+
+* the test API: :func:`arm` / :func:`disarm` / :func:`reset`, or the
+  :func:`armed` context manager that restores the previous state.
+
+Firing
+------
+Call sites ask :func:`should_fire(name) <should_fire>`; every call while
+the failpoint is armed increments its hit counter, and the call returns
+``True`` exactly when the counter is in the armed hit set.  Counters
+start at the moment of arming (or process start for env-armed specs), so
+determinism is relative to the armed workload — not to whatever traffic
+ran before.  When a failpoint is *not* armed the call is a single dict
+lookup; the hooks are safe to leave in production code.
+
+The registry lives in driver-process module state.  Worker *faults* are
+injected driver-side — the driver stamps the fault onto the work message
+it sends (see :mod:`repro.perf.pool`), so a respawned worker does not
+re-inherit a one-shot crash and hit counts stay global across the pool.
+
+Known failpoints (the chaos vocabulary, exercised by
+``tests/test_faults.py``)::
+
+    worker.crash_before_batch   worker exits hard before running a batch
+    worker.hang                 worker sleeps (param seconds, default 30)
+                                instead of answering — deadline fodder
+    pool.respawn_fail           worker respawn attempt raises
+    wire.drop_connection        server drops the TCP connection instead
+                                of sending a response
+    diskcache.corrupt_read      a disk-cache read returns a corrupted
+                                blob (must degrade to a miss)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Environment variable holding the failpoint spec string.
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: The documented failpoint names (arming an unknown name is allowed —
+#: it simply never fires — but tests assert against this vocabulary).
+KNOWN_FAILPOINTS = (
+    "worker.crash_before_batch",
+    "worker.hang",
+    "pool.respawn_fail",
+    "wire.drop_connection",
+    "diskcache.corrupt_read",
+)
+
+#: Default hang duration (seconds) when ``worker.hang`` carries no param.
+DEFAULT_HANG_SECONDS = 30.0
+
+
+@dataclass
+class _Failpoint:
+    """One armed failpoint: which hits fire, plus its live counter."""
+
+    name: str
+    hits: Optional[frozenset] = None  # None means every hit fires
+    param: Optional[float] = None
+    count: int = 0
+    fired: int = 0
+
+    def check(self) -> bool:
+        self.count += 1
+        firing = self.hits is None or self.count in self.hits
+        if firing:
+            self.fired += 1
+        return firing
+
+
+_LOCK = threading.Lock()
+_ARMED: Dict[str, _Failpoint] = {}
+
+
+def parse_spec(spec: str) -> Dict[str, Tuple[Optional[frozenset], Optional[float]]]:
+    """Parse a ``REPRO_FAILPOINTS`` spec string (see module docstring).
+
+    Returns ``{name: (hits, param)}``; malformed entries raise
+    ``ValueError`` — a chaos run with a typo'd spec must fail loudly,
+    not silently test nothing.
+    """
+    armed: Dict[str, Tuple[Optional[frozenset], Optional[float]]] = {}
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) > 3:
+            raise ValueError(f"malformed failpoint spec {entry!r}")
+        name = parts[0].strip()
+        if not name:
+            raise ValueError(f"malformed failpoint spec {entry!r}")
+        hits: Optional[frozenset] = frozenset({1})
+        if len(parts) >= 2:
+            raw_hits = parts[1].strip()
+            if raw_hits == "*":
+                hits = None
+            else:
+                try:
+                    numbers = frozenset(
+                        int(number) for number in raw_hits.split(",") if number.strip()
+                    )
+                except ValueError:
+                    raise ValueError(f"malformed hit list in {entry!r}")
+                if not numbers or any(number < 1 for number in numbers):
+                    raise ValueError(f"malformed hit list in {entry!r}")
+                hits = numbers
+        param: Optional[float] = None
+        if len(parts) == 3:
+            try:
+                param = float(parts[2])
+            except ValueError:
+                raise ValueError(f"malformed param in {entry!r}")
+        armed[name] = (hits, param)
+    return armed
+
+
+def arm(
+    name: str,
+    hits: Optional[Iterable[int]] = (1,),
+    param: Optional[float] = None,
+) -> None:
+    """Arm ``name``; ``hits`` is a 1-based hit set (``None`` = every hit).
+
+    Re-arming resets the hit counter — each arm starts a fresh
+    deterministic window.
+    """
+    hit_set = None if hits is None else frozenset(int(hit) for hit in hits)
+    if hit_set is not None and (not hit_set or any(hit < 1 for hit in hit_set)):
+        raise ValueError(f"hits must be 1-based positive integers, got {hits!r}")
+    with _LOCK:
+        _ARMED[name] = _Failpoint(name=name, hits=hit_set, param=param)
+
+
+def disarm(name: str) -> None:
+    with _LOCK:
+        _ARMED.pop(name, None)
+
+
+def reset() -> None:
+    """Disarm everything (including env-armed specs) and drop all counters."""
+    with _LOCK:
+        _ARMED.clear()
+
+
+def arm_from_env(environ=None) -> None:
+    """(Re-)arm from ``REPRO_FAILPOINTS``; a no-op when the var is unset."""
+    spec = (environ if environ is not None else os.environ).get(ENV_VAR)
+    if not spec:
+        return
+    for name, (hits, param) in parse_spec(spec).items():
+        with _LOCK:
+            _ARMED[name] = _Failpoint(name=name, hits=hits, param=param)
+
+
+def is_armed(name: str) -> bool:
+    return name in _ARMED
+
+
+def should_fire(name: str) -> bool:
+    """Record one hit of failpoint ``name``; ``True`` when it fires.
+
+    The disarmed fast path is a single dict lookup — the hooks cost
+    nothing in production.
+    """
+    if name not in _ARMED:
+        return False
+    with _LOCK:
+        failpoint = _ARMED.get(name)
+        if failpoint is None:  # disarmed between the lookup and the lock
+            return False
+        return failpoint.check()
+
+
+def param(name: str, default: Optional[float] = None) -> Optional[float]:
+    """The armed failpoint's param (e.g. a hang duration), or ``default``."""
+    failpoint = _ARMED.get(name)
+    if failpoint is None or failpoint.param is None:
+        return default
+    return failpoint.param
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Per-failpoint ``{hits, fired}`` counters (observability for tests)."""
+    with _LOCK:
+        return {
+            name: {"hits": failpoint.count, "fired": failpoint.fired}
+            for name, failpoint in _ARMED.items()
+        }
+
+
+@contextmanager
+def armed(
+    name: str,
+    hits: Optional[Iterable[int]] = (1,),
+    param: Optional[float] = None,
+):
+    """Arm ``name`` for the duration of a ``with`` block, then restore."""
+    with _LOCK:
+        previous = _ARMED.get(name)
+    arm(name, hits=hits, param=param)
+    try:
+        yield
+    finally:
+        with _LOCK:
+            if previous is None:
+                _ARMED.pop(name, None)
+            else:
+                _ARMED[name] = previous
+
+
+# Env-armed specs take effect at import — the worker processes of a
+# chaos CI job inherit the variable (and, under fork, this module's
+# state) with zero per-test plumbing.
+arm_from_env()

@@ -17,7 +17,7 @@ from ..tables.fingerprint import LRUCache
 from ..tables.table import Table
 from ..core.explanation import ExplanationGenerator, QueryExplanation
 from ..parser.candidates import Candidate, ParseOutput, SemanticParser
-from ..perf.batch import BatchParser
+from ..perf.batch import BatchItem, BatchParser
 
 
 @dataclass(frozen=True)
@@ -46,14 +46,22 @@ class ExplainedCandidate:
 
 @dataclass
 class InterfaceResponse:
-    """What the interface returns for one question."""
+    """What the interface returns for one question.
+
+    On the batch path a single question can fail — its deadline expired,
+    or its pool worker died past every retry — while the rest of the
+    batch completes.  Such a response carries the failure in ``error``
+    with ``parse=None`` and no explanations; callers that route
+    responses onto the wire classify ``error`` into the coded taxonomy.
+    """
 
     question: str
     table: Table
-    parse: ParseOutput
+    parse: Optional[ParseOutput]
     explained: List[ExplainedCandidate]
     parse_seconds: float
     explain_seconds: float
+    error: Optional[Exception] = None
 
     @property
     def top(self) -> Optional[ExplainedCandidate]:
@@ -154,6 +162,7 @@ class NLInterface:
         workers: int = 4,
         backend: str = "thread",
         pool=None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
     ) -> List[InterfaceResponse]:
         """Answer a batch of (question, table) pairs concurrently.
 
@@ -165,15 +174,40 @@ class NLInterface:
         per batch.  Explanation stays sequential per response since it
         is cheap relative to parsing.  Returns one
         :class:`InterfaceResponse` per input pair, index-aligned.
+
+        ``deadlines`` (index-aligned absolute ``time.monotonic()``
+        instants, ``None`` entries wait forever) bounds each item; an
+        expired item comes back as an error response while the rest of
+        the batch completes — see :class:`InterfaceResponse`.
         """
         limit = k if k is not None else self.k
         batch = BatchParser(
             self.parser, max_workers=workers, backend=backend, pool=pool
         )
-        report = batch.parse_all(items)
+        if deadlines is not None:
+            inputs = [
+                BatchItem(question=question, table=table, deadline=deadline)
+                for (question, table), deadline in zip(items, deadlines)
+            ]
+        else:
+            inputs = list(items)
+        report = batch.parse_all(inputs)
         warm_explanations = pool.explanations if pool is not None else None
         responses: List[InterfaceResponse] = []
         for result in report:
+            if isinstance(result.parse, Exception):
+                responses.append(
+                    InterfaceResponse(
+                        question=result.question,
+                        table=result.table,
+                        parse=None,
+                        explained=[],
+                        parse_seconds=result.seconds,
+                        explain_seconds=0.0,
+                        error=result.parse,
+                    )
+                )
+                continue
             # The generator is built lazily: on a fully warm batch every
             # explanation comes out of the pool registry and an evicted
             # generator is never rebuilt at all.

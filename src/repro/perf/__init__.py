@@ -39,7 +39,15 @@ from .bench import (
     timing_summary,
 )
 from .diskcache import DiskCache
-from .pool import ProcessWorkerPool, ThreadWorkerPool, WorkerPool, create_pool
+from .pool import (
+    DeadlineExceeded,
+    PoolError,
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    WorkerFailed,
+    WorkerPool,
+    create_pool,
+)
 from .procpool import ProcessPoolBackend
 
 __all__ = [
@@ -49,7 +57,10 @@ __all__ = [
     "BatchParser",
     "BatchReport",
     "BENCH_MODES",
+    "DeadlineExceeded",
     "DiskCache",
+    "PoolError",
+    "WorkerFailed",
     "ModeTiming",
     "ParseBenchReport",
     "ProcessPoolBackend",

@@ -48,11 +48,21 @@ BatchInput = Union["BatchItem", Tuple[str, Table]]
 
 @dataclass(frozen=True)
 class BatchItem:
-    """One unit of batch work: a question over a table (optional top-``k``)."""
+    """One unit of batch work: a question over a table (optional top-``k``).
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant (not a
+    duration): the serving layer computes it once at enqueue from the
+    request's ``deadline_ms`` so queue wait, dispatch and worker time
+    all draw from the same budget.  ``None`` means wait forever.  Only
+    the persistent pools honour it (a unit past its deadline resolves to
+    :class:`~repro.perf.pool.DeadlineExceeded` in its result slot); the
+    per-call backends ignore it.
+    """
 
     question: str
     table: Table
     k: Optional[int] = None
+    deadline: Optional[float] = None
 
 
 @dataclass

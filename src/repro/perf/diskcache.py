@@ -37,6 +37,8 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from .. import faults
+
 #: Bump to invalidate every existing on-disk entry.
 DISK_CACHE_SCHEMA = "repro-diskcache-v1"
 
@@ -88,6 +90,14 @@ class DiskCache:
                 self.misses += 1
             return None
         try:
+            # The failpoint targets the *rebuildable* namespaces, where
+            # the contract is "degrade to a miss".  Table spills are
+            # primary storage for evicted shards — corruption there is
+            # a real data loss the catalog surfaces as a coded error.
+            if namespace != TABLES_NAMESPACE and faults.should_fire(
+                "diskcache.corrupt_read"
+            ):
+                raise ValueError("injected diskcache.corrupt_read")
             schema, stored_key, payload = pickle.loads(blob)
             if schema != DISK_CACHE_SCHEMA or stored_key != key:
                 raise ValueError("schema or key mismatch")

@@ -29,8 +29,8 @@ Two flavours behind one interface:
 Correctness contract (the same one every batch backend honours, locked
 in by ``tests/test_pool.py``): ``parse_all`` results are index-aligned
 with the input items and **bit-identical** to a sequential loop over the
-same parser configuration — pinning and persistence change scheduling
-and locality, never answers.
+same parser configuration — pinning, persistence and fault recovery
+change scheduling and locality, never answers.
 
 Shard pinning and the spill valve
 ---------------------------------
@@ -45,12 +45,49 @@ that table there, once ever).  The spill pattern is a pure function of
 the batch composition, so repeated workloads spill to the same workers
 and stay warm there too.  ``ProcessWorkerPool(spill=False)`` disables
 the valve for strict-pinning tests.
+
+Fault tolerance (supervision, deadlines, the degradation ladder)
+----------------------------------------------------------------
+A forked worker can die (OOM-kill, segfault, an injected
+``worker.crash_before_batch`` fault) or hang.  The process flavour
+supervises its workers instead of trusting them:
+
+* workers stream **per-unit replies** (``("unit", …)`` /
+  ``("unit_error", …)`` then ``("done",)``), so a death or hang
+  mid-batch loses only the unanswered units, never the whole group;
+* the driver collects with :func:`multiprocessing.connection.wait`
+  under a timeout derived from unit deadlines, the optional
+  ``call_timeout`` watchdog and a liveness probe interval — pipe EOF,
+  a failed ``is_alive()`` probe or an expired watchdog all mark the
+  worker dead;
+* a dead worker is **respawned** and the tables it held are re-shipped
+  (``("ship", blob)``), its unanswered units are **retried** on a
+  rotated assignment (``(pin + round) % workers`` — a survivor when
+  there is more than one worker), and a unit that outlives every retry
+  round is parsed **inline** in the driver;
+* after :attr:`~ProcessWorkerPool.max_respawn_failures` *consecutive*
+  respawn failures the pool **downgrades** to a
+  :class:`ThreadWorkerPool` fallback — logged, visible in
+  :meth:`~WorkerPool.stats` (``downgraded``/``downgrades``) and
+  bit-identical, because parsing is deterministic for a fixed
+  parser configuration regardless of backend.
+
+Deadlines ride on :class:`~repro.perf.batch.BatchItem.deadline`
+(an absolute ``time.monotonic()`` instant, set by the serving layer
+from the request's ``deadline_ms``).  An expired unit resolves to a
+:class:`DeadlineExceeded` *value* in the result slot — an answer
+already on the wire beats the timeout; the rest of the batch completes
+normally.  Worker *faults* are injected driver-side: the driver asks
+:mod:`repro.faults` at dispatch time and stamps the fault onto the work
+message, so hit counts stay global across respawns and a respawned
+fork never re-inherits a one-shot crash.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import gc
+import logging
 import multiprocessing
 import os
 import pickle
@@ -58,8 +95,10 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from .. import faults
 from ..parser.candidates import ParseOutput, ParserConfig, SemanticParser
 from ..parser.model import LogLinearModel
 from ..tables.fingerprint import LRUCache
@@ -67,17 +106,45 @@ from ..tables.table import Table
 from . import procpool
 from .procpool import WorkUnit, _available_cpus, _refresh_inherited_locks
 
-#: What ``WorkerPool.parse_all`` returns per item: the parse plus the
-#: worker-measured wall-clock seconds it took.
-PoolResult = Tuple[ParseOutput, float]
+_log = logging.getLogger(__name__)
+
+
+class PoolError(RuntimeError):
+    """Base of per-unit pool failures.
+
+    Pool failures are *values*, not raised exceptions: ``parse_all``
+    stays index-aligned by putting a ``PoolError`` instance in the
+    result slot of the unit that failed while the rest of the batch
+    completes.  :func:`repro.api.errors.classify_exception` maps these
+    onto the wire taxonomy (``TIMEOUT`` / ``INTERNAL``).
+    """
+
+
+class DeadlineExceeded(PoolError):
+    """The unit's deadline expired before a worker produced an answer."""
+
+
+class WorkerFailed(PoolError):
+    """A worker died (or errored) and every retry rung was exhausted."""
+
+
+#: What ``WorkerPool.parse_all`` returns per item: the parse (or the
+#: coded :class:`PoolError` that replaced it) plus the worker-measured
+#: wall-clock seconds it took.
+PoolResult = Tuple[Union[ParseOutput, PoolError], float]
 
 
 def create_pool(
-    backend: str, parser: SemanticParser, max_workers: int = 4
+    backend: str,
+    parser: SemanticParser,
+    max_workers: int = 4,
+    call_timeout: Optional[float] = None,
 ) -> "WorkerPool":
     """The one construction site: a persistent pool for ``backend``."""
     if backend == "process":
-        return ProcessWorkerPool(parser, max_workers=max_workers)
+        return ProcessWorkerPool(
+            parser, max_workers=max_workers, call_timeout=call_timeout
+        )
     if backend == "thread":
         return ThreadWorkerPool(parser, max_workers=max_workers)
     raise ValueError(f"unknown pool backend {backend!r}")
@@ -87,8 +154,8 @@ class WorkerPool:
     """The persistent-pool interface both flavours implement.
 
     A pool is created once, survives any number of :meth:`parse_all`
-    batches, and is torn down with :meth:`close` (idempotent; also a
-    context manager).  ``parse_all`` takes
+    batches, and is torn down with :meth:`close` (idempotent, safe to
+    call concurrently; also a context manager).  ``parse_all`` takes
     :class:`~repro.perf.batch.BatchItem` instances and returns
     index-aligned ``(parse, seconds)`` pairs.
     """
@@ -102,6 +169,8 @@ class WorkerPool:
         self.max_workers = max_workers
         self.batches = 0
         self.units = 0
+        #: Units that resolved to :class:`DeadlineExceeded`.
+        self.timeouts = 0
         # Warm explanation registry, shared by both flavours and used by
         # :meth:`NLInterface.ask_many` on the batch path: explanations
         # are a pure function of (table content, query), so entries are
@@ -128,6 +197,7 @@ class WorkerPool:
             "workers": self.workers,
             "batches": self.batches,
             "units": self.units,
+            "timeouts": self.timeouts,
         }
 
     def __enter__(self) -> "WorkerPool":
@@ -135,6 +205,10 @@ class WorkerPool:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _deadline_expired(deadline: Optional[float]) -> bool:
+    return deadline is not None and time.monotonic() >= deadline
 
 
 class ThreadWorkerPool(WorkerPool):
@@ -165,6 +239,7 @@ class ThreadWorkerPool(WorkerPool):
         super().__init__(parser, max_workers=max_workers)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        self._close_lock = threading.Lock()
         # Same content-addressed keys and bound as the parser's own
         # candidate cache (reaching into parser internals deliberately —
         # this is persistence plumbing, not API).
@@ -188,6 +263,15 @@ class ThreadWorkerPool(WorkerPool):
         return len(self._registry)
 
     def _parse_one(self, item) -> PoolResult:
+        deadline = getattr(item, "deadline", None)
+        if _deadline_expired(deadline):
+            self.timeouts += 1
+            return (
+                DeadlineExceeded(
+                    f"deadline expired before parsing {item.question!r}"
+                ),
+                0.0,
+            )
         parser = self.parser
         warm = parser.config.cache_candidates
         key = (item.table.fingerprint, item.question)
@@ -236,7 +320,10 @@ class ThreadWorkerPool(WorkerPool):
         return list(self._executor.map(self._parse_one, items))
 
     def close(self) -> None:
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._registry.clear()
         self._ranked.clear()
         self.explanations.clear()
@@ -264,6 +351,15 @@ def _pool_worker_main(conn, weights: Dict[str, float], config: ParserConfig) -> 
     exactly what the per-batch pool threw away each call.  The GC is
     frozen/disabled for the same copy-on-write reasons as
     :func:`repro.perf.procpool._init_worker`.
+
+    Protocol (driver → worker): ``("parse", blob, weights, units,
+    fault)``, ``("ship", blob)`` (registry re-ship after a respawn),
+    ``("stop",)``.  Replies stream **per unit** — ``("unit", unit,
+    parse, seconds)`` or ``("unit_error", unit, message)`` — followed by
+    a terminal ``("done",)``, so the driver loses only unanswered units
+    when a worker dies mid-batch.  ``fault`` is a driver-stamped
+    injected fault (``None``, ``("crash",)`` or ``("hang", seconds)``)
+    executed before the units — see :mod:`repro.faults`.
     """
     gc.freeze()
     gc.disable()
@@ -283,18 +379,37 @@ def _pool_worker_main(conn, weights: Dict[str, float], config: ParserConfig) -> 
         kind = message[0]
         if kind == "stop":
             break
-        if kind != "parse":  # pragma: no cover - protocol guard
-            conn.send(("error", f"unknown message kind {kind!r}"))
+        if kind == "ship":
+            try:
+                for table in pickle.loads(message[1]):
+                    tables[table.fingerprint.digest] = table
+            except Exception:  # pragma: no cover - corrupt re-ship
+                pass
             continue
-        _, tables_blob, new_weights, units = message
+        if kind != "parse":  # pragma: no cover - protocol guard
+            conn.send(("done",))
+            continue
+        _, tables_blob, new_weights, units, fault = message
+        if fault is not None:
+            if fault[0] == "crash":
+                # Injected worker death: exit hard, no goodbye — the
+                # driver must recover from the bare pipe EOF.
+                os._exit(13)
+            elif fault[0] == "hang":
+                time.sleep(float(fault[1]))
         try:
             if tables_blob is not None:
                 for table in pickle.loads(tables_blob):
                     tables[table.fingerprint.digest] = table
             if new_weights is not None:
                 parser.model.weights = dict(new_weights)
-            results = []
+        except Exception as error:  # the whole dispatch is unusable
             for unit in units:
+                conn.send(("unit_error", unit, f"{type(error).__name__}: {error}"))
+            conn.send(("done",))
+            continue
+        for unit in units:
+            try:
                 digest, question, k = unit
                 table = tables[digest]
                 started = time.perf_counter()
@@ -303,10 +418,10 @@ def _pool_worker_main(conn, weights: Dict[str, float], config: ParserConfig) -> 
                 # The driver re-attaches its own table object; candidates
                 # only reference cells, never the table itself.
                 parse.table = None
-                results.append((unit, parse, elapsed))
-            conn.send(("parsed", results))
-        except Exception as error:  # surface, don't kill the worker
-            conn.send(("error", f"{type(error).__name__}: {error}"))
+                conn.send(("unit", unit, parse, elapsed))
+            except Exception as error:  # surface, don't kill the worker
+                conn.send(("unit_error", unit, f"{type(error).__name__}: {error}"))
+        conn.send(("done",))
 
 
 @dataclass
@@ -319,8 +434,18 @@ class _Worker:
     weights: Dict[str, float] = field(default_factory=dict)
 
 
+@dataclass
+class _Inflight:
+    """One dispatched worker message awaiting its ``("done",)``."""
+
+    index: int
+    #: Outstanding units → absolute monotonic deadline (or ``None``).
+    units: Dict[WorkUnit, Optional[float]]
+    dispatched_at: float
+
+
 class ProcessWorkerPool(WorkerPool):
-    """Persistent worker processes with shard affinity.
+    """Persistent worker processes with shard affinity and supervision.
 
     Workers fork lazily on the first batch (inheriting the driver's warm
     caches copy-on-write under the ``fork`` start method, guarded by the
@@ -328,7 +453,8 @@ class ProcessWorkerPool(WorkerPool):
     uses) and live until :meth:`close`.  Across batches each worker
     keeps its table registry and parser caches, the driver tracks what
     every worker already holds, and work routes by the stable pin hash —
-    see the module docstring for the full contract.
+    see the module docstring for the full contract, including the
+    supervision / retry / downgrade ladder.
 
     ``parse_all`` is thread-safe: concurrent batches (e.g. a broadcast
     and a routed group interleaved by the serving dispatcher) serialise
@@ -337,15 +463,49 @@ class ProcessWorkerPool(WorkerPool):
 
     backend = "process"
 
+    #: How long a worker may sit on one dispatched message before the
+    #: supervisor declares it hung (``None`` disables the watchdog; unit
+    #: deadlines still apply).
+    call_timeout: Optional[float]
+    #: Liveness probe cadence: the supervisor wakes at least this often
+    #: to run ``is_alive()`` even when no deadline is near.
+    probe_interval: float = 0.5
+    #: Retry rounds for units orphaned by a dead/hung worker before the
+    #: driver parses them inline.
+    max_unit_retries: int = 2
+    #: Consecutive respawn failures that trigger the thread downgrade.
+    max_respawn_failures: int = 3
+
     def __init__(
-        self, parser: SemanticParser, max_workers: int = 4, spill: bool = True
+        self,
+        parser: SemanticParser,
+        max_workers: int = 4,
+        spill: bool = True,
+        call_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(parser, max_workers=max_workers)
         self.spill = spill
+        self.call_timeout = call_timeout
         self.tables_shipped = 0
         self.last_shipped: List[str] = []
+        #: Workers respawned after a death (supervision at work).
+        self.respawns = 0
+        #: Respawn attempts that themselves failed.
+        self.respawn_failures = 0
+        #: Units re-dispatched after their worker died or hung.
+        self.retries = 0
+        #: Units parsed inline in the driver (last rung of the ladder).
+        self.inline_parses = 0
+        #: Times the pool downgraded to the thread backend (0 or 1).
+        self.downgrades = 0
+        self._consecutive_respawn_failures = 0
+        self._fallback: Optional[ThreadWorkerPool] = None
         self._workers: List[_Worker] = []
+        #: Every table ever seen, so a respawned worker's registry can be
+        #: re-shipped without waiting for the next natural batch.
+        self._tables: Dict[str, Table] = {}
         self._lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._closed = False
 
     @property
@@ -361,71 +521,203 @@ class ProcessWorkerPool(WorkerPool):
         """PIDs of the live workers (empty before the first batch)."""
         return [worker.process.pid for worker in self._workers]
 
+    @property
+    def downgraded(self) -> bool:
+        """Whether the pool has fallen back to the thread backend."""
+        return self._fallback is not None
+
     # -- lifecycle -------------------------------------------------------------
-    def _ensure_workers(self) -> None:
-        if self._workers:
-            return
+    def _spawn_worker(self) -> _Worker:
+        """Fork one worker under the shared fork lock.
+
+        ``_FORK_PARSER`` is module-global state: a concurrent per-batch
+        ``ProcessPoolBackend`` fork must not see (or null) our parser
+        mid-flight.
+        """
         weights = self.parser.model.weights
-        # Fork under the shared lock: _FORK_PARSER is module-global state
-        # and a concurrent per-batch ProcessPoolBackend fork must not see
-        # (or null) our parser mid-flight.
         with procpool._FORK_LOCK:
             fork_start = multiprocessing.get_start_method() == "fork"
             if fork_start:
                 procpool._FORK_PARSER = self.parser
             try:
-                for _ in range(self.workers):
-                    parent_conn, child_conn = multiprocessing.Pipe()
-                    process = multiprocessing.Process(
-                        target=_pool_worker_main,
-                        args=(child_conn, weights, self.parser.config),
-                        daemon=True,
-                    )
-                    process.start()
-                    child_conn.close()
-                    self._workers.append(
-                        _Worker(
-                            process=process,
-                            conn=parent_conn,
-                            weights=dict(weights),
-                        )
-                    )
+                parent_conn, child_conn = multiprocessing.Pipe()
+                process = multiprocessing.Process(
+                    target=_pool_worker_main,
+                    args=(child_conn, weights, self.parser.config),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                return _Worker(
+                    process=process, conn=parent_conn, weights=dict(weights)
+                )
             finally:
                 if fork_start:
                     procpool._FORK_PARSER = None
 
+    def _ensure_workers(self) -> None:
+        if self._workers or self._fallback is not None:
+            return
+        for _ in range(self.workers):
+            self._workers.append(self._spawn_worker())
+
+    @staticmethod
+    def _reap(worker: _Worker) -> None:
+        """Take one worker down for good: stop → join → terminate → kill.
+
+        Escalates so no call path can leave a zombie: a worker that
+        ignores ``terminate()`` (blocked in uninterruptible state) gets
+        ``kill()`` as the last resort.
+        """
+        try:
+            worker.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        worker.process.join(timeout=5)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.kill()
+            worker.process.join(timeout=5)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        """Immediate teardown for a hung/dead worker (no polite stop)."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=2)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.kill()
+            worker.process.join(timeout=2)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def close(self) -> None:
-        with self._lock:
+        with self._close_lock:
+            if self._closed:
+                return
             self._closed = True
+        with self._lock:
             self.explanations.clear()
+            if self._fallback is not None:
+                self._fallback.close()
             for worker in self._workers:
-                try:
-                    worker.conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
-            for worker in self._workers:
-                worker.process.join(timeout=5)
-                if worker.process.is_alive():  # pragma: no cover - stuck worker
-                    worker.process.terminate()
-                    worker.process.join(timeout=5)
-                worker.conn.close()
+                self._reap(worker)
             self._workers = []
+            self._tables.clear()
+
+    # -- supervision -----------------------------------------------------------
+    def _stamp_fault(self) -> Optional[tuple]:
+        """Evaluate worker failpoints driver-side for one dispatch.
+
+        Stamping the fault onto the message (instead of letting the
+        worker consult :mod:`repro.faults` itself) keeps hit counts
+        global across the pool and means a respawned fork — which
+        inherits the armed module state — does not re-fire a one-shot
+        crash forever.
+        """
+        if faults.should_fire("worker.crash_before_batch"):
+            return ("crash",)
+        if faults.should_fire("worker.hang"):
+            return (
+                "hang",
+                faults.param("worker.hang", faults.DEFAULT_HANG_SECONDS),
+            )
+        return None
+
+    def _respawn(self, index: int) -> bool:
+        """Replace the dead worker at ``index``; ``False`` means downgraded.
+
+        Retries until a spawn succeeds or
+        :attr:`max_respawn_failures` *consecutive* failures accumulate —
+        at which point the pool downgrades to the thread backend and
+        every process worker is gone.  The replacement worker gets the
+        registries the dead one held re-shipped immediately, so pinned
+        traffic stays warm.
+        """
+        dead = self._workers[index]
+        held = set(dead.shipped)
+        self._kill_worker(dead)
+        while True:
+            try:
+                if faults.should_fire("pool.respawn_fail"):
+                    raise RuntimeError(
+                        "injected respawn failure (pool.respawn_fail)"
+                    )
+                worker = self._spawn_worker()
+            except Exception as error:
+                self.respawn_failures += 1
+                self._consecutive_respawn_failures += 1
+                _log.warning(
+                    "pool worker respawn failed (%d consecutive): %s",
+                    self._consecutive_respawn_failures,
+                    error,
+                )
+                if (
+                    self._consecutive_respawn_failures
+                    >= self.max_respawn_failures
+                ):
+                    self._downgrade(
+                        f"{self._consecutive_respawn_failures} consecutive "
+                        f"respawn failures (last: {error})"
+                    )
+                    return False
+                continue
+            self._consecutive_respawn_failures = 0
+            self.respawns += 1
+            reship = [
+                self._tables[digest]
+                for digest in sorted(held)
+                if digest in self._tables
+            ]
+            if reship:
+                worker.conn.send(
+                    ("ship", pickle.dumps(reship, protocol=pickle.HIGHEST_PROTOCOL))
+                )
+                worker.shipped.update(table.fingerprint.digest for table in reship)
+            self._workers[index] = worker
+            return True
+
+    def _downgrade(self, reason: str) -> None:
+        """Fall back to the thread backend (the ladder's second rung).
+
+        Bit-identical by construction: parsing is a pure function of
+        (parser config, weights, table, question), so the thread
+        fallback returns exactly what the process workers would have.
+        """
+        _log.warning(
+            "process pool downgrading to thread backend: %s", reason
+        )
+        self.downgrades += 1
+        for worker in self._workers:
+            self._kill_worker(worker)
+        self._workers = []
+        self._fallback = ThreadWorkerPool(
+            self.parser, max_workers=self.max_workers
+        )
 
     # -- scheduling ------------------------------------------------------------
     def _assign(
-        self, groups: Dict[str, List[WorkUnit]]
+        self, groups: Dict[str, List[WorkUnit]], offset: int = 0
     ) -> Dict[int, Dict[str, List[WorkUnit]]]:
         """Pin each shard's units, then spill to idle workers.
 
         Deterministic: pinning is a pure hash, donors are picked by
         (load, lowest index), targets lowest-index-first, and a split
-        moves the tail half of the donor's largest group.
+        moves the tail half of the donor's largest group.  ``offset``
+        rotates the pin for retry rounds, so a unit orphaned by a dead
+        worker lands on a survivor when the pool has more than one.
         """
         assignment: Dict[int, Dict[str, List[WorkUnit]]] = {}
         for digest, units in groups.items():
-            assignment.setdefault(self.pin(digest), {}).setdefault(
-                digest, []
-            ).extend(units)
+            index = (self.pin(digest) + offset) % self.workers
+            assignment.setdefault(index, {}).setdefault(digest, []).extend(units)
         if not self.spill:
             return assignment
 
@@ -454,81 +746,297 @@ class ProcessWorkerPool(WorkerPool):
             assignment.setdefault(target, {}).setdefault(digest, []).extend(moved)
         return assignment
 
+    # -- dispatch + collect ----------------------------------------------------
+    def _dispatch(
+        self,
+        assignment: Dict[int, Dict[str, List[WorkUnit]]],
+        deadlines: Dict[WorkUnit, Optional[float]],
+    ) -> Dict[int, _Inflight]:
+        """Ship registries + units to every assigned worker."""
+        weights = self.parser.model.weights
+        inflight: Dict[int, _Inflight] = {}
+        for index, worker_groups in sorted(assignment.items()):
+            worker = self._workers[index]
+            units = [
+                unit for _, units in sorted(worker_groups.items())
+                for unit in units
+            ]
+            if not units:
+                continue
+            # Incremental registry update: only fingerprints this
+            # worker has never held cross the pipe.
+            new_digests = [
+                digest
+                for digest in sorted(worker_groups)
+                if digest not in worker.shipped
+            ]
+            blob = (
+                pickle.dumps(
+                    [self._tables[digest] for digest in new_digests],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                if new_digests
+                else None
+            )
+            new_weights = None if worker.weights == weights else dict(weights)
+            fault = self._stamp_fault()
+            try:
+                worker.conn.send(("parse", blob, new_weights, units, fault))
+            except (BrokenPipeError, OSError):
+                # The worker died between batches: record the dispatch as
+                # in flight with nothing sent — the collect loop's EOF
+                # path respawns it and retries the units.
+                inflight[index] = _Inflight(
+                    index=index,
+                    units={unit: deadlines[unit] for unit in units},
+                    dispatched_at=time.monotonic(),
+                )
+                continue
+            worker.shipped.update(new_digests)
+            self.last_shipped.extend(new_digests)
+            self.tables_shipped += len(new_digests)
+            if new_weights is not None:
+                worker.weights = new_weights
+            inflight[index] = _Inflight(
+                index=index,
+                units={unit: deadlines[unit] for unit in units},
+                dispatched_at=time.monotonic(),
+            )
+        return inflight
+
+    def _collect(
+        self,
+        inflight: Dict[int, _Inflight],
+        parsed: Dict[WorkUnit, Tuple[object, float]],
+    ) -> Set[WorkUnit]:
+        """Supervised collection: stream replies, detect death and expiry.
+
+        Returns the units that need another round (their worker died or
+        hung before answering).  Expired units resolve to
+        :class:`DeadlineExceeded` directly in ``parsed``.
+        """
+        retry: Set[WorkUnit] = set()
+
+        def worker_down(index: int) -> None:
+            """EOF / dead probe / watchdog: salvage units, respawn."""
+            flight = inflight.pop(index)
+            now = time.monotonic()
+            for unit, deadline in flight.units.items():
+                if deadline is not None and now >= deadline:
+                    parsed[unit] = (
+                        DeadlineExceeded(
+                            f"deadline expired waiting for {unit[1]!r}"
+                        ),
+                        0.0,
+                    )
+                    self.timeouts += 1
+                else:
+                    retry.add(unit)
+            if not self._respawn(index):
+                # Downgraded: every process worker is gone.  Salvage all
+                # remaining in-flight units for the fallback.
+                for other in list(inflight.values()):
+                    for unit, deadline in other.units.items():
+                        if deadline is not None and now >= deadline:
+                            parsed[unit] = (
+                                DeadlineExceeded(
+                                    f"deadline expired waiting for {unit[1]!r}"
+                                ),
+                                0.0,
+                            )
+                            self.timeouts += 1
+                        else:
+                            retry.add(unit)
+                inflight.clear()
+
+        while inflight:
+            now = time.monotonic()
+            wake = now + self.probe_interval
+            for flight in inflight.values():
+                for deadline in flight.units.values():
+                    if deadline is not None:
+                        wake = min(wake, deadline)
+                if self.call_timeout is not None:
+                    wake = min(wake, flight.dispatched_at + self.call_timeout)
+            conns = {self._workers[index].conn: index for index in inflight}
+            ready = mp_connection.wait(
+                list(conns), timeout=max(0.0, wake - now)
+            )
+            for conn in ready:
+                index = conns[conn]
+                if index not in inflight:  # cleared by a downgrade
+                    continue
+                flight = inflight[index]
+                try:
+                    while True:
+                        reply = conn.recv()
+                        kind = reply[0]
+                        if kind == "unit":
+                            _, unit, parse, seconds = reply
+                            flight.units.pop(unit, None)
+                            parsed[unit] = (parse, seconds)
+                        elif kind == "unit_error":
+                            _, unit, message = reply
+                            flight.units.pop(unit, None)
+                            parsed[unit] = (
+                                WorkerFailed(f"pool worker failed: {message}"),
+                                0.0,
+                            )
+                        elif kind == "done":
+                            # Anything unanswered at "done" is a protocol
+                            # anomaly — retry it rather than hanging.
+                            retry.update(flight.units)
+                            del inflight[index]
+                            break
+                        if not conn.poll():
+                            break
+                except (EOFError, OSError):
+                    worker_down(index)
+            # Deadline + watchdog + liveness sweep over the still-pending.
+            now = time.monotonic()
+            for index in list(inflight):
+                flight = inflight[index]
+                worker = self._workers[index]
+                expired = [
+                    unit
+                    for unit, deadline in flight.units.items()
+                    if deadline is not None and now >= deadline
+                ]
+                hung = (
+                    self.call_timeout is not None
+                    and now >= flight.dispatched_at + self.call_timeout
+                )
+                if expired or hung:
+                    # The worker is wedged on (at least) an expired unit:
+                    # kill it, time the expired units out, retry the rest
+                    # on its replacement.
+                    worker_down(index)
+                elif not worker.process.is_alive():
+                    worker_down(index)
+        return retry
+
+    def _parse_inline(
+        self, unit: WorkUnit, deadline: Optional[float]
+    ) -> Tuple[object, float]:
+        """Last rung of the ladder: parse in the driver process."""
+        if _deadline_expired(deadline):
+            self.timeouts += 1
+            return (
+                DeadlineExceeded(f"deadline expired before parsing {unit[1]!r}"),
+                0.0,
+            )
+        digest, question, k = unit
+        table = self._tables.get(digest)
+        if table is None:  # pragma: no cover - tables recorded at batch entry
+            return WorkerFailed(f"no table for digest {digest}"), 0.0
+        self.inline_parses += 1
+        started = time.perf_counter()
+        parse = self.parser.parse(question, table, k=k)
+        return parse, time.perf_counter() - started
+
     # -- the batch entry point -------------------------------------------------
     def parse_all(self, items: Sequence) -> List[PoolResult]:
         with self._lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
+            if self._fallback is not None:
+                return self._fallback.parse_all(items)
             self._ensure_workers()
             self.batches += 1
             self.units += len(items)
 
-            tables: Dict[str, Table] = {}
-            groups: Dict[str, List[WorkUnit]] = {}
-            seen: set = set()
+            ordered_units: List[WorkUnit] = []
+            deadlines: Dict[WorkUnit, Optional[float]] = {}
             for item in items:
                 digest = item.table.fingerprint.digest
-                tables.setdefault(digest, item.table)
+                self._tables.setdefault(digest, item.table)
                 unit: WorkUnit = (digest, item.question, item.k)
-                if unit not in seen:
-                    seen.add(unit)
-                    groups.setdefault(digest, []).append(unit)
-
-            assignment = self._assign(groups)
-            weights = self.parser.model.weights
-            shipped_now: List[str] = []
-            busy: List[Tuple[_Worker, int]] = []
-            for index, worker_groups in sorted(assignment.items()):
-                worker = self._workers[index]
-                units = [
-                    unit for _, units in sorted(worker_groups.items())
-                    for unit in units
-                ]
-                if not units:
-                    continue
-                # Incremental registry update: only fingerprints this
-                # worker has never held cross the pipe.
-                new_digests = [
-                    digest
-                    for digest in sorted(worker_groups)
-                    if digest not in worker.shipped
-                ]
-                blob = (
-                    pickle.dumps(
-                        [tables[digest] for digest in new_digests],
-                        protocol=pickle.HIGHEST_PROTOCOL,
+                deadline = getattr(item, "deadline", None)
+                if unit not in deadlines:
+                    ordered_units.append(unit)
+                    deadlines[unit] = deadline
+                elif deadlines[unit] is not None:
+                    # A unit shared by several items waits for the most
+                    # patient of them (no deadline at all wins outright).
+                    deadlines[unit] = (
+                        None
+                        if deadline is None
+                        else max(deadlines[unit], deadline)
                     )
-                    if new_digests
-                    else None
-                )
-                new_weights = None if worker.weights == weights else dict(weights)
-                worker.conn.send(("parse", blob, new_weights, units))
-                worker.shipped.update(new_digests)
-                shipped_now.extend(new_digests)
-                if new_weights is not None:
-                    worker.weights = new_weights
-                busy.append((worker, len(units)))
-            self.tables_shipped += len(shipped_now)
-            self.last_shipped = shipped_now
 
-            parsed: Dict[WorkUnit, Tuple[ParseOutput, float]] = {}
-            for worker, _ in busy:
-                try:
-                    reply = worker.conn.recv()
-                except (EOFError, OSError) as error:
-                    raise RuntimeError(
-                        f"pool worker {worker.process.pid} died mid-batch"
-                    ) from error
-                if reply[0] == "error":
-                    raise RuntimeError(f"pool worker failed: {reply[1]}")
-                for unit, parse, seconds in reply[1]:
-                    parsed[unit] = (parse, seconds)
+            self.last_shipped = []
+            parsed: Dict[WorkUnit, Tuple[object, float]] = {}
+            pending: Set[WorkUnit] = set(ordered_units)
+            rounds = 0
+            while pending and self._fallback is None:
+                # Pre-dispatch expiry sweep: a unit that is already past
+                # its deadline never crosses the pipe.
+                for unit in [u for u in ordered_units if u in pending]:
+                    if _deadline_expired(deadlines[unit]):
+                        parsed[unit] = (
+                            DeadlineExceeded(
+                                f"deadline expired before parsing {unit[1]!r}"
+                            ),
+                            0.0,
+                        )
+                        self.timeouts += 1
+                        pending.discard(unit)
+                if not pending:
+                    break
+                groups: Dict[str, List[WorkUnit]] = {}
+                for unit in ordered_units:
+                    if unit in pending:
+                        groups.setdefault(unit[0], []).append(unit)
+                assignment = self._assign(groups, offset=rounds)
+                inflight = self._dispatch(assignment, deadlines)
+                retry = self._collect(inflight, parsed)
+                for unit in list(pending):
+                    if unit in parsed:
+                        pending.discard(unit)
+                if retry:
+                    self.retries += len(retry)
+                rounds += 1
+                if rounds > self.max_unit_retries:
+                    break
+
+            if pending:
+                if self._fallback is not None:
+                    # Downgraded mid-batch: the thread fallback finishes
+                    # the stragglers (bit-identical by determinism).
+                    from .batch import BatchItem
+
+                    leftovers = [u for u in ordered_units if u in pending]
+                    fallback_items = [
+                        BatchItem(
+                            question=unit[1],
+                            table=self._tables[unit[0]],
+                            k=unit[2],
+                            deadline=deadlines[unit],
+                        )
+                        for unit in leftovers
+                    ]
+                    for unit, result in zip(
+                        leftovers, self._fallback.parse_all(fallback_items)
+                    ):
+                        parsed[unit] = result
+                else:
+                    # Retries exhausted: the driver parses what's left.
+                    for unit in ordered_units:
+                        if unit in pending:
+                            parsed[unit] = self._parse_inline(
+                                unit, deadlines[unit]
+                            )
 
         results: List[PoolResult] = []
         for item in items:
             unit = (item.table.fingerprint.digest, item.question, item.k)
             parse, seconds = parsed[unit]
-            results.append((dataclasses.replace(parse, table=item.table), seconds))
+            if isinstance(parse, ParseOutput):
+                results.append(
+                    (dataclasses.replace(parse, table=item.table), seconds)
+                )
+            else:
+                results.append((parse, seconds))
         return results
 
     def stats(self) -> Dict[str, object]:
@@ -542,6 +1050,14 @@ class ProcessWorkerPool(WorkerPool):
                     index: len(worker.shipped)
                     for index, worker in enumerate(self._workers)
                 },
+                "respawns": self.respawns,
+                "respawn_failures": self.respawn_failures,
+                "retries": self.retries,
+                "inline_parses": self.inline_parses,
+                "downgrades": self.downgrades,
+                "downgraded": self.downgraded,
             }
         )
+        if self._fallback is not None:
+            payload["fallback"] = self._fallback.stats()
         return payload

@@ -42,16 +42,26 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import faults
 from ..api import wire
 from ..api.engine import ReproEngine, result_from_served
 from ..api.envelope import QueryRequest
-from ..api.errors import ApiError, ErrorCode, ServerClosed, classify_exception
+from ..api.errors import (
+    ApiError,
+    ErrorCode,
+    ServerClosed,
+    classify_exception,
+    overloaded_error,
+    timeout_error,
+)
 from ..interface.nl_interface import InterfaceResponse
+from ..perf.pool import DeadlineExceeded
 from ..tables.catalog import CatalogAnswer, CatalogError, TableCatalog, TableLike
 
 #: What one served question resolves to: a routed single-table response
@@ -72,7 +82,9 @@ class _AskRequest:
     ``want_ref`` asks the dispatcher to return the *resolved* catalog
     ref alongside the answer (a :class:`_ResolvedAnswer`) — how
     :meth:`AsyncServer.aquery` learns the shard identity without ever
-    resolving on the event loop.
+    resolving on the event loop.  ``deadline`` is an absolute
+    ``time.monotonic()`` instant computed at enqueue from the request's
+    ``deadline_ms``, so queue wait and worker time draw from one budget.
     """
 
     question: str
@@ -81,6 +93,7 @@ class _AskRequest:
     prune: Optional[bool] = None
     backend: Optional[str] = None
     want_ref: bool = False
+    deadline: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -107,6 +120,13 @@ class ServerStats:
     ``errors``/``shard_groups`` as ints and ``mean_batch`` always as a
     float (``0.0`` before the first batch — historically it degraded to
     the int ``0``, which broke type-sensitive consumers).
+
+    The failure counters tell the fault-tolerance story: ``timeouts``
+    (requests that expired their ``deadline_ms``), ``shed`` (requests
+    rejected ``OVERLOADED`` by the bounded queue), ``worker_respawns``
+    and ``pool_downgrades`` (mirrored from the persistent pools each
+    time the stats are served).  ``timeouts`` count separately from
+    ``errors`` — a timeout is also an error.
     """
 
     requests: int = 0
@@ -114,6 +134,10 @@ class ServerStats:
     largest_batch: int = 0
     errors: int = 0
     shard_groups: int = 0
+    timeouts: int = 0
+    shed: int = 0
+    worker_respawns: int = 0
+    pool_downgrades: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -122,6 +146,10 @@ class ServerStats:
             "largest_batch": self.largest_batch,
             "errors": self.errors,
             "shard_groups": self.shard_groups,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "worker_respawns": self.worker_respawns,
+            "pool_downgrades": self.pool_downgrades,
             "mean_batch": (
                 round(self.requests / self.batches, 2) if self.batches else 0.0
             ),
@@ -164,6 +192,12 @@ class AsyncServer:
         incremental table shipping and shard pinning, reused across
         every dispatcher batch.  ``False`` restores the per-batch
         executors.
+    max_pending:
+        Backpressure bound: the most requests the dispatcher queue will
+        hold.  When it is full, new requests are **shed** immediately
+        with a coded ``OVERLOADED`` error (counted in
+        ``ServerStats.shed``) instead of growing the queue without
+        bound.  ``0`` disables the bound.
 
     Use as an async context manager (``async with AsyncServer(...)``) or
     call :meth:`start` / :meth:`stop` explicitly.
@@ -177,6 +211,7 @@ class AsyncServer:
         max_batch: int = 64,
         max_line_bytes: int = 64 * 1024,
         persistent: bool = True,
+        max_pending: int = 1024,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"AsyncServer needs max_workers >= 1, got {max_workers}")
@@ -185,6 +220,10 @@ class AsyncServer:
         if max_line_bytes < 1024:
             raise ValueError(
                 f"AsyncServer needs max_line_bytes >= 1024, got {max_line_bytes}"
+            )
+        if max_pending < 0:
+            raise ValueError(
+                f"AsyncServer needs max_pending >= 0, got {max_pending}"
             )
         if isinstance(catalog, ReproEngine):
             self.engine = catalog
@@ -204,6 +243,7 @@ class AsyncServer:
         self.max_batch = max_batch
         self.max_line_bytes = max_line_bytes
         self.persistent = persistent
+        self.max_pending = max_pending
         self.stats = ServerStats()
         # One dispatcher thread: batches run serially (parallelism lives
         # *inside* a batch, via ask_many's worker pool), so arrivals
@@ -214,12 +254,19 @@ class AsyncServer:
         self._jobs: Optional[ThreadPoolExecutor] = None
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        #: Futures of accepted-but-unanswered requests; what a graceful
+        #: stop drains before tearing the dispatcher down.
+        self._inflight: set = set()
+        self._draining = False
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> "AsyncServer":
         """Start the dispatcher (idempotent; ``ask`` calls it lazily)."""
         if self._dispatcher is None or self._dispatcher.done():
-            self._queue = asyncio.Queue()
+            self._queue = asyncio.Queue(
+                maxsize=self.max_pending if self.max_pending else 0
+            )
+            self._draining = False
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-serve"
             )
@@ -231,8 +278,16 @@ class AsyncServer:
             )
         return self
 
-    async def stop(self) -> None:
-        """Stop the dispatcher, failing any request still in the queue.
+    async def stop(self, drain: bool = True, drain_timeout: float = 60.0) -> None:
+        """Stop the server; by default **drain** accepted work first.
+
+        Graceful shutdown: intake closes immediately (new :meth:`ask`
+        calls get :class:`~repro.api.errors.ServerClosed`), every
+        already-accepted request is allowed up to ``drain_timeout``
+        seconds to finish, and only then is the dispatcher torn down.
+        ``drain=False`` restores the old hard stop that fails queued
+        requests.  Idempotent and safe to call concurrently — a second
+        ``stop`` (even racing the first) returns cleanly.
 
         Concurrent :meth:`ask` calls racing a stop get a clean
         :class:`~repro.api.errors.ServerClosed` (never an internal
@@ -241,6 +296,21 @@ class AsyncServer:
         engine's persistent pools; a caller-supplied engine keeps its
         pools (its owner decides their lifetime).
         """
+        self._draining = True
+        if drain and self._inflight:
+            done, pending = await asyncio.wait(
+                list(self._inflight), timeout=drain_timeout
+            )
+            for future in pending:  # drain budget exhausted: hard-fail
+                if not future.done():
+                    future.set_exception(ServerClosed("server stopped"))
+            # asyncio.wait hands back completed futures without consuming
+            # their exceptions; the real awaiters do.  Touch them here so
+            # futures abandoned by cancelled sessions don't warn.
+            for future in done:
+                if future.cancelled():
+                    continue
+                future.exception()
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -268,6 +338,9 @@ class AsyncServer:
             self._jobs = None
         if self._owns_engine:
             self.engine.close()
+        # Lazy restart stays possible (historic semantics): only an
+        # in-progress drain turns new asks away.
+        self._draining = False
 
     async def __aenter__(self) -> "AsyncServer":
         return await self.start()
@@ -285,12 +358,28 @@ class AsyncServer:
         :class:`~repro.api.errors.ServerClosed`, never as an
         ``AttributeError`` on the nulled queue (the historical race).
         """
+        if self._draining:
+            # A graceful stop is underway: accepted work drains, new
+            # work is turned away at the door.
+            raise ServerClosed("server stopping")
         await self.start()
         queue = self._queue
         if queue is None:  # stop() ran between start() and here
             raise ServerClosed("server stopped")
         future = asyncio.get_running_loop().create_future()
-        await queue.put((request, future))
+        try:
+            # Backpressure: never wait for queue room — a full queue
+            # sheds the request immediately with a coded, retryable
+            # OVERLOADED instead of hiding the overload in queue delay.
+            queue.put_nowait((request, future))
+        except asyncio.QueueFull:
+            self.stats.shed += 1
+            raise overloaded_error(
+                f"server overloaded: {self.max_pending} requests already "
+                "pending; retry with backoff"
+            ) from None
+        self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
         if self._queue is not queue and not future.done():
             # stop() swapped the queue out from under the put: the
             # request can never be served — fail it like the drained ones.
@@ -304,6 +393,7 @@ class AsyncServer:
         k: Optional[int] = None,
         prune: Optional[bool] = None,
         backend: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> ServedAnswer:
         """Answer one question; ``table=None`` routes corpus-wide.
 
@@ -311,8 +401,18 @@ class AsyncServer:
         queued, micro-batched and answered off the event loop.  ``prune``
         (corpus-wide only) overrides the catalog's routing policy per
         request; ``backend`` overrides the server's pool backend.
+        ``deadline_ms`` bounds the whole wait (queue + parse): past it
+        the request fails with a coded ``TIMEOUT`` while the rest of its
+        batch completes.
         """
-        return await self._enqueue(_AskRequest(question, table, k, prune, backend))
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        return await self._enqueue(
+            _AskRequest(question, table, k, prune, backend, deadline=deadline)
+        )
 
     async def aquery(self, request: QueryRequest):
         """Answer one :class:`QueryRequest` through the dispatcher.
@@ -332,6 +432,13 @@ class AsyncServer:
 
         try:
             request.validate()
+            # The budget starts ticking at acceptance: queue wait,
+            # dispatch and worker time all draw from the same deadline.
+            deadline = (
+                time.monotonic() + request.deadline_ms / 1000.0
+                if request.deadline_ms is not None
+                else None
+            )
             if request.resolved_mode == "table":
                 outcome = await self._enqueue(
                     _AskRequest(
@@ -341,6 +448,7 @@ class AsyncServer:
                         request.prune,
                         request.backend,
                         want_ref=True,
+                        deadline=deadline,
                     )
                 )
                 ref, answer = outcome.ref, outcome.answer
@@ -353,6 +461,7 @@ class AsyncServer:
                         request.k,
                         request.prune,
                         request.backend,
+                        deadline=deadline,
                     )
                 )
         except Exception as error:
@@ -432,6 +541,11 @@ class AsyncServer:
                     continue
                 if isinstance(outcome, _Failure):
                     self.stats.errors += 1
+                    if isinstance(outcome.error, DeadlineExceeded) or (
+                        isinstance(outcome.error, ApiError)
+                        and outcome.error.code is ErrorCode.TIMEOUT
+                    ):
+                        self.stats.timeouts += 1
                     future.set_exception(outcome.error)
                 else:
                     future.set_result(outcome)
@@ -472,6 +586,18 @@ class AsyncServer:
         ] = {}
         broadcasts: List[Tuple[int, object]] = []
         for position, request in enumerate(requests):
+            if (
+                request.deadline is not None
+                and time.monotonic() >= request.deadline
+            ):
+                # Expired while queued: never dispatched at all.
+                outcomes[position] = _Failure(
+                    timeout_error(
+                        f"deadline expired before dispatch of "
+                        f"{request.question!r}"
+                    )
+                )
+                continue
             if request.ref is None:
                 backend = request.backend or self.backend
                 broadcasts.append(
@@ -508,12 +634,18 @@ class AsyncServer:
                     workers=self.max_workers,
                     backend=backend or self.backend,
                     pool=self._pool(backend),
+                    deadlines=[request.deadline for _, request, _ in group],
                 )
             except Exception as error:
                 for position, _, _ in group:
                     outcomes[position] = _Failure(error)
                 continue
             for (position, request, ref), response in zip(group, responses):
+                if response.error is not None:
+                    # A per-item pool failure (deadline expiry, a worker
+                    # dead past every retry) fails only its own future.
+                    outcomes[position] = _Failure(response.error)
+                    continue
                 outcomes[position] = (
                     _ResolvedAnswer(ref, response) if request.want_ref else response
                 )
@@ -543,6 +675,12 @@ class AsyncServer:
         connection = _Connection()
 
         async def send(payload: Dict[str, object]) -> None:
+            if faults.should_fire("wire.drop_connection"):
+                # Injected fault: kill the connection with a hard RST
+                # instead of the response — the client must surface a
+                # coded SERVER_CLOSED, never a raw traceback.
+                writer.transport.abort()
+                raise ConnectionResetError("injected wire.drop_connection")
             writer.write(
                 json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
             )
@@ -586,6 +724,8 @@ class AsyncServer:
                         await send(await self._handle_line(bytes(buffer), connection))
                     break
                 buffer += chunk
+        except ConnectionResetError:
+            pass  # the peer is gone (or an injected drop): just clean up
         finally:
             writer.close()
             try:
@@ -711,7 +851,24 @@ class AsyncServer:
         return wire.table_listing(self.catalog)
 
     def _stats_payload(self) -> Dict[str, object]:
+        self._refresh_pool_counters()
         return wire.stats_payload(self.catalog, self.stats.as_dict())
+
+    def _refresh_pool_counters(self) -> None:
+        """Mirror the persistent pools' fault counters into the stats.
+
+        The pools own the ground truth (``respawns``/``downgrades``
+        accumulate inside :mod:`repro.perf.pool`); the server copies
+        them whenever stats are served so both wire versions and the
+        in-process ``stats`` see one consistent story.
+        """
+        respawns = 0
+        downgrades = 0
+        for pool_stats in self.engine.pool_stats().values():
+            respawns += int(pool_stats.get("respawns", 0) or 0)
+            downgrades += int(pool_stats.get("downgrades", 0) or 0)
+        self.stats.worker_respawns = respawns
+        self.stats.pool_downgrades = downgrades
 
 
 def answer_payload(answer: ServedAnswer) -> Dict[str, object]:

@@ -423,6 +423,7 @@ class TableCatalog:
         workers: int = 4,
         backend: str = "thread",
         pool=None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
     ) -> List["InterfaceResponse"]:
         """Answer a batch of ``(question, ref)`` pairs, index-aligned.
 
@@ -430,7 +431,9 @@ class TableCatalog:
         :meth:`NLInterface.ask_many` — thread pool by default,
         ``backend="process"`` for the GIL-free process pool, or a
         persistent :class:`~repro.perf.pool.WorkerPool` (``pool``)
-        reused across batches.
+        reused across batches.  ``deadlines`` (index-aligned absolute
+        monotonic instants) bounds each item — see
+        :meth:`NLInterface.ask_many`.
         """
         shards = [self._shard_for(ref) for _, ref in items]
         pairs = [
@@ -438,7 +441,8 @@ class TableCatalog:
             for (question, _), shard in zip(items, shards)
         ]
         responses = self.interface.ask_many(
-            pairs, k=k, workers=workers, backend=backend, pool=pool
+            pairs, k=k, workers=workers, backend=backend, pool=pool,
+            deadlines=deadlines,
         )
         with self._lock:
             protect = {shard.ref.digest for shard in shards}

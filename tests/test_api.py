@@ -463,6 +463,55 @@ class TestReproClient:
                 assert result.answer == ("Greece",)
 
 
+class TestTransportFaults:
+    """Client-vs-dead-server: every transport fault is a coded ApiError
+    — never a raw socket exception, never a hang."""
+
+    def test_connect_to_closed_port_is_coded_server_closed(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with pytest.raises(ApiError) as excinfo:
+            ReproClient.connect("127.0.0.1", port, timeout=5.0)
+        assert excinfo.value.code is ErrorCode.SERVER_CLOSED
+
+    def test_unresponsive_server_is_coded_timeout(self):
+        import socket
+
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)  # accepts, never answers the hello
+        port = silent.getsockname()[1]
+        try:
+            with pytest.raises(ApiError) as excinfo:
+                ReproClient.connect("127.0.0.1", port, timeout=0.3)
+            assert excinfo.value.code is ErrorCode.TIMEOUT
+        finally:
+            silent.close()
+
+    def test_server_dying_mid_session_is_coded_server_closed(self, corpus, engine):
+        """The server goes away between two queries: the next query (and
+        the reconnect attempts the retry loop makes) fail with coded
+        SERVER_CLOSED, not ConnectionResetError/BrokenPipeError."""
+        _, questions = corpus
+        with _ServerThread(engine.catalog) as hosted:
+            client = ReproClient.connect(
+                "127.0.0.1", hosted.port, timeout=5.0, retries=1,
+                backoff_base=0.01,
+            )
+            assert client.query(
+                questions["olympics"], target="olympics"
+            ).ok is True
+        # hosted has now fully stopped; the port no longer listens.
+        with pytest.raises(ApiError) as excinfo:
+            client.query(questions["olympics"], target="olympics")
+        assert excinfo.value.code is ErrorCode.SERVER_CLOSED
+        client.close()
+
+
 class TestSessionRewiring:
     def test_session_over_an_engine_routes_through_query(self, corpus, engine):
         tables, questions = corpus

@@ -17,10 +17,17 @@ The serving hot path's contract, flavour by flavour:
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
-from repro.perf import BatchParser, ProcessWorkerPool, ThreadWorkerPool, create_pool
+from repro.perf import (
+    BatchParser,
+    DeadlineExceeded,
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    create_pool,
+)
 from repro.perf.batch import BatchItem
 
 from test_perf_batch import build_items, build_tables, make_parser, signature
@@ -181,6 +188,72 @@ class TestProcessPoolPersistence:
                 thread.join()
         for tag in ("a", "b"):
             assert [signature(parse) for parse, _ in outcomes[tag]] == reference
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_expired_items_come_back_as_deadline_exceeded_values(self, backend):
+        """An already-expired deadline yields a ``DeadlineExceeded``
+        *value* (never a raised exception) while the rest of the batch
+        parses normally and stays bit-identical."""
+        items = build_items()
+        reference = sequential_signatures(items)
+        expired = time.monotonic() - 1.0
+        with create_pool(backend, make_parser()) as pool:
+            batch = [
+                BatchItem(
+                    question=question,
+                    table=table,
+                    deadline=expired if index == 0 else None,
+                )
+                for index, (question, table) in enumerate(items)
+            ]
+            results = pool.parse_all(batch)
+            first, _ = results[0]
+            assert isinstance(first, DeadlineExceeded)
+            for (result, _), expected in list(zip(results, reference))[1:]:
+                assert signature(result) == expected
+            assert pool.stats()["timeouts"] >= 1
+
+
+class TestPoolClose:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_close_is_idempotent(self, backend):
+        pool = create_pool(backend, make_parser())
+        pool.parse_all(normalize(build_items()[:1]))
+        pool.close()
+        pool.close()  # must not raise, hang, or double-release
+        with pytest.raises(RuntimeError):
+            pool.parse_all(normalize(build_items()[:1]))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_concurrent_close_is_safe(self, backend):
+        pool = create_pool(backend, make_parser())
+        pool.parse_all(normalize(build_items()[:1]))
+        errors: list = []
+
+        def shutdown():
+            try:
+                pool.close()
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=shutdown) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert pool._closed
+
+    def test_close_reaps_worker_processes(self):
+        pool = create_pool("process", make_parser())
+        pool.parse_all(normalize(build_items()[:1]))
+        processes = [worker.process for worker in pool._workers]
+        assert all(process.is_alive() for process in processes)
+        pool.close()
+        for process in processes:
+            assert not process.is_alive()
 
 
 class TestShardAffinity:

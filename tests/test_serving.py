@@ -187,21 +187,49 @@ class TestAsyncServer:
         assert isinstance(bad, CatalogError)
         assert also_good.top is not None
 
-    def test_stop_fails_queued_requests(self, corpus, catalog):
+    def test_hard_stop_fails_queued_requests(self, corpus, catalog):
         _, questions = corpus
 
         async def drive():
             server = AsyncServer(catalog, max_workers=4)
             await server.start()
             # Enqueue without giving the dispatcher a chance to finish,
-            # then stop: the pending future must fail, not hang.
+            # then hard-stop: the pending future must fail, not hang.
+            task = asyncio.get_running_loop().create_task(
+                server.ask(questions["olympics"], "olympics")
+            )
+            await asyncio.sleep(0)
+            await server.stop(drain=False)
+            with pytest.raises(ServerClosed):
+                await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(drive())
+
+    def test_graceful_stop_drains_accepted_requests(self, corpus, catalog):
+        """The default stop() finishes accepted work before closing —
+        an enqueued request gets its real answer, while a request
+        arriving *during* the drain is turned away with ServerClosed."""
+        _, questions = corpus
+
+        async def drive():
+            server = AsyncServer(catalog, max_workers=4)
+            await server.start()
             task = asyncio.get_running_loop().create_task(
                 server.ask(questions["olympics"], "olympics")
             )
             await asyncio.sleep(0)
             await server.stop()
+            answer = await asyncio.wait_for(task, timeout=10)
+            assert answer.top.answer == ("Greece",)
+            # While a drain is in progress, new work is turned away.
+            server._draining = True
             with pytest.raises(ServerClosed):
-                await asyncio.wait_for(task, timeout=10)
+                await server.ask(questions["olympics"], "olympics")
+            server._draining = False
+            # After the drain finishes, lazy restart works again.
+            again = await server.ask(questions["olympics"], "olympics")
+            assert again.top.answer == ("Greece",)
+            await server.stop()
 
         asyncio.run(drive())
 
@@ -381,13 +409,13 @@ class TestServingRaceRegressions:
             real_queue = server._queue
             real_start = server.start
             parked = asyncio.Queue()
-            real_put = parked.put
+            real_put = parked.put_nowait
 
-            async def put_then_lose_queue(item):
-                await real_put(item)
+            def put_then_lose_queue(item):
+                real_put(item)
                 server._queue = None
 
-            parked.put = put_then_lose_queue
+            parked.put_nowait = put_then_lose_queue
             server._queue = parked
 
             async def noop_start():
@@ -483,6 +511,70 @@ class TestServingRaceRegressions:
         reference = real_ask_any(questions["medals"])
         assert broadcast.answer == reference.answer
         assert broadcast.best_ref.digest == reference.best_ref.digest
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_coded_overloaded(self, corpus, catalog):
+        """With ``max_pending=1`` and the dispatcher pinned mid-batch,
+        the first waiting request queues and the next is shed
+        immediately with a retryable coded OVERLOADED (never queue
+        delay, never a raw exception)."""
+        import threading
+
+        from repro.api.errors import RETRYABLE_CODES, ApiError, ErrorCode
+
+        _, questions = corpus
+
+        async def drive():
+            server = AsyncServer(catalog, max_workers=2, max_pending=1)
+            await server.start()
+            gate = threading.Event()
+            real_answer_batch = server._answer_batch
+
+            def gated_answer_batch(requests):
+                gate.wait(timeout=30)
+                return real_answer_batch(requests)
+
+            server._answer_batch = gated_answer_batch
+            loop = asyncio.get_running_loop()
+            # First ask: picked up by the dispatcher, stuck at the gate.
+            busy = loop.create_task(server.ask(questions["olympics"], "olympics"))
+            await asyncio.sleep(0.05)
+            # Second ask: fills the (size-1) queue.
+            queued = loop.create_task(server.ask(questions["medals"], "medals"))
+            await asyncio.sleep(0.05)
+            # Third ask: the queue is full — shed, coded, immediate.
+            with pytest.raises(ApiError) as excinfo:
+                await server.ask(questions["roster"], "roster")
+            assert excinfo.value.code is ErrorCode.OVERLOADED
+            assert excinfo.value.code in RETRYABLE_CODES
+            gate.set()
+            first, second = await asyncio.gather(busy, queued)
+            stats = server.stats.as_dict()
+            await server.stop()
+            return first, second, stats
+
+        first, second, stats = asyncio.run(drive())
+        # The accepted requests were served normally after the stall.
+        assert first.top is not None and second.top is not None
+        assert stats["shed"] == 1
+        assert stats["errors"] == 0  # shed happens before acceptance
+
+    def test_double_stop_is_clean(self, corpus, catalog):
+        """stop() is idempotent: calling it twice (or on a server that
+        never started) returns cleanly, no tracebacks, no hangs."""
+        _, questions = corpus
+
+        async def drive():
+            server = AsyncServer(catalog, max_workers=2)
+            await server.stop()  # never started: still clean
+            answer = await server.ask(questions["olympics"], "olympics")
+            await server.stop()
+            await server.stop()
+            return answer
+
+        answer = asyncio.run(drive())
+        assert answer.top.answer == ("Greece",)
 
 
 class TestServerStats:
