@@ -3,9 +3,10 @@
 
 The CI wire-shape gate: any drift between what the server emits and the
 committed schemas (``schemas/query_result.v2.json``,
-``schemas/serve_response.v1.json``, ``schemas/bench_serve.v3.json``)
-fails the build.  The committed ``BENCH_serve.json`` artifact is itself
-a fixture: a bench payload that stops matching the v3 schema fails here
+``schemas/serve_response.v1.json``, ``schemas/bench_serve.v3.json``,
+``schemas/bench_churn.v1.json``) fails the build.  The committed
+``BENCH_serve.json`` and ``BENCH_churn.json`` artifacts are themselves
+fixtures: a bench payload that stops matching its schema fails here
 before it ever lands.
 
 Usage::
@@ -41,6 +42,7 @@ SCHEMAS = {
     "v1": "serve_response.v1.json",
     "v2": "query_result.v2.json",
     "bench-serve-v3": "bench_serve.v3.json",
+    "bench-churn-v1": "bench_churn.v1.json",
 }
 
 FIXTURES = [
@@ -48,6 +50,7 @@ FIXTURES = [
     ("v1", REPO_ROOT / "schemas" / "fixtures" / "ask_any_response.v1.json"),
     ("v2", REPO_ROOT / "schemas" / "fixtures" / "query_result.v2.json"),
     ("bench-serve-v3", REPO_ROOT / "BENCH_serve.json"),
+    ("bench-churn-v1", REPO_ROOT / "BENCH_churn.json"),
 ]
 
 

@@ -80,11 +80,14 @@ def result_from_response(
     response,
     shard: Optional[ShardInfo] = None,
     cache: Optional[Dict[str, Any]] = None,
+    corpus_version: Optional[int] = None,
 ) -> QueryResult:
     """Build the envelope for a routed single-table answer.
 
     ``response`` is an :class:`~repro.interface.nl_interface.InterfaceResponse`;
     ``shard`` defaults to the response's own table identity.
+    ``corpus_version`` is the catalog version the request was accepted
+    against (``None`` when no catalog was involved).
     """
     candidates = _candidates_from_response(response)
     ok = bool(candidates)
@@ -109,6 +112,7 @@ def result_from_response(
             total_seconds=response.parse_seconds + response.explain_seconds,
         ),
         cache=cache,
+        corpus_version=corpus_version,
         raw=response,
     )
 
@@ -117,6 +121,7 @@ def result_from_catalog_answer(
     request: QueryRequest,
     answer: CatalogAnswer,
     cache: Optional[Dict[str, Any]] = None,
+    corpus_version: Optional[int] = None,
 ) -> QueryResult:
     """Build the envelope for a corpus-wide :meth:`TableCatalog.ask_any`."""
     decision = answer.routing
@@ -172,6 +177,7 @@ def result_from_catalog_answer(
             total_seconds=parse_seconds + explain_seconds,
         ),
         cache=cache,
+        corpus_version=corpus_version,
         raw=answer,
     )
 
@@ -191,6 +197,7 @@ def result_from_served(
     answer,
     request: Optional[QueryRequest] = None,
     shard: Optional[ShardInfo] = None,
+    corpus_version: Optional[int] = None,
 ) -> QueryResult:
     """Envelope any served answer (``InterfaceResponse`` or ``CatalogAnswer``).
 
@@ -202,8 +209,12 @@ def result_from_served(
     """
     request = request if request is not None else QueryRequest(question=question)
     if isinstance(answer, CatalogAnswer):
-        return result_from_catalog_answer(request, answer)
-    return result_from_response(request, answer, shard=shard)
+        return result_from_catalog_answer(
+            request, answer, corpus_version=corpus_version
+        )
+    return result_from_response(
+        request, answer, shard=shard, corpus_version=corpus_version
+    )
 
 
 def coerce_request(request: RequestLike, options: Dict[str, Any]) -> QueryRequest:
@@ -291,6 +302,10 @@ class ReproEngine:
         self.call_timeout = call_timeout
         self._pools: Dict[str, Any] = {}
         self._pools_lock = threading.Lock()
+        # Retired snapshots must leave the per-worker registries too —
+        # without this, every update leaks the superseded table into
+        # each pool worker forever.
+        self.catalog.on_retire(self._forward_retirement)
         if tables:
             self.catalog.register_all(list(tables))
 
@@ -300,6 +315,22 @@ class ReproEngine:
 
     def register_all(self, tables, names=None):
         return self.catalog.register_all(tables, names=names)
+
+    def update(self, ref, new_table):
+        """Publish ``new_table`` as the next version of a registered shard.
+
+        Passthrough to :meth:`TableCatalog.update`; once the superseded
+        snapshot's pinned queries drain, its retirement propagates to
+        every live worker pool (tables, shipped markers, explanation
+        entries).
+        """
+        return self.catalog.update(ref, new_table)
+
+    def _forward_retirement(self, ref) -> None:
+        with self._pools_lock:
+            pools = list(self._pools.values())
+        for pool in pools:
+            pool.retire([ref.digest])
 
     def refs(self):
         return self.catalog.refs()
@@ -375,12 +406,17 @@ class ReproEngine:
             return error_result(coerced, error)
         try:
             request.validate()
+            # Pin the corpus version at acceptance: results report the
+            # version they were computed against even if an update lands
+            # while this request executes.
+            accepted_version = self.catalog.version
             if request.resolved_mode == "table":
                 ref = self.catalog.resolve(request.target)
                 response = self.catalog.ask(request.question, ref, k=request.k)
                 return result_from_response(
                     request, response, shard=ShardInfo.from_ref(ref),
                     cache=self.cache_stats(),
+                    corpus_version=accepted_version,
                 )
             backend = request.backend or self.backend
             answer = self.catalog.ask_any(
@@ -392,7 +428,8 @@ class ReproEngine:
                 pool=self.pool(backend),
             )
             return result_from_catalog_answer(
-                request, answer, cache=self.cache_stats()
+                request, answer, cache=self.cache_stats(),
+                corpus_version=accepted_version,
             )
         except Exception as error:
             return error_result(request, classify_exception(error))
@@ -408,6 +445,7 @@ class ReproEngine:
         neighbours.
         """
         results: List[Optional[QueryResult]] = [None] * len(requests)
+        accepted_version = self.catalog.version
         grouped: Dict[Tuple, List[Tuple[int, QueryRequest, object]]] = {}
         for position, raw_request in enumerate(requests):
             try:
@@ -464,6 +502,7 @@ class ReproEngine:
                 results[position] = result_from_response(
                     request, response, shard=ShardInfo.from_ref(ref),
                     cache=self.cache_stats(),
+                    corpus_version=accepted_version,
                 )
         return [result for result in results if result is not None]
 

@@ -407,6 +407,11 @@ class QueryResult:
     routing: Optional[RoutingInfo] = None
     timing: Optional[TimingInfo] = None
     cache: Optional[Dict[str, Any]] = None
+    #: The catalog's monotonic corpus version this result was computed
+    #: against (``None`` when no catalog was involved).  Additive v2
+    #: wire field: stale reads — a result pinned to a version an update
+    #: has since superseded — are observable over the wire.
+    corpus_version: Optional[int] = None
     raw: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
@@ -438,6 +443,7 @@ class QueryResult:
             "routing": self.routing.to_dict() if self.routing is not None else None,
             "timing": self.timing.to_dict() if self.timing is not None else None,
             "cache": self.cache,
+            "corpus_version": self.corpus_version,
         }
 
     @classmethod
@@ -472,6 +478,7 @@ class QueryResult:
             routing=RoutingInfo.from_dict(routing) if routing is not None else None,
             timing=TimingInfo.from_dict(timing) if timing is not None else None,
             cache=dict(payload["cache"]) if payload.get("cache") is not None else None,
+            corpus_version=payload.get("corpus_version"),
         )
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -479,14 +486,17 @@ class QueryResult:
 
         Strips the fields two executions of the same deterministic
         question legitimately differ on — wall clock (``timing``),
-        cache counters (``cache``) and the caller-chosen
-        ``request_id`` — leaving exactly what must be bit-identical
-        between the in-process engine and the TCP path.
+        cache counters (``cache``), the caller-chosen ``request_id``
+        and the acceptance-time ``corpus_version`` stamp (a property
+        of *when* the request was observed, not of the answer) —
+        leaving exactly what must be bit-identical between the
+        in-process engine and the TCP path.
         """
         payload = self.to_dict()
         payload.pop("timing")
         payload.pop("cache")
         payload.pop("request_id")
+        payload.pop("corpus_version")
         return payload
 
     def without_raw(self) -> "QueryResult":

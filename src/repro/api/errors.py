@@ -39,6 +39,9 @@ class ErrorCode(str, Enum):
     UNKNOWN_TABLE = "UNKNOWN_TABLE"
     #: The target spec matches more than one table (short digest prefix).
     AMBIGUOUS_TABLE = "AMBIGUOUS_TABLE"
+    #: ``register()`` reused a taken name with different content; the
+    #: caller who means "publish a new version" wants ``update()``.
+    NAME_CONFLICT = "NAME_CONFLICT"
     #: The parser produced no executable candidate for the question.
     PARSE_FAILURE = "PARSE_FAILURE"
     #: The serving layer shut down while the request was in flight.
@@ -118,7 +121,12 @@ def classify_exception(error: BaseException) -> ApiError:
     # Imported lazily: repro.tables is a heavier import than this module
     # and the catalog itself imports nothing from repro.api.
     from ..perf.pool import DeadlineExceeded, WorkerFailed
-    from ..tables.catalog import AmbiguousTableError, CatalogError, UnknownTableError
+    from ..tables.catalog import (
+        AmbiguousTableError,
+        CatalogError,
+        NameConflictError,
+        UnknownTableError,
+    )
 
     if isinstance(error, ApiError):
         return error
@@ -130,6 +138,10 @@ def classify_exception(error: BaseException) -> ApiError:
         return ApiError(ErrorCode.UNKNOWN_TABLE, str(error))
     if isinstance(error, AmbiguousTableError):
         return ApiError(ErrorCode.AMBIGUOUS_TABLE, str(error))
+    if isinstance(error, NameConflictError):
+        # A caller mistake with a precise remedy (use update()), unlike
+        # the other CatalogErrors below.
+        return ApiError(ErrorCode.NAME_CONFLICT, str(error))
     if isinstance(error, ServerClosed):
         return ApiError(ErrorCode.SERVER_CLOSED, f"{type(error).__name__}: {error}")
     if isinstance(error, TimeoutError):

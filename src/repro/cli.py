@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Nine sub-commands cover the workflows a downstream user needs::
+Eleven sub-commands cover the workflows a downstream user needs::
 
     python -m repro explain --table table.csv --query '(aggregate max (column-values "Year" (column-records "Country" (value "Greece"))))'
     python -m repro ask     --table table.csv --question "When did Greece last host?" --k 5
@@ -11,6 +11,8 @@ Nine sub-commands cover the workflows a downstream user needs::
     python -m repro route   --corpus corpus/ --question "which country hosted in 2004"
     python -m repro serve   --corpus corpus/ --port 8765
     python -m repro bench-serve --tables 4 --questions 4 --sessions 8 --output BENCH_serve.json
+    python -m repro update  --corpus corpus/ --name olympics --table new_olympics.csv
+    python -m repro bench-churn --tables 4 --questions 4 --edits 12 --output BENCH_churn.json
 
 * ``explain`` — parse a lambda DCS s-expression, execute it on a CSV table
   and print the utterance + provenance highlights (Section 5).
@@ -43,6 +45,14 @@ Nine sub-commands cover the workflows a downstream user needs::
 * ``bench-serve`` — run the serving harness (sequential vs concurrent
   async sessions vs hot-set eviction) and optionally write
   ``BENCH_serve.json``.
+* ``update`` — publish new content under a registered table name
+  (versioned lineage: the catalog diffs the snapshots, patches the
+  retrieval index and per-column structures in place, and retires the
+  superseded version once no query holds it).
+* ``bench-churn`` — run the live-corpus churn harness (delta
+  maintenance vs from-scratch rebuild under a random edit script,
+  plus the bit-identity verdicts) and optionally write
+  ``BENCH_churn.json``.
 
 The question-answering commands (``ask``, ``catalog``, ``serve``,
 ``route``) are thin faces over :class:`repro.api.ReproEngine` — the same
@@ -238,6 +248,49 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="also run the corpus-wide route mode (pruned vs broadcast ask_any)",
     )
     bench_serve_cmd.add_argument("--output", help="write the timing payload to this JSON file")
+
+    update_cmd = subparsers.add_parser(
+        "update",
+        help="publish new content under a registered table name (versioned lineage)",
+    )
+    update_cmd.add_argument(
+        "--corpus", required=True, help="corpus directory (see catalog)"
+    )
+    update_cmd.add_argument(
+        "--name", required=True, help="registered table name (or digest) to update"
+    )
+    update_cmd.add_argument(
+        "--table", required=True, help="path to the new content (CSV or JSON table)"
+    )
+    update_cmd.add_argument("--cache-dir", help="content-addressed disk cache root")
+    update_cmd.add_argument(
+        "--max-hot", type=int, help="keep at most N shards hot (LRU auto-eviction)"
+    )
+    update_cmd.add_argument(
+        "--question", help="optionally ask a question against the updated corpus"
+    )
+    update_cmd.add_argument("--k", type=int, default=7)
+    update_cmd.add_argument("--model", help="path to a saved LogLinearModel JSON file")
+
+    bench_churn_cmd = subparsers.add_parser(
+        "bench-churn",
+        help="benchmark delta index maintenance vs full rebuild under table churn",
+    )
+    bench_churn_cmd.add_argument("--tables", type=int, default=4)
+    bench_churn_cmd.add_argument(
+        "--questions", type=int, default=4, help="questions per table"
+    )
+    bench_churn_cmd.add_argument("--seed", type=int, default=2019)
+    bench_churn_cmd.add_argument(
+        "--edits",
+        type=int,
+        default=None,
+        help="length of the random edit script (default: 12, scaled by "
+        "REPRO_BENCH_SCALE)",
+    )
+    bench_churn_cmd.add_argument(
+        "--output", help="write the timing payload to this JSON file"
+    )
     return parser
 
 
@@ -660,6 +713,86 @@ def run_bench_serve(args: argparse.Namespace, out) -> int:
     return 0 if ok else 1
 
 
+def run_update(args: argparse.Namespace, out) -> int:
+    from .tables import diff_tables, table_from_json
+
+    engine = _corpus_engine(args, out, k=args.k)
+    if engine is None:
+        return 1
+    catalog = engine.catalog
+    old_ref = catalog.resolve(args.name)
+    path = Path(args.table)
+    if path.suffix.lower() == ".json":
+        new_table = table_from_json(path.read_text(encoding="utf-8"))
+    else:
+        new_table = table_from_csv(path)
+    diff = diff_tables(catalog.table(old_ref), new_table)
+    new_ref = engine.update(old_ref, new_table)
+    if new_ref.digest == old_ref.digest:
+        print(
+            f"{old_ref.name}: content unchanged ({old_ref.short}); nothing to do",
+            file=out,
+        )
+        return 0
+    print(
+        f"{old_ref.name}: v{old_ref.version} {old_ref.short} -> "
+        f"v{new_ref.version} {new_ref.short}",
+        file=out,
+    )
+    print(
+        f"  columns: {len(diff.changed_columns)} changed, "
+        f"{len(diff.added_columns)} added, {len(diff.removed_columns)} removed",
+        file=out,
+    )
+    print(
+        f"  rows   : {len(diff.changed_rows)} changed"
+        + (" (row count changed)" if diff.row_count_changed else ""),
+        file=out,
+    )
+    stats = catalog.stats()
+    print(
+        f"  catalog: version {stats['version']}, {stats['updates']} updates, "
+        f"{stats['retired']} retired",
+        file=out,
+    )
+    if args.question:
+        result = engine.query(args.question, target=args.name, k=args.k)
+        print(json.dumps(result.to_dict(), ensure_ascii=False, indent=2), file=out)
+        return 0 if result.ok else 1
+    return 0
+
+
+def run_bench_churn(args: argparse.Namespace, out) -> int:
+    from .perf import bench_pairs_from_dataset, run_churn_bench
+
+    pairs = bench_pairs_from_dataset(
+        num_tables=args.tables, questions_per_table=args.questions, seed=args.seed
+    )
+    report = run_churn_bench(pairs, edits=args.edits, seed=args.seed)
+    print(
+        f"workload: {report.tables} tables, {report.questions} questions, "
+        f"{report.edits} edits",
+        file=out,
+    )
+    print(f"{'mode':<14} {'total':>10} {'mean edit':>10} {'speedup':>8}", file=out)
+    for mode, total, mean, speedup in report.rows():
+        print(f"{mode:<14} {total:>10} {mean:>10} {speedup:>8}", file=out)
+    print(
+        f"identical to from-scratch rebuild: answers="
+        f"{report.identical_answers} index={report.identical_index}",
+        file=out,
+    )
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote timings to {path}", file=out)
+    return 0 if (report.identical_answers and report.identical_index) else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_argument_parser().parse_args(argv)
@@ -673,6 +806,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "route": run_route,
         "serve": run_serve,
         "bench-serve": run_bench_serve,
+        "update": run_update,
+        "bench-churn": run_bench_churn,
     }
     try:
         return handlers[args.command](args, out)

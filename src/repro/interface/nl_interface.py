@@ -130,6 +130,23 @@ class NLInterface:
         evict_index(table.fingerprint)
         evict_schema(table.fingerprint)
 
+    def retire_table(self, table: Table) -> None:
+        """Drop a *superseded* table version's in-memory derived state.
+
+        Same scope as :meth:`evict_table` minus the disk flush: a retired
+        version can never be asked again, so persisting its execution
+        bundle would only grow the lineage garbage
+        :meth:`~repro.tables.catalog.TableCatalog.prune_lineage` collects.
+        Entries of every other fingerprint are untouched.
+        """
+        from ..tables.index import evict_index
+        from ..tables.schema import evict_schema
+
+        self.parser.retire_table(table)
+        self._generators.pop(table.fingerprint)
+        evict_index(table.fingerprint)
+        evict_schema(table.fingerprint)
+
     def ask(self, question: str, table: Table, k: Optional[int] = None) -> InterfaceResponse:
         """Parse a question and explain the top-k candidates."""
         limit = k if k is not None else self.k

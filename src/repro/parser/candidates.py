@@ -410,6 +410,19 @@ class SemanticParser:
         self._execution_cache.evict_fingerprint(fingerprint)
         self._loaded_execution_bundles.discard(fingerprint.digest)
 
+    def retire_table(self, table: Table) -> None:
+        """Drop a superseded version's state for good (the churn hook).
+
+        :meth:`evict_table` plus the per-digest disk-bundle bookkeeping
+        (``_stored_bundle_sizes``/``_stored_bundle_misses``): an evicted
+        shard's digest comes back, a retired version's never does, so
+        keeping its markers would leak an entry per edit under churn.
+        """
+        self.evict_table(table)
+        digest = table.fingerprint.digest
+        self._stored_bundle_sizes.pop(digest, None)
+        self._stored_bundle_misses.pop(digest, None)
+
     # -- parsing -----------------------------------------------------------------------
     def parse(self, question: str, table: Table, k: Optional[int] = None) -> ParseOutput:
         """Parse a question into a ranked candidate list (top-``k`` if given)."""

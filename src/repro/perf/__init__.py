@@ -18,6 +18,9 @@ the content-addressed caches of :mod:`repro.tables.fingerprint` and
 * :func:`~repro.perf.bench.run_parse_bench` — the five-mode perf harness
   (sequential / memoized / indexed / batched / process) whose payload
   becomes the ``BENCH_parse.json`` trajectory artifact;
+* :func:`~repro.perf.churn.run_churn_bench` — the live-corpus churn
+  harness (delta maintenance vs full rebuild under a random edit
+  script) whose payload becomes ``BENCH_churn.json``;
 * re-exports of the cache primitives so callers can reach everything
   performance-related through ``repro.perf``.
 """
@@ -38,6 +41,7 @@ from .bench import (
     sequential_parser_config,
     timing_summary,
 )
+from .churn import ChurnReport, churn_edit_script, run_churn_bench
 from .diskcache import DiskCache
 from .pool import (
     DeadlineExceeded,
@@ -57,6 +61,9 @@ __all__ = [
     "BatchParser",
     "BatchReport",
     "BENCH_MODES",
+    "ChurnReport",
+    "churn_edit_script",
+    "run_churn_bench",
     "DeadlineExceeded",
     "DiskCache",
     "PoolError",

@@ -163,6 +163,15 @@ class DiskCache:
     def put_execution_bundle(self, fingerprint_digest: str, bundle: Dict[str, Any]) -> None:
         self.put(EXECUTION_NAMESPACE, (fingerprint_digest,), bundle)
 
+    def remove(self, namespace: str, key: object) -> bool:
+        """Unlink one entry; returns whether a file was removed."""
+        path = self._path(namespace, key)
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
     def get_table(self, fingerprint_digest: str) -> Optional[Any]:
         """An evicted catalog shard's table, or ``None`` when never evicted."""
         return self.get(TABLES_NAMESPACE, (fingerprint_digest,))
@@ -175,6 +184,15 @@ class DiskCache:
         content-addressed cache it left.
         """
         self.put(TABLES_NAMESPACE, (fingerprint_digest,), table)
+
+    def remove_table(self, fingerprint_digest: str) -> bool:
+        """Unlink a retired lineage ancestor's table blob.
+
+        Only :meth:`TableCatalog.prune_lineage` calls this, and only for
+        digests nothing can resolve any more — live and pinned shards
+        keep their blobs (primary storage for evicted shards).
+        """
+        return self.remove(TABLES_NAMESPACE, (fingerprint_digest,))
 
     # -- introspection ---------------------------------------------------------
     def __len__(self) -> int:

@@ -171,6 +171,8 @@ class WorkerPool:
         self.units = 0
         #: Units that resolved to :class:`DeadlineExceeded`.
         self.timeouts = 0
+        #: Superseded table digests retired from this pool's registries.
+        self.retired = 0
         # Warm explanation registry, shared by both flavours and used by
         # :meth:`NLInterface.ask_many` on the batch path: explanations
         # are a pure function of (table content, query), so entries are
@@ -191,6 +193,22 @@ class WorkerPool:
     def close(self) -> None:
         raise NotImplementedError
 
+    def retire(self, digests: Sequence[str]) -> None:
+        """Forget superseded table versions (the catalog retirement hook).
+
+        Drops every registry/cache entry keyed by the given content
+        digests so live-corpus churn cannot accumulate dead snapshots in
+        long-lived pools.  Entries of other digests are untouched; a
+        digest never shipped is a no-op.
+        """
+        targets = set(digests)
+        if not targets:
+            return
+        for key in list(self.explanations.keys()):
+            if key[0].digest in targets:
+                self.explanations.pop(key)
+        self.retired += len(targets)
+
     def stats(self) -> Dict[str, object]:
         return {
             "backend": self.backend,
@@ -198,6 +216,7 @@ class WorkerPool:
             "batches": self.batches,
             "units": self.units,
             "timeouts": self.timeouts,
+            "retired": self.retired,
         }
 
     def __enter__(self) -> "WorkerPool":
@@ -331,6 +350,18 @@ class ThreadWorkerPool(WorkerPool):
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    def retire(self, digests: Sequence[str]) -> None:
+        targets = set(digests)
+        if not targets:
+            return
+        # Both caches key on (fingerprint, question[, k]); drop exactly
+        # the superseded versions' entries and nothing else.
+        for cache in (self._registry, self._ranked):
+            for key in list(cache.keys()):
+                if key[0].digest in targets:
+                    cache.pop(key)
+        super().retire(targets)
+
     def stats(self) -> Dict[str, object]:
         payload = super().stats()
         payload["registry"] = self.registry_size()
@@ -385,6 +416,19 @@ def _pool_worker_main(conn, weights: Dict[str, float], config: ParserConfig) -> 
                     tables[table.fingerprint.digest] = table
             except Exception:  # pragma: no cover - corrupt re-ship
                 pass
+            continue
+        if kind == "retire":
+            # A superseded table version will never be asked again: drop
+            # it from the registry *and* from the worker parser's
+            # per-table caches, or every live-corpus edit leaks one
+            # table per worker forever.
+            for digest in message[1]:
+                table = tables.pop(digest, None)
+                if table is not None:
+                    try:
+                        parser.retire_table(table)
+                    except Exception:  # pragma: no cover - best effort
+                        pass
             continue
         if kind != "parse":  # pragma: no cover - protocol guard
             conn.send(("done",))
@@ -611,6 +655,31 @@ class ProcessWorkerPool(WorkerPool):
                 self._reap(worker)
             self._workers = []
             self._tables.clear()
+
+    def retire(self, digests: Sequence[str]) -> None:
+        targets = set(digests)
+        if not targets:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            for digest in targets:
+                self._tables.pop(digest, None)
+            for worker in self._workers:
+                held = sorted(targets & worker.shipped)
+                if not held:
+                    continue
+                # Forget driver-side first: even if the send fails, the
+                # respawn path re-ships from ``shipped & _tables``, and
+                # neither holds these digests any more.
+                worker.shipped.difference_update(held)
+                try:
+                    worker.conn.send(("retire", held))
+                except (BrokenPipeError, OSError):
+                    pass  # dead worker; supervision will reap it
+            if self._fallback is not None:
+                self._fallback.retire(targets)
+        super().retire(targets)
 
     # -- supervision -----------------------------------------------------------
     def _stamp_fault(self) -> Optional[tuple]:

@@ -203,39 +203,99 @@ class CorpusIndex:
     def add_posting(self, posting: ShardPosting) -> ShardPosting:
         """Publish a pre-extracted posting (idempotent per digest)."""
         with self._lock:
-            existing = self._postings.get(posting.digest)
+            return self._add_posting_locked(posting)
+
+    def _add_posting_locked(self, posting: ShardPosting) -> ShardPosting:
+        existing = self._postings.get(posting.digest)
+        if existing is not None:
+            return existing
+        self._postings[posting.digest] = posting
+        for key in posting.entity_keys:
+            self._entities.setdefault(key, set()).add(posting.digest)
+        for token in posting.entity_tokens:
+            self._entity_tokens.setdefault(token, set()).add(posting.digest)
+        for token in posting.header_tokens:
+            self._headers.setdefault(token, set()).add(posting.digest)
+        for number in posting.numbers:
+            self._numbers.setdefault(number, set()).add(posting.digest)
+        return posting
+
+    def update(self, old_digest: str, new_table: Table) -> ShardPosting:
+        """Replace one shard's posting with ``new_table``'s, by key delta.
+
+        Only the inverted-map entries whose keys actually changed are
+        touched: removed keys drop the old digest (pruning the key when
+        its digest set empties, exactly as :meth:`discard` does), added
+        keys insert the new digest, and keys present in both versions are
+        re-pointed in place.  The result is byte-identical to
+        ``discard(old_digest)`` + ``add(new_table)`` — locked in by the
+        hypothesis interleaving property in ``tests/test_churn.py`` —
+        but touches O(changed keys) instead of O(all keys).
+        """
+        new_posting = extract_shard_posting(new_table)
+        with self._lock:
+            old_posting = self._postings.get(old_digest)
+            if old_posting is None:
+                # Nothing to migrate (never indexed, or already retired):
+                # degrade to a plain add.
+                return self._add_posting_locked(new_posting)
+            if old_digest == new_posting.digest:
+                return old_posting  # content unchanged: nothing to do
+            existing = self._postings.get(new_posting.digest)
             if existing is not None:
+                # The new content is already indexed under another shard;
+                # just drop the old posting.
+                self._discard_locked(old_digest, old_posting)
                 return existing
-            self._postings[posting.digest] = posting
-            for key in posting.entity_keys:
-                self._entities.setdefault(key, set()).add(posting.digest)
-            for token in posting.entity_tokens:
-                self._entity_tokens.setdefault(token, set()).add(posting.digest)
-            for token in posting.header_tokens:
-                self._headers.setdefault(token, set()).add(posting.digest)
-            for number in posting.numbers:
-                self._numbers.setdefault(number, set()).add(posting.digest)
-            return posting
+            del self._postings[old_digest]
+            self._postings[new_posting.digest] = new_posting
+            for mapping, old_keys, new_keys in (
+                (self._entities, old_posting.entity_keys, new_posting.entity_keys),
+                (
+                    self._entity_tokens,
+                    old_posting.entity_tokens,
+                    new_posting.entity_tokens,
+                ),
+                (self._headers, old_posting.header_tokens, new_posting.header_tokens),
+                (self._numbers, old_posting.numbers, new_posting.numbers),
+            ):
+                for key in old_keys - new_keys:
+                    digests = mapping.get(key)
+                    if digests is not None:
+                        digests.discard(old_digest)
+                        if not digests:
+                            del mapping[key]
+                for key in new_keys - old_keys:
+                    mapping.setdefault(key, set()).add(new_posting.digest)
+                for key in old_keys & new_keys:
+                    digests = mapping[key]
+                    digests.discard(old_digest)
+                    digests.add(new_posting.digest)
+            return new_posting
 
     def discard(self, digest: str) -> bool:
         """Remove one shard's posting; returns whether it was indexed."""
         with self._lock:
-            posting = self._postings.pop(digest, None)
+            posting = self._postings.get(digest)
             if posting is None:
                 return False
-            for mapping, keys in (
-                (self._entities, posting.entity_keys),
-                (self._entity_tokens, posting.entity_tokens),
-                (self._headers, posting.header_tokens),
-                (self._numbers, posting.numbers),
-            ):
-                for key in keys:
-                    digests = mapping.get(key)
-                    if digests is not None:
-                        digests.discard(digest)
-                        if not digests:
-                            del mapping[key]
+            self._discard_locked(digest, posting)
             return True
+
+    def _discard_locked(self, digest: str, posting: ShardPosting) -> None:
+        del self._postings[digest]
+        for mapping, keys in (
+            (self._entities, posting.entity_keys),
+            (self._entity_tokens, posting.entity_tokens),
+            (self._headers, posting.header_tokens),
+            (self._numbers, posting.numbers),
+        ):
+            for key in keys:
+                digests = mapping.get(key)
+                if digests is not None:
+                    digests.discard(digest)
+                    if not digests:
+                        del mapping[key]
 
     def posting(self, digest: str) -> Optional[ShardPosting]:
         with self._lock:
@@ -262,6 +322,23 @@ class CorpusIndex:
                 "header_tokens": len(self._headers),
                 "numbers": len(self._numbers),
             }
+
+    def snapshot(self) -> Tuple:
+        """A canonical deep copy of every internal structure.
+
+        Two indexes are interchangeable iff their snapshots are equal —
+        this is what the churn property tests compare to prove that the
+        delta path (:meth:`update`) leaves the index byte-identical to a
+        fresh build, *including* the absence of empty posting keys.
+        """
+        with self._lock:
+            return (
+                dict(self._postings),
+                {key: frozenset(v) for key, v in self._entities.items()},
+                {key: frozenset(v) for key, v in self._entity_tokens.items()},
+                {key: frozenset(v) for key, v in self._headers.items()},
+                {key: frozenset(v) for key, v in self._numbers.items()},
+            )
 
     # -- scoring ---------------------------------------------------------------
     def score_question(self, question: str) -> Dict[str, RetrievalHit]:

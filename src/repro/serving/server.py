@@ -127,6 +127,12 @@ class ServerStats:
     and ``pool_downgrades`` (mirrored from the persistent pools each
     time the stats are served).  ``timeouts`` count separately from
     ``errors`` — a timeout is also an error.
+
+    The churn counters tell the live-corpus story: ``corpus_updates``
+    and ``shards_retired`` (mirrored from the catalog's lineage
+    machinery each time the stats are served) plus ``pinned_requests``
+    (routed requests this server pinned to their resolved snapshot so a
+    concurrent ``update`` could not retire it under them).
     """
 
     requests: int = 0
@@ -138,6 +144,9 @@ class ServerStats:
     shed: int = 0
     worker_respawns: int = 0
     pool_downgrades: int = 0
+    corpus_updates: int = 0
+    shards_retired: int = 0
+    pinned_requests: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -150,6 +159,9 @@ class ServerStats:
             "shed": self.shed,
             "worker_respawns": self.worker_respawns,
             "pool_downgrades": self.pool_downgrades,
+            "corpus_updates": self.corpus_updates,
+            "shards_retired": self.shards_retired,
+            "pinned_requests": self.pinned_requests,
             "mean_batch": (
                 round(self.requests / self.batches, 2) if self.batches else 0.0
             ),
@@ -432,6 +444,10 @@ class AsyncServer:
 
         try:
             request.validate()
+            # Acceptance pins the observation point: whatever the corpus
+            # version is *now* is the version this answer is a read of,
+            # even if updates land while the request sits in the queue.
+            accepted_version = self.catalog.version
             # The budget starts ticking at acceptance: queue wait,
             # dispatch and worker time all draw from the same deadline.
             deadline = (
@@ -474,6 +490,7 @@ class AsyncServer:
             answer,
             request=request,
             shard=ShardInfo.from_ref(ref) if ref is not None else None,
+            corpus_version=accepted_version,
         )
 
     async def ask_gathered(
@@ -578,6 +595,13 @@ class AsyncServer:
         corpus sweep never serialises in front of cheap routed traffic
         (it used to run inline, and strictly before the groups).
         Per-request errors (unknown refs) fail only their own future.
+
+        Each routed request is **pinned** to its resolved shard for the
+        life of the batch: a concurrent :meth:`TableCatalog.update`
+        supersedes the snapshot but cannot retire it until the unpin in
+        the ``finally`` below, so every accepted request completes
+        against the exact version it resolved — never a mid-flight
+        mixture of old and new content.
         """
         outcomes: List[object] = [None] * len(requests)
         routed: Dict[
@@ -585,75 +609,94 @@ class AsyncServer:
             List[Tuple[int, _AskRequest, object]],
         ] = {}
         broadcasts: List[Tuple[int, object]] = []
-        for position, request in enumerate(requests):
-            if (
-                request.deadline is not None
-                and time.monotonic() >= request.deadline
-            ):
-                # Expired while queued: never dispatched at all.
-                outcomes[position] = _Failure(
-                    timeout_error(
-                        f"deadline expired before dispatch of "
-                        f"{request.question!r}"
+        pinned: List[object] = []
+        try:
+            for position, request in enumerate(requests):
+                if (
+                    request.deadline is not None
+                    and time.monotonic() >= request.deadline
+                ):
+                    # Expired while queued: never dispatched at all.
+                    outcomes[position] = _Failure(
+                        timeout_error(
+                            f"deadline expired before dispatch of "
+                            f"{request.question!r}"
+                        )
                     )
-                )
-                continue
-            if request.ref is None:
-                backend = request.backend or self.backend
-                broadcasts.append(
-                    (
-                        position,
-                        self._jobs.submit(
-                            self.catalog.ask_any,
-                            request.question,
-                            k=request.k,
-                            workers=self.max_workers,
-                            backend=backend,
-                            prune=request.prune,
-                            pool=self._pool(backend),
-                        ),
-                    )
-                )
-                continue
-            try:
-                ref = self.catalog.resolve(request.ref)
-            except CatalogError as error:
-                outcomes[position] = _Failure(error)
-                continue
-            routed.setdefault((request.k, request.backend), []).append(
-                (position, request, ref)
-            )
-        for (k, backend), group in routed.items():
-            # Shard-affinity composition: stable sort by resolved digest.
-            group.sort(key=lambda entry: entry[2].digest)
-            self.stats.shard_groups += len({ref.digest for _, _, ref in group})
-            try:
-                responses = self.catalog.ask_many(
-                    [(request.question, ref) for _, request, ref in group],
-                    k=k,
-                    workers=self.max_workers,
-                    backend=backend or self.backend,
-                    pool=self._pool(backend),
-                    deadlines=[request.deadline for _, request, _ in group],
-                )
-            except Exception as error:
-                for position, _, _ in group:
-                    outcomes[position] = _Failure(error)
-                continue
-            for (position, request, ref), response in zip(group, responses):
-                if response.error is not None:
-                    # A per-item pool failure (deadline expiry, a worker
-                    # dead past every retry) fails only its own future.
-                    outcomes[position] = _Failure(response.error)
                     continue
-                outcomes[position] = (
-                    _ResolvedAnswer(ref, response) if request.want_ref else response
+                if request.ref is None:
+                    backend = request.backend or self.backend
+                    broadcasts.append(
+                        (
+                            position,
+                            self._jobs.submit(
+                                self.catalog.ask_any,
+                                request.question,
+                                k=request.k,
+                                workers=self.max_workers,
+                                backend=backend,
+                                prune=request.prune,
+                                pool=self._pool(backend),
+                            ),
+                        )
+                    )
+                    continue
+                try:
+                    ref = self.catalog.resolve(request.ref)
+                    # Pin the resolved snapshot: it stays answerable
+                    # even if an update lands before (or while) the
+                    # group executes.
+                    ref = self.catalog.pin(ref)
+                except CatalogError as error:
+                    outcomes[position] = _Failure(error)
+                    continue
+                pinned.append(ref)
+                routed.setdefault((request.k, request.backend), []).append(
+                    (position, request, ref)
                 )
-        for position, future in broadcasts:
-            try:
-                outcomes[position] = future.result()
-            except Exception as error:
-                outcomes[position] = _Failure(error)
+            self.stats.pinned_requests += len(pinned)
+            for (k, backend), group in routed.items():
+                # Shard-affinity composition: stable sort by resolved digest.
+                group.sort(key=lambda entry: entry[2].digest)
+                self.stats.shard_groups += len(
+                    {ref.digest for _, _, ref in group}
+                )
+                try:
+                    responses = self.catalog.ask_many(
+                        [(request.question, ref) for _, request, ref in group],
+                        k=k,
+                        workers=self.max_workers,
+                        backend=backend or self.backend,
+                        pool=self._pool(backend),
+                        deadlines=[request.deadline for _, request, _ in group],
+                    )
+                except Exception as error:
+                    for position, _, _ in group:
+                        outcomes[position] = _Failure(error)
+                    continue
+                for (position, request, ref), response in zip(group, responses):
+                    if response.error is not None:
+                        # A per-item pool failure (deadline expiry, a worker
+                        # dead past every retry) fails only its own future.
+                        outcomes[position] = _Failure(response.error)
+                        continue
+                    outcomes[position] = (
+                        _ResolvedAnswer(ref, response)
+                        if request.want_ref
+                        else response
+                    )
+            for position, future in broadcasts:
+                try:
+                    outcomes[position] = future.result()
+                except Exception as error:
+                    outcomes[position] = _Failure(error)
+        finally:
+            # Unpin in all cases — a pinned-but-failed request must not
+            # keep its superseded snapshot alive forever.  Retirement of
+            # any shard superseded mid-batch fires here, on the
+            # dispatcher thread.
+            for ref in pinned:
+                self.catalog.unpin(ref)
         return outcomes
 
     # -- TCP front end ---------------------------------------------------------
@@ -852,6 +895,7 @@ class AsyncServer:
 
     def _stats_payload(self) -> Dict[str, object]:
         self._refresh_pool_counters()
+        self._refresh_churn_counters()
         return wire.stats_payload(self.catalog, self.stats.as_dict())
 
     def _refresh_pool_counters(self) -> None:
@@ -869,6 +913,17 @@ class AsyncServer:
             downgrades += int(pool_stats.get("downgrades", 0) or 0)
         self.stats.worker_respawns = respawns
         self.stats.pool_downgrades = downgrades
+
+    def _refresh_churn_counters(self) -> None:
+        """Mirror the catalog's lineage counters into the stats.
+
+        The catalog owns the ground truth (``updates``/``retired``
+        accumulate inside :class:`TableCatalog`); the server copies them
+        whenever stats are served, the same contract as the pool fault
+        counters above.
+        """
+        self.stats.corpus_updates = self.catalog.updates
+        self.stats.shards_retired = self.catalog.retired
 
 
 def answer_payload(answer: ServedAnswer) -> Dict[str, object]:

@@ -40,6 +40,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
+from .diff import TableDiff, diff_tables
+from .index import update_index
 from .table import Table, TableError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (runtime imports are lazy)
@@ -67,19 +69,31 @@ class AmbiguousTableError(CatalogError):
     """A digest prefix matches several shards (``ErrorCode.AMBIGUOUS_TABLE``)."""
 
 
+class NameConflictError(CatalogError):
+    """``register()`` reused a taken name with different content
+    (``ErrorCode.NAME_CONFLICT``) — callers who mean "publish new content
+    under this name" want :meth:`TableCatalog.update`."""
+
+
 @dataclass(frozen=True)
 class TableRef:
     """A stable handle to a registered table.
 
     ``digest`` is the content fingerprint (the primary key — stable
     across processes, sessions and table renames); ``name`` is the
-    display alias the table was registered under.
+    display alias the table was registered under.  ``version`` and
+    ``predecessor`` record the shard's place in its lineage chain:
+    freshly registered content is version 1 with no predecessor, and
+    every :meth:`TableCatalog.update` produces a ref one version deeper
+    whose ``predecessor`` is the superseded content's digest.
     """
 
     digest: str
     name: str
     num_rows: int
     num_columns: int
+    version: int = 1
+    predecessor: Optional[str] = None
 
     @property
     def short(self) -> str:
@@ -92,7 +106,14 @@ class TableRef:
 
 @dataclass
 class _Shard:
-    """Internal per-table state (not part of the public API)."""
+    """Internal per-table state (not part of the public API).
+
+    ``superseded_by`` is set when an :meth:`TableCatalog.update` replaced
+    this shard's content; the shard then no longer appears in
+    :meth:`TableCatalog.refs` but stays digest-resolvable until its
+    ``pins`` (in-flight queries accepted against it) drain to zero, at
+    which point it is retired for good.
+    """
 
     ref: TableRef
     table: Optional[Table]
@@ -100,6 +121,8 @@ class _Shard:
     hot: bool = True
     asks: int = 0
     last_used: int = 0
+    superseded_by: Optional[str] = None
+    pins: int = 0
 
 
 @dataclass
@@ -240,6 +263,20 @@ class TableCatalog:
         self._persisted_tables: set = set()
         self.evictions = 0
         self.rehydrations = 0
+        # -- live-corpus state (the mutation path) -----------------------
+        #: Monotonic corpus version: bumped on every content-new
+        #: register and every update.  Results carry the version they
+        #: were computed against (the v2 wire's ``corpus_version``).
+        self.version = 0
+        self.updates = 0
+        self.retired = 0
+        #: live digest -> its retired ancestors' digests, oldest first
+        #: (drives :meth:`prune_lineage` over the disk tables namespace).
+        self._history: Dict[str, List[str]] = {}
+        #: Called with each retired :class:`TableRef` once its pins drain
+        #: — the engine forwards these to worker pools so per-worker
+        #: registries drop superseded snapshots instead of leaking.
+        self._retire_listeners: List = []
 
     # -- registration ----------------------------------------------------------
     def register(self, table: Table, name: Optional[str] = None) -> TableRef:
@@ -259,8 +296,10 @@ class TableCatalog:
         with self._lock:
             taken = self._names.get(name)
             if taken is not None and taken != digest:
-                raise CatalogError(
-                    f"name {name!r} already registered for table {taken[:12]}"
+                raise NameConflictError(
+                    f"name {name!r} is already registered for table "
+                    f"{taken[:12]}; use update({name!r}, new_table) to "
+                    f"publish new content under an existing name"
                 )
             # Index only once registration is certain: a rejected table
             # must not leave a posting behind.
@@ -275,6 +314,7 @@ class TableCatalog:
                 )
                 shard = _Shard(ref=ref, table=table, order=next(self._order))
                 self._shards[digest] = shard
+                self.version += 1
             elif shard.table is None:
                 # Re-registering an evicted shard rehydrates it for free.
                 shard.table = table
@@ -296,6 +336,161 @@ class TableCatalog:
             self.register(table, name=names[i] if names is not None else None)
             for i, table in enumerate(tables)
         ]
+
+    # -- mutation (the live-corpus path) ---------------------------------------
+    def update(self, ref: TableLike, new_table: Table) -> TableRef:
+        """Publish ``new_table`` as the next version of an existing shard.
+
+        The delta path: the old and new contents are diffed
+        (:func:`~repro.tables.diff.diff_tables`) and only the affected
+        structures are touched — the corpus index migrates just the
+        posting keys that changed, the per-column
+        :class:`~repro.tables.index.TableIndex` rebuilds only changed
+        columns — leaving the system bit-identical to one rebuilt from
+        scratch on the final table set (locked in by
+        ``tests/test_churn.py``).
+
+        Lineage: the new ref records ``version + 1`` and the old digest
+        as ``predecessor``; every name that aliased the old shard now
+        resolves to the new one.  The superseded shard disappears from
+        :meth:`refs` immediately but stays digest-resolvable until its
+        pinned in-flight queries drain (see :meth:`pin`), after which it
+        is retired: its derived caches are dropped, retire listeners
+        (worker pools) are notified, and its table blob becomes eligible
+        for :meth:`prune_lineage`.
+
+        Returns the old ref unchanged when ``new_table`` has equal
+        content (a no-op edit).
+        """
+        with self._lock:
+            old_shard = self._shard_for(ref)
+            old_ref = old_shard.ref
+            if old_shard.superseded_by is not None:
+                raise CatalogError(
+                    f"shard {old_ref} was already superseded by "
+                    f"{old_shard.superseded_by[:12]}; update the current "
+                    f"version instead"
+                )
+            new_digest = new_table.fingerprint.digest
+            if new_digest == old_ref.digest:
+                return old_ref
+            if new_digest in self._shards:
+                raise CatalogError(
+                    f"content {new_digest[:12]} is already registered as "
+                    f"{self._shards[new_digest].ref}; cannot fold two live "
+                    f"shards into one lineage"
+                )
+            old_table = self._materialize(old_shard)
+            diff = diff_tables(old_table, new_table)
+            # Delta maintenance: postings by changed key, per-column
+            # indexes by changed column.
+            self._index.update(old_ref.digest, new_table)
+            update_index(old_table.fingerprint, new_table, diff)
+            new_ref = TableRef(
+                digest=new_digest,
+                name=old_ref.name,
+                num_rows=new_table.num_rows,
+                num_columns=new_table.num_columns,
+                version=old_ref.version + 1,
+                predecessor=old_ref.digest,
+            )
+            # The successor inherits the registration order so corpus
+            # ranking tie-breaks exactly as a fresh catalog built on the
+            # final table set would.
+            new_shard = _Shard(
+                ref=new_ref, table=new_table, order=old_shard.order
+            )
+            self._shards[new_digest] = new_shard
+            old_shard.superseded_by = new_digest
+            for alias, digest in list(self._names.items()):
+                if digest == old_ref.digest:
+                    self._names[alias] = new_digest
+            self._history[new_digest] = self._history.pop(
+                old_ref.digest, []
+            ) + [old_ref.digest]
+            self.version += 1
+            self.updates += 1
+            self._touch(new_shard)
+            self._maybe_retire(old_shard)
+            self._enforce_hot_limit(protect=new_digest)
+            return new_ref
+
+    def pin(self, ref: TableLike) -> TableRef:
+        """Resolve ``ref`` and pin its shard against retirement.
+
+        The serving layer pins every accepted request's shard at
+        acceptance, so an :meth:`update` racing with in-flight work keeps
+        the superseded snapshot resolvable until :meth:`unpin` drains it.
+        """
+        with self._lock:
+            shard = self._shard_for(ref)
+            shard.pins += 1
+            return shard.ref
+
+    def unpin(self, ref: TableLike) -> None:
+        """Release one :meth:`pin`; retires the shard when drained."""
+        with self._lock:
+            try:
+                shard = self._shard_for(ref)
+            except CatalogError:
+                return  # already retired through another path
+            if shard.pins > 0:
+                shard.pins -= 1
+            self._maybe_retire(shard)
+
+    def on_retire(self, listener) -> None:
+        """Register a callable invoked with each retired :class:`TableRef`."""
+        with self._lock:
+            self._retire_listeners.append(listener)
+
+    def _maybe_retire(self, shard: _Shard) -> None:
+        """Drop a superseded shard once its last pin drains (lock held)."""
+        if shard.superseded_by is None or shard.pins > 0:
+            return
+        digest = shard.ref.digest
+        if digest not in self._shards:
+            return  # already retired
+        table = shard.table
+        if table is not None:
+            # Drop the in-memory derived state for exactly this
+            # fingerprint — no disk flush: persisting a superseded
+            # version's bundles would only grow the lineage garbage
+            # prune_lineage exists to collect.
+            self.interface.retire_table(table)
+        del self._shards[digest]
+        self.retired += 1
+        for listener in list(self._retire_listeners):
+            listener(shard.ref)
+
+    def prune_lineage(self, keep: int = 1) -> List[str]:
+        """Unlink retired ancestors' table blobs from the disk store.
+
+        Every update leaves the superseded version's pickled table in the
+        disk cache's tables namespace (when it was ever evicted there) —
+        primary storage for a version nothing can resolve any more.  This
+        keeps the newest ``keep`` versions of each lineage (the live
+        version counts as one) and unlinks the rest, returning the pruned
+        digests.  Digests still resolvable (a pinned snapshot not yet
+        retired) are never pruned.
+        """
+        if keep < 1:
+            raise CatalogError(f"prune_lineage keep must be >= 1, got {keep}")
+        pruned: List[str] = []
+        with self._lock:
+            if self._disk is None:
+                return pruned
+            for digest, ancestors in list(self._history.items()):
+                cutoff = max(0, len(ancestors) - (keep - 1))
+                kept: List[str] = []
+                for position, old in enumerate(ancestors):
+                    if position >= cutoff or old in self._shards:
+                        kept.append(old)
+                        continue
+                    self._disk.remove_table(old)
+                    self._persisted_tables.discard(old)
+                    pruned.append(old)
+                self._history[digest] = kept
+        return pruned
 
     # -- resolution ------------------------------------------------------------
     def resolve(self, ref: TableLike) -> TableRef:
@@ -362,11 +557,18 @@ class TableCatalog:
 
     # -- introspection ---------------------------------------------------------
     def refs(self) -> List[TableRef]:
-        """Every registered ref, in registration order."""
+        """Every live ref, in registration order.
+
+        A shard superseded by :meth:`update` is excluded — new work must
+        land on the current version — but stays digest-resolvable through
+        :meth:`resolve`/:meth:`table` until its pinned in-flight queries
+        drain.
+        """
         with self._lock:
             return [
                 shard.ref
                 for shard in sorted(self._shards.values(), key=lambda s: s.order)
+                if shard.superseded_by is None
             ]
 
     def is_hot(self, ref: TableLike) -> bool:
@@ -386,14 +588,24 @@ class TableCatalog:
     def stats(self) -> Dict[str, object]:
         """Counters for serving dashboards and the bench harness."""
         with self._lock:
-            hot = sum(1 for shard in self._shards.values() if shard.hot)
+            live = [
+                shard
+                for shard in self._shards.values()
+                if shard.superseded_by is None
+            ]
+            hot = sum(1 for shard in live if shard.hot)
             return {
-                "shards": len(self._shards),
+                "shards": len(live),
                 "hot": hot,
-                "cold": len(self._shards) - hot,
+                "cold": len(live) - hot,
                 "asks": sum(shard.asks for shard in self._shards.values()),
                 "evictions": self.evictions,
                 "rehydrations": self.rehydrations,
+                "version": self.version,
+                "updates": self.updates,
+                "retired": self.retired,
+                "superseded": len(self._shards) - len(live),
+                "pins": sum(shard.pins for shard in self._shards.values()),
                 "retrieval": self._index.stats(),
                 "parser": self.interface.parser.cache_stats(),
             }

@@ -1,0 +1,103 @@
+"""Content diffs between two :class:`~repro.tables.table.Table` versions.
+
+The live-corpus mutation path (``TableCatalog.update``) needs to know
+*what part* of a table an edit touched, so every downstream structure —
+per-column indexes, corpus postings, parser caches — can be maintained
+incrementally instead of rebuilt.  A :class:`TableDiff` answers exactly
+that question: which columns and rows differ between two table contents,
+compared through typed-value equality (the same dataclass equality the
+fingerprint hashes over, so ``diff.identical`` ⇔ equal fingerprints for
+equal headers).
+
+The one subtlety is the **row-count rule**: per-column structures
+(:class:`~repro.tables.index.ColumnIndex`) embed row indices, so a
+column is only reusable when the row set is unchanged.  When row counts
+differ, every surviving column is reported changed — callers never need
+to re-derive that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .table import Table
+
+
+@dataclass(frozen=True)
+class TableDiff:
+    """What changed between two table versions.
+
+    ``changed_columns`` lists the columns present in *both* versions
+    whose cell content differs (all of them when the row count changed —
+    see the module docstring); added/removed columns are reported
+    separately.  ``changed_rows`` lists the row indices with at least one
+    differing cell (rows beyond the shorter table count as changed).
+    """
+
+    old_digest: str
+    new_digest: str
+    changed_columns: Tuple[str, ...]
+    added_columns: Tuple[str, ...]
+    removed_columns: Tuple[str, ...]
+    changed_rows: Tuple[int, ...]
+    row_count_changed: bool
+
+    @property
+    def identical(self) -> bool:
+        """Whether the two versions have equal content (same fingerprint)."""
+        return self.old_digest == self.new_digest
+
+    @property
+    def num_changed_cells_upper_bound(self) -> int:
+        """A cheap upper bound on touched cells (for churn accounting)."""
+        return len(self.changed_columns) * max(len(self.changed_rows), 1)
+
+    def unchanged_columns(self, table: Table) -> Tuple[str, ...]:
+        """``table``'s columns whose per-column structures are reusable."""
+        changed = set(self.changed_columns) | set(self.added_columns)
+        return tuple(
+            column for column in table.columns if column not in changed
+        )
+
+
+def diff_tables(old: Table, new: Table) -> TableDiff:
+    """The content diff from ``old`` to ``new``.
+
+    Cells are compared through typed-value equality (``Value`` dataclass
+    equality), never display strings, so a retyped cell (``"2004"`` the
+    string vs ``2004`` the number) registers as changed exactly when the
+    fingerprint does.
+    """
+    old_columns = set(old.columns)
+    new_columns = set(new.columns)
+    added = tuple(c for c in new.columns if c not in old_columns)
+    removed = tuple(c for c in old.columns if c not in new_columns)
+    common = [c for c in new.columns if c in old_columns]
+
+    row_count_changed = old.num_rows != new.num_rows
+    shared_rows = min(old.num_rows, new.num_rows)
+    total_rows = max(old.num_rows, new.num_rows)
+
+    changed_columns = []
+    changed_rows = set(range(shared_rows, total_rows))
+    for column in common:
+        old_cells = old.column_cells(column)
+        new_cells = new.column_cells(column)
+        column_changed = row_count_changed
+        for row in range(shared_rows):
+            if old_cells[row].value != new_cells[row].value:
+                column_changed = True
+                changed_rows.add(row)
+        if column_changed:
+            changed_columns.append(column)
+
+    return TableDiff(
+        old_digest=old.fingerprint.digest,
+        new_digest=new.fingerprint.digest,
+        changed_columns=tuple(changed_columns),
+        added_columns=added,
+        removed_columns=removed,
+        changed_rows=tuple(sorted(changed_rows)),
+        row_count_changed=row_count_changed,
+    )

@@ -236,6 +236,41 @@ class TableIndex:
     def column(self, name: str) -> ColumnIndex:
         return self.columns[name]
 
+    @classmethod
+    def from_delta(
+        cls,
+        table: Table,
+        old_index: "TableIndex",
+        reusable_columns: Iterable[str],
+    ) -> "TableIndex":
+        """Build ``table``'s index reusing the old version's columns.
+
+        ``reusable_columns`` must name columns whose cells (values *and*
+        row set) are unchanged between the old index's table and
+        ``table`` — :meth:`TableDiff.unchanged_columns` computes exactly
+        that set, including the row-count rule (row indices are embedded
+        in :class:`ColumnIndex`, so nothing is reusable across a row
+        insertion or deletion).  Because a ``ColumnIndex`` holds only
+        primitives derived from its cells, a reused column is bit-
+        identical to a freshly built one.
+        """
+        reusable = {
+            column
+            for column in reusable_columns
+            if column in old_index.columns
+        }
+        index = object.__new__(cls)
+        index.fingerprint = table.fingerprint
+        index.columns = {
+            column: (
+                old_index.columns[column]
+                if column in reusable
+                else ColumnIndex(table.column_cells(column))
+            )
+            for column in table.columns
+        }
+        return index
+
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"TableIndex({self.fingerprint.short}, {len(self.columns)} columns)"
 
@@ -256,6 +291,30 @@ def table_index(table: Table) -> TableIndex:
     long-running deployments keep a fixed footprint.
     """
     return _INDEX_REGISTRY.get_or_create(table.fingerprint, lambda: TableIndex(table))
+
+
+def update_index(old_fingerprint, new_table: Table, diff) -> TableIndex:
+    """The delta-maintenance hook: re-index ``new_table`` reusing the old.
+
+    When the old version's :class:`TableIndex` is still cached and the
+    diff permits it, only the changed columns are rebuilt; otherwise this
+    degrades to a full build.  Either way the new index is published to
+    the registry under the new fingerprint and the old entry is evicted
+    (the catalog keeps superseded versions resolvable through its
+    lineage chain, not through this registry).
+    """
+    cached = _INDEX_REGISTRY.get(new_table.fingerprint)
+    if cached is not None:
+        return cached
+    old_index = _INDEX_REGISTRY.get(old_fingerprint)
+    if old_index is None or diff.row_count_changed:
+        index = TableIndex(new_table)
+    else:
+        index = TableIndex.from_delta(
+            new_table, old_index, diff.unchanged_columns(new_table)
+        )
+    _INDEX_REGISTRY.put(new_table.fingerprint, index)
+    return index
 
 
 def index_cache_stats() -> Dict[str, int]:

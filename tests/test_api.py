@@ -266,7 +266,7 @@ class TestRoundTripProperty:
             assert QueryResult.from_dict(wire) == result
             # canonical_dict is to_dict minus the run-dependent fields.
             assert set(result.to_dict()) - set(result.canonical_dict()) == {
-                "timing", "cache", "request_id"
+                "timing", "cache", "request_id", "corpus_version"
             }
 
     @settings(max_examples=25, deadline=None)
