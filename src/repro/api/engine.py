@@ -316,6 +316,19 @@ class ReproEngine:
     def register_all(self, tables, names=None):
         return self.catalog.register_all(tables, names=names)
 
+    def register_many(
+        self, tables, names=None, *, workers=None, extract_backend="auto"
+    ):
+        """Bulk registration: parallel posting extraction, one index merge.
+
+        Passthrough to :meth:`TableCatalog.register_many` — semantically
+        :meth:`register_all`, built for corpus-scale table counts.
+        """
+        return self.catalog.register_many(
+            tables, names=names, workers=workers,
+            extract_backend=extract_backend,
+        )
+
     def update(self, ref, new_table):
         """Publish ``new_table`` as the next version of a registered shard.
 
@@ -335,9 +348,13 @@ class ReproEngine:
     def refs(self):
         return self.catalog.refs()
 
-    def routing(self, question: str):
-        """The corpus-retrieval routing decision (no parsing)."""
-        return self.catalog.routing(question)
+    def routing(self, question: str, max_candidates: Optional[int] = None):
+        """The corpus-retrieval routing decision (no parsing).
+
+        ``max_candidates`` caps candidates at the top N of the ranking
+        (the router's heap path); ``None`` keeps every retrieval hit.
+        """
+        return self.catalog.routing(question, max_candidates=max_candidates)
 
     # -- persistent pools -------------------------------------------------------
     def pool(self, backend: Optional[str] = None):
@@ -426,6 +443,7 @@ class ReproEngine:
                 backend=backend,
                 prune=request.prune,
                 pool=self.pool(backend),
+                max_candidates=request.max_candidates,
             )
             return result_from_catalog_answer(
                 request, answer, cache=self.cache_stats(),

@@ -77,6 +77,12 @@ class QueryRequest:
     #: returns a coded ``TIMEOUT`` error instead of an answer.  Additive
     #: v2 wire field (v1 stays frozen and never carries it).
     deadline_ms: Optional[int] = None
+    #: Optional top-N routing cap for corpus-wide requests: at most this
+    #: many highest-ranked shards are parsed (the router's heap path).
+    #: ``None`` keeps every retrieval hit — the default, and the only
+    #: setting the no-lost-answers contract is unconditional for.
+    #: Additive v2 wire field (v1 stays frozen and never carries it).
+    max_candidates: Optional[int] = None
 
     def validate(self) -> None:
         """Raise a coded ``BAD_REQUEST`` on any malformed field.
@@ -112,6 +118,13 @@ class QueryRequest:
             raise bad_request("deadline_ms must be an integer")
         if self.deadline_ms is not None and self.deadline_ms < 1:
             raise bad_request("deadline_ms must be >= 1")
+        if self.max_candidates is not None and (
+            isinstance(self.max_candidates, bool)
+            or not isinstance(self.max_candidates, int)
+        ):
+            raise bad_request("max_candidates must be an integer")
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise bad_request("max_candidates must be >= 1")
 
     @property
     def resolved_mode(self) -> str:
@@ -130,6 +143,7 @@ class QueryRequest:
             "backend": self.backend,
             "request_id": self.request_id,
             "deadline_ms": self.deadline_ms,
+            "max_candidates": self.max_candidates,
         }
 
     @classmethod
@@ -139,7 +153,7 @@ class QueryRequest:
             raise bad_request("expected a JSON object")
         known = {
             "question", "target", "table", "mode", "k", "prune", "backend",
-            "request_id", "deadline_ms",
+            "request_id", "deadline_ms", "max_candidates",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -158,6 +172,7 @@ class QueryRequest:
             backend=payload.get("backend"),
             request_id=payload.get("request_id"),
             deadline_ms=payload.get("deadline_ms"),
+            max_candidates=payload.get("max_candidates"),
         )
         if request.mode is not None and not isinstance(request.mode, str):
             raise bad_request("mode must be a string")

@@ -167,6 +167,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="corpus-wide asks: parse only retrieved shards (--no-prune "
         "forces the full broadcast)",
     )
+    catalog_cmd.add_argument(
+        "--top",
+        type=int,
+        metavar="N",
+        help="corpus-wide asks: parse at most the N highest-ranked shards "
+        "(the router's heap-selection path)",
+    )
 
     route_cmd = subparsers.add_parser(
         "route",
@@ -179,6 +186,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
     route_cmd.add_argument("--cache-dir", help="content-addressed disk cache root")
     route_cmd.add_argument(
         "--max-hot", type=int, help="keep at most N shards hot (LRU auto-eviction)"
+    )
+    route_cmd.add_argument(
+        "--top",
+        type=int,
+        metavar="N",
+        help="cap candidates at the N highest-ranked shards (the router's "
+        "heap-selection path; scored rows then cover only the survivors)",
     )
     route_cmd.add_argument(
         "--json", action="store_true", help="emit the decision as JSON"
@@ -290,6 +304,53 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     bench_churn_cmd.add_argument(
         "--output", help="write the timing payload to this JSON file"
+    )
+
+    bench_discovery_cmd = subparsers.add_parser(
+        "bench-discovery",
+        help="benchmark table-discovery recall and corpus-scale routing "
+        "over a synthetic many-shard corpus",
+    )
+    bench_discovery_cmd.add_argument(
+        "--tables",
+        type=int,
+        default=500,
+        help="corpus size before REPRO_BENCH_SCALE scaling",
+    )
+    bench_discovery_cmd.add_argument(
+        "--questions",
+        type=int,
+        default=300,
+        help="gold-labeled questions before REPRO_BENCH_SCALE scaling",
+    )
+    bench_discovery_cmd.add_argument("--seed", type=int, default=2019)
+    bench_discovery_cmd.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="max_candidates cap of the routed hot path under test",
+    )
+    bench_discovery_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="bulk-extraction worker count (default: CPU count)",
+    )
+    bench_discovery_cmd.add_argument(
+        "--identity-sample",
+        type=int,
+        default=8,
+        help="questions to check pruned-vs-broadcast answer identity on "
+        "(each check broadcasts over the whole corpus)",
+    )
+    bench_discovery_cmd.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of repeat count for the build-timing arms (default: 3)",
+    )
+    bench_discovery_cmd.add_argument(
+        "--output", help="write the payload to this JSON file"
     )
     return parser
 
@@ -510,6 +571,7 @@ def run_catalog(args: argparse.Namespace, out) -> int:
         target=args.table if not args.any else None,
         k=args.k,
         prune=args.prune if (args.any or not args.table) else None,
+        max_candidates=args.top if (args.any or not args.table) else None,
     )
     print(json.dumps(result.to_dict(), ensure_ascii=False, indent=2), file=out)
     return 0 if result.ok else 1
@@ -519,7 +581,7 @@ def run_route(args: argparse.Namespace, out) -> int:
     engine = _corpus_engine(args, out)
     if engine is None:
         return 1
-    decision = engine.routing(args.question)
+    decision = engine.routing(args.question, max_candidates=args.top)
     if args.json:
         payload = {
             "question": decision.question,
@@ -540,8 +602,11 @@ def run_route(args: argparse.Namespace, out) -> int:
         return 0
     print(f"question: {decision.question}", file=out)
     kept = {ref.digest for ref in decision.candidates}
+    # Under --top the decision only scores the survivors, so the corpus
+    # size is candidates + pruned, not len(scored).
+    total_shards = len(decision.candidates) + len(decision.pruned)
     print(
-        f"routing: parse {len(decision.candidates)}/{len(decision.scored)} shards"
+        f"routing: parse {len(decision.candidates)}/{total_shards} shards"
         + (" (fallback: no retrieval hits, broadcasting)" if decision.fallback else ""),
         file=out,
     )
@@ -793,6 +858,43 @@ def run_bench_churn(args: argparse.Namespace, out) -> int:
     return 0 if (report.identical_answers and report.identical_index) else 1
 
 
+def run_bench_discovery(args: argparse.Namespace, out) -> int:
+    from .dataset.corpus import CorpusConfig
+    from .perf.discovery import run_discovery_bench
+
+    report = run_discovery_bench(
+        config=CorpusConfig(
+            num_tables=args.tables,
+            num_questions=args.questions,
+            seed=args.seed,
+        ),
+        max_candidates=args.top,
+        workers=args.workers,
+        identity_sample=args.identity_sample,
+        build_repeats=args.repeats,
+    )
+    print(
+        f"workload: {report.shards} shards, {report.questions} questions, "
+        f"top-{report.max_candidates} routing",
+        file=out,
+    )
+    for label, value in report.rows():
+        print(f"{label:>18}: {value}", file=out)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote payload to {path}", file=out)
+    # Exit 1 when the pruned pipeline diverges from broadcast on a
+    # question whose gold shard survived the cap, or when bulk
+    # registration stops being structurally identical to sequential —
+    # the discovery integrity gate.
+    return 0 if (report.identical and report.identical_index) else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_argument_parser().parse_args(argv)
@@ -808,6 +910,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bench-serve": run_bench_serve,
         "update": run_update,
         "bench-churn": run_bench_churn,
+        "bench-discovery": run_bench_discovery,
     }
     try:
         return handlers[args.command](args, out)

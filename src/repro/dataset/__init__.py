@@ -11,6 +11,12 @@ from .dataset import (
     dataset_statistics,
 )
 from .splits import Split, repeated_splits, split_by_tables, split_examples
+from .corpus import (
+    CorpusConfig,
+    DiscoveryCorpus,
+    DiscoveryQuestion,
+    build_discovery_corpus,
+)
 from . import vocab
 
 __all__ = [
@@ -32,5 +38,9 @@ __all__ = [
     "split_by_tables",
     "split_examples",
     "repeated_splits",
+    "CorpusConfig",
+    "DiscoveryCorpus",
+    "DiscoveryQuestion",
+    "build_discovery_corpus",
     "vocab",
 ]

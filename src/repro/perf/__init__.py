@@ -42,6 +42,7 @@ from .bench import (
     timing_summary,
 )
 from .churn import ChurnReport, churn_edit_script, run_churn_bench
+from .discovery import RECALL_KS, DiscoveryReport, run_discovery_bench
 from .diskcache import DiskCache
 from .pool import (
     DeadlineExceeded,
@@ -64,6 +65,9 @@ __all__ = [
     "ChurnReport",
     "churn_edit_script",
     "run_churn_bench",
+    "DiscoveryReport",
+    "RECALL_KS",
+    "run_discovery_bench",
     "DeadlineExceeded",
     "DiskCache",
     "PoolError",

@@ -33,6 +33,8 @@ from .corpus_index import (
     ShardPosting,
     extract_question_terms,
     extract_shard_posting,
+    extract_shard_postings,
+    question_terms,
 )
 from .router import RoutingDecision, ShardRouter, ShardScore
 
@@ -42,6 +44,8 @@ __all__ = [
     "ShardPosting",
     "extract_question_terms",
     "extract_shard_posting",
+    "extract_shard_postings",
+    "question_terms",
     "RoutingDecision",
     "ShardRouter",
     "ShardScore",

@@ -37,9 +37,12 @@ there is.
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..parser.lexicon import (
     STOP_WORDS,
@@ -86,6 +89,24 @@ class ShardPosting:
             + len(self.header_tokens)
             + len(self.numbers)
         )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained size of this posting's term payload.
+
+        Interpreter-level ``sys.getsizeof`` over the digest, every term
+        string and every quantized number — the per-shard unit behind
+        the index's ``postings_bytes`` counter.  An approximation (set
+        and dict overhead of the inverted maps is excluded), but a
+        *consistent* one: maintained incrementally on add/update/discard,
+        it answers "how much index memory does this corpus cost" without
+        an O(shards) walk.
+        """
+        total = sys.getsizeof(self.digest)
+        for terms in (self.entity_keys, self.entity_tokens, self.header_tokens):
+            total += sum(sys.getsizeof(term) for term in terms)
+        total += sum(sys.getsizeof(number) for number in self.numbers)
+        return total
 
 
 @dataclass(frozen=True)
@@ -143,6 +164,130 @@ def extract_shard_posting(table: Table) -> ShardPosting:
     )
 
 
+#: Below this many tables the pool start-up cost outweighs the win; the
+#: bulk path stays in-process (still batch-memoized).
+_PARALLEL_MIN_TABLES = 64
+
+
+def _extract_postings_batch(tables: Sequence[Table]) -> List[ShardPosting]:
+    """Extract postings for a batch, amortizing normalization across it.
+
+    Per-table extraction re-normalizes every cell display string from
+    scratch; a corpus of near-duplicate tables drawn from shared
+    vocabulary pools repeats the same strings thousands of times.  This
+    batch path memoizes :func:`~repro.parser.lexicon.normalize_value_key`
+    by display form and :func:`~repro.parser.lexicon.column_matchable_tokens`
+    by header — exact keys for both functions, so the output is
+    bit-identical to mapping :func:`extract_shard_posting` over the batch
+    (property-tested in ``tests/test_retrieval.py``).  The memos live for
+    one batch only: the per-table path stays allocation-free and the
+    process-pool workers each amortize their own chunk.
+    """
+    key_memo: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+    header_memo: Dict[str, FrozenSet[str]] = {}
+    postings: List[ShardPosting] = []
+    for table in tables:
+        entity_keys: Set[str] = set()
+        entity_tokens: Set[str] = set()
+        header_tokens: Set[str] = set()
+        numbers: Set[NumberValue] = set()
+        for column in table.columns:
+            tokens = header_memo.get(column)
+            if tokens is None:
+                tokens = frozenset(column_matchable_tokens(column))
+                header_memo[column] = tokens
+            header_tokens |= tokens
+            for cell in table.column_cells(column):
+                value = cell.value
+                display = value.display()
+                cached = key_memo.get(display)
+                if cached is None:
+                    key = normalize_value_key(value)
+                    cached = (key, tuple(key.split(" ")) if key else ())
+                    key_memo[display] = cached
+                key, key_tokens = cached
+                if key:
+                    entity_keys.add(key)
+                    entity_tokens.update(key_tokens)
+                if value.is_numeric:
+                    numbers.add(NumberValue(value.as_number()))
+                elif isinstance(value, DateValue) and value.year is not None:
+                    numbers.add(NumberValue(value.year))
+        postings.append(
+            ShardPosting(
+                digest=table.fingerprint.digest,
+                entity_keys=frozenset(entity_keys),
+                entity_tokens=frozenset(entity_tokens),
+                header_tokens=frozenset(header_tokens),
+                numbers=frozenset(numbers),
+            )
+        )
+    return postings
+
+
+def extract_shard_postings(
+    tables: Sequence[Table],
+    workers: Optional[int] = None,
+    backend: str = "auto",
+) -> List[ShardPosting]:
+    """Extract many tables' postings at once, index-aligned.
+
+    Extraction is pure per-table work, so it parallelizes without any
+    lock: the batch is split into one contiguous chunk per worker and
+    mapped over a pool, each chunk running the batch-memoized
+    :func:`_extract_postings_batch`.  ``backend`` selects the pool:
+
+    * ``"auto"`` (default) — fork-based process pool when more than one
+      CPU and at least :data:`_PARALLEL_MIN_TABLES` tables warrant it,
+      else in-process;
+    * ``"process"`` / ``"thread"`` — force that pool (process degrades
+      to threads where fork is unavailable);
+    * ``"inline"`` — force the in-process batch path (the sequential
+      reference the discovery bench compares against).
+
+    ``workers`` defaults to the CPU count.  Output order always matches
+    input order, whatever the backend.
+    """
+    tables = list(tables)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    parallel = workers > 1 and len(tables) >= _PARALLEL_MIN_TABLES
+    if backend == "inline" or (backend == "auto" and not parallel):
+        return _extract_postings_batch(tables)
+    import concurrent.futures
+
+    chunk_size = -(-len(tables) // workers)  # ceil: one chunk per worker
+    chunks = [
+        tables[start : start + chunk_size]
+        for start in range(0, len(tables), chunk_size)
+    ]
+    if backend in ("auto", "process"):
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)), mp_context=context
+            ) as executor:
+                return [
+                    posting
+                    for batch in executor.map(_extract_postings_batch, chunks)
+                    for posting in batch
+                ]
+        except (ValueError, OSError):
+            pass  # no fork start method (or spawn failed): degrade to threads
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=min(workers, len(chunks))
+    ) as executor:
+        return [
+            posting
+            for batch in executor.map(_extract_postings_batch, chunks)
+            for posting in batch
+        ]
+
+
 def extract_question_terms(question: str, max_span_length: int = 5) -> QuestionTerms:
     """Tokenize a question into the terms the index is probed with.
 
@@ -170,6 +315,19 @@ def extract_question_terms(question: str, max_span_length: int = 5) -> QuestionT
     )
 
 
+@lru_cache(maxsize=4096)
+def question_terms(question: str, max_span_length: int = 5) -> QuestionTerms:
+    """Memoized :func:`extract_question_terms` — the routing hot path.
+
+    Span enumeration plus number parsing is pure per-``(question,
+    max_span_length)`` work, and serving workloads re-route the same
+    question across retries, sessions and bench repeats.  The result is a
+    frozen dataclass of frozensets, so sharing one instance across
+    threads is safe.
+    """
+    return extract_question_terms(question, max_span_length=max_span_length)
+
+
 class CorpusIndex:
     """Inverted maps from normalized terms to shard fingerprint digests.
 
@@ -188,6 +346,11 @@ class CorpusIndex:
         self._headers: Dict[str, Set[str]] = {}
         self._numbers: Dict[NumberValue, Set[str]] = {}
         self._lock = threading.RLock()
+        # Scale counters, maintained incrementally so stats() stays O(1)
+        # in the corpus size: total term references across live postings
+        # and their approximate retained bytes (ShardPosting.nbytes).
+        self._postings_terms = 0
+        self._postings_bytes = 0
 
     # -- maintenance -----------------------------------------------------------
     def add(self, table: Table) -> ShardPosting:
@@ -205,11 +368,29 @@ class CorpusIndex:
         with self._lock:
             return self._add_posting_locked(posting)
 
+    def add_postings(
+        self, postings: Iterable[ShardPosting]
+    ) -> List[ShardPosting]:
+        """Publish many pre-extracted postings under one lock acquisition.
+
+        The merge half of the bulk build: extraction
+        (:func:`extract_shard_postings`) runs lock-free and in parallel,
+        then the whole batch lands here — one acquisition instead of one
+        per table, which is what keeps a thousand-shard registration from
+        serializing on the index lock.  Idempotent per digest exactly
+        like :meth:`add_posting`; returns the published postings,
+        index-aligned.
+        """
+        with self._lock:
+            return [self._add_posting_locked(posting) for posting in postings]
+
     def _add_posting_locked(self, posting: ShardPosting) -> ShardPosting:
         existing = self._postings.get(posting.digest)
         if existing is not None:
             return existing
         self._postings[posting.digest] = posting
+        self._postings_terms += posting.num_terms
+        self._postings_bytes += posting.nbytes
         for key in posting.entity_keys:
             self._entities.setdefault(key, set()).add(posting.digest)
         for token in posting.entity_tokens:
@@ -249,6 +430,8 @@ class CorpusIndex:
                 return existing
             del self._postings[old_digest]
             self._postings[new_posting.digest] = new_posting
+            self._postings_terms += new_posting.num_terms - old_posting.num_terms
+            self._postings_bytes += new_posting.nbytes - old_posting.nbytes
             for mapping, old_keys, new_keys in (
                 (self._entities, old_posting.entity_keys, new_posting.entity_keys),
                 (
@@ -284,6 +467,8 @@ class CorpusIndex:
 
     def _discard_locked(self, digest: str, posting: ShardPosting) -> None:
         del self._postings[digest]
+        self._postings_terms -= posting.num_terms
+        self._postings_bytes -= posting.nbytes
         for mapping, keys in (
             (self._entities, posting.entity_keys),
             (self._entity_tokens, posting.entity_tokens),
@@ -314,6 +499,14 @@ class CorpusIndex:
             return len(self._postings)
 
     def stats(self) -> Dict[str, int]:
+        """Corpus-scale counters, O(1) in the number of shards.
+
+        ``postings_terms`` / ``postings_bytes`` are maintained
+        incrementally by add/update/discard (see
+        :attr:`ShardPosting.nbytes`), so a thousand-shard catalog can
+        expose its index footprint on every stats call without walking
+        the postings.
+        """
         with self._lock:
             return {
                 "shards": len(self._postings),
@@ -321,6 +514,8 @@ class CorpusIndex:
                 "entity_tokens": len(self._entity_tokens),
                 "header_tokens": len(self._headers),
                 "numbers": len(self._numbers),
+                "postings_terms": self._postings_terms,
+                "postings_bytes": self._postings_bytes,
             }
 
     def snapshot(self) -> Tuple:
@@ -350,9 +545,7 @@ class CorpusIndex:
         sorted order and weights are exact binary floats, so equal
         (index, question) pairs always produce identical scores.
         """
-        terms = extract_question_terms(
-            question, max_span_length=self.max_span_length
-        )
+        terms = question_terms(question, self.max_span_length)
         scores: Dict[str, float] = {}
         matched: Dict[str, List[str]] = {}
 
@@ -399,4 +592,87 @@ class CorpusIndex:
                 matched=tuple(sorted(matched.get(digest, ()))),
             )
             for digest, score in scores.items()
+        }
+
+    def score_digests(self, question: str) -> Dict[str, float]:
+        """Score every indexed shard: digest → score, no match labels.
+
+        The lean twin of :meth:`score_question` for the top-N routing hot
+        path: at a thousand shards, building and sorting per-shard
+        matched-term lists dominates routing time, yet a capped route
+        only ever explains the handful of survivors.  Scores here are
+        guaranteed equal to :meth:`score_question`'s — the weights are
+        exact binary floats, so accumulation order cannot perturb a sum
+        and the probes need no sorting (locked in by a property test in
+        ``tests/test_retrieval.py``).  Labels for the survivors come from
+        :meth:`matched_terms` afterwards.
+        """
+        terms = question_terms(question, self.max_span_length)
+        scores: Dict[str, float] = {}
+        with self._lock:
+            for phrase in terms.phrases:
+                for digest in self._entities.get(phrase, ()):
+                    scores[digest] = scores.get(digest, 0.0) + ENTITY_PHRASE_WEIGHT
+            for token in set(terms.tokens):
+                if token not in STOP_WORDS and token.isalnum():
+                    for digest in self._entity_tokens.get(token, ()):
+                        scores[digest] = (
+                            scores.get(digest, 0.0) + ENTITY_TOKEN_WEIGHT
+                        )
+            # Header matching uses ALL question tokens (the lexicon's
+            # column matcher does not drop stop words on the question
+            # side), so stop-word-only headers stay reachable.
+            for token in set(terms.tokens):
+                for digest in self._headers.get(token, ()):
+                    scores[digest] = scores.get(digest, 0.0) + HEADER_TOKEN_WEIGHT
+            for number in terms.numbers:
+                for digest in self._numbers.get(number, ()):
+                    scores[digest] = scores.get(digest, 0.0) + NUMBER_WEIGHT
+        return scores
+
+    def matched_terms(
+        self, question: str, digests: Iterable[str]
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Explain ``question``'s hits for the requested shards only.
+
+        The labels are byte-identical to :meth:`score_question`'s
+        ``matched`` tuples (same ``label:key`` format, same final sort);
+        only shards in ``digests`` that match at least one term appear.
+        Pairs with :meth:`score_digests`: score everything cheaply, then
+        explain just the top-N survivors.
+        """
+        wanted = set(digests)
+        if not wanted:
+            return {}
+        terms = question_terms(question, self.max_span_length)
+        matched: Dict[str, List[str]] = {}
+
+        def accumulate(
+            probe_keys: Iterable[str],
+            mapping: Dict,
+            label_of,
+        ) -> None:
+            for key in probe_keys:
+                for digest in mapping.get(key, ()):
+                    if digest in wanted:
+                        matched.setdefault(digest, []).append(label_of(key))
+
+        with self._lock:
+            accumulate(terms.phrases, self._entities, lambda key: f"entity:{key}")
+            content = {
+                token
+                for token in terms.tokens
+                if token not in STOP_WORDS and token.isalnum()
+            }
+            accumulate(content, self._entity_tokens, lambda key: f"token:{key}")
+            accumulate(
+                set(terms.tokens), self._headers, lambda key: f"header:{key}"
+            )
+            accumulate(
+                terms.numbers,
+                self._numbers,
+                lambda number: f"number:{number.display()}",
+            )
+        return {
+            digest: tuple(sorted(labels)) for digest, labels in matched.items()
         }

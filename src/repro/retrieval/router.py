@@ -22,6 +22,7 @@ on:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,11 +47,15 @@ class ShardScore:
 class RoutingDecision:
     """Which shards a question will be parsed on, and why.
 
-    ``scored`` ranks *every* registered shard (score desc, registration
-    order asc); ``candidates`` are the shards that will actually parse —
-    the hits, or on ``fallback`` every shard.  ``pruned`` is the
-    complement: shards retrieval proved unanchorable, which stay
-    untouched (evicted ones stay on disk).
+    ``scored`` ranks shards by (score desc, registration order asc):
+    *every* registered shard on an uncapped or fallback route, or — when
+    a ``max_candidates`` cap selected the top-N through the heap path —
+    just the surviving candidates (a thousand-shard corpus must not pay
+    for a thousand-entry explanation of a ten-shard decision).
+    ``candidates`` are the shards that will actually parse — the hits,
+    or on ``fallback`` every shard.  ``pruned`` is the complement:
+    shards retrieval pruned, which stay untouched (evicted ones stay on
+    disk).
     """
 
     question: str
@@ -102,12 +107,26 @@ class ShardRouter:
         self.index = index
         self.max_candidates = max_candidates
 
-    def route(self, question: str, refs: Sequence[TableRef]) -> RoutingDecision:
+    def route(
+        self,
+        question: str,
+        refs: Sequence[TableRef],
+        max_candidates: Optional[int] = None,
+    ) -> RoutingDecision:
         """The :class:`RoutingDecision` for ``question`` over ``refs``.
 
         ``refs`` must be in registration order (the deterministic
         tie-break); :meth:`TableCatalog.refs` provides exactly that.
+        A per-call ``max_candidates`` overrides the router default
+        (``None`` defers to it); any cap takes the heap-selection path,
+        whose candidates are exactly the first N of the full ranking
+        (property-tested in ``tests/test_retrieval.py``).
         """
+        cap = self.max_candidates if max_candidates is None else max_candidates
+        if cap is not None:
+            if cap < 1:
+                raise ValueError(f"max_candidates must be >= 1, got {cap}")
+            return self._route_top(question, refs, cap)
         hits: Dict[str, RetrievalHit] = self.index.score_question(question)
         scored = [
             ShardScore(
@@ -122,8 +141,6 @@ class ShardRouter:
         candidates: List[TableRef] = [
             shard.ref for shard in ranked if shard.hit
         ]
-        if self.max_candidates is not None:
-            candidates = candidates[: self.max_candidates]
         fallback = not candidates
         if fallback:
             candidates = [ref for ref in refs]
@@ -135,4 +152,60 @@ class ShardRouter:
             candidates=tuple(candidates),
             pruned=tuple(pruned),
             fallback=fallback,
+        )
+
+    def _route_top(
+        self, question: str, refs: Sequence[TableRef], cap: int
+    ) -> RoutingDecision:
+        """Capped routing: heap-select the top ``cap`` hits, skip the rest.
+
+        The uncapped path scores, labels and fully sorts every shard —
+        O(shards log shards) with per-shard matched-term lists — only to
+        keep N of them.  Here scoring is label-free
+        (:meth:`CorpusIndex.score_digests`), selection is
+        ``heapq.nlargest`` over ``(score, -registration_position)`` keys
+        — the exact ranking order of the full sort, so the survivors are
+        precisely ``full_ranking[:cap]`` — and matched-term explanations
+        are computed for the survivors alone.  Zero hits degrades to the
+        identical full-broadcast decision the uncapped path produces.
+        """
+        scores = self.index.score_digests(question)
+        entries = [
+            (scores[ref.digest], -position, ref)
+            for position, ref in enumerate(refs)
+            if scores.get(ref.digest, 0.0) > 0.0
+        ]
+        if not entries:
+            # Guaranteed fallback, byte-identical to the uncapped one:
+            # every shard scored zero, ranked in registration order.
+            scored = tuple(
+                ShardScore(ref=ref, score=0.0, matched=()) for ref in refs
+            )
+            return RoutingDecision(
+                question=question,
+                scored=scored,
+                candidates=tuple(refs),
+                pruned=(),
+                fallback=True,
+            )
+        # (score, -position) never ties across shards (positions are
+        # unique), so the ref is never compared and nlargest's order is
+        # exactly (score desc, registration order asc).
+        top = heapq.nlargest(cap, entries, key=lambda entry: entry[:2])
+        matched = self.index.matched_terms(
+            question, [entry[2].digest for entry in top]
+        )
+        ranked = tuple(
+            ShardScore(
+                ref=ref, score=score, matched=matched.get(ref.digest, ())
+            )
+            for score, _neg_position, ref in top
+        )
+        kept = {shard.ref.digest for shard in ranked}
+        return RoutingDecision(
+            question=question,
+            scored=ranked,
+            candidates=tuple(shard.ref for shard in ranked),
+            pruned=tuple(ref for ref in refs if ref.digest not in kept),
+            fallback=False,
         )

@@ -94,6 +94,9 @@ class _AskRequest:
     backend: Optional[str] = None
     want_ref: bool = False
     deadline: Optional[float] = None
+    #: Corpus-wide only: top-N routing cap (the router's heap path);
+    #: ``None`` keeps every retrieval hit.
+    max_candidates: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -133,6 +136,13 @@ class ServerStats:
     machinery each time the stats are served) plus ``pinned_requests``
     (routed requests this server pinned to their resolved snapshot so a
     concurrent ``update`` could not retire it under them).
+
+    The retrieval counters tell the corpus-scale story:
+    ``retrieval_shards`` / ``retrieval_terms`` /
+    ``retrieval_postings_bytes`` (mirrored from the corpus index's O(1)
+    scale counters each time the stats are served) — how many shards the
+    router ranks per corpus-wide question and what the inverted index
+    costs in memory.
     """
 
     requests: int = 0
@@ -147,6 +157,9 @@ class ServerStats:
     corpus_updates: int = 0
     shards_retired: int = 0
     pinned_requests: int = 0
+    retrieval_shards: int = 0
+    retrieval_terms: int = 0
+    retrieval_postings_bytes: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -162,6 +175,9 @@ class ServerStats:
             "corpus_updates": self.corpus_updates,
             "shards_retired": self.shards_retired,
             "pinned_requests": self.pinned_requests,
+            "retrieval_shards": self.retrieval_shards,
+            "retrieval_terms": self.retrieval_terms,
+            "retrieval_postings_bytes": self.retrieval_postings_bytes,
             "mean_batch": (
                 round(self.requests / self.batches, 2) if self.batches else 0.0
             ),
@@ -406,16 +422,18 @@ class AsyncServer:
         prune: Optional[bool] = None,
         backend: Optional[str] = None,
         deadline_ms: Optional[int] = None,
+        max_candidates: Optional[int] = None,
     ) -> ServedAnswer:
         """Answer one question; ``table=None`` routes corpus-wide.
 
         Safe to call from any number of concurrent tasks: requests are
         queued, micro-batched and answered off the event loop.  ``prune``
         (corpus-wide only) overrides the catalog's routing policy per
-        request; ``backend`` overrides the server's pool backend.
-        ``deadline_ms`` bounds the whole wait (queue + parse): past it
-        the request fails with a coded ``TIMEOUT`` while the rest of its
-        batch completes.
+        request; ``max_candidates`` (corpus-wide only) caps routing at
+        the top N shards; ``backend`` overrides the server's pool
+        backend.  ``deadline_ms`` bounds the whole wait (queue + parse):
+        past it the request fails with a coded ``TIMEOUT`` while the
+        rest of its batch completes.
         """
         deadline = (
             time.monotonic() + deadline_ms / 1000.0
@@ -423,7 +441,10 @@ class AsyncServer:
             else None
         )
         return await self._enqueue(
-            _AskRequest(question, table, k, prune, backend, deadline=deadline)
+            _AskRequest(
+                question, table, k, prune, backend, deadline=deadline,
+                max_candidates=max_candidates,
+            )
         )
 
     async def aquery(self, request: QueryRequest):
@@ -478,6 +499,7 @@ class AsyncServer:
                         request.prune,
                         request.backend,
                         deadline=deadline,
+                        max_candidates=request.max_candidates,
                     )
                 )
         except Exception as error:
@@ -637,6 +659,7 @@ class AsyncServer:
                                 backend=backend,
                                 prune=request.prune,
                                 pool=self._pool(backend),
+                                max_candidates=request.max_candidates,
                             ),
                         )
                     )
@@ -896,6 +919,7 @@ class AsyncServer:
     def _stats_payload(self) -> Dict[str, object]:
         self._refresh_pool_counters()
         self._refresh_churn_counters()
+        self._refresh_retrieval_counters()
         return wire.stats_payload(self.catalog, self.stats.as_dict())
 
     def _refresh_pool_counters(self) -> None:
@@ -924,6 +948,19 @@ class AsyncServer:
         """
         self.stats.corpus_updates = self.catalog.updates
         self.stats.shards_retired = self.catalog.retired
+
+    def _refresh_retrieval_counters(self) -> None:
+        """Mirror the corpus index's scale counters into the stats.
+
+        The index owns the ground truth (incrementally-maintained O(1)
+        counters in :meth:`CorpusIndex.stats`); the server copies them
+        whenever stats are served, the same contract as the churn
+        counters above.
+        """
+        retrieval = self.catalog.stats()["retrieval"]
+        self.stats.retrieval_shards = int(retrieval["shards"])
+        self.stats.retrieval_terms = int(retrieval["postings_terms"])
+        self.stats.retrieval_postings_bytes = int(retrieval["postings_bytes"])
 
 
 def answer_payload(answer: ServedAnswer) -> Dict[str, object]:

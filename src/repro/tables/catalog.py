@@ -337,6 +337,101 @@ class TableCatalog:
             for i, table in enumerate(tables)
         ]
 
+    def register_many(
+        self,
+        tables: Sequence[Table],
+        names: Optional[Sequence[str]] = None,
+        *,
+        workers: Optional[int] = None,
+        extract_backend: str = "auto",
+    ) -> List[TableRef]:
+        """Bulk-register a corpus: parallel posting extraction, one merge.
+
+        Semantically equivalent to :meth:`register_all` (same refs, same
+        final catalog state, same eviction count under a hot limit), but
+        built for hundreds-to-thousands of tables: posting extraction —
+        the pure, per-table expensive half of registration — runs through
+        :func:`~repro.retrieval.corpus_index.extract_shard_postings`
+        (batch-memoized, optionally pooled; see ``workers`` /
+        ``extract_backend`` there), and the whole batch then merges into
+        the corpus index under **one** lock acquisition
+        (:meth:`CorpusIndex.add_postings`) instead of one per table.
+
+        One deliberate strengthening over :meth:`register_all`: names are
+        validated for the *entire batch* (against the catalog and within
+        the batch itself) before any shard or posting is published, so a
+        name conflict rejects the whole batch atomically instead of
+        stopping halfway.
+        """
+        if names is not None and len(names) != len(tables):
+            raise CatalogError(
+                f"got {len(names)} names for {len(tables)} tables"
+            )
+        from ..retrieval import extract_shard_postings
+
+        tables = list(tables)
+        resolved_names = [
+            names[i] if names is not None else table.name
+            for i, table in enumerate(tables)
+        ]
+        digests = [table.fingerprint.digest for table in tables]
+        with self._lock:
+            # Atomic batch validation: every name checked before any
+            # mutation, including intra-batch conflicts.
+            claimed = dict(self._names)
+            for name, digest in zip(resolved_names, digests):
+                taken = claimed.get(name)
+                if taken is not None and taken != digest:
+                    raise NameConflictError(
+                        f"name {name!r} is already registered for table "
+                        f"{taken[:12]}; use update({name!r}, new_table) to "
+                        f"publish new content under an existing name"
+                    )
+                claimed[name] = digest
+            # Extract only content the index does not know yet; the
+            # extraction itself is pure, but holding the catalog lock
+            # keeps the validated-name snapshot consistent (registration
+            # is serialized per catalog either way).
+            seen: set = set()
+            pending = []
+            for table, digest in zip(tables, digests):
+                if digest not in seen and digest not in self._index:
+                    seen.add(digest)
+                    pending.append(table)
+            if pending:
+                self._index.add_postings(
+                    extract_shard_postings(
+                        pending, workers=workers, backend=extract_backend
+                    )
+                )
+            refs: List[TableRef] = []
+            for table, name, digest in zip(tables, resolved_names, digests):
+                shard = self._shards.get(digest)
+                if shard is None:
+                    ref = TableRef(
+                        digest=digest,
+                        name=name,
+                        num_rows=table.num_rows,
+                        num_columns=table.num_columns,
+                    )
+                    shard = _Shard(
+                        ref=ref, table=table, order=next(self._order)
+                    )
+                    self._shards[digest] = shard
+                    self.version += 1
+                elif shard.table is None:
+                    shard.table = table
+                    shard.hot = True
+                self._names[name] = digest
+                self._touch(shard)
+                refs.append(shard.ref)
+            # One enforcement pass for the whole batch: recency order is
+            # identical to the sequential path's final state, so the
+            # same shards end up evicted (just all at once, at the end).
+            if digests:
+                self._enforce_hot_limit(protect=digests[-1])
+            return refs
+
     # -- mutation (the live-corpus path) ---------------------------------------
     def update(self, ref: TableLike, new_table: Table) -> TableRef:
         """Publish ``new_table`` as the next version of an existing shard.
@@ -663,16 +758,22 @@ class TableCatalog:
             self._enforce_hot_limit(protect=protect)
         return responses
 
-    def routing(self, question: str) -> "RoutingDecision":
+    def routing(
+        self, question: str, max_candidates: Optional[int] = None
+    ) -> "RoutingDecision":
         """The router's decision for ``question`` — without parsing anything.
 
         Scores every registered shard against the corpus index and
         reports which shards :meth:`ask_any` would parse (``candidates``)
         versus prune, and whether the broadcast fallback would fire.
-        Pure inspection: no shard is materialized, no caches change.
-        ``repro route`` is the CLI face of this method.
+        ``max_candidates`` caps the survivors at the top N of the ranking
+        through the router's heap path (``None`` defers to the router
+        default).  Pure inspection: no shard is materialized, no caches
+        change.  ``repro route`` is the CLI face of this method.
         """
-        return self._router.route(question, self.refs())
+        return self._router.route(
+            question, self.refs(), max_candidates=max_candidates
+        )
 
     def ask_any(
         self,
@@ -682,6 +783,7 @@ class TableCatalog:
         backend: str = "thread",
         prune: Optional[bool] = None,
         pool=None,
+        max_candidates: Optional[int] = None,
     ) -> CatalogAnswer:
         """Answer ``question`` corpus-wide: retrieve, parse survivors, rank.
 
@@ -693,7 +795,11 @@ class TableCatalog:
         full broadcast, so an answer is never lost to pruning.
         ``prune=False`` (or a catalog built with ``prune=False``) forces
         the broadcast: every registered table is asked and evicted shards
-        rehydrate first.
+        rehydrate first.  ``max_candidates`` additionally caps the parsed
+        shards at the top N of the retrieval ranking (the router's heap
+        path); answers stay bit-identical to the broadcast whenever the
+        broadcast's top shard survives the cap — the pruning property
+        below, unchanged.
 
         Parsed shards are ranked by their top candidate's model score,
         ties broken by retrieval score then registration order — all
@@ -704,7 +810,9 @@ class TableCatalog:
         Shards that produce no executable candidate rank last.
         """
         refs = self.refs()
-        decision = self._router.route(question, refs)
+        decision = self._router.route(
+            question, refs, max_candidates=max_candidates
+        )
         apply_prune = self.prune if prune is None else prune
         targets = list(decision.candidates) if apply_prune else list(refs)
         responses = self.ask_many(

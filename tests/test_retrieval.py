@@ -28,6 +28,7 @@ from repro.retrieval import (
     ShardRouter,
     extract_question_terms,
     extract_shard_posting,
+    extract_shard_postings,
 )
 from repro.tables import Table, TableCatalog
 
@@ -196,6 +197,95 @@ class TestShardRouter:
     def test_max_candidates_validation(self):
         with pytest.raises(ValueError):
             ShardRouter(CorpusIndex(), max_candidates=0)
+        catalog = TableCatalog()
+        with pytest.raises(ValueError):
+            catalog.routing("anything", max_candidates=0)
+
+    def test_per_call_cap_overrides_router_default(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        capped = catalog.routing("Greece Fiji Servette", max_candidates=2)
+        assert not capped.fallback
+        assert capped.num_candidates == 2
+        assert capped.num_pruned == 1
+        # The capped decision only carries the survivors' scores.
+        assert len(capped.scored) == 2
+
+    def test_capped_zero_hit_question_still_falls_back(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        refs = catalog.register_all(tables)
+        capped = catalog.routing("zyxgarblefrobnicate quux", max_candidates=1)
+        full = catalog.routing("zyxgarblefrobnicate quux")
+        assert capped.fallback
+        assert capped.candidates == tuple(refs) == full.candidates
+        assert capped.scored == full.scored
+
+
+# ---------------------------------------------------------------------------
+# bulk extraction and the heap-routing hot path
+# ---------------------------------------------------------------------------
+
+
+class TestBulkExtraction:
+    def test_batch_postings_match_per_table_extraction(self, corpus):
+        """The batch-memoized extractor is bit-identical to mapping
+        extract_shard_posting over the tables — memoization is a pure
+        cache, never a semantic change."""
+        tables, _ = corpus
+        batch = extract_shard_postings(tables)
+        singles = [extract_shard_posting(table) for table in tables]
+        assert batch == singles
+
+    def test_register_many_builds_the_same_index_as_register_all(self, corpus):
+        tables, _ = corpus
+        sequential = TableCatalog()
+        sequential.register_all(tables)
+        bulk = TableCatalog()
+        refs = bulk.register_many(tables)
+        assert bulk._index.snapshot() == sequential._index.snapshot()
+        assert [ref.digest for ref in refs] == [
+            ref.digest for ref in sequential.refs()
+        ]
+
+    def test_register_many_rejects_conflicts_before_mutating(self, corpus):
+        from repro.tables.catalog import NameConflictError
+
+        tables, _ = corpus
+        catalog = TableCatalog()
+        catalog.register(tables[0], name="taken")
+        with pytest.raises(NameConflictError):
+            catalog.register_many(tables[1:], names=["fresh", "taken"])
+        # Atomic: the non-conflicting table was NOT registered.
+        assert len(catalog) == 1
+        assert [ref.name for ref in catalog.refs()] == ["taken"]
+
+    def test_postings_size_counters_track_add_and_discard(self, corpus):
+        tables, _ = corpus
+        index = CorpusIndex()
+        empty = index.stats()
+        assert empty["postings_terms"] == 0 and empty["postings_bytes"] == 0
+
+        postings = [index.add(table) for table in tables]
+        stats = index.stats()
+        assert stats["postings_terms"] == sum(p.num_terms for p in postings)
+        assert stats["postings_bytes"] == sum(p.nbytes for p in postings)
+
+        index.discard(tables[0].fingerprint.digest)
+        after = index.stats()
+        assert after["postings_terms"] == sum(p.num_terms for p in postings[1:])
+        assert after["postings_bytes"] == sum(p.nbytes for p in postings[1:])
+
+    def test_catalog_stats_mirror_postings_counters(self, corpus):
+        tables, _ = corpus
+        catalog = TableCatalog()
+        catalog.register_many(tables)
+        retrieval = catalog.stats()["retrieval"]
+        index_stats = catalog._index.stats()
+        assert retrieval["postings_terms"] == index_stats["postings_terms"]
+        assert retrieval["postings_bytes"] == index_stats["postings_bytes"]
+        assert retrieval["postings_bytes"] > 0
 
 
 class TestEvictionInteraction:
@@ -339,3 +429,59 @@ class TestPrunedMatchesBroadcastProperty:
             assert [item.answer for item in response.explained] == [
                 item.answer for item in reference.explained
             ]
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(catalogs_and_questions(), st.integers(min_value=1, max_value=5))
+    def test_heap_top_n_equals_full_ranking_prefix(self, case, cap):
+        """The heap hot path is an optimization, not a reranking: the
+        capped decision's candidates are exactly the first N of the full
+        deterministic ranking, with identical scores and matched terms."""
+        tables, question = case
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        full = catalog.routing(question)
+        capped = catalog.routing(question, max_candidates=cap)
+
+        assert capped.fallback == full.fallback
+        if capped.fallback:
+            # Zero-hit: the capped route degrades to the identical
+            # broadcast decision.
+            assert capped.candidates == full.candidates
+            assert capped.scored == full.scored
+            return
+
+        survivors = full.candidates[:cap]
+        assert capped.candidates == survivors
+        assert set(capped.pruned) == set(full.candidates[cap:]) | set(full.pruned)
+        full_by_digest = {s.ref.digest: s for s in full.scored}
+        for scored in capped.scored:
+            reference = full_by_digest[scored.ref.digest]
+            assert scored.score == reference.score
+            assert scored.matched == reference.matched
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(catalogs_and_questions(), st.integers(min_value=1, max_value=5))
+    def test_capped_ask_any_matches_broadcast_when_gold_survives(self, case, cap):
+        """Top-N pruned ask_any is bit-identical to broadcast at the top
+        whenever the broadcast's winning shard survived the cap."""
+        tables, question = case
+        catalog = TableCatalog()
+        catalog.register_all(tables)
+        broadcast = catalog.ask_any(question, prune=False)
+        capped = catalog.ask_any(question, max_candidates=cap)
+
+        if broadcast.ranked:
+            assert capped.ranked  # fallback contract survives the cap
+
+        top_ref = broadcast.best_ref
+        if top_ref is not None and capped.routing.is_candidate(top_ref.digest):
+            assert capped.best_ref == top_ref
+            assert capped.answer == broadcast.answer
