@@ -46,6 +46,7 @@ from .engine import (
 from .envelope import (
     ENVELOPE_VERSION,
     CandidateInfo,
+    ComposedInfo,
     ErrorInfo,
     QueryRequest,
     QueryResult,
@@ -62,6 +63,7 @@ __all__ = [
     "ENVELOPE_VERSION",
     "ApiError",
     "CandidateInfo",
+    "ComposedInfo",
     "ErrorCode",
     "ErrorInfo",
     "QueryRequest",

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from ..tables.catalog import CatalogAnswer, TableCatalog
 from .envelope import (
     CandidateInfo,
+    ComposedInfo,
     ErrorInfo,
     QueryRequest,
     QueryResult,
@@ -117,6 +118,49 @@ def result_from_response(
     )
 
 
+def _composed_info(answer: CatalogAnswer) -> Optional[ComposedInfo]:
+    """Lift a catalog's :class:`ComposedAnswer` into the wire shape.
+
+    The provenance identifies the joined shards by digest; their refs
+    (rows/columns for the wire ``ShardInfo``) come from the set-routing
+    proposals the composition was attempted over.  A digest the
+    proposals cannot resolve (impossible through ``ask_any``, which only
+    composes proposal pairs) degrades to a zero-sized ``ShardInfo``
+    rather than dropping the provenance.
+    """
+    composed = answer.composed
+    if composed is None:
+        return None
+    refs = {}
+    if answer.set_routing is not None:
+        for proposal in answer.set_routing.proposals:
+            for ref in proposal.refs:
+                refs.setdefault(ref.digest, ref)
+    provenance = composed.provenance
+
+    def shard_info(digest: str, name: str) -> ShardInfo:
+        ref = refs.get(digest)
+        if ref is not None:
+            return ShardInfo.from_ref(ref)
+        return ShardInfo(digest=digest, name=name, rows=0, columns=0)
+
+    return ComposedInfo(
+        answer=tuple(composed.answer),
+        sexpr=composed.sexpr,
+        utterance=composed.utterance,
+        primary=shard_info(provenance.primary_digest, provenance.primary_name),
+        secondary=shard_info(
+            provenance.secondary_digest, provenance.secondary_name
+        ),
+        left_column=provenance.left_column,
+        right_column=provenance.right_column,
+        join_pairs=tuple(
+            (int(pair[0]), int(pair[1])) for pair in provenance.join_pairs
+        ),
+        retrieval_score=composed.retrieval_score,
+    )
+
+
 def result_from_catalog_answer(
     request: QueryRequest,
     answer: CatalogAnswer,
@@ -178,6 +222,7 @@ def result_from_catalog_answer(
         ),
         cache=cache,
         corpus_version=corpus_version,
+        composed=_composed_info(answer),
         raw=answer,
     )
 
@@ -355,6 +400,14 @@ class ReproEngine:
         (the router's heap path); ``None`` keeps every retrieval hit.
         """
         return self.catalog.routing(question, max_candidates=max_candidates)
+
+    def routing_sets(self, question: str, max_candidates: Optional[int] = None):
+        """The set router's decision: single-shard routing + set proposals.
+
+        Passthrough to :meth:`TableCatalog.routing_sets` — pure
+        inspection of which 2–3-shard sets composition would try.
+        """
+        return self.catalog.routing_sets(question, max_candidates=max_candidates)
 
     # -- persistent pools -------------------------------------------------------
     def pool(self, backend: Optional[str] = None):

@@ -352,6 +352,62 @@ class RoutingInfo:
 
 
 @dataclass(frozen=True)
+class ComposedInfo:
+    """A cross-table composed answer with its join provenance.
+
+    The wire face of :class:`~repro.compose.answer.ComposedAnswer`:
+    the answer values, the composed query, and which rows of which
+    shards produced it (primary answers, secondary restricts, joined on
+    ``left_column = right_column``).  Additive v2 field — it appears
+    only when the catalog actually composed, and the wall-clock
+    ``seconds`` of the composition stays out (timing is run-dependent;
+    the canonical projection keeps ``composed``).
+    """
+
+    answer: Tuple[str, ...]
+    sexpr: str
+    utterance: str
+    primary: ShardInfo
+    secondary: ShardInfo
+    left_column: str
+    right_column: str
+    join_pairs: Tuple[Tuple[int, int], ...]
+    retrieval_score: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "answer": list(self.answer),
+            "sexpr": self.sexpr,
+            "utterance": self.utterance,
+            "provenance": {
+                "primary": self.primary.to_dict(),
+                "secondary": self.secondary.to_dict(),
+                "on": {"left": self.left_column, "right": self.right_column},
+                "join_pairs": [list(pair) for pair in self.join_pairs],
+            },
+            "retrieval_score": self.retrieval_score,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ComposedInfo":
+        provenance = payload["provenance"]
+        return cls(
+            answer=tuple(payload["answer"]),
+            sexpr=payload["sexpr"],
+            utterance=payload["utterance"],
+            primary=ShardInfo.from_dict(provenance["primary"]),
+            secondary=ShardInfo.from_dict(provenance["secondary"]),
+            left_column=provenance["on"]["left"],
+            right_column=provenance["on"]["right"],
+            join_pairs=tuple(
+                (int(pair[0]), int(pair[1]))
+                for pair in provenance["join_pairs"]
+            ),
+            retrieval_score=payload["retrieval_score"],
+        )
+
+
+@dataclass(frozen=True)
 class TimingInfo:
     """Wall-clock accounting (excluded from canonical comparisons)."""
 
@@ -427,6 +483,10 @@ class QueryResult:
     #: wire field: stale reads — a result pinned to a version an update
     #: has since superseded — are observable over the wire.
     corpus_version: Optional[int] = None
+    #: The cross-table composed answer, when the catalog's set router
+    #: proposed shard sets and composition succeeded.  Additive v2 wire
+    #: field; part of the answer, so :meth:`canonical_dict` keeps it.
+    composed: Optional[ComposedInfo] = None
     raw: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
@@ -459,6 +519,7 @@ class QueryResult:
             "timing": self.timing.to_dict() if self.timing is not None else None,
             "cache": self.cache,
             "corpus_version": self.corpus_version,
+            "composed": self.composed.to_dict() if self.composed is not None else None,
         }
 
     @classmethod
@@ -476,6 +537,7 @@ class QueryResult:
         shard = payload.get("shard")
         routing = payload.get("routing")
         timing = payload.get("timing")
+        composed = payload.get("composed")
         return cls(
             question=payload["question"],
             ok=payload["ok"],
@@ -494,6 +556,9 @@ class QueryResult:
             timing=TimingInfo.from_dict(timing) if timing is not None else None,
             cache=dict(payload["cache"]) if payload.get("cache") is not None else None,
             corpus_version=payload.get("corpus_version"),
+            composed=(
+                ComposedInfo.from_dict(composed) if composed is not None else None
+            ),
         )
 
     def canonical_dict(self) -> Dict[str, Any]:

@@ -195,6 +195,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "heap-selection path; scored rows then cover only the survivors)",
     )
     route_cmd.add_argument(
+        "--sets",
+        action="store_true",
+        help="also show the shard-set proposals (the 2-3-shard candidate "
+        "sets cross-table composition would try when no single shard "
+        "covers every anchored question term)",
+    )
+    route_cmd.add_argument(
         "--json", action="store_true", help="emit the decision as JSON"
     )
 
@@ -350,6 +357,35 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="best-of repeat count for the build-timing arms (default: 3)",
     )
     bench_discovery_cmd.add_argument(
+        "--output", help="write the payload to this JSON file"
+    )
+
+    bench_join_cmd = subparsers.add_parser(
+        "bench-join",
+        help="benchmark cross-table shard-set routing and the composed-"
+        "answer SQL oracle over the multi-table question tier",
+    )
+    bench_join_cmd.add_argument(
+        "--pairs",
+        type=int,
+        default=12,
+        help="fact/dimension shard pairs before REPRO_BENCH_SCALE scaling",
+    )
+    bench_join_cmd.add_argument(
+        "--questions",
+        type=int,
+        default=36,
+        help="gold-labeled questions before REPRO_BENCH_SCALE scaling",
+    )
+    bench_join_cmd.add_argument("--seed", type=int, default=2019)
+    bench_join_cmd.add_argument(
+        "--proposals",
+        type=int,
+        default=8,
+        help="max shard-set proposals the router may return (recall@5 "
+        "needs more than the serving default of 4)",
+    )
+    bench_join_cmd.add_argument(
         "--output", help="write the payload to this JSON file"
     )
     return parser
@@ -581,7 +617,12 @@ def run_route(args: argparse.Namespace, out) -> int:
     engine = _corpus_engine(args, out)
     if engine is None:
         return 1
-    decision = engine.routing(args.question, max_candidates=args.top)
+    sets = None
+    if args.sets:
+        sets = engine.routing_sets(args.question, max_candidates=args.top)
+        decision = sets.single
+    else:
+        decision = engine.routing(args.question, max_candidates=args.top)
     if args.json:
         payload = {
             "question": decision.question,
@@ -598,6 +639,20 @@ def run_route(args: argparse.Namespace, out) -> int:
                 for scored in decision.scored
             ],
         }
+        if sets is not None:
+            payload["sets"] = {
+                "coverable": list(sets.coverable),
+                "single_covered": sets.single_covered,
+                "proposals": [
+                    {
+                        "tables": [ref.name for ref in proposal.refs],
+                        "covered": list(proposal.covered),
+                        "missing": list(proposal.missing),
+                        "score": proposal.score,
+                    }
+                    for proposal in sets.proposals
+                ],
+            }
         print(json.dumps(payload, ensure_ascii=False, indent=2), file=out)
         return 0
     print(f"question: {decision.question}", file=out)
@@ -621,6 +676,26 @@ def run_route(args: argparse.Namespace, out) -> int:
             f"{scored.ref.name:<20} {matched}",
             file=out,
         )
+    if sets is not None:
+        terms = ", ".join(sets.coverable) if sets.coverable else "(none)"
+        print(f"coverable terms: {terms}", file=out)
+        if sets.single_covered:
+            print("sets: a single candidate covers every term", file=out)
+        elif not sets.proposals:
+            print("sets: no multi-shard set improves coverage", file=out)
+        for position, proposal in enumerate(sets.proposals, start=1):
+            names = " + ".join(ref.name for ref in proposal.refs)
+            missing = (
+                "complete"
+                if proposal.complete
+                else f"missing {', '.join(proposal.missing)}"
+            )
+            print(
+                f"set {position}: {names} "
+                f"(covers {len(proposal.covered)}/{len(sets.coverable)}, "
+                f"{missing}, score {proposal.score:.1f})",
+                file=out,
+            )
     return 0
 
 
@@ -895,6 +970,42 @@ def run_bench_discovery(args: argparse.Namespace, out) -> int:
     return 0 if (report.identical and report.identical_index) else 1
 
 
+def run_bench_join(args: argparse.Namespace, out) -> int:
+    from .dataset.join_corpus import JoinCorpusConfig
+    from .perf.join import run_join_bench
+
+    report = run_join_bench(
+        config=JoinCorpusConfig(
+            num_pairs=args.pairs,
+            num_questions=args.questions,
+            seed=args.seed,
+        ),
+        max_proposals=args.proposals,
+    )
+    print(
+        f"workload: {report.pairs} shard pairs ({report.shards} shards), "
+        f"{report.questions} questions, top-{report.max_proposals} proposals",
+        file=out,
+    )
+    for label, value in report.rows():
+        print(f"{label:>20}: {value}", file=out)
+    for line in report.failures:
+        print(f"  ! {line}", file=out)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote payload to {path}", file=out)
+    # The oracle gate: exit 1 when any composed answer diverges from the
+    # translated two-table SQL, or when a gold pair fails to compose at
+    # all (an uncomposed pair can't be oracle-checked, and passing it
+    # silently would hollow out the gate).
+    return 0 if report.gate_ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_argument_parser().parse_args(argv)
@@ -911,6 +1022,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "update": run_update,
         "bench-churn": run_bench_churn,
         "bench-discovery": run_bench_discovery,
+        "bench-join": run_bench_join,
     }
     try:
         return handlers[args.command](args, out)

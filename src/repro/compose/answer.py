@@ -1,0 +1,92 @@
+"""The :class:`ComposedAnswer` — a cross-shard answer with join provenance.
+
+The provenance model extends the paper's single-table cell provenance to
+the two-table case: besides the answer values, a composed answer records
+*which shard played which role* (primary answers, secondary restricts),
+the join key pair, and the exact ``(left_row, right_row)`` matches the
+semi-join produced, in deterministic sorted order.  Everything is
+JSON-safe and round-trips losslessly — the v2 wire envelope embeds these
+dicts verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class JoinProvenance:
+    """Which rows of which shards the composed answer came from."""
+
+    primary_digest: str
+    primary_name: str
+    secondary_digest: str
+    secondary_name: str
+    left_column: str
+    right_column: str
+    #: Sorted ``(primary_row, secondary_row)`` matches of the semi-join.
+    join_pairs: Tuple[Tuple[int, int], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "primary": {"digest": self.primary_digest, "name": self.primary_name},
+            "secondary": {
+                "digest": self.secondary_digest,
+                "name": self.secondary_name,
+            },
+            "on": {"left": self.left_column, "right": self.right_column},
+            "join_pairs": [list(pair) for pair in self.join_pairs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JoinProvenance":
+        return cls(
+            primary_digest=payload["primary"]["digest"],
+            primary_name=payload["primary"]["name"],
+            secondary_digest=payload["secondary"]["digest"],
+            secondary_name=payload["secondary"]["name"],
+            left_column=payload["on"]["left"],
+            right_column=payload["on"]["right"],
+            join_pairs=tuple(
+                (int(pair[0]), int(pair[1])) for pair in payload["join_pairs"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ComposedAnswer:
+    """A multi-shard answer: values, the composed query, provenance."""
+
+    question: str
+    answer: Tuple[str, ...]
+    sexpr: str
+    utterance: str
+    provenance: JoinProvenance
+    #: Joint retrieval score of the shard set that proposed the pair.
+    retrieval_score: float = 0.0
+    #: Wall-clock of planning + validation + execution.
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "question": self.question,
+            "answer": list(self.answer),
+            "sexpr": self.sexpr,
+            "utterance": self.utterance,
+            "provenance": self.provenance.to_dict(),
+            "retrieval_score": self.retrieval_score,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ComposedAnswer":
+        return cls(
+            question=payload["question"],
+            answer=tuple(payload["answer"]),
+            sexpr=payload["sexpr"],
+            utterance=payload["utterance"],
+            provenance=JoinProvenance.from_dict(payload["provenance"]),
+            retrieval_score=float(payload["retrieval_score"]),
+            seconds=float(payload["seconds"]),
+        )

@@ -1,0 +1,107 @@
+"""Composition orchestration: plan → validate → execute → answer.
+
+:func:`compose_answer` is the one entry point the catalog (and the
+bench) calls for a candidate shard pair.  It tries the pair in both
+orderings — the planner needs the question's *target* header in the
+primary table and its *anchor* value in the secondary, and only one
+ordering has that — validates the plan with
+:func:`~repro.dcs.typing.validate_composed`, executes it with the
+:class:`~repro.compose.executor.ComposedExecutor`, and returns a
+:class:`~repro.compose.answer.ComposedAnswer` carrying the join
+provenance.  Any failure (no plan, invalid plan, execution error, empty
+answer) returns ``None``: composition is strictly additive and must
+never break the single-shard path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from ..dcs.errors import DCSError
+from ..dcs.sexpr import to_sexpr
+from ..dcs.typing import validate_composed
+from ..tables.table import Table
+from .answer import ComposedAnswer, JoinProvenance
+from .executor import ComposedExecutor
+from .planner import JoinPlan, JoinPlanner
+
+
+def _utterance(plan: JoinPlan, primary: Table, secondary: Table) -> str:
+    return (
+        f"values in column {plan.target_column} of table {primary.name} "
+        f"joined to table {secondary.name} on "
+        f"{plan.left_column} = {plan.right_column} "
+        f"in rows where value of column {plan.anchor_column} "
+        f"is {plan.anchor_display}"
+    )
+
+
+def compose_pair(
+    question: str,
+    primary: Table,
+    secondary: Table,
+    planner: Optional[JoinPlanner] = None,
+    retrieval_score: float = 0.0,
+) -> Optional[ComposedAnswer]:
+    """Compose over one *oriented* (primary, secondary) pair, or ``None``."""
+    started = time.perf_counter()
+    planner = planner or JoinPlanner()
+    plan = planner.plan(question, primary, secondary)
+    if plan is None:
+        return None
+    if not validate_composed(plan.query, primary, secondary):
+        return None
+    executor = ComposedExecutor(primary, secondary)
+    try:
+        result = executor.execute(plan.query)
+    except DCSError:
+        return None
+    if result.is_empty:
+        return None
+    provenance = JoinProvenance(
+        primary_digest=primary.fingerprint.digest,
+        primary_name=primary.name,
+        secondary_digest=secondary.fingerprint.digest,
+        secondary_name=secondary.name,
+        left_column=plan.left_column,
+        right_column=plan.right_column,
+        join_pairs=executor.join_pairs,
+    )
+    return ComposedAnswer(
+        question=question,
+        answer=result.answer_strings(),
+        sexpr=to_sexpr(plan.query),
+        utterance=_utterance(plan, primary, secondary),
+        provenance=provenance,
+        retrieval_score=retrieval_score,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def compose_answer(
+    question: str,
+    first: Table,
+    second: Table,
+    planner: Optional[JoinPlanner] = None,
+    retrieval_score: float = 0.0,
+) -> Optional[ComposedAnswer]:
+    """Compose over an *unoriented* table pair: try both orderings.
+
+    The ordering whose primary table holds the question's target header
+    (and whose secondary holds the anchor entity) succeeds; the other
+    returns ``None`` at planning.  When both succeed — the tables are
+    symmetric enough that either could answer — the first ordering wins,
+    so the result is deterministic in the caller's pair order.
+    """
+    for primary, secondary in ((first, second), (second, first)):
+        answer = compose_pair(
+            question,
+            primary,
+            secondary,
+            planner=planner,
+            retrieval_score=retrieval_score,
+        )
+        if answer is not None:
+            return answer
+    return None

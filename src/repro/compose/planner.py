@@ -1,0 +1,221 @@
+"""Deterministic lexical planning of cross-table join queries.
+
+The single-table semantic parser scores thousands of candidate trees per
+question; composition does not need that machinery to be *honest* — it
+needs a deterministic baseline whose every answer is checked against the
+translated two-table SQL oracle.  :class:`JoinPlanner` builds exactly
+one candidate per (question, primary, secondary) ordering, from three
+lexical anchors:
+
+* the **anchor**: a secondary-table cell value whose text appears in the
+  question (longest match wins) — the entity the question pivots on;
+* the **join key**: the ``(left_column, right_column)`` pair with the
+  largest ``values_equal`` overlap between the two tables (computed on
+  the same quantized keys the value classes hash with, so
+  string↔number re-parse bridges count as overlap);
+* the **target**: a primary-table column whose header appears in the
+  question — the attribute the question asks for.
+
+The plan is always the same shape::
+
+    (column-values TARGET
+      (join-records LEFT RIGHT
+        (column-records ANCHOR_COL (value ANCHOR))))
+
+Any missing anchor returns ``None`` — the composition layer then tries
+the reversed table ordering, and gives up quietly if neither works.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dcs import ast, builder
+from ..dcs.ast import Query
+from ..tables.table import Table
+from ..tables.values import (
+    DateValue,
+    NumberValue,
+    StringValue,
+    Value,
+    parse_value,
+)
+
+_NON_WORD_RE = re.compile(r"[^0-9a-z]+")
+
+
+def _normalize(text: str) -> str:
+    return " ".join(_NON_WORD_RE.sub(" ", text.lower()).split())
+
+
+def _contains_phrase(question: str, phrase: str) -> bool:
+    return phrase != "" and f" {phrase} " in f" {question} "
+
+
+def _join_key(value: Value):
+    """A hashable key approximating ``values_equal`` for overlap counting.
+
+    Strings re-parse (the cross-type bridge: ``"2004"`` overlaps the
+    number ``2004``), numbers and bare-year dates land on the
+    :class:`NumberValue` 1e-9 quantization grid, NaN never joins
+    (returns ``None``).  Equal keys imply ``values_equal``; the executor
+    still confirms every probe exactly, so this only has to be a sound
+    under-approximation for *ranking* key pairs.
+    """
+    if isinstance(value, StringValue):
+        reparsed = parse_value(value.text)
+        if not isinstance(reparsed, StringValue):
+            return _join_key(reparsed)
+        return ("str", value.normalized) if value.normalized else None
+    if isinstance(value, NumberValue):
+        if math.isnan(value.number):
+            return None
+        return ("num", round(value.number * 10**9))
+    if isinstance(value, DateValue):
+        if value.is_numeric:
+            return ("num", round(value.as_number() * 10**9))
+        return ("date", value.year, value.month, value.day)
+    return None
+
+
+def _column_keys(table: Table) -> Dict[str, Set]:
+    out: Dict[str, Set] = {}
+    for column in table.columns:
+        keys = set()
+        for cell in table.column_cells(column):
+            key = _join_key(cell.value)
+            if key is not None:
+                keys.add(key)
+        out[column] = keys
+    return out
+
+
+def joinable_columns(
+    primary: Table, secondary: Table, min_overlap: int = 1
+) -> List[Tuple[str, str, int]]:
+    """Every ``(left, right, overlap)`` pair with enough shared keys.
+
+    Sorted by overlap descending, ties broken by schema column order —
+    the deterministic ranking the planner picks its join key from.
+    """
+    left_keys = _column_keys(primary)
+    right_keys = _column_keys(secondary)
+    pairs: List[Tuple[str, str, int]] = []
+    for left_position, left in enumerate(primary.columns):
+        for right_position, right in enumerate(secondary.columns):
+            overlap = len(left_keys[left] & right_keys[right])
+            if overlap >= min_overlap:
+                pairs.append((left, right, overlap))
+    left_order = {name: i for i, name in enumerate(primary.columns)}
+    right_order = {name: i for i, name in enumerate(secondary.columns)}
+    pairs.sort(key=lambda p: (-p[2], left_order[p[0]], right_order[p[1]]))
+    return pairs
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """One planned composed query plus the anchors that produced it."""
+
+    query: Query
+    target_column: str
+    left_column: str
+    right_column: str
+    anchor_column: str
+    anchor_value: Value
+    key_overlap: int
+
+    @property
+    def anchor_display(self) -> str:
+        return self.anchor_value.display()
+
+
+class JoinPlanner:
+    """Builds the one deterministic join candidate for a table pair.
+
+    ``min_key_overlap`` is the smallest shared-key count a column pair
+    must have to qualify as a join key (2 by default: a single shared
+    value is indistinguishable from coincidence in small tables).
+    """
+
+    def __init__(self, min_key_overlap: int = 2) -> None:
+        self.min_key_overlap = min_key_overlap
+
+    def plan(
+        self, question: str, primary: Table, secondary: Table
+    ) -> Optional[JoinPlan]:
+        normalized = _normalize(question)
+        pairs = joinable_columns(primary, secondary, self.min_key_overlap)
+        if not pairs:
+            return None
+        left_column, right_column, overlap = pairs[0]
+
+        anchor = self._find_anchor(normalized, secondary, right_column)
+        if anchor is None:
+            return None
+        anchor_column, anchor_value = anchor
+
+        target = self._find_target(normalized, primary, left_column)
+        if target is None:
+            return None
+
+        query = builder.column_values(
+            target,
+            builder.join_records(
+                left_column,
+                right_column,
+                builder.column_records(anchor_column, ast.ValueLiteral(anchor_value)),
+            ),
+        )
+        return JoinPlan(
+            query=query,
+            target_column=target,
+            left_column=left_column,
+            right_column=right_column,
+            anchor_column=anchor_column,
+            anchor_value=anchor_value,
+            key_overlap=overlap,
+        )
+
+    def _find_anchor(
+        self, question: str, secondary: Table, right_column: str
+    ) -> Optional[Tuple[str, Value]]:
+        """The longest secondary cell text present in the question.
+
+        Prefers anchors *off* the join column — an anchor on the join
+        key itself answers from one table and needs no composition —
+        but falls back to it when nothing else matches.
+        """
+        best: Optional[Tuple[int, int, int, str, Value]] = None
+        for position, column in enumerate(secondary.columns):
+            for cell in secondary.column_cells(column):
+                phrase = _normalize(cell.display())
+                if not _contains_phrase(question, phrase):
+                    continue
+                on_join_key = 1 if column == right_column else 0
+                rank = (on_join_key, -len(phrase), position)
+                if best is None or rank < best[:3]:
+                    best = rank + (column, cell.value)
+        if best is None:
+            return None
+        return best[3], best[4]
+
+    def _find_target(
+        self, question: str, primary: Table, left_column: str
+    ) -> Optional[str]:
+        """The longest primary header present in the question (not the key)."""
+        best: Optional[Tuple[int, int, str]] = None
+        for position, column in enumerate(primary.columns):
+            if column == left_column:
+                continue
+            phrase = _normalize(column)
+            if not _contains_phrase(question, phrase):
+                continue
+            rank = (-len(phrase), position)
+            if best is None or rank < best[:2]:
+                best = rank + (column,)
+        if best is None:
+            return None
+        return best[2]

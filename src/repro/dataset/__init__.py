@@ -17,6 +17,14 @@ from .corpus import (
     DiscoveryQuestion,
     build_discovery_corpus,
 )
+from .join_corpus import (
+    FAMILIES,
+    JoinCorpus,
+    JoinCorpusConfig,
+    JoinFamily,
+    JoinQuestion,
+    build_join_corpus,
+)
 from . import vocab
 
 __all__ = [
@@ -42,5 +50,11 @@ __all__ = [
     "DiscoveryCorpus",
     "DiscoveryQuestion",
     "build_discovery_corpus",
+    "FAMILIES",
+    "JoinCorpus",
+    "JoinCorpusConfig",
+    "JoinFamily",
+    "JoinQuestion",
+    "build_join_corpus",
     "vocab",
 ]

@@ -258,6 +258,44 @@ class Intersection(Query):
 
 
 @dataclass(frozen=True)
+class JoinRecords(Query):
+    """Cross-table bridge — records of the *primary* table whose
+    ``left_column`` value matches (``values_equal``) some value of
+    ``right_column`` in the given records of the *secondary* table.
+
+    The one node that spans two tables: ``records`` is evaluated against
+    the secondary table, everything above this node against the primary.
+    Relationally it is a semi-join — ``T1 ⋉ T2`` on
+    ``T1.left_column = T2.right_column`` — which keeps the result a
+    plain RECORDS set of the primary table, so every single-table
+    operator composes above it unchanged.  The single-table
+    :class:`~repro.dcs.executor.Executor` rejects it with a clear
+    error; execution needs the two-table
+    :class:`~repro.compose.ComposedExecutor`.
+    """
+
+    left_column: str
+    right_column: str
+    records: Query
+
+    def __post_init__(self):
+        _require(self.records, ResultKind.RECORDS, "JoinRecords.records")
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.records,)
+
+    @property
+    def result_kind(self) -> ResultKind:
+        return ResultKind.RECORDS
+
+    def _own_columns(self) -> Tuple[str, ...]:
+        # Only the primary-side column: ``columns()`` and the
+        # single-table validator see the table the whole query answers
+        # from.  The right side is checked by ``validate_composed``.
+        return (self.left_column,)
+
+
+@dataclass(frozen=True)
 class SuperlativeRecords(Query):
     """``argmax(records, λx[C.x])`` — records with the extreme value in ``C``.
 
@@ -512,6 +550,7 @@ RECORD_NODES = (
     PrevRecords,
     NextRecords,
     Intersection,
+    JoinRecords,
     SuperlativeRecords,
     FirstLastRecords,
 )

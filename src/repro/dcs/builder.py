@@ -71,6 +71,14 @@ def intersection(left: Query, right: Query) -> ast.Intersection:
     return ast.Intersection(left, right)
 
 
+def join_records(
+    left_column: str, right_column: str, records: Query
+) -> ast.JoinRecords:
+    """``T1 ⋉ T2`` — primary rows whose ``left_column`` matches
+    ``right_column`` of the given secondary-table ``records``."""
+    return ast.JoinRecords(left_column, right_column, records)
+
+
 def union(left: Operand, right: Operand) -> ast.Union:
     """``vals1 ⊔ vals2`` (or union of record sets)."""
     return ast.Union(value(left), value(right))

@@ -237,6 +237,12 @@ class Executor:
             kind=ResultKind.RECORDS, record_indices=frozenset(indices), cells=cells
         )
 
+    def _execute_JoinRecords(self, query: ast.JoinRecords) -> ExecutionResult:
+        raise ExecutionError(
+            "join-records spans two tables; execute it with "
+            "repro.compose.ComposedExecutor(primary, secondary)"
+        )
+
     def _execute_SuperlativeRecords(self, query: ast.SuperlativeRecords) -> ExecutionResult:
         base = self.execute(query.records)
         self._check_column(query.column)

@@ -77,6 +77,11 @@ def _serialize(query: Query) -> str:
         return f"(next-records {_serialize(query.records)})"
     if isinstance(query, ast.Intersection):
         return f"(intersection {_serialize(query.left)} {_serialize(query.right)})"
+    if isinstance(query, ast.JoinRecords):
+        return (
+            f"(join-records {_quote(query.left_column)} "
+            f"{_quote(query.right_column)} {_serialize(query.records)})"
+        )
     if isinstance(query, ast.Union):
         return f"(union {_serialize(query.left)} {_serialize(query.right)})"
     if isinstance(query, ast.SuperlativeRecords):
@@ -215,6 +220,13 @@ def _build(node: Node) -> Query:
     if head == "intersection":
         arity(2)
         return ast.Intersection(_build(args[0]), _build(args[1]))
+    if head == "join-records":
+        arity(3)
+        return ast.JoinRecords(
+            _string(args[0], "left column"),
+            _string(args[1], "right column"),
+            _build(args[2]),
+        )
     if head == "union":
         arity(2)
         return ast.Union(_build(args[0]), _build(args[1]))

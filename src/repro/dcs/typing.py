@@ -68,6 +68,63 @@ def validate(query: Query, table: Table, schema: TableSchema = None) -> Validati
     return ValidationReport(issues=tuple(issues))
 
 
+def validate_composed(
+    query: Query,
+    primary: Table,
+    secondary: Table,
+    primary_schema: TableSchema = None,
+    secondary_schema: TableSchema = None,
+) -> ValidationReport:
+    """Validate a cross-table query against its (primary, secondary) pair.
+
+    Everything strictly below the single :class:`~repro.dcs.ast.JoinRecords`
+    node answers from ``secondary``; the join's ``left_column`` and every
+    node above it answer from ``primary``.  The join's ``right_column``
+    must exist in ``secondary``.  Exactly one join is supported — the
+    two-table scope of the composition subsystem.
+    """
+    primary_schema = primary_schema or infer_schema(primary)
+    secondary_schema = secondary_schema or infer_schema(secondary)
+    issues: List[ValidationIssue] = []
+    if primary.num_rows == 0:
+        issues.append(ValidationIssue(query, "primary table has no rows"))
+
+    joins = [node for node in query.walk() if isinstance(node, ast.JoinRecords)]
+    if not joins:
+        issues.append(
+            ValidationIssue(query, "composed query has no join-records node")
+        )
+        return ValidationReport(issues=tuple(issues))
+    if len(joins) > 1:
+        issues.append(
+            ValidationIssue(
+                query, f"composed queries support exactly one join, got {len(joins)}"
+            )
+        )
+        return ValidationReport(issues=tuple(issues))
+    join = joins[0]
+    if not secondary.has_column(join.right_column):
+        issues.append(
+            ValidationIssue(
+                join, f"unknown column {join.right_column!r} in secondary table"
+            )
+        )
+
+    # The right subtree validates against the secondary table (its own
+    # empty-rows check included) ...
+    issues.extend(validate(join.records, secondary, secondary_schema).issues)
+    # ... and every node outside it against the primary.
+    secondary_nodes = {id(node) for node in join.records.walk()}
+    for node in query.walk():
+        if id(node) in secondary_nodes:
+            continue
+        for column in node._own_columns():
+            if not primary.has_column(column):
+                issues.append(ValidationIssue(node, f"unknown column {column!r}"))
+        issues.extend(_node_issues(node, primary, primary_schema))
+    return ValidationReport(issues=tuple(issues))
+
+
 def _node_issues(node: Query, table: Table, schema: TableSchema) -> List[ValidationIssue]:
     issues: List[ValidationIssue] = []
 

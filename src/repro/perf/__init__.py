@@ -43,6 +43,7 @@ from .bench import (
 )
 from .churn import ChurnReport, churn_edit_script, run_churn_bench
 from .discovery import RECALL_KS, DiscoveryReport, run_discovery_bench
+from .join import JOIN_RECALL_KS, JoinReport, run_join_bench
 from .diskcache import DiskCache
 from .pool import (
     DeadlineExceeded,
@@ -68,6 +69,9 @@ __all__ = [
     "DiscoveryReport",
     "RECALL_KS",
     "run_discovery_bench",
+    "JoinReport",
+    "JOIN_RECALL_KS",
+    "run_join_bench",
     "DeadlineExceeded",
     "DiskCache",
     "PoolError",

@@ -36,7 +36,14 @@ from .corpus_index import (
     extract_shard_postings,
     question_terms,
 )
-from .router import RoutingDecision, ShardRouter, ShardScore
+from .router import (
+    RoutingDecision,
+    SetRoutingDecision,
+    ShardRouter,
+    ShardScore,
+    ShardSetProposal,
+    ShardSetRouter,
+)
 
 __all__ = [
     "CorpusIndex",
@@ -47,6 +54,9 @@ __all__ = [
     "extract_shard_postings",
     "question_terms",
     "RoutingDecision",
+    "SetRoutingDecision",
     "ShardRouter",
     "ShardScore",
+    "ShardSetProposal",
+    "ShardSetRouter",
 ]

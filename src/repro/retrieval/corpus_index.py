@@ -630,6 +630,48 @@ class CorpusIndex:
                     scores[digest] = scores.get(digest, 0.0) + NUMBER_WEIGHT
         return scores
 
+    def term_coverage(self, question: str) -> Dict[str, FrozenSet[str]]:
+        """Per anchored question term → the digests of the shards covering it.
+
+        The set-cover view of a question: only terms that at least one
+        indexed shard covers appear (a term no shard holds cannot
+        constrain routing), each mapped to the frozen set of covering
+        digests.  Labels use the exact ``label:key`` format of
+        :meth:`score_question`'s ``matched`` tuples, so a coverage key is
+        directly comparable with a hit explanation.  This is what the
+        :class:`~repro.retrieval.router.ShardSetRouter` consumes to
+        decide whether a *single* shard can cover the whole question or
+        a 2–3-shard set is needed.
+        """
+        terms = question_terms(question, self.max_span_length)
+        coverage: Dict[str, FrozenSet[str]] = {}
+        with self._lock:
+            for phrase in sorted(terms.phrases):
+                digests = self._entities.get(phrase)
+                if digests:
+                    coverage[f"entity:{phrase}"] = frozenset(digests)
+            content = {
+                token
+                for token in terms.tokens
+                if token not in STOP_WORDS and token.isalnum()
+            }
+            for token in sorted(content):
+                digests = self._entity_tokens.get(token)
+                if digests:
+                    coverage[f"token:{token}"] = frozenset(digests)
+            # Header coverage uses ALL question tokens, mirroring
+            # score_question (the lexicon's column matcher keeps stop
+            # words on the question side).
+            for token in sorted(set(terms.tokens)):
+                digests = self._headers.get(token)
+                if digests:
+                    coverage[f"header:{token}"] = frozenset(digests)
+            for number in sorted(terms.numbers, key=lambda value: value.number):
+                digests = self._numbers.get(number)
+                if digests:
+                    coverage[f"number:{number.display()}"] = frozenset(digests)
+        return coverage
+
     def matched_terms(
         self, question: str, digests: Iterable[str]
     ) -> Dict[str, Tuple[str, ...]]:

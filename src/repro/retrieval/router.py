@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..tables.catalog import TableRef
 from .corpus_index import CorpusIndex, RetrievalHit
@@ -208,4 +209,186 @@ class ShardRouter:
             candidates=tuple(shard.ref for shard in ranked),
             pruned=tuple(ref for ref in refs if ref.digest not in kept),
             fallback=False,
+        )
+
+
+@dataclass(frozen=True)
+class ShardSetProposal:
+    """One candidate shard *set*: jointly covers more than any member.
+
+    ``covered`` / ``missing`` partition the question's coverable terms
+    (the :meth:`CorpusIndex.term_coverage` keys); ``score`` is the sum
+    of the members' individual retrieval scores — a tie-break, never a
+    coverage substitute.
+    """
+
+    refs: Tuple[TableRef, ...]
+    covered: Tuple[str, ...]
+    missing: Tuple[str, ...]
+    score: float
+
+    @property
+    def digests(self) -> Tuple[str, ...]:
+        return tuple(ref.digest for ref in self.refs)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+@dataclass(frozen=True)
+class SetRoutingDecision:
+    """A single-shard :class:`RoutingDecision` plus shard-set proposals.
+
+    ``single`` is the unchanged decision of the wrapped
+    :class:`ShardRouter` — the single-shard path and the broadcast
+    fallback are exactly what they were without set routing.
+    ``proposals`` is non-empty only when the question has coverable
+    terms, the route is not a fallback, and *no* candidate shard covers
+    every coverable term on its own (``single_covered`` records that
+    check): the situation where an answer may need two tables.
+    """
+
+    question: str
+    single: RoutingDecision
+    coverable: Tuple[str, ...]
+    single_covered: bool
+    proposals: Tuple[ShardSetProposal, ...]
+
+    @property
+    def proposed(self) -> bool:
+        return bool(self.proposals)
+
+
+class ShardSetRouter:
+    """Proposes 2–3-shard candidate sets when no single shard suffices.
+
+    A thin layer over a :class:`ShardRouter`: the wrapped router's
+    decision is computed first and returned untouched (determinism and
+    the fallback contract are inherited wholesale).  Only when that
+    decision's candidates each leave some coverable question term
+    uncovered does the set router enumerate small combinations of the
+    top-``pool_size`` candidates, keep the non-redundant ones that cover
+    strictly more terms than any single pool shard, and rank them by
+    ``(fewest missing terms, smallest set, highest summed score,
+    registration-rank order)`` — all deterministic, so a fixed (catalog,
+    question) pair always proposes the same sets.
+
+    Parameters
+    ----------
+    index:
+        The corpus index (shared with the wrapped router).
+    router:
+        The single-shard router to delegate to; a default
+        :class:`ShardRouter` over ``index`` when omitted.
+    max_set_size:
+        Largest proposed set (default 3, minimum 2).
+    max_proposals:
+        How many ranked proposals to keep (default 4).
+    pool_size:
+        How many top-ranked candidates combinations are drawn from
+        (default 8) — bounds enumeration at C(8,2)+C(8,3) = 84 sets.
+    """
+
+    def __init__(
+        self,
+        index: CorpusIndex,
+        router: Optional[ShardRouter] = None,
+        max_set_size: int = 3,
+        max_proposals: int = 4,
+        pool_size: int = 8,
+    ) -> None:
+        if max_set_size < 2:
+            raise ValueError(f"max_set_size must be >= 2, got {max_set_size}")
+        if max_proposals < 1:
+            raise ValueError(f"max_proposals must be >= 1, got {max_proposals}")
+        if pool_size < 2:
+            raise ValueError(f"pool_size must be >= 2, got {pool_size}")
+        self.index = index
+        self.router = router if router is not None else ShardRouter(index)
+        self.max_set_size = max_set_size
+        self.max_proposals = max_proposals
+        self.pool_size = pool_size
+
+    def route_sets(
+        self,
+        question: str,
+        refs: Sequence[TableRef],
+        max_candidates: Optional[int] = None,
+    ) -> SetRoutingDecision:
+        """The :class:`SetRoutingDecision` for ``question`` over ``refs``."""
+        single = self.router.route(question, refs, max_candidates=max_candidates)
+        coverage = self.index.term_coverage(question)
+        coverable = tuple(sorted(coverage))
+        if single.fallback or not coverable:
+            return SetRoutingDecision(
+                question=question,
+                single=single,
+                coverable=coverable,
+                single_covered=False,
+                proposals=(),
+            )
+        complete_digests = set(coverage[coverable[0]])
+        for term in coverable[1:]:
+            complete_digests &= coverage[term]
+        if any(ref.digest in complete_digests for ref in single.candidates):
+            # Some candidate covers the whole question alone: the
+            # single-shard path handles it, no sets proposed.
+            return SetRoutingDecision(
+                question=question,
+                single=single,
+                coverable=coverable,
+                single_covered=True,
+                proposals=(),
+            )
+        pool = single.candidates[: self.pool_size]
+        covered_by: Dict[str, FrozenSet[str]] = {
+            ref.digest: frozenset(
+                term for term in coverable if ref.digest in coverage[term]
+            )
+            for ref in pool
+        }
+        best_single = max(
+            (len(covered) for covered in covered_by.values()), default=0
+        )
+        scores = {shard.ref.digest: shard.score for shard in single.scored}
+        full = frozenset(coverable)
+        ranked: List[Tuple[Tuple[int, int, float, Tuple[int, ...]], ShardSetProposal]] = []
+        for size in range(2, min(self.max_set_size, len(pool)) + 1):
+            for positions in combinations(range(len(pool)), size):
+                members = tuple(pool[position] for position in positions)
+                unions = [covered_by[member.digest] for member in members]
+                union = frozenset().union(*unions)
+                if len(union) <= best_single:
+                    continue  # no better than the best shard alone
+                redundant = any(
+                    unions[i]
+                    <= frozenset().union(
+                        *(other for j, other in enumerate(unions) if j != i)
+                    )
+                    for i in range(len(unions))
+                )
+                if redundant:
+                    continue  # a strict subset covers the same terms
+                score = sum(scores.get(member.digest, 0.0) for member in members)
+                ranked.append(
+                    (
+                        (len(full - union), len(members), -score, positions),
+                        ShardSetProposal(
+                            refs=members,
+                            covered=tuple(sorted(union)),
+                            missing=tuple(sorted(full - union)),
+                            score=score,
+                        ),
+                    )
+                )
+        ranked.sort(key=lambda entry: entry[0])
+        return SetRoutingDecision(
+            question=question,
+            single=single,
+            coverable=coverable,
+            single_covered=False,
+            proposals=tuple(
+                proposal for _key, proposal in ranked[: self.max_proposals]
+            ),
         )

@@ -2,6 +2,7 @@
 
 from .translate import (
     INDEX_COLUMN,
+    SECONDARY_TABLE_NAME,
     TABLE_NAME,
     SQLQuery,
     SQLTranslationError,
@@ -9,8 +10,13 @@ from .translate import (
     quote_identifier,
     to_sql,
 )
-from .sqlite_backend import SQLResult, SQLiteBackend
-from .equivalence import EquivalenceReport, check_equivalence, check_many
+from .sqlite_backend import JoinSQLiteBackend, SQLResult, SQLiteBackend
+from .equivalence import (
+    EquivalenceReport,
+    check_composed_equivalence,
+    check_equivalence,
+    check_many,
+)
 
 __all__ = [
     "to_sql",
@@ -19,10 +25,13 @@ __all__ = [
     "literal",
     "quote_identifier",
     "TABLE_NAME",
+    "SECONDARY_TABLE_NAME",
     "INDEX_COLUMN",
     "SQLiteBackend",
+    "JoinSQLiteBackend",
     "SQLResult",
     "check_equivalence",
+    "check_composed_equivalence",
     "check_many",
     "EquivalenceReport",
 ]

@@ -17,7 +17,7 @@ from ..tables.table import Table
 from ..tables.values import DateValue, NumberValue, StringValue, Value
 from ..dcs.ast import Query, ResultKind
 from ..dcs.executor import ExecutionResult, execute
-from .sqlite_backend import SQLResult, SQLiteBackend, SQLValue
+from .sqlite_backend import JoinSQLiteBackend, SQLResult, SQLiteBackend, SQLValue
 
 
 @dataclass(frozen=True)
@@ -82,7 +82,55 @@ def check_equivalence(query: Query, table: Table, backend: Optional[SQLiteBacken
     finally:
         if own_backend:
             backend.close()
+    equivalent, detail = _compare_results(query, dcs_result, sql_result)
+    return EquivalenceReport(
+        query=query,
+        equivalent=equivalent,
+        detail=detail,
+        dcs_result=dcs_result,
+        sql_result=sql_result,
+    )
 
+
+def check_composed_equivalence(
+    query: Query,
+    primary: Table,
+    secondary: Table,
+    backend: Optional[JoinSQLiteBackend] = None,
+) -> EquivalenceReport:
+    """The two-table oracle: composed execution vs translated JOIN SQL.
+
+    Runs ``query`` (a tree containing one
+    :class:`~repro.dcs.ast.JoinRecords` bridge) natively with the
+    :class:`~repro.compose.ComposedExecutor` and through the translated
+    SQL over a :class:`JoinSQLiteBackend` materialising both tables,
+    then compares with the same normalisation rules as the single-table
+    check.  This is the gate ``repro bench-join`` enforces on every
+    composed answer.
+    """
+    from ..compose.executor import ComposedExecutor
+
+    dcs_result = ComposedExecutor(primary, secondary).execute(query)
+    own_backend = backend is None
+    backend = backend or JoinSQLiteBackend(primary, secondary)
+    try:
+        sql_result = backend.run_query(query)
+    finally:
+        if own_backend:
+            backend.close()
+    equivalent, detail = _compare_results(query, dcs_result, sql_result)
+    return EquivalenceReport(
+        query=query,
+        equivalent=equivalent,
+        detail=detail,
+        dcs_result=dcs_result,
+        sql_result=sql_result,
+    )
+
+
+def _compare_results(
+    query: Query, dcs_result: ExecutionResult, sql_result: SQLResult
+):
     if query.result_kind == ResultKind.RECORDS:
         dcs_indices = dcs_result.record_indices
         sql_indices = sql_result.record_indices()
@@ -109,13 +157,7 @@ def check_equivalence(query: Query, table: Table, backend: Optional[SQLiteBacken
                 equivalent = math.isclose(dcs_scalar, sql_scalar, rel_tol=1e-6, abs_tol=1e-6)
                 detail = f"dcs {dcs_scalar} vs sql {sql_scalar}"
 
-    return EquivalenceReport(
-        query=query,
-        equivalent=equivalent,
-        detail=detail,
-        dcs_result=dcs_result,
-        sql_result=sql_result,
-    )
+    return equivalent, detail
 
 
 def check_many(queries: Sequence[Query], table: Table) -> List[EquivalenceReport]:

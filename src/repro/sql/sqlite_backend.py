@@ -15,7 +15,14 @@ from ..tables.schema import infer_schema
 from ..tables.table import Table
 from ..tables.values import DateValue, NumberValue, StringValue, Value
 from ..dcs.ast import Query, ResultKind
-from .translate import INDEX_COLUMN, TABLE_NAME, SQLQuery, quote_identifier, to_sql
+from .translate import (
+    INDEX_COLUMN,
+    SECONDARY_TABLE_NAME,
+    TABLE_NAME,
+    SQLQuery,
+    quote_identifier,
+    to_sql,
+)
 
 SQLValue = Union[None, int, float, str]
 
@@ -45,27 +52,27 @@ class SQLiteBackend:
         self.table = table
         self.schema = infer_schema(table)
         self.connection = sqlite3.connect(":memory:")
-        self._create_and_fill()
+        self._create_and_fill(table, self.schema, TABLE_NAME)
 
     # -- setup ---------------------------------------------------------------
-    def _create_and_fill(self) -> None:
+    def _create_and_fill(self, table: Table, schema, sql_name: str) -> None:
         column_defs = [f"{quote_identifier(INDEX_COLUMN)} INTEGER PRIMARY KEY"]
-        for column in self.table.columns:
-            profile = self.schema.column(column)
+        for column in table.columns:
+            profile = schema.column(column)
             if profile.is_numeric:
                 column_defs.append(f"{quote_identifier(column)} REAL")
             else:
                 column_defs.append(f"{quote_identifier(column)} TEXT COLLATE NOCASE")
-        create = f"CREATE TABLE {TABLE_NAME} ({', '.join(column_defs)})"
+        create = f"CREATE TABLE {sql_name} ({', '.join(column_defs)})"
         self.connection.execute(create)
 
-        placeholders = ", ".join("?" for _ in range(len(self.table.columns) + 1))
-        insert = f"INSERT INTO {TABLE_NAME} VALUES ({placeholders})"
+        placeholders = ", ".join("?" for _ in range(len(table.columns) + 1))
+        insert = f"INSERT INTO {sql_name} VALUES ({placeholders})"
         rows = []
-        for record in self.table.records:
+        for record in table.records:
             row: List[SQLValue] = [record.index]
             for cell in record.cells:
-                numeric = self.schema.column(cell.column).is_numeric
+                numeric = schema.column(cell.column).is_numeric
                 row.append(_storage_value(cell.value, numeric))
             rows.append(tuple(row))
         self.connection.executemany(insert, rows)
@@ -91,6 +98,25 @@ class SQLiteBackend:
         translated = to_sql(query)
         rows = self.run_sql(translated.sql)
         return SQLResult(kind=translated.kind, rows=rows, sql=translated.sql)
+
+
+class JoinSQLiteBackend(SQLiteBackend):
+    """Materialise a (primary, secondary) pair as ``T`` and ``T2``.
+
+    One in-memory connection holds both tables, so a translated
+    ``join-records`` query — which references ``T`` and ``T2`` in the
+    same statement — runs as a genuine two-table sqlite JOIN.  Single
+    -table queries over the primary run unchanged (``T`` is identical
+    to the plain backend's).
+    """
+
+    def __init__(self, primary: Table, secondary: Table) -> None:
+        super().__init__(primary)
+        self.secondary = secondary
+        self.secondary_schema = infer_schema(secondary)
+        self._create_and_fill(
+            secondary, self.secondary_schema, SECONDARY_TABLE_NAME
+        )
 
 
 class SQLResult:

@@ -28,8 +28,10 @@ from ..dcs import ast
 from ..dcs.ast import AggregateFunction, ComparisonOperator, Query, ResultKind, SuperlativeKind
 from ..dcs.errors import DCSError
 
-#: Name of the materialised table in the generated SQL.
+#: Name of the materialised (primary) table in the generated SQL.
 TABLE_NAME = "T"
+#: Name of the secondary table a join-records bridge reads from.
+SECONDARY_TABLE_NAME = "T2"
 #: Name of the record-index attribute (paper Section 3.1).
 INDEX_COLUMN = "Index"
 
@@ -88,29 +90,29 @@ def to_sql(query: Query, pretty: bool = False) -> SQLQuery:
 # ---------------------------------------------------------------------------
 
 
-def _translate(query: Query) -> str:
+def _translate(query: Query, table: str = TABLE_NAME) -> str:
     handler = _HANDLERS.get(type(query))
     if handler is None:
         raise SQLTranslationError(f"no SQL translation for {type(query).__name__}")
-    return handler(query)
+    return handler(query, table)
 
 
-def _records_sql(query: Query) -> str:
+def _records_sql(query: Query, table: str) -> str:
     if query.result_kind != ResultKind.RECORDS:
         raise SQLTranslationError("expected a records sub-query")
-    return _translate(query)
+    return _translate(query, table)
 
 
-def _values_sql(query: Query) -> str:
+def _values_sql(query: Query, table: str) -> str:
     if query.result_kind != ResultKind.VALUES:
         raise SQLTranslationError("expected a values sub-query")
-    return _translate(query)
+    return _translate(query, table)
 
 
-def _scalar_or_values_sql(query: Query) -> str:
+def _scalar_or_values_sql(query: Query, table: str) -> str:
     if query.result_kind == ResultKind.RECORDS:
         raise SQLTranslationError("difference operands cannot be record sets")
-    return _translate(query)
+    return _translate(query, table)
 
 
 def _index(column: str = INDEX_COLUMN) -> str:
@@ -121,146 +123,166 @@ def _column(column: str) -> str:
     return quote_identifier(column)
 
 
-def _t_all_records(query: ast.AllRecords) -> str:
-    return f"SELECT {_index()} FROM {TABLE_NAME}"
+def _t_all_records(query: ast.AllRecords, table: str) -> str:
+    return f"SELECT {_index()} FROM {table}"
 
 
-def _t_value_literal(query: ast.ValueLiteral) -> str:
+def _t_value_literal(query: ast.ValueLiteral, table: str) -> str:
     return f"SELECT {literal(query.value)} AS val"
 
 
-def _t_column_records(query: ast.ColumnRecords) -> str:
-    values = _values_sql(query.value)
+def _t_column_records(query: ast.ColumnRecords, table: str) -> str:
+    values = _values_sql(query.value, table)
     return (
-        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"SELECT {_index()} FROM {table} "
         f"WHERE {_column(query.column)} IN ({values})"
     )
 
 
-def _t_comparison_records(query: ast.ComparisonRecords) -> str:
-    values = _values_sql(query.value)
+def _t_comparison_records(query: ast.ComparisonRecords, table: str) -> str:
+    values = _values_sql(query.value, table)
     op = {"!=": "<>"}.get(query.op.value, query.op.value)
     return (
-        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"SELECT {_index()} FROM {table} "
         f"WHERE {_column(query.column)} {op} ({values})"
     )
 
 
-def _t_prev_records(query: ast.PrevRecords) -> str:
-    records = _records_sql(query.records)
+def _t_prev_records(query: ast.PrevRecords, table: str) -> str:
+    records = _records_sql(query.records, table)
     return (
-        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"SELECT {_index()} FROM {table} "
         f"WHERE {_index()} IN (SELECT {_index()} - 1 FROM ({records}))"
     )
 
 
-def _t_next_records(query: ast.NextRecords) -> str:
-    records = _records_sql(query.records)
+def _t_next_records(query: ast.NextRecords, table: str) -> str:
+    records = _records_sql(query.records, table)
     return (
-        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"SELECT {_index()} FROM {table} "
         f"WHERE {_index()} IN (SELECT {_index()} + 1 FROM ({records}))"
     )
 
 
-def _t_intersection(query: ast.Intersection) -> str:
-    left = _records_sql(query.left)
-    right = _records_sql(query.right)
+def _t_intersection(query: ast.Intersection, table: str) -> str:
+    left = _records_sql(query.left, table)
+    right = _records_sql(query.right, table)
     return (
-        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"SELECT {_index()} FROM {table} "
         f"WHERE {_index()} IN ({left}) AND {_index()} IN ({right})"
     )
 
 
-def _t_union(query: ast.Union) -> str:
-    if query.result_kind == ResultKind.RECORDS:
-        left = _records_sql(query.left)
-        right = _records_sql(query.right)
-        return (
-            f"SELECT {_index()} FROM {TABLE_NAME} "
-            f"WHERE {_index()} IN ({left}) OR {_index()} IN ({right})"
-        )
-    left = _values_sql(query.left)
-    right = _values_sql(query.right)
-    return f"SELECT val FROM ({left}) UNION SELECT val FROM ({right})"
+def _t_join_records(query: ast.JoinRecords, table: str) -> str:
+    """The cross-table bridge: a real two-table JOIN.
 
-
-def _t_superlative_records(query: ast.SuperlativeRecords) -> str:
-    records = _records_sql(query.records)
-    aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
-    column = _column(query.column)
+    The right sub-query is translated against the secondary table
+    (``T2``); the JOIN keeps primary rows whose ``left_column`` equals
+    the ``right_column`` of a selected secondary row.  ``DISTINCT``
+    mirrors the semi-join semantics — duplicate secondary matches fan
+    out in provenance, not in the record set.
+    """
+    records = _records_sql(query.records, SECONDARY_TABLE_NAME)
+    secondary = SECONDARY_TABLE_NAME
     return (
-        f"SELECT {_index()} FROM {TABLE_NAME} "
-        f"WHERE {_index()} IN ({records}) AND {column} = ("
-        f"SELECT {aggr}({column}) FROM {TABLE_NAME} WHERE {_index()} IN ({records}))"
+        f"SELECT DISTINCT {table}.{_index()} FROM {table} "
+        f"JOIN {secondary} ON "
+        f"{table}.{_column(query.left_column)} = "
+        f"{secondary}.{_column(query.right_column)} "
+        f"WHERE {secondary}.{_index()} IN ({records})"
     )
 
 
-def _t_first_last_records(query: ast.FirstLastRecords) -> str:
-    records = _records_sql(query.records)
+def _t_union(query: ast.Union, table: str) -> str:
+    if query.result_kind == ResultKind.RECORDS:
+        left = _records_sql(query.left, table)
+        right = _records_sql(query.right, table)
+        return (
+            f"SELECT {_index()} FROM {table} "
+            f"WHERE {_index()} IN ({left}) OR {_index()} IN ({right})"
+        )
+    left = _values_sql(query.left, table)
+    right = _values_sql(query.right, table)
+    return f"SELECT val FROM ({left}) UNION SELECT val FROM ({right})"
+
+
+def _t_superlative_records(query: ast.SuperlativeRecords, table: str) -> str:
+    records = _records_sql(query.records, table)
+    aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
+    column = _column(query.column)
+    return (
+        f"SELECT {_index()} FROM {table} "
+        f"WHERE {_index()} IN ({records}) AND {column} = ("
+        f"SELECT {aggr}({column}) FROM {table} WHERE {_index()} IN ({records}))"
+    )
+
+
+def _t_first_last_records(query: ast.FirstLastRecords, table: str) -> str:
+    records = _records_sql(query.records, table)
     aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
     return (
-        f"SELECT {_index()} FROM {TABLE_NAME} "
+        f"SELECT {_index()} FROM {table} "
         f"WHERE {_index()} = (SELECT {aggr}({_index()}) FROM ({records}))"
     )
 
 
-def _t_column_values(query: ast.ColumnValues) -> str:
-    records = _records_sql(query.records)
+def _t_column_values(query: ast.ColumnValues, table: str) -> str:
+    records = _records_sql(query.records, table)
     return (
-        f"SELECT {_column(query.column)} AS val FROM {TABLE_NAME} "
+        f"SELECT {_column(query.column)} AS val FROM {table} "
         f"WHERE {_index()} IN ({records})"
     )
 
 
-def _t_index_superlative(query: ast.IndexSuperlative) -> str:
-    records = _records_sql(query.records)
+def _t_index_superlative(query: ast.IndexSuperlative, table: str) -> str:
+    records = _records_sql(query.records, table)
     aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
     return (
-        f"SELECT {_column(query.column)} AS val FROM {TABLE_NAME} "
+        f"SELECT {_column(query.column)} AS val FROM {table} "
         f"WHERE {_index()} = (SELECT {aggr}({_index()}) FROM ({records}))"
     )
 
 
-def _t_most_common(query: ast.MostCommonValue) -> str:
-    values = _values_sql(query.values)
+def _t_most_common(query: ast.MostCommonValue, table: str) -> str:
+    values = _values_sql(query.values, table)
     column = _column(query.column)
     extreme = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
     counts = (
-        f"SELECT COUNT(*) AS cnt FROM {TABLE_NAME} "
+        f"SELECT COUNT(*) AS cnt FROM {table} "
         f"WHERE {column} IN ({values}) GROUP BY {column}"
     )
     return (
-        f"SELECT {column} AS val FROM {TABLE_NAME} "
+        f"SELECT {column} AS val FROM {table} "
         f"WHERE {column} IN ({values}) GROUP BY {column} "
         f"HAVING COUNT(*) = (SELECT {extreme}(cnt) FROM ({counts}))"
     )
 
 
-def _t_compare_values(query: ast.CompareValues) -> str:
-    values = _values_sql(query.values)
+def _t_compare_values(query: ast.CompareValues, table: str) -> str:
+    values = _values_sql(query.values, table)
     key = _column(query.key_column)
     value = _column(query.value_column)
     aggr = "MAX" if query.kind == SuperlativeKind.ARGMAX else "MIN"
     return (
-        f"SELECT DISTINCT {value} AS val FROM {TABLE_NAME} "
+        f"SELECT DISTINCT {value} AS val FROM {table} "
         f"WHERE {value} IN ({values}) AND {key} = ("
-        f"SELECT {aggr}({key}) FROM {TABLE_NAME} WHERE {value} IN ({values}))"
+        f"SELECT {aggr}({key}) FROM {table} WHERE {value} IN ({values}))"
     )
 
 
-def _t_aggregate(query: ast.Aggregate) -> str:
+def _t_aggregate(query: ast.Aggregate, table: str) -> str:
     function = query.function
     if function == AggregateFunction.COUNT:
-        operand = _translate(query.operand)
+        operand = _translate(query.operand, table)
         return f"SELECT COUNT(*) AS val FROM ({operand})"
-    values = _values_sql(query.operand)
+    values = _values_sql(query.operand, table)
     sql_function = {"max": "MAX", "min": "MIN", "sum": "SUM", "avg": "AVG"}[function.value]
     return f"SELECT {sql_function}(val) AS val FROM ({values})"
 
 
-def _t_difference(query: ast.Difference) -> str:
-    left = _scalar_or_values_sql(query.left)
-    right = _scalar_or_values_sql(query.right)
+def _t_difference(query: ast.Difference, table: str) -> str:
+    left = _scalar_or_values_sql(query.left, table)
+    right = _scalar_or_values_sql(query.right, table)
     return f"SELECT ABS(({left}) - ({right})) AS val"
 
 
@@ -272,6 +294,7 @@ _HANDLERS = {
     ast.PrevRecords: _t_prev_records,
     ast.NextRecords: _t_next_records,
     ast.Intersection: _t_intersection,
+    ast.JoinRecords: _t_join_records,
     ast.Union: _t_union,
     ast.SuperlativeRecords: _t_superlative_records,
     ast.FirstLastRecords: _t_first_last_records,

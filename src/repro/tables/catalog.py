@@ -45,8 +45,9 @@ from .index import update_index
 from .table import Table, TableError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (runtime imports are lazy)
+    from ..compose.answer import ComposedAnswer
     from ..interface.nl_interface import InterfaceResponse, NLInterface
-    from ..retrieval.router import RoutingDecision
+    from ..retrieval.router import RoutingDecision, SetRoutingDecision
 
 #: How a caller may name a table: a :class:`TableRef`, a registered name,
 #: a full or abbreviated (>= 8 hex chars, unique) fingerprint digest, or
@@ -139,12 +140,21 @@ class CatalogAnswer:
     ``routing`` records the full decision (every shard's retrieval score,
     the pruned set, whether the broadcast fallback fired) and ``pruned``
     says whether the retrieve-then-parse path was active at all.
+
+    ``set_routing`` is the :class:`~repro.retrieval.router.ShardSetRouter`
+    decision when set routing ran (its ``single`` is exactly ``routing``);
+    ``composed`` carries a cross-table
+    :class:`~repro.compose.answer.ComposedAnswer` when one of the
+    proposed shard sets planned, validated and executed a join — strictly
+    additive, the single-shard ranking above is never affected.
     """
 
     question: str
     ranked: List[Tuple[TableRef, "InterfaceResponse"]] = field(default_factory=list)
     routing: Optional["RoutingDecision"] = None
     pruned: bool = False
+    set_routing: Optional["SetRoutingDecision"] = None
+    composed: Optional["ComposedAnswer"] = None
 
     @property
     def shards_parsed(self) -> int:
@@ -209,6 +219,14 @@ class TableCatalog:
         back to the full broadcast when retrieval has no hits; ``False``
         restores the unconditional broadcast.  Per-call ``prune=``
         overrides this default.
+    compose:
+        Default composition policy of :meth:`ask_any`: ``True`` also
+        attempts a cross-table join answer whenever the
+        :class:`~repro.retrieval.router.ShardSetRouter` proposes shard
+        sets (no single shard covers every anchored question term);
+        ``False`` never composes.  Strictly additive either way — the
+        single-shard ranking is identical.  Per-call ``compose=``
+        overrides this default.
     """
 
     def __init__(
@@ -218,6 +236,7 @@ class TableCatalog:
         max_hot_shards: Optional[int] = None,
         k: int = 7,
         prune: bool = True,
+        compose: bool = True,
     ) -> None:
         if max_hot_shards is not None and max_hot_shards < 1:
             raise CatalogError(
@@ -245,11 +264,13 @@ class TableCatalog:
         # Imported lazily for the same reason as the interface above
         # (repro.retrieval pulls in repro.parser, which imports
         # repro.tables at package init).
-        from ..retrieval import CorpusIndex, ShardRouter
+        from ..retrieval import CorpusIndex, ShardRouter, ShardSetRouter
 
         self.prune = prune
+        self.compose = compose
         self._index = CorpusIndex()
         self._router = ShardRouter(self._index)
+        self._set_router = ShardSetRouter(self._index, self._router)
         self._shards: Dict[str, _Shard] = {}
         self._names: Dict[str, str] = {}
         self._order = itertools.count()
@@ -775,6 +796,76 @@ class TableCatalog:
             question, self.refs(), max_candidates=max_candidates
         )
 
+    def routing_sets(
+        self,
+        question: str,
+        max_candidates: Optional[int] = None,
+        max_proposals: Optional[int] = None,
+    ) -> "SetRoutingDecision":
+        """The set router's decision for ``question`` — pure inspection.
+
+        The single-shard half (``decision.single``) is byte-identical to
+        :meth:`routing`; on top of it the
+        :class:`~repro.retrieval.router.ShardSetRouter` reports the
+        question's coverable terms, whether one candidate covers them
+        all, and the ranked 2–3-shard sets proposed when none does.
+        ``max_proposals`` widens (or narrows) the proposal list past the
+        serving default — the join bench scores recall@5 and needs more
+        than the default four.
+        """
+        from ..retrieval import ShardSetRouter
+
+        router = self._set_router
+        if max_proposals is not None and max_proposals != router.max_proposals:
+            router = ShardSetRouter(
+                self._index,
+                self._router,
+                max_set_size=router.max_set_size,
+                max_proposals=max_proposals,
+                pool_size=router.pool_size,
+            )
+        return router.route_sets(
+            question, self.refs(), max_candidates=max_candidates
+        )
+
+    def _compose_from_proposals(
+        self,
+        question: str,
+        decision: "SetRoutingDecision",
+        max_attempts: int = 4,
+    ) -> Optional["ComposedAnswer"]:
+        """Try the proposed shard sets as join pairs; first success wins.
+
+        Proposals arrive ranked; each is tried pair-wise (a 3-shard set
+        yields its three pairs) with :func:`~repro.compose.compose_answer`,
+        which itself tries both orientations.  ``max_attempts`` bounds
+        the total pairs tried so a pathological question cannot turn one
+        request into a quadratic composition search.  Any failure just
+        moves on — composition never raises out of ``ask_any``.
+        """
+        from ..compose import compose_answer
+
+        attempts = 0
+        for proposal in decision.proposals:
+            for first, second in itertools.combinations(proposal.refs, 2):
+                if attempts >= max_attempts:
+                    return None
+                attempts += 1
+                try:
+                    primary = self.table(first)
+                    secondary = self.table(second)
+                except CatalogError:
+                    continue  # unrehydratable shard: skip this pair
+                answer = compose_answer(
+                    question,
+                    primary,
+                    secondary,
+                    retrieval_score=proposal.score,
+                )
+                if answer is not None:
+                    return answer
+        return None
+
     def ask_any(
         self,
         question: str,
@@ -784,6 +875,7 @@ class TableCatalog:
         prune: Optional[bool] = None,
         pool=None,
         max_candidates: Optional[int] = None,
+        compose: Optional[bool] = None,
     ) -> CatalogAnswer:
         """Answer ``question`` corpus-wide: retrieve, parse survivors, rank.
 
@@ -808,11 +900,20 @@ class TableCatalog:
         broadcast top answer whenever the broadcast's top shard is
         retrievable (property-tested in ``tests/test_retrieval.py``).
         Shards that produce no executable candidate rank last.
+
+        When ``compose`` (default: the catalog's ``compose`` policy) is
+        active and the set router proposes shard sets — no single
+        candidate covers every anchored question term — a cross-table
+        join answer is additionally attempted over the proposed pairs
+        (:meth:`_compose_from_proposals`) and attached as
+        ``CatalogAnswer.composed``.  Strictly additive: the single-shard
+        ranking is computed exactly as before.
         """
         refs = self.refs()
-        decision = self._router.route(
+        set_decision = self._set_router.route_sets(
             question, refs, max_candidates=max_candidates
         )
+        decision = set_decision.single
         apply_prune = self.prune if prune is None else prune
         targets = list(decision.candidates) if apply_prune else list(refs)
         responses = self.ask_many(
@@ -836,11 +937,19 @@ class TableCatalog:
                 order[pair[0].digest],
             ),
         )
+        apply_compose = self.compose if compose is None else compose
+        composed = (
+            self._compose_from_proposals(question, set_decision)
+            if apply_compose and set_decision.proposed
+            else None
+        )
         return CatalogAnswer(
             question=question,
             ranked=list(ranked),
             routing=decision,
             pruned=apply_prune,
+            set_routing=set_decision,
+            composed=composed,
         )
 
     # -- eviction --------------------------------------------------------------

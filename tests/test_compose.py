@@ -1,0 +1,320 @@
+"""The cross-table composition layer: JoinRecords, the planner, the oracle.
+
+Covers the executor semantics of the one cross-table operator (the
+semi-join bridge, including the ``values_equal`` cross-type bridges used
+as join keys, NaN cells, and duplicate-key fan-out), the deterministic
+lexical planner, the composed answer with its provenance, and the
+two-table SQL translation oracle.
+"""
+
+import math
+
+import pytest
+
+from repro.compose import (
+    ComposedAnswer,
+    ComposedExecutor,
+    JoinPlanner,
+    compose_answer,
+    compose_pair,
+    execute_composed,
+    joinable_columns,
+)
+from repro.dcs import Executor, builder as q, from_sexpr, to_sexpr
+from repro.dcs.errors import ExecutionError
+from repro.dcs.typing import validate_composed
+from repro.sql import JoinSQLiteBackend, check_composed_equivalence
+from repro.tables import Table
+
+
+@pytest.fixture
+def medals():
+    return Table(
+        columns=["Nation", "Total", "Golds"],
+        rows=[
+            ["Fiji", "120", "40"],
+            ["Samoa", "80", "20"],
+            ["Tonga", "95", "30"],
+            ["Greece", "town", "10"],
+            ["Norway", "300", "90"],
+        ],
+        name="medals",
+    )
+
+
+@pytest.fixture
+def regions():
+    return Table(
+        columns=["Nation", "Continent"],
+        rows=[
+            ["Fiji", "Oceania"],
+            ["Samoa", "Oceania"],
+            ["Tonga", "Oceania"],
+            ["Greece", "Europe"],
+            ["Norway", "Europe"],
+        ],
+        name="regions",
+    )
+
+
+def oceania_join():
+    return q.join_records(
+        "Nation", "Nation", q.column_records("Continent", "Oceania")
+    )
+
+
+class TestJoinRecordsExecutor:
+    def test_semi_join_selects_matching_primary_rows(self, medals, regions):
+        result = execute_composed(oceania_join(), medals, regions)
+        assert result.record_indices == frozenset({0, 1, 2})
+
+    def test_operators_compose_above_the_bridge(self, medals, regions):
+        values = execute_composed(
+            q.column_values("Total", oceania_join()), medals, regions
+        )
+        assert values.answer_strings() == ("120", "80", "95")
+
+        count = execute_composed(q.count(oceania_join()), medals, regions)
+        assert count.answer_strings() == ("3",)
+
+        best = execute_composed(
+            q.column_values("Nation", q.argmax_records("Golds", oceania_join())),
+            medals,
+            regions,
+        )
+        assert best.answer_strings() == ("Fiji",)
+
+    def test_join_pairs_record_the_provenance(self, medals, regions):
+        executor = ComposedExecutor(medals, regions)
+        executor.execute(oceania_join())
+        assert executor.join_pairs == ((0, 0), (1, 1), (2, 2))
+
+    def test_base_executor_rejects_join_records(self, medals):
+        with pytest.raises(ExecutionError, match="ComposedExecutor"):
+            Executor(medals).execute(oceania_join())
+
+    def test_missing_secondary_column_raises(self, medals, regions):
+        query = q.join_records(
+            "Nation", "Missing", q.column_records("Continent", "Oceania")
+        )
+        with pytest.raises(ExecutionError, match="Missing"):
+            execute_composed(query, medals, regions)
+
+    def test_sexpr_roundtrip(self, medals, regions):
+        query = q.column_values("Total", oceania_join())
+        text = to_sexpr(query)
+        assert "join-records" in text
+        rebuilt = from_sexpr(text)
+        assert to_sexpr(rebuilt) == text
+        assert execute_composed(rebuilt, medals, regions).answer_strings() == (
+            "120",
+            "80",
+            "95",
+        )
+
+
+class TestJoinKeyBridges:
+    """``values_equal`` cross-type bridges as join keys (the satellite):
+    string↔number re-parses join, NaN never joins, duplicate keys fan
+    out deterministically — identically with and without the index."""
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_string_number_bridge_joins(self, use_index):
+        primary = Table(
+            columns=["Year", "Host"],
+            rows=[["2004", "Athens"], ["2008", "Beijing"], ["2012", "London"]],
+            name="hosts",
+        )
+        secondary = Table(
+            columns=["Year", "Kind"],
+            rows=[[2004, "Summer"], [2012, "Summer"]],
+            name="editions",
+        )
+        executor = ComposedExecutor(primary, secondary, use_index=use_index)
+        result = executor.execute(
+            q.join_records("Year", "Year", q.all_records())
+        )
+        assert result.record_indices == frozenset({0, 2})
+        assert executor.join_pairs == ((0, 0), (2, 1))
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_nan_cells_never_join(self, use_index):
+        primary = Table(
+            columns=["Key", "Payload"],
+            rows=[[float("nan"), "a"], [2.0, "b"]],
+            name="left",
+        )
+        secondary = Table(
+            columns=["Key", "Tag"],
+            rows=[[float("nan"), "x"], [2.0, "y"]],
+            name="right",
+        )
+        executor = ComposedExecutor(primary, secondary, use_index=use_index)
+        result = executor.execute(q.join_records("Key", "Key", q.all_records()))
+        # NaN != NaN under values_equal: only the 2.0 rows pair up.
+        assert result.record_indices == frozenset({1})
+        assert executor.join_pairs == ((1, 1),)
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_duplicate_keys_fan_out_deterministically(self, use_index):
+        primary = Table(
+            columns=["Team", "Score"],
+            rows=[["United", "3"], ["Rovers", "1"], ["United", "2"]],
+            name="games",
+        )
+        secondary = Table(
+            columns=["Team", "City"],
+            rows=[["United", "Leeds"], ["United", "Hull"], ["Rovers", "York"]],
+            name="clubs",
+        )
+        executor = ComposedExecutor(primary, secondary, use_index=use_index)
+        result = executor.execute(
+            q.join_records("Team", "Team", q.all_records())
+        )
+        assert result.record_indices == frozenset({0, 1, 2})
+        # One pair per (left, right) combination, sorted regardless of
+        # the probe order the secondary rows arrived in.
+        assert executor.join_pairs == (
+            (0, 0),
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+        )
+
+    def test_index_and_scan_agree_on_bridges(self):
+        primary = Table(
+            columns=["Key", "Value"],
+            rows=[["2,000", "a"], ["7", "b"], ["x", "c"], ["2000", "d"]],
+            name="left",
+        )
+        secondary = Table(
+            columns=["Key", "Tag"],
+            rows=[[2000, "x"], ["seven", "y"], ["x", "z"]],
+            name="right",
+        )
+        query = q.join_records("Key", "Key", q.all_records())
+        indexed = ComposedExecutor(primary, secondary, use_index=True)
+        scanned = ComposedExecutor(primary, secondary, use_index=False)
+        assert (
+            indexed.execute(query).record_indices
+            == scanned.execute(query).record_indices
+        )
+        assert indexed.join_pairs == scanned.join_pairs
+
+
+class TestJoinPlanner:
+    def test_plans_the_canonical_shape(self, medals, regions):
+        plan = JoinPlanner().plan(
+            "what is the total for nations in Oceania", medals, regions
+        )
+        assert plan is not None
+        assert plan.target_column == "Total"
+        assert (plan.left_column, plan.right_column) == ("Nation", "Nation")
+        assert plan.anchor_column == "Continent"
+        assert plan.anchor_display == "Oceania"
+        assert validate_composed(plan.query, medals, regions)
+
+    def test_no_target_header_means_no_plan(self, medals, regions):
+        assert (
+            JoinPlanner().plan("which things are in Oceania", medals, regions)
+            is None
+        )
+
+    def test_no_anchor_means_no_plan(self, medals, regions):
+        assert (
+            JoinPlanner().plan("what is the total anywhere", medals, regions)
+            is None
+        )
+
+    def test_min_key_overlap_gates_the_join(self, medals, regions):
+        tiny = Table(
+            columns=["Nation", "Continent"],
+            rows=[["Fiji", "Oceania"]],
+            name="tiny",
+        )
+        assert (
+            JoinPlanner(min_key_overlap=2).plan(
+                "what is the total for nations in Oceania", medals, tiny
+            )
+            is None
+        )
+
+    def test_joinable_columns_ranked_by_overlap(self, medals, regions):
+        pairs = joinable_columns(medals, regions)
+        assert pairs[0][:2] == ("Nation", "Nation")
+        assert pairs[0][2] == 5
+
+
+class TestComposeAnswer:
+    def test_compose_pair_returns_provenance(self, medals, regions):
+        answer = compose_pair(
+            "what is the total for nations in Oceania", medals, regions
+        )
+        assert answer is not None
+        assert answer.answer == ("120", "80", "95")
+        assert answer.provenance.primary_name == "medals"
+        assert answer.provenance.secondary_name == "regions"
+        assert answer.provenance.join_pairs == ((0, 0), (1, 1), (2, 2))
+        assert "join-records" in answer.sexpr
+        assert answer.seconds >= 0.0
+
+    def test_compose_answer_tries_both_orderings(self, medals, regions):
+        question = "what is the total for nations in Oceania"
+        forward = compose_answer(question, medals, regions)
+        reversed_ = compose_answer(question, regions, medals)
+        assert forward is not None and reversed_ is not None
+        # Only the medals-primary orientation can answer; both call
+        # orders land on it.
+        assert forward.provenance.primary_name == "medals"
+        assert reversed_.provenance.primary_name == "medals"
+        assert forward.answer == reversed_.answer
+
+    def test_unanswerable_pair_returns_none(self, medals, regions):
+        assert compose_answer("who won the cup final", medals, regions) is None
+
+    def test_round_trips_through_dict(self, medals, regions):
+        answer = compose_pair(
+            "what is the total for nations in Oceania", medals, regions
+        )
+        rebuilt = ComposedAnswer.from_dict(answer.to_dict())
+        assert rebuilt == answer
+
+
+class TestComposedSQLOracle:
+    def test_join_query_matches_sql(self, medals, regions):
+        query = q.column_values("Total", oceania_join())
+        report = check_composed_equivalence(query, medals, regions)
+        assert report.equivalent, report.detail
+
+    def test_operators_above_the_join_match_sql(self, medals, regions):
+        for query in (
+            q.count(oceania_join()),
+            q.column_values("Nation", q.argmax_records("Golds", oceania_join())),
+            q.sum_(q.column_values("Golds", oceania_join())),
+        ):
+            report = check_composed_equivalence(query, medals, regions)
+            assert report.equivalent, report.detail
+
+    def test_backend_can_be_reused(self, medals, regions):
+        backend = JoinSQLiteBackend(medals, regions)
+        try:
+            for query in (
+                q.column_values("Total", oceania_join()),
+                q.count(oceania_join()),
+            ):
+                report = check_composed_equivalence(
+                    query, medals, regions, backend=backend
+                )
+                assert report.equivalent, report.detail
+        finally:
+            backend.close()
+
+    def test_every_bench_composition_passes_the_oracle(self, medals, regions):
+        answer = compose_pair(
+            "what is the total for nations in Oceania", medals, regions
+        )
+        report = check_composed_equivalence(
+            from_sexpr(answer.sexpr), medals, regions
+        )
+        assert report.equivalent, report.detail

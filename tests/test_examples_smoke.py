@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "sql_equivalence.py",
     "olympics_provenance.py",
     "unified_api.py",
+    "cross_table.py",
 ]
 
 
@@ -36,6 +37,14 @@ def test_quickstart_output_mentions_answer(capsys):
     assert "2004" in output
     assert "maximum of values in column Year" in output
     assert "sqlite agrees" in output
+
+
+def test_cross_table_composes_and_passes_the_oracle(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "cross_table.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "composed      : 120, 80, 95" in output
+    assert "join-records" in output
+    assert "sqlite agrees : True" in output
 
 
 def test_sql_equivalence_verifies_all_operators(capsys):

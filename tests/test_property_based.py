@@ -458,3 +458,104 @@ class TestKnowledgeBaseIndexParity:
         assert KnowledgeBase(table).records_with_value(
             column, NV(float("nan"))
         ) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# SQL-oracle hardening: Difference / Aggregate / MostCommonValue
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def difference_queries(draw, table):
+    """Both :class:`Difference` flavours over random operand records."""
+    names = [value.display() for value in table.column_values("Name")]
+    left = draw(st.sampled_from(names))
+    right = draw(st.sampled_from(names))
+    if draw(st.booleans()):
+        column = draw(st.sampled_from(["Score", "Total"]))
+        return q.value_difference(column, "Name", left, right)
+    return q.count_difference("Name", left, right)
+
+
+@st.composite
+def aggregate_queries(draw, table):
+    """Every :class:`Aggregate` kind over random VALUES restrictions."""
+    column = draw(st.sampled_from(["Score", "Total"]))
+    category = draw(
+        st.sampled_from([value.display() for value in table.column_values("Category")])
+    )
+    threshold = draw(st.integers(min_value=0, max_value=50))
+    records = draw(
+        st.sampled_from(
+            [
+                q.all_records(),
+                q.column_records("Category", category),
+                q.comparison_records(column, ">", threshold),
+                q.comparison_records(column, "<=", threshold),
+            ]
+        )
+    )
+    kind = draw(st.sampled_from(["count", "max", "min", "sum", "avg"]))
+    if kind == "count":
+        return q.count(records)
+    builder_fn = {"max": q.max_, "min": q.min_, "sum": q.sum_, "avg": q.avg}[kind]
+    return builder_fn(q.column_values(column, records))
+
+
+@st.composite
+def most_common_queries(draw, table):
+    """:class:`MostCommonValue`, unrestricted and over sub-VALUES."""
+    column = draw(st.sampled_from(["Category", "Name"]))
+    if draw(st.booleans()):
+        return q.most_common(column)
+    threshold = draw(st.integers(min_value=0, max_value=50))
+    numeric = draw(st.sampled_from(["Score", "Total"]))
+    return q.most_common(
+        column,
+        q.column_values(column, q.comparison_records(numeric, ">=", threshold)),
+    )
+
+
+def _oracle_pairs(strategy_fn):
+    return tables().flatmap(
+        lambda table: st.tuples(st.just(table), strategy_fn(table))
+    )
+
+
+class TestOracleHardeningProperties:
+    """`to_sql` agrees with the DCS executor on the operators whose SQL
+    shapes are the least direct: ``Difference`` (two correlated scalar
+    subqueries), ``Aggregate`` (empty-set and NULL conventions differ
+    between sqlite and the executor and must be papered over in the
+    translation), and ``MostCommonValue`` (GROUP BY + ORDER BY with the
+    executor's first-appearance tie-break)."""
+
+    @given(_oracle_pairs(difference_queries))
+    @SETTINGS
+    def test_difference_matches_sql(self, pair):
+        table, query = pair
+        try:
+            report = check_equivalence(query, table)
+        except DCSError:
+            return
+        assert report.equivalent, report.detail
+
+    @given(_oracle_pairs(aggregate_queries))
+    @SETTINGS
+    def test_aggregate_matches_sql(self, pair):
+        table, query = pair
+        try:
+            report = check_equivalence(query, table)
+        except DCSError:
+            return
+        assert report.equivalent, report.detail
+
+    @given(_oracle_pairs(most_common_queries))
+    @SETTINGS
+    def test_most_common_matches_sql(self, pair):
+        table, query = pair
+        try:
+            report = check_equivalence(query, table)
+        except DCSError:
+            return
+        assert report.equivalent, report.detail
